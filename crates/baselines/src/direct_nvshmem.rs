@@ -1,0 +1,188 @@
+//! Direct NVSHMEM: the §2.3 strawman (Table 1).
+//!
+//! Embeddings live in the symmetric heap (uniform node split), but the
+//! kernel applies none of MGG's management: one warp per node, and every
+//! remote neighbor is fetched with an *on-demand blocking* GET right when
+//! the aggregation needs it. The paper shows this is "not a free lunch" —
+//! on average slower than the UVM design — because (i) each blocking GET
+//! exposes the full fabric latency to its warp, (ii) hub nodes serialize
+//! thousands of GETs on a single warp, and (iii) warps flip between
+//! computation and communication, defeating the SM scheduler.
+
+use mgg_gnn::models::Aggregator;
+use mgg_gnn::reference::{aggregate, AggregateMode};
+use mgg_gnn::Matrix;
+use mgg_graph::partition::locality::{self, LocalityPartition};
+use mgg_graph::{CsrGraph, NodeSplit};
+use mgg_sim::{
+    Cluster, ClusterSpec, GpuSim, KernelLaunch, KernelProgram, KernelStats, NoPaging, WarpOp,
+};
+
+use mgg_core::kernel::aggregation_cycles;
+
+/// Warps per block of the naive kernel.
+const WPB: u32 = 8;
+
+/// Warp-side software cycles per on-demand blocking GET (argument
+/// marshalling, symmetric-address translation, quiet). MGG's batched
+/// `_nbi` path amortizes this; issuing gets one by one on demand pays it
+/// per neighbor — part of §2.3's "non-trivial overheads (e.g.,
+/// communication warm-up costs)".
+const GET_SW_CYCLES: u32 = 280;
+
+/// The direct-NVSHMEM aggregation engine.
+pub struct DirectNvshmemEngine {
+    pub cluster: Cluster,
+    graph: CsrGraph,
+    parts: Vec<LocalityPartition>,
+    mode: AggregateMode,
+    /// Statistics of the most recent simulated kernel.
+    pub last_stats: Option<KernelStats>,
+}
+
+struct DirectKernel<'a> {
+    parts: &'a [LocalityPartition],
+    dim: usize,
+}
+
+impl DirectNvshmemEngine {
+    /// Builds the engine with a uniform node split.
+    pub fn new(graph: &CsrGraph, spec: ClusterSpec, mode: AggregateMode) -> Self {
+        let split = NodeSplit::uniform(graph.num_nodes(), spec.num_gpus);
+        let parts = locality::build(graph, &split);
+        DirectNvshmemEngine {
+            cluster: Cluster::new(spec),
+            graph: graph.clone(),
+            parts,
+            mode,
+            last_stats: None,
+        }
+    }
+
+    /// Simulates one aggregation pass at dimension `dim`.
+    pub fn simulate_aggregation(&mut self, dim: usize) -> KernelStats {
+        self.cluster.reset();
+        let kernel = DirectKernel { parts: &self.parts, dim };
+        let stats = GpuSim::run(&mut self.cluster, &kernel, &mut NoPaging)
+            .expect("direct kernel launch is valid");
+        self.last_stats = Some(stats.clone());
+        stats
+    }
+
+    /// Simulated end-to-end duration (kernel + launch overhead).
+    pub fn simulate_aggregation_ns(&mut self, dim: usize) -> u64 {
+        let launch = self.cluster.spec.kernel_launch_ns;
+        self.simulate_aggregation(dim).makespan_ns() + launch
+    }
+}
+
+impl KernelProgram for DirectKernel<'_> {
+    fn launch(&self, pe: usize) -> KernelLaunch {
+        let warps = self.parts[pe].local.num_rows() as u32;
+        KernelLaunch {
+            blocks: warps.div_ceil(WPB).max(1),
+            warps_per_block: WPB,
+            smem_per_block: 2 * (self.dim as u32) * 4,
+        }
+    }
+
+    fn warp_ops(&self, pe: usize, block: u32, warp: u32) -> Vec<WarpOp> {
+        let r = (block * WPB + warp) as usize;
+        let part = &self.parts[pe];
+        if r >= part.local.num_rows() {
+            return Vec::new();
+        }
+        let row_bytes = (self.dim * 4) as u32;
+        let local = part.local.row(r as u32);
+        let remote = part.remote.row(r as u32);
+        if local.is_empty() && remote.is_empty() {
+            return Vec::new();
+        }
+        let mut ops = Vec::with_capacity(remote.len() * 2 + 4);
+        // Local neighbors: a single coalesced sweep plus the arithmetic.
+        if !local.is_empty() {
+            ops.push(WarpOp::GlobalRead { bytes: local.len() as u32 * row_bytes });
+            ops.push(WarpOp::Compute {
+                cycles: aggregation_cycles(local.len() as u32, self.dim),
+            });
+        }
+        // Remote neighbors: on-demand blocking GET, then aggregate that
+        // one row, then the next — the §2.3 "frequently switching between
+        // local computation and remote access" pattern.
+        for rr in remote {
+            ops.push(WarpOp::Compute { cycles: GET_SW_CYCLES });
+            ops.push(WarpOp::RemoteGet { peer: rr.owner, bytes: row_bytes, nbi: false });
+            ops.push(WarpOp::Compute { cycles: aggregation_cycles(1, self.dim) });
+        }
+        ops.push(WarpOp::GlobalWrite { bytes: row_bytes });
+        ops
+    }
+}
+
+impl Aggregator for DirectNvshmemEngine {
+    fn aggregate(&mut self, x: &Matrix) -> (Matrix, u64) {
+        let ns = self.simulate_aggregation_ns(x.cols());
+        (aggregate(&self.graph, x, self.mode), ns)
+    }
+
+    fn aggregate_only(&mut self, x: &Matrix) -> Matrix {
+        aggregate(&self.graph, x, self.mode)
+    }
+
+    fn mode(&self) -> AggregateMode {
+        self.mode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgg_graph::generators::rmat::{rmat, RmatConfig};
+
+    fn graph() -> CsrGraph {
+        rmat(&RmatConfig::graph500(9, 5_000, 37))
+    }
+
+    #[test]
+    fn runs_and_times() {
+        let g = graph();
+        let mut e = DirectNvshmemEngine::new(&g, ClusterSpec::dgx_a100(4), AggregateMode::Sum);
+        let ns = e.simulate_aggregation_ns(64);
+        assert!(ns > 0);
+        let stats = e.last_stats.as_ref().unwrap();
+        assert!(stats.traffic.remote_bytes() > 0);
+    }
+
+    #[test]
+    fn values_match_reference() {
+        let g = graph();
+        let x = Matrix::glorot(g.num_nodes(), 6, 9);
+        let mut e = DirectNvshmemEngine::new(&g, ClusterSpec::dgx_a100(2), AggregateMode::Mean);
+        let (vals, _) = e.aggregate(&x);
+        let want = aggregate(&g, &x, AggregateMode::Mean);
+        assert!(vals.max_abs_diff(&want) < 1e-6);
+    }
+
+    #[test]
+    fn blocking_gets_hurt_on_skewed_graphs() {
+        // The hub's warp serializes its remote gets, so the direct design
+        // must be far slower than MGG on the same skewed graph.
+        use mgg_core::{MggConfig, MggEngine};
+        let g = mgg_graph::generators::regular::star(3_000);
+        let dim = 128;
+        let mut direct =
+            DirectNvshmemEngine::new(&g, ClusterSpec::dgx_a100(4), AggregateMode::Sum);
+        let t_direct = direct.simulate_aggregation_ns(dim);
+        let mut mgg = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(4),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        let t_mgg = mgg.simulate_aggregation_ns(dim).unwrap();
+        assert!(
+            t_direct > 3 * t_mgg,
+            "direct {t_direct} vs mgg {t_mgg}: expected a big gap on the star"
+        );
+    }
+}

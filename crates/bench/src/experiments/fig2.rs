@@ -1,0 +1,65 @@
+//! Figure 2: NCCL profiling for a 1-layer GNN.
+//!
+//! Paper result: ring forwarding of node embeddings over NCCL costs more
+//! than 5× the aggregation computation on Reddit and enwiki-2013 (8
+//! GPUs). We reproduce the two-bar comparison with the Table-3 stand-ins.
+
+use mgg_baselines::nccl_ring_study;
+use mgg_graph::datasets::DatasetSpec;
+use mgg_sim::ClusterSpec;
+use serde::Serialize;
+
+use crate::report::{ms, ExperimentReport};
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Row {
+    pub dataset: &'static str,
+    pub comm_ms: f64,
+    pub comp_ms: f64,
+    pub comm_to_comp: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Report {
+    pub gpus: usize,
+    pub rows: Vec<Fig2Row>,
+}
+
+/// Runs the study on RDD and ENWIKI (the paper's two Figure-2 datasets).
+pub fn run(scale: f64, gpus: usize) -> Fig2Report {
+    let rows = [DatasetSpec::rdd(), DatasetSpec::enwiki()]
+        .into_iter()
+        .map(|spec| {
+            let d = spec.build(scale);
+            let report = nccl_ring_study(&d.graph, ClusterSpec::dgx_a100(gpus), spec.dim);
+            Fig2Row {
+                dataset: spec.name,
+                comm_ms: report.comm_ns as f64 / 1e6,
+                comp_ms: report.comp_ns as f64 / 1e6,
+                comm_to_comp: report.comm_to_comp(),
+            }
+        })
+        .collect();
+    Fig2Report { gpus, rows }
+}
+
+impl ExperimentReport for Fig2Report {
+    fn id(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn print(&self) {
+        println!("Figure 2: NCCL ring-forwarding 1-layer GNN ({} GPUs)", self.gpus);
+        println!("{:<8} {:>12} {:>12} {:>12}", "dataset", "comm (ms)", "comp (ms)", "comm/comp");
+        for r in &self.rows {
+            println!(
+                "{:<8} {:>12} {:>12} {:>11.2}x",
+                r.dataset,
+                ms((r.comm_ms * 1e6) as u64),
+                ms((r.comp_ms * 1e6) as u64),
+                r.comm_to_comp
+            );
+        }
+        println!("(paper: data transfer via NCCL takes >5x the aggregation latency)");
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 3: UVM page-fault analysis across GPU counts.
+//!
+//! Paper result: on DGX-A100, growing the GPU count from 2 to 8 grows
+//! both the total page-fault count and the total fault-handling duration
+//! of the basic UVM GNN kernel, hindering scaling.
+
+use mgg_baselines::UvmGnnEngine;
+use mgg_gnn::reference::AggregateMode;
+use mgg_graph::datasets::DatasetSpec;
+use mgg_sim::ClusterSpec;
+use serde::Serialize;
+
+use crate::report::ExperimentReport;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Row {
+    pub gpus: usize,
+    pub faults: u64,
+    pub fault_duration_ms: f64,
+    /// Normalized to the 2-GPU row, as the paper plots.
+    pub faults_norm: f64,
+    pub duration_norm: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Report {
+    pub dataset: &'static str,
+    pub rows: Vec<Fig3Row>,
+}
+
+/// Profiles the UVM kernel on the Reddit stand-in at 2/4/8 GPUs.
+pub fn run(scale: f64) -> Fig3Report {
+    let spec = DatasetSpec::rdd();
+    let d = spec.build(scale);
+    let mut rows: Vec<Fig3Row> = [2usize, 4, 8]
+        .into_iter()
+        .map(|gpus| {
+            let mut engine =
+                UvmGnnEngine::new(&d.graph, ClusterSpec::dgx_a100(gpus), AggregateMode::Sum);
+            engine.simulate_aggregation(spec.dim);
+            let stats = engine.last_uvm_stats.as_ref().expect("stats recorded");
+            Fig3Row {
+                gpus,
+                faults: stats.total_faults(),
+                fault_duration_ms: stats.total_fault_duration_ns() as f64 / 1e6,
+                faults_norm: 0.0,
+                duration_norm: 0.0,
+            }
+        })
+        .collect();
+    let base_faults = rows[0].faults.max(1) as f64;
+    let base_dur = rows[0].fault_duration_ms.max(1e-9);
+    for r in &mut rows {
+        r.faults_norm = r.faults as f64 / base_faults;
+        r.duration_norm = r.fault_duration_ms / base_dur;
+    }
+    Fig3Report { dataset: spec.name, rows }
+}
+
+impl ExperimentReport for Fig3Report {
+    fn id(&self) -> &'static str {
+        "fig3"
+    }
+
+    fn print(&self) {
+        println!("Figure 3: UVM page-fault analysis ({} stand-in)", self.dataset);
+        println!(
+            "{:>5} {:>10} {:>14} {:>12} {:>14}",
+            "GPUs", "faults", "duration (ms)", "faults(norm)", "duration(norm)"
+        );
+        for r in &self.rows {
+            println!(
+                "{:>5} {:>10} {:>14.3} {:>11.2}x {:>13.2}x",
+                r.gpus, r.faults, r.fault_duration_ms, r.faults_norm, r.duration_norm
+            );
+        }
+        println!("(paper: more GPUs -> more page-fault events and handling cycles)");
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 7 ablation (bonus): asynchronous vs synchronous intra-warp
+//! remote memory operations.
+//!
+//! The paper motivates the async design with a single-warp schedule
+//! sketch; here we measure the full-kernel effect of switching every warp
+//! from the Figure-7(b) pipeline to the Figure-7(a) blocking schedule.
+
+use mgg_core::kernel::KernelVariant;
+use mgg_core::{MggConfig, MggEngine};
+use mgg_gnn::reference::AggregateMode;
+use mgg_sim::ClusterSpec;
+use serde::Serialize;
+
+use crate::experiments::common::datasets;
+use crate::report::{geomean, ExperimentReport};
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Row {
+    pub dataset: &'static str,
+    pub sync_ms: f64,
+    pub async_ms: f64,
+    pub slowdown: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Report {
+    pub gpus: usize,
+    pub rows: Vec<Fig7Row>,
+    pub geomean_slowdown: f64,
+}
+
+/// Runs the async-vs-sync comparison across datasets.
+pub fn run(scale: f64, gpus: usize) -> Fig7Report {
+    let cfg = MggConfig::default_fixed();
+    // Measure at the GCN aggregation width (16), where remote latency —
+    // the thing the async pipeline hides — dominates over wire bytes.
+    let agg_dim = 16usize;
+    let rows: Vec<Fig7Row> = datasets(scale)
+        .into_iter()
+        .map(|d| {
+            let spec = ClusterSpec::dgx_a100(gpus);
+            let mut a = MggEngine::new(&d.graph, spec.clone(), cfg, AggregateMode::Sum);
+            a.variant = KernelVariant::AsyncPipelined;
+            let t_async = a.simulate_aggregation_ns(agg_dim).expect("valid launch");
+            let mut s = MggEngine::new(&d.graph, spec, cfg, AggregateMode::Sum);
+            s.variant = KernelVariant::SyncRemote;
+            let t_sync = s.simulate_aggregation_ns(agg_dim).expect("valid launch");
+            Fig7Row {
+                dataset: d.spec.name,
+                sync_ms: t_sync as f64 / 1e6,
+                async_ms: t_async as f64 / 1e6,
+                slowdown: t_sync as f64 / t_async.max(1) as f64,
+            }
+        })
+        .collect();
+    let geomean_slowdown = geomean(&rows.iter().map(|r| r.slowdown).collect::<Vec<_>>());
+    Fig7Report { gpus, rows, geomean_slowdown }
+}
+
+impl ExperimentReport for Fig7Report {
+    fn id(&self) -> &'static str {
+        "fig7"
+    }
+
+    fn print(&self) {
+        println!(
+            "Figure 7 ablation: async (7b) vs sync (7a) remote operations ({} GPUs)",
+            self.gpus
+        );
+        println!("{:<8} {:>10} {:>11} {:>10}", "dataset", "sync (ms)", "async (ms)", "slowdown");
+        for r in &self.rows {
+            println!(
+                "{:<8} {:>10.3} {:>11.3} {:>9.2}x",
+                r.dataset, r.sync_ms, r.async_ms, r.slowdown
+            );
+        }
+        println!(
+            "geomean cost of losing the async pipeline: {:.2}x",
+            self.geomean_slowdown
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! One module per paper artifact.
+
+pub mod common;
+pub mod ext;
+pub mod fig10;
+pub mod fig2;
+pub mod fig3;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod microcal;
+pub mod occupancy;
+pub mod tab1;
+pub mod tab2;
+pub mod tab3;
+pub mod tab4;
+pub mod tab5;

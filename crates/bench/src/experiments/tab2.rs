@@ -1,0 +1,73 @@
+//! Table 2: qualitative comparison of the three communication designs.
+//!
+//! Reproduced verbatim from the paper and backed by this repository's
+//! quantitative experiments: "CG" flexibility shows up in fig2/tab1, "GI"
+//! (GPU-initiated) in fig7, programmability in the engine APIs, and
+//! random-access quality in tab1/fig8.
+
+use serde::Serialize;
+
+use crate::report::ExperimentReport;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Tab2Row {
+    pub solution: &'static str,
+    pub comm_granularity: &'static str,
+    pub gpu_initiated: &'static str,
+    pub programmability: &'static str,
+    pub random_access: &'static str,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Tab2Report {
+    pub rows: Vec<Tab2Row>,
+}
+
+/// Produces the qualitative table.
+pub fn run() -> Tab2Report {
+    Tab2Report {
+        rows: vec![
+            Tab2Row {
+                solution: "Collective (2.1)",
+                comm_granularity: "Flexible",
+                gpu_initiated: "No",
+                programmability: "High",
+                random_access: "Poor",
+            },
+            Tab2Row {
+                solution: "UVM (2.2)",
+                comm_granularity: "Fixed",
+                gpu_initiated: "No",
+                programmability: "Low",
+                random_access: "Moderate",
+            },
+            Tab2Row {
+                solution: "SHMEM (2.3)",
+                comm_granularity: "Flexible",
+                gpu_initiated: "Yes",
+                programmability: "High",
+                random_access: "Good",
+            },
+        ],
+    }
+}
+
+impl ExperimentReport for Tab2Report {
+    fn id(&self) -> &'static str {
+        "tab2"
+    }
+
+    fn print(&self) {
+        println!("Table 2: Collective vs UVM vs SHMEM (qualitative)");
+        println!(
+            "{:<18} {:>10} {:>5} {:>6} {:>10}",
+            "solution", "CG", "GI", "PG", "RA"
+        );
+        for r in &self.rows {
+            println!(
+                "{:<18} {:>10} {:>5} {:>6} {:>10}",
+                r.solution, r.comm_granularity, r.gpu_initiated, r.programmability, r.random_access
+            );
+        }
+    }
+}

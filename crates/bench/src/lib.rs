@@ -1,0 +1,17 @@
+//! Experiment harness for the MGG reproduction.
+//!
+//! One module per paper artifact (table or figure); each returns a
+//! serializable report and can print itself in the paper's layout. The
+//! `mgg-bench` binary dispatches to them; see `DESIGN.md` §3 for the
+//! experiment index and `EXPERIMENTS.md` for recorded paper-vs-measured
+//! results.
+
+pub mod experiments;
+pub mod report;
+pub mod summary;
+
+pub use report::{write_json, ExperimentReport};
+
+/// Default dataset scale for benchmark runs (multiplier on the Table-3
+/// stand-in node counts; 1.0 keeps runs in seconds per experiment).
+pub const DEFAULT_SCALE: f64 = 1.0;

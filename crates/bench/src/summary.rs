@@ -1,0 +1,237 @@
+//! Markdown digest of persisted experiment reports.
+//!
+//! `mgg-bench summary --out DIR` reads the `*.json` reports a previous run
+//! wrote and emits a compact markdown table of the headline number per
+//! experiment, next to the paper's value — the skeleton of
+//! `EXPERIMENTS.md`, regenerated from data.
+
+use std::path::Path;
+
+use serde_json::Value;
+
+/// One summarized experiment.
+#[derive(Debug, Clone)]
+pub struct SummaryLine {
+    pub id: &'static str,
+    pub paper: &'static str,
+    pub measured: String,
+}
+
+fn f(v: &Value, path: &[&str]) -> Option<f64> {
+    let mut cur = v;
+    for p in path {
+        cur = cur.get(p)?;
+    }
+    cur.as_f64()
+}
+
+fn rows(v: &Value) -> &[Value] {
+    v.get("rows").and_then(|r| r.as_array()).map(|a| a.as_slice()).unwrap_or(&[])
+}
+
+fn load(dir: &Path, id: &str) -> Option<Value> {
+    let text = std::fs::read_to_string(dir.join(format!("{id}.json"))).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Builds the digest from whatever reports exist under `dir`.
+pub fn summarize(dir: &Path) -> Vec<SummaryLine> {
+    let mut out = Vec::new();
+    let mut push = |id: &'static str, paper: &'static str, measured: Option<String>| {
+        if let Some(m) = measured {
+            out.push(SummaryLine { id, paper, measured: m });
+        }
+    };
+
+    push(
+        "fig2",
+        "NCCL comm/comp > 5x",
+        load(dir, "fig2").map(|v| {
+            let ratios: Vec<String> = rows(&v)
+                .iter()
+                .filter_map(|r| f(r, &["comm_to_comp"]).map(|x| format!("{x:.1}x")))
+                .collect();
+            format!("comm/comp {}", ratios.join(", "))
+        }),
+    );
+    push(
+        "fig3",
+        "faults & duration grow 2->8 GPUs",
+        load(dir, "fig3").and_then(|v| {
+            let last = rows(&v).last().cloned()?;
+            Some(format!(
+                "8-GPU faults {:.2}x, duration {:.2}x of 2-GPU",
+                f(&last, &["faults_norm"])?,
+                f(&last, &["duration_norm"])?
+            ))
+        }),
+    );
+    push(
+        "tab1",
+        "direct NVSHMEM 0.77x of UVM (avg)",
+        load(dir, "tab1")
+            .and_then(|v| f(&v, &["geomean_speedup"]))
+            .map(|x| format!("geomean {x:.2}x")),
+    );
+    push(
+        "fig8",
+        "GCN 3.16x, GIN 4.15x over UVM",
+        load(dir, "fig8").and_then(|v| {
+            Some(format!(
+                "GCN {:.2}x, GIN {:.2}x",
+                f(&v, &["geomean_gcn"])?,
+                f(&v, &["geomean_gin"])?
+            ))
+        }),
+    );
+    push(
+        "fig9a",
+        "no neighbor partitioning: 3.47x slower",
+        load(dir, "fig9a")
+            .and_then(|v| f(&v, &["geomean_slowdown"]))
+            .map(|x| format!("{x:.2}x slower")),
+    );
+    push(
+        "fig9b",
+        "no interleaving: 1.32x slower",
+        load(dir, "fig9b")
+            .and_then(|v| f(&v, &["geomean_slowdown"]))
+            .map(|x| format!("{x:.2}x slower")),
+    );
+    push(
+        "fig10",
+        "~10 probes, up to 68% latency cut",
+        load(dir, "fig10").and_then(|v| {
+            let settings = v.get("settings")?.as_array()?.clone();
+            let probes: Vec<String> = settings
+                .iter()
+                .filter_map(|s| s.get("tuner_iterations")?.as_u64().map(|x| x.to_string()))
+                .collect();
+            let best_cut = settings
+                .iter()
+                .filter_map(|s| f(s, &["improvement_pct"]))
+                .fold(0.0f64, f64::max);
+            Some(format!("{} probes, up to {best_cut:.0}% cut", probes.join("/")))
+        }),
+    );
+    push(
+        "occupancy",
+        "+39.2 occupancy / +21.2 SM-util points",
+        load(dir, "occupancy").and_then(|v| {
+            Some(format!(
+                "+{:.1} occupancy / +{:.1} SM-util points",
+                100.0 * f(&v, &["avg_occupancy_gain"])?,
+                100.0 * f(&v, &["avg_sm_util_gain"])?
+            ))
+        }),
+    );
+    push(
+        "tab4",
+        ">100x preprocessing, 7.38x GCN over DGCL",
+        load(dir, "tab4").and_then(|v| {
+            Some(format!(
+                "{:.0}x preprocessing, {:.2}x GCN",
+                f(&v, &["geomean_prep_speedup"])?,
+                f(&v, &["geomean_gcn_speedup"])?
+            ))
+        }),
+    );
+    push(
+        "tab5",
+        "+2.0/+4.9 accuracy points w/o sampling",
+        load(dir, "tab5").map(|v| {
+            let gains: Vec<String> = rows(&v)
+                .iter()
+                .filter_map(|r| {
+                    let full = f(r, &["acc_full"])?;
+                    let sampled = f(r, &["acc_sampled"])?;
+                    Some(format!("{:+.1}", 100.0 * (full - sampled)))
+                })
+                .collect();
+            format!("{} accuracy points", gains.join("/"))
+        }),
+    );
+    push(
+        "ext_fabric",
+        "MGG's win rides the fast fabric (§2.4)",
+        load(dir, "ext_fabric").map(|v| {
+            let pairs: Vec<String> = rows(&v)
+                .iter()
+                .filter_map(|r| {
+                    let name = r.get("fabric")?.as_str()?;
+                    let sp = f(r, &["speedup"])?;
+                    Some(format!("{}: {sp:.2}x", name.split(' ').next().unwrap_or(name)))
+                })
+                .collect();
+            pairs.join(", ")
+        }),
+    );
+    push(
+        "ext_putget",
+        "GET beats the PUT design (§3.3)",
+        load(dir, "ext_putget")
+            .and_then(|v| f(&v, &["geomean_advantage"]))
+            .map(|x| format!("GET {x:.2}x faster")),
+    );
+    push(
+        "ext_train",
+        "training epochs: MGG ~2x faster, same accuracy (§5.3)",
+        load(dir, "ext_train").map(|v| {
+            let parts: Vec<String> = rows(&v)
+                .iter()
+                .filter_map(|r| {
+                    Some(format!(
+                        "{} {:.3} ms",
+                        r.get("engine")?.as_str()?,
+                        f(r, &["epoch_ms"])?
+                    ))
+                })
+                .collect();
+            parts.join(", ")
+        }),
+    );
+    out
+}
+
+/// Renders the digest as a markdown table.
+pub fn to_markdown(lines: &[SummaryLine]) -> String {
+    let mut s = String::from("| experiment | paper | measured |\n|---|---|---|\n");
+    for l in lines {
+        s.push_str(&format!("| {} | {} | {} |\n", l.id, l.paper, l.measured));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_tolerates_missing_dir() {
+        let lines = summarize(Path::new("/nonexistent/definitely/missing"));
+        assert!(lines.is_empty());
+    }
+
+    #[test]
+    fn markdown_renders_rows() {
+        let lines = vec![SummaryLine { id: "fig8", paper: "3.16x", measured: "3.06x".into() }];
+        let md = to_markdown(&lines);
+        assert!(md.contains("| fig8 | 3.16x | 3.06x |"));
+    }
+
+    #[test]
+    fn summarize_reads_a_real_report() {
+        let dir = std::env::temp_dir().join(format!("mgg-summary-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("tab1.json"),
+            r#"{"gpus":8,"rows":[],"geomean_speedup":0.45}"#,
+        )
+        .unwrap();
+        let lines = summarize(&dir);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].id, "tab1");
+        assert!(lines[0].measured.contains("0.45x"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,554 @@
+//! `mgg-cli`: end-user command line for the MGG reproduction.
+//!
+//! ```text
+//! mgg-cli generate --dataset rdd --scale 1.0 -o graph.csr
+//! mgg-cli generate --rmat 12,40000 --seed 7 -o graph.csr
+//! mgg-cli stats graph.csr
+//! mgg-cli partition graph.csr --gpus 8 [--multilevel]
+//! mgg-cli reorder graph.csr -o better.csr
+//! mgg-cli simulate graph.csr --gpus 8 --dim 64 --engine mgg [--tune] [--platform a100|v100|pcie]
+//! mgg-cli train --communities 8 --size 150 --epochs 80 --gpus 8
+//! ```
+//!
+//! Graph files ending in `.txt` use the whitespace edge-list format; any
+//! other extension uses the compact binary CSR format.
+
+use std::path::{Path, PathBuf};
+
+use mgg_baselines::{DgclEngine, DirectNvshmemEngine, UvmGnnEngine};
+use mgg_core::{AnalyticalModel, MggConfig, MggEngine, ReplicatedEngine, Tuner};
+use mgg_gnn::reference::AggregateMode;
+use mgg_graph::datasets::DatasetSpec;
+use mgg_graph::generators::rmat::{rmat, RmatConfig};
+use mgg_graph::partition::{locality, multilevel, reorder};
+use mgg_graph::{io, CsrGraph, NodeSplit};
+use mgg_sim::ClusterSpec;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    Generate { source: GraphSource, out: PathBuf },
+    Stats { graph: PathBuf },
+    Partition { graph: PathBuf, gpus: usize, multilevel: bool },
+    Reorder { graph: PathBuf, out: PathBuf },
+    Simulate { graph: PathBuf, gpus: usize, dim: usize, engine: Engine, tune: bool, platform: Platform },
+    Train { communities: usize, size: usize, epochs: usize, gpus: usize },
+}
+
+/// Where `generate` gets its graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSource {
+    Dataset { name: String, scale: f64 },
+    Rmat { scale: u32, edges: usize, seed: u64 },
+}
+
+/// Which execution engine `simulate` uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    Mgg,
+    Uvm,
+    Direct,
+    Dgcl,
+    Replicated,
+}
+
+/// Which platform preset `simulate` targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    A100,
+    V100,
+    Pcie,
+}
+
+impl Platform {
+    fn spec(self, gpus: usize) -> ClusterSpec {
+        match self {
+            Platform::A100 => ClusterSpec::dgx_a100(gpus),
+            Platform::V100 => ClusterSpec::dgx1_v100(gpus),
+            Platform::Pcie => ClusterSpec::pcie_box(gpus),
+        }
+    }
+}
+
+/// Parses an argument vector (without the binary name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or("no command given")?;
+    let mut positional: Vec<String> = Vec::new();
+    let mut flags: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut switches: std::collections::HashSet<String> = std::collections::HashSet::new();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            match name {
+                "multilevel" | "tune" => {
+                    switches.insert(name.to_string());
+                }
+                _ => {
+                    let v = it.next().ok_or_else(|| format!("missing value for --{name}"))?;
+                    flags.insert(name.to_string(), v.clone());
+                }
+            }
+        } else if a == "-o" {
+            let v = it.next().ok_or("missing value for -o")?;
+            flags.insert("out".to_string(), v.clone());
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    let get_usize = |k: &str, default: usize| -> Result<usize, String> {
+        flags
+            .get(k)
+            .map(|v| v.parse::<usize>().map_err(|_| format!("--{k} expects an integer")))
+            .unwrap_or(Ok(default))
+    };
+    let graph_path = |positional: &[String]| -> Result<PathBuf, String> {
+        positional.first().map(PathBuf::from).ok_or_else(|| "missing graph file".to_string())
+    };
+
+    match cmd.as_str() {
+        "generate" => {
+            let out = flags.get("out").map(PathBuf::from).ok_or("generate needs -o <file>")?;
+            let source = if let Some(name) = flags.get("dataset") {
+                let scale = flags
+                    .get("scale")
+                    .map(|v| v.parse::<f64>().map_err(|_| "--scale expects a number"))
+                    .unwrap_or(Ok(1.0))?;
+                GraphSource::Dataset { name: name.clone(), scale }
+            } else if let Some(spec) = flags.get("rmat") {
+                let (s, e) = spec
+                    .split_once(',')
+                    .ok_or("--rmat expects <scale,edges>, e.g. 12,40000")?;
+                GraphSource::Rmat {
+                    scale: s.trim().parse().map_err(|_| "bad rmat scale")?,
+                    edges: e.trim().parse().map_err(|_| "bad rmat edge count")?,
+                    seed: get_usize("seed", 42)? as u64,
+                }
+            } else {
+                return Err("generate needs --dataset <name> or --rmat <scale,edges>".into());
+            };
+            Ok(Command::Generate { source, out })
+        }
+        "stats" => Ok(Command::Stats { graph: graph_path(&positional)? }),
+        "partition" => Ok(Command::Partition {
+            graph: graph_path(&positional)?,
+            gpus: get_usize("gpus", 8)?,
+            multilevel: switches.contains("multilevel"),
+        }),
+        "reorder" => Ok(Command::Reorder {
+            graph: graph_path(&positional)?,
+            out: flags.get("out").map(PathBuf::from).ok_or("reorder needs -o <file>")?,
+        }),
+        "train" => Ok(Command::Train {
+            communities: get_usize("communities", 8)?,
+            size: get_usize("size", 150)?,
+            epochs: get_usize("epochs", 80)?,
+            gpus: get_usize("gpus", 8)?,
+        }),
+        "simulate" => {
+            let engine = match flags.get("engine").map(|s| s.as_str()).unwrap_or("mgg") {
+                "mgg" => Engine::Mgg,
+                "uvm" => Engine::Uvm,
+                "direct" => Engine::Direct,
+                "dgcl" => Engine::Dgcl,
+                "replicated" => Engine::Replicated,
+                other => return Err(format!("unknown engine '{other}'")),
+            };
+            let platform = match flags.get("platform").map(|s| s.as_str()).unwrap_or("a100") {
+                "a100" => Platform::A100,
+                "v100" => Platform::V100,
+                "pcie" => Platform::Pcie,
+                other => return Err(format!("unknown platform '{other}'")),
+            };
+            Ok(Command::Simulate {
+                graph: graph_path(&positional)?,
+                gpus: get_usize("gpus", 8)?,
+                dim: get_usize("dim", 64)?,
+                engine,
+                tune: switches.contains("tune"),
+                platform,
+            })
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn load_graph(path: &Path) -> Result<CsrGraph, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if path.extension().is_some_and(|e| e == "txt") {
+        io::read_edge_list(file, 0).map_err(|e| e.to_string())
+    } else {
+        io::read_csr_binary(file).map_err(|e| e.to_string())
+    }
+}
+
+fn save_graph(graph: &CsrGraph, path: &Path) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if path.extension().is_some_and(|e| e == "txt") {
+        io::write_edge_list(graph, file).map_err(|e| e.to_string())
+    } else {
+        io::write_csr_binary(graph, file).map_err(|e| e.to_string())
+    }
+}
+
+/// Executes a parsed command, returning the text to print.
+pub fn execute(cmd: &Command) -> Result<String, String> {
+    match cmd {
+        Command::Generate { source, out } => {
+            let graph = match source {
+                GraphSource::Dataset { name, scale } => {
+                    let spec = DatasetSpec::by_name(name)
+                        .ok_or_else(|| format!("unknown dataset '{name}' (try rdd/enwiki/prod/prot/orkt)"))?;
+                    spec.build(*scale).graph
+                }
+                GraphSource::Rmat { scale, edges, seed } => {
+                    rmat(&RmatConfig::graph500(*scale, *edges, *seed))
+                }
+            };
+            save_graph(&graph, out)?;
+            Ok(format!(
+                "wrote {} nodes / {} edges to {}\n",
+                graph.num_nodes(),
+                graph.num_edges(),
+                out.display()
+            ))
+        }
+        Command::Stats { graph } => {
+            let g = load_graph(graph)?;
+            let s = mgg_graph::stats::degree_stats(&g);
+            Ok(format!(
+                "nodes {}\nedges {}\navg degree {:.2}\ndegree min/p50/p90/p99/max {}/{}/{}/{}/{}\n\
+                 degree cv {:.2}\ntop-1% nodes hold {:.1}% of edges\nisolated nodes {}\n",
+                s.nodes,
+                s.edges,
+                s.avg,
+                s.min,
+                s.p50,
+                s.p90,
+                s.p99,
+                s.max,
+                s.cv,
+                100.0 * s.top1pct_edge_share,
+                s.isolated
+            ))
+        }
+        Command::Partition { graph, gpus, multilevel: use_ml } => {
+            let g = load_graph(graph)?;
+            let mut out = String::new();
+            if *use_ml {
+                let t0 = std::time::Instant::now();
+                let p = multilevel::partition(&g, &multilevel::MultilevelConfig::new(*gpus));
+                out.push_str(&format!(
+                    "multilevel partition: edge cut {} of {} ({:.1}%), {} levels, {:.1} ms wall\n",
+                    p.edge_cut,
+                    g.num_edges(),
+                    100.0 * p.edge_cut as f64 / g.num_edges().max(1) as f64,
+                    p.levels,
+                    t0.elapsed().as_secs_f64() * 1e3
+                ));
+            } else {
+                let t0 = std::time::Instant::now();
+                let split = NodeSplit::edge_balanced(&g, *gpus);
+                let parts = locality::build(&g, &split);
+                out.push_str(&format!(
+                    "edge-balanced split (Algorithm 1): {:.1} ms wall, imbalance {:.3}\n",
+                    t0.elapsed().as_secs_f64() * 1e3,
+                    split.edge_imbalance(&g)
+                ));
+                for p in &parts {
+                    out.push_str(&format!(
+                        "  gpu {}: nodes {:>8} local edges {:>9} remote edges {:>9} ({:.1}% remote)\n",
+                        p.pe,
+                        p.node_range.len(),
+                        p.local.num_entries(),
+                        p.remote.num_entries(),
+                        100.0 * p.remote_fraction()
+                    ));
+                }
+            }
+            Ok(out)
+        }
+        Command::Reorder { graph, out } => {
+            let g = load_graph(graph)?;
+            let (relabeled, _) = reorder::reorder(&g);
+            save_graph(&relabeled, out)?;
+            Ok(format!("wrote BFS-reordered graph to {}\n", out.display()))
+        }
+        Command::Train { communities, size, epochs, gpus } => {
+            run_train(*communities, *size, *epochs, *gpus)
+        }
+        Command::Simulate { graph, gpus, dim, engine, tune, platform } => {
+            let g = load_graph(graph)?;
+            let spec = platform.spec(*gpus);
+            let mode = AggregateMode::Sum;
+            let (label, ns, extra) = match engine {
+                Engine::Mgg => {
+                    let mut e = MggEngine::new(&g, spec.clone(), MggConfig::default_fixed(), mode);
+                    let mut note = String::new();
+                    if *tune {
+                        let model = AnalyticalModel::new(spec.gpu.clone(), *dim);
+                        let result = {
+                            let cell = std::cell::RefCell::new(&mut e);
+                            Tuner::new(|cfg: &MggConfig| {
+                                let mut e = cell.borrow_mut();
+                                e.set_config(*cfg);
+                                e.simulate_aggregation_ns(*dim).unwrap_or(u64::MAX)
+                            })
+                            .with_feasibility(move |cfg| model.feasible(cfg))
+                            .run()
+                        };
+                        e.set_config(result.best);
+                        note = format!(
+                            "tuned to {} in {} probes ({:.0}% below initial)\n",
+                            result.best,
+                            result.iterations,
+                            100.0 * result.improvement()
+                        );
+                    }
+                    let stats = e.simulate_aggregation(*dim).map_err(|e| e.to_string())?;
+                    let ns = stats.makespan_ns() + spec.kernel_launch_ns;
+                    note.push_str(&format!(
+                        "occupancy {:.1}%, SM utilization {:.1}%, fabric {:.2} MiB in {} requests\n",
+                        100.0 * stats.achieved_occupancy(),
+                        100.0 * stats.sm_utilization(),
+                        stats.traffic.remote_bytes() as f64 / (1 << 20) as f64,
+                        stats.traffic.remote_requests()
+                    ));
+                    ("MGG", ns, note)
+                }
+                Engine::Uvm => {
+                    let mut e = UvmGnnEngine::new(&g, spec, mode);
+                    let ns = e.simulate_aggregation_ns(*dim);
+                    let faults = e.last_uvm_stats.as_ref().map(|s| s.total_faults()).unwrap_or(0);
+                    ("UVM", ns, format!("{faults} page faults\n"))
+                }
+                Engine::Direct => {
+                    let mut e = DirectNvshmemEngine::new(&g, spec, mode);
+                    ("direct NVSHMEM", e.simulate_aggregation_ns(*dim), String::new())
+                }
+                Engine::Dgcl => {
+                    let (mut e, prep) = DgclEngine::new(&g, spec, mode);
+                    let ns = e.simulate_aggregation_ns(*dim);
+                    (
+                        "DGCL-like",
+                        ns,
+                        format!("preprocessing {:.1} ms wall\n", prep.dgcl_wall_ns as f64 / 1e6),
+                    )
+                }
+                Engine::Replicated => {
+                    let mut e = ReplicatedEngine::new(&g, spec, 16, mode);
+                    ("replicated", e.simulate_aggregation_ns(*dim), String::new())
+                }
+            };
+            Ok(format!(
+                "{label} aggregation of dim {dim} on {gpus} GPUs: {:.3} ms (simulated)\n{extra}",
+                ns as f64 / 1e6
+            ))
+        }
+    }
+}
+
+/// Runs the `train` demo: a GCN trained through the MGG engine on a
+/// planted-community task.
+fn run_train(communities: usize, size: usize, epochs: usize, gpus: usize) -> Result<String, String> {
+    use mgg_core::{MggConfig, MggEngine};
+    use mgg_gnn::features::{label_features, split_masks};
+    use mgg_gnn::models::DenseCostModel;
+    use mgg_gnn::train::{train_gcn_on_engine, TrainConfig};
+    use mgg_graph::generators::random::{sbm, SbmConfig};
+
+    if communities < 2 {
+        return Err("need at least 2 communities".into());
+    }
+    let out = sbm(&SbmConfig {
+        block_sizes: vec![size.max(20); communities],
+        avg_degree_in: 14.0,
+        avg_degree_out: 5.0,
+        seed: 7,
+    });
+    let x = label_features(&out.labels, communities, 32, 0.15, 8);
+    let (tr, va, te) = split_masks(out.graph.num_nodes(), 0.3, 0.2, 9);
+    let mut engine = MggEngine::new(
+        &out.graph,
+        ClusterSpec::dgx_a100(gpus),
+        MggConfig::default_fixed(),
+        AggregateMode::GcnNorm,
+    );
+    let r = train_gcn_on_engine(
+        &mut engine,
+        &x,
+        &out.labels,
+        communities,
+        &tr,
+        &va,
+        &te,
+        &TrainConfig::paper(epochs, 10),
+        &DenseCostModel::a100(gpus),
+    );
+    Ok(format!(
+        "trained a 2-layer GCN on {} nodes / {} edges ({communities} communities) through MGG on {gpus} GPUs\nloss {:.3} -> {:.3} over {epochs} epochs\nval accuracy {:.3}, test accuracy {:.3}\nsimulated epoch {:.3} ms, whole run {:.1} ms\n",
+        out.graph.num_nodes(),
+        out.graph.num_edges(),
+        r.result.train_losses.first().unwrap_or(&0.0),
+        r.result.train_losses.last().unwrap_or(&0.0),
+        r.result.val_accuracy,
+        r.result.test_accuracy,
+        r.epoch_ns as f64 / 1e6,
+        r.total_ns as f64 / 1e6,
+    ))
+}
+
+/// The usage text.
+pub fn usage() -> &'static str {
+    "usage:
+  mgg-cli generate --dataset <rdd|enwiki|prod|prot|orkt> [--scale S] -o <file>
+  mgg-cli generate --rmat <scale,edges> [--seed N] -o <file>
+  mgg-cli stats <graph>
+  mgg-cli partition <graph> [--gpus N] [--multilevel]
+  mgg-cli reorder <graph> -o <file>
+  mgg-cli simulate <graph> [--gpus N] [--dim D] [--engine mgg|uvm|direct|dgcl|replicated]
+                   [--tune] [--platform a100|v100|pcie]
+  mgg-cli train [--communities K] [--size NODES_PER_COMMUNITY] [--epochs E] [--gpus N]
+
+graph files: .txt = edge list, anything else = binary CSR\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_generate_dataset() {
+        let cmd = parse(&args("generate --dataset rdd --scale 0.5 -o g.csr")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                source: GraphSource::Dataset { name: "rdd".into(), scale: 0.5 },
+                out: PathBuf::from("g.csr"),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_generate_rmat() {
+        let cmd = parse(&args("generate --rmat 12,40000 --seed 7 -o g.csr")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                source: GraphSource::Rmat { scale: 12, edges: 40_000, seed: 7 },
+                out: PathBuf::from("g.csr"),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_simulate_defaults() {
+        let cmd = parse(&args("simulate g.csr")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Simulate {
+                graph: PathBuf::from("g.csr"),
+                gpus: 8,
+                dim: 64,
+                engine: Engine::Mgg,
+                tune: false,
+                platform: Platform::A100,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_simulate_full() {
+        let cmd = parse(&args(
+            "simulate g.csr --gpus 4 --dim 128 --engine dgcl --platform pcie --tune",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Simulate { gpus, dim, engine, tune, platform, .. } => {
+                assert_eq!(gpus, 4);
+                assert_eq!(dim, 128);
+                assert_eq!(engine, Engine::Dgcl);
+                assert!(tune);
+                assert_eq!(platform, Platform::Pcie);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_helpful() {
+        assert!(parse(&args("generate -o g.csr")).unwrap_err().contains("--dataset"));
+        assert!(parse(&args("simulate g.csr --engine nope")).unwrap_err().contains("nope"));
+        assert!(parse(&args("frobnicate")).unwrap_err().contains("unknown command"));
+        assert!(parse(&[]).unwrap_err().contains("no command"));
+    }
+
+    #[test]
+    fn roundtrip_generate_stats_partition_simulate() {
+        let dir = std::env::temp_dir().join(format!("mgg-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.csr");
+        let p = path.to_str().unwrap();
+
+        let out = execute(&parse(&args(&format!("generate --rmat 9,4000 -o {p}"))).unwrap())
+            .unwrap();
+        assert!(out.contains("nodes"), "{out}");
+
+        let out = execute(&parse(&args(&format!("stats {p}"))).unwrap()).unwrap();
+        assert!(out.contains("avg degree"), "{out}");
+
+        let out = execute(&parse(&args(&format!("partition {p} --gpus 4"))).unwrap()).unwrap();
+        assert!(out.contains("gpu 3"), "{out}");
+
+        let out =
+            execute(&parse(&args(&format!("simulate {p} --gpus 4 --dim 32"))).unwrap()).unwrap();
+        assert!(out.contains("simulated"), "{out}");
+
+        let out2 = dir.join("r.csr");
+        let out = execute(
+            &parse(&args(&format!("reorder {p} -o {}", out2.to_str().unwrap()))).unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("BFS-reordered"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_demo_learns() {
+        let out = execute(
+            &parse(&args("train --communities 4 --size 60 --epochs 40 --gpus 4")).unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("test accuracy"), "{out}");
+        // Parse the test accuracy and require better than chance (0.25).
+        let acc: f64 = out
+            .split("test accuracy ")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .expect("accuracy in output");
+        assert!(acc > 0.5, "accuracy {acc}");
+    }
+
+    #[test]
+    fn simulate_all_engines_run() {
+        let dir = std::env::temp_dir().join(format!("mgg-cli-eng-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.csr");
+        let p = path.to_str().unwrap();
+        execute(&parse(&args(&format!("generate --rmat 8,2000 -o {p}"))).unwrap()).unwrap();
+        for engine in ["mgg", "uvm", "direct", "dgcl", "replicated"] {
+            let out = execute(
+                &parse(&args(&format!("simulate {p} --gpus 2 --dim 16 --engine {engine}")))
+                    .unwrap(),
+            )
+            .unwrap();
+            assert!(out.contains("simulated"), "{engine}: {out}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,17 @@
+//! Thin binary wrapper over the `mgg-cli` library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        print!("{}", mgg_cli::usage());
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    match mgg_cli::parse(&args).and_then(|cmd| mgg_cli::execute(&cmd)) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", mgg_cli::usage());
+            std::process::exit(2);
+        }
+    }
+}

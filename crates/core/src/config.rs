@@ -1,0 +1,100 @@
+//! MGG's tunable configuration knobs (§4).
+
+use serde::Serialize;
+
+/// The three runtime knobs the analytical model and tuner optimize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct MggConfig {
+    /// Neighbor-partition size (`ps`): neighbors per unit of warp work.
+    /// `0` disables neighbor partitioning (whole neighborhoods — the
+    /// Figure-9(a) ablation only; the tuner never produces 0).
+    pub ps: u32,
+    /// Interleaving distance (`dist`): local/remote partition *pairs*
+    /// assigned to each warp (§3.3, Figure 6).
+    pub dist: u32,
+    /// Warps per thread block (`wpb`).
+    pub wpb: u32,
+}
+
+impl MggConfig {
+    /// Paper search bounds: `ps ∈ [1,32]`.
+    pub const PS_RANGE: std::ops::RangeInclusive<u32> = 1..=32;
+    /// Paper search bounds: `dist ∈ [1,16]`.
+    pub const DIST_RANGE: std::ops::RangeInclusive<u32> = 1..=16;
+    /// Paper search bounds: `wpb ∈ [1,16]`.
+    pub const WPB_RANGE: std::ops::RangeInclusive<u32> = 1..=16;
+
+    /// The tuner's starting point (§4: "ps, dist, and wpb are initialized
+    /// as the value 1").
+    pub fn initial() -> Self {
+        MggConfig { ps: 1, dist: 1, wpb: 1 }
+    }
+
+    /// A sensible fixed default when not auto-tuning (the ablation studies
+    /// of §5.3 fix `ps = 16` and `wpb = 2`).
+    pub fn default_fixed() -> Self {
+        MggConfig { ps: 16, dist: 2, wpb: 2 }
+    }
+
+    /// True when every knob lies within the paper's search bounds.
+    pub fn in_search_space(&self) -> bool {
+        Self::PS_RANGE.contains(&self.ps)
+            && Self::DIST_RANGE.contains(&self.dist)
+            && Self::WPB_RANGE.contains(&self.wpb)
+    }
+
+    /// Validates knobs for kernel construction (ablation configs with
+    /// `ps == 0` are allowed; `dist`/`wpb` must be positive).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dist == 0 {
+            return Err("dist must be at least 1".into());
+        }
+        if self.wpb == 0 {
+            return Err("wpb must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for MggConfig {
+    fn default() -> Self {
+        Self::default_fixed()
+    }
+}
+
+impl std::fmt::Display for MggConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ps={} dist={} wpb={}", self.ps, self.dist, self.wpb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_is_all_ones() {
+        assert_eq!(MggConfig::initial(), MggConfig { ps: 1, dist: 1, wpb: 1 });
+        assert!(MggConfig::initial().in_search_space());
+    }
+
+    #[test]
+    fn bounds_match_paper() {
+        assert!(MggConfig { ps: 32, dist: 16, wpb: 16 }.in_search_space());
+        assert!(!MggConfig { ps: 33, dist: 1, wpb: 1 }.in_search_space());
+        assert!(!MggConfig { ps: 1, dist: 17, wpb: 1 }.in_search_space());
+        assert!(!MggConfig { ps: 0, dist: 1, wpb: 1 }.in_search_space());
+    }
+
+    #[test]
+    fn validation_allows_ablation_ps_zero() {
+        assert!(MggConfig { ps: 0, dist: 1, wpb: 2 }.validate().is_ok());
+        assert!(MggConfig { ps: 4, dist: 0, wpb: 2 }.validate().is_err());
+        assert!(MggConfig { ps: 4, dist: 1, wpb: 0 }.validate().is_err());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(MggConfig::default_fixed().to_string(), "ps=16 dist=2 wpb=2");
+    }
+}

@@ -1,0 +1,256 @@
+//! Warp-based mapping with workload interleaving (§3.3, Figure 6).
+//!
+//! Each warp receives `dist` local partitions **and** `dist` remote
+//! partitions (the interleaving distance), so that (i) every warp can
+//! overlap its own remote fetches with its own local aggregation
+//! (intra-warp pipelining, Figure 7) and (ii) every SM hosts a mix of
+//! communication-heavy and computation-heavy work, keeping its schedulers
+//! fed while some warps wait on the fabric (inter-warp overlap).
+//!
+//! The non-interleaved mapping (remote and local partitions on disjoint
+//! warp ranges, as a naive design would produce) is kept for the
+//! Figure-9(b) ablation.
+
+use mgg_graph::partition::neighbor::NeighborPartition;
+
+use crate::workload::WorkPlan;
+
+/// The work assigned to one warp: up to `dist` (local, remote) partition
+/// pairs, element `i` holding the warp's `i`-th local and remote
+/// partition (either may be absent near the tail).
+#[derive(Debug, Clone, Default)]
+pub struct WarpAssignment {
+    pub pairs: Vec<(Option<NeighborPartition>, Option<NeighborPartition>)>,
+}
+
+impl WarpAssignment {
+    /// True when the warp has nothing to do.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.iter().all(|(l, r)| l.is_none() && r.is_none())
+    }
+
+    /// Neighbor count summed over both kinds.
+    pub fn total_neighbors(&self) -> u64 {
+        self.pairs
+            .iter()
+            .flat_map(|(l, r)| [l, r])
+            .filter_map(|p| p.as_ref())
+            .map(|p| p.len as u64)
+            .sum()
+    }
+}
+
+/// How local/remote partitions map onto warps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingMode {
+    /// MGG's interleaved mapping: warp `w` gets local partitions
+    /// `[w*dist, (w+1)*dist)` and remote partitions `[w*dist, (w+1)*dist)`.
+    Interleaved,
+    /// Ablation: all-local warps first, then all-remote warps, `dist`
+    /// partitions each (continuous ids — remote-heavy blocks cluster on
+    /// the same SMs, the imbalance Figure 6 illustrates).
+    Separated,
+}
+
+/// Builds the per-warp assignment list for one GPU's plan.
+pub fn map_warps(plan: &WorkPlan, dist: u32, mode: MappingMode) -> Vec<WarpAssignment> {
+    assert!(dist >= 1, "dist must be at least 1");
+    let d = dist as usize;
+    match mode {
+        MappingMode::Interleaved => {
+            let pairs_needed = plan.lnps.len().max(plan.rnps.len());
+            let num_warps = pairs_needed.div_ceil(d);
+            (0..num_warps)
+                .map(|w| WarpAssignment {
+                    pairs: (0..d)
+                        .map(|i| {
+                            let idx = w * d + i;
+                            (plan.lnps.get(idx).copied(), plan.rnps.get(idx).copied())
+                        })
+                        .collect(),
+                })
+                .collect()
+        }
+        MappingMode::Separated => {
+            let local_warps = plan.lnps.len().div_ceil(d);
+            let remote_warps = plan.rnps.len().div_ceil(d);
+            let mut out = Vec::with_capacity(local_warps + remote_warps);
+            for w in 0..local_warps {
+                out.push(WarpAssignment {
+                    pairs: (0..d)
+                        .map(|i| (plan.lnps.get(w * d + i).copied(), None))
+                        .collect(),
+                });
+            }
+            for w in 0..remote_warps {
+                out.push(WarpAssignment {
+                    pairs: (0..d)
+                        .map(|i| (None, plan.rnps.get(w * d + i).copied()))
+                        .collect(),
+                });
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::HybridPlacement;
+    use crate::workload::build_plans;
+    use mgg_graph::generators::rmat::{rmat, RmatConfig};
+    use mgg_graph::partition::neighbor::PartitionKind;
+
+    fn plan() -> WorkPlan {
+        let g = rmat(&RmatConfig::graph500(9, 4_000, 19));
+        let placement = HybridPlacement::plan(&g, 4);
+        build_plans(&placement, 8).remove(1)
+    }
+
+    fn covered(assignments: &[WarpAssignment]) -> (u64, u64) {
+        let mut local = 0u64;
+        let mut remote = 0u64;
+        for a in assignments {
+            for (l, r) in &a.pairs {
+                if let Some(p) = l {
+                    assert_eq!(p.kind, PartitionKind::Local);
+                    local += p.len as u64;
+                }
+                if let Some(p) = r {
+                    assert_eq!(p.kind, PartitionKind::Remote);
+                    remote += p.len as u64;
+                }
+            }
+        }
+        (local, remote)
+    }
+
+    #[test]
+    fn interleaved_covers_everything_once() {
+        let plan = plan();
+        let want_local: u64 = plan.lnps.iter().map(|p| p.len as u64).sum();
+        let want_remote: u64 = plan.rnps.iter().map(|p| p.len as u64).sum();
+        for dist in [1, 2, 3, 16] {
+            let warps = map_warps(&plan, dist, MappingMode::Interleaved);
+            let (l, r) = covered(&warps);
+            assert_eq!((l, r), (want_local, want_remote), "dist={dist}");
+        }
+    }
+
+    #[test]
+    fn separated_covers_everything_once() {
+        let plan = plan();
+        let want_local: u64 = plan.lnps.iter().map(|p| p.len as u64).sum();
+        let want_remote: u64 = plan.rnps.iter().map(|p| p.len as u64).sum();
+        let warps = map_warps(&plan, 2, MappingMode::Separated);
+        let (l, r) = covered(&warps);
+        assert_eq!((l, r), (want_local, want_remote));
+    }
+
+    #[test]
+    fn warp_count_follows_equation_2() {
+        // numWarps = ceil(max(local, remote) / dist).
+        let plan = plan();
+        for dist in [1u32, 2, 4, 8] {
+            let warps = map_warps(&plan, dist, MappingMode::Interleaved);
+            let expect = plan.lnps.len().max(plan.rnps.len()).div_ceil(dist as usize);
+            assert_eq!(warps.len(), expect, "dist={dist}");
+        }
+    }
+
+    #[test]
+    fn interleaved_warps_mix_kinds() {
+        // With dist = 1, exactly min(#lnp, #rnp) warps carry both kinds;
+        // the tail of the longer list is single-kind.
+        let plan = plan();
+        let warps = map_warps(&plan, 1, MappingMode::Interleaved);
+        let mixed = warps
+            .iter()
+            .filter(|a| a.pairs.iter().any(|(l, r)| l.is_some() && r.is_some()))
+            .count();
+        assert_eq!(mixed, plan.lnps.len().min(plan.rnps.len()));
+        assert!(mixed > 0);
+    }
+
+    #[test]
+    fn separated_warps_are_single_kind() {
+        let plan = plan();
+        let warps = map_warps(&plan, 2, MappingMode::Separated);
+        for a in &warps {
+            let has_local = a.pairs.iter().any(|(l, _)| l.is_some());
+            let has_remote = a.pairs.iter().any(|(_, r)| r.is_some());
+            assert!(!(has_local && has_remote), "separated warp mixes kinds");
+        }
+    }
+
+    #[test]
+    fn bigger_dist_means_fewer_warps() {
+        let plan = plan();
+        let w1 = map_warps(&plan, 1, MappingMode::Interleaved).len();
+        let w4 = map_warps(&plan, 4, MappingMode::Interleaved).len();
+        assert!(w4 <= w1.div_ceil(4) + 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+    use mgg_graph::partition::neighbor::NeighborPartition;
+    use mgg_graph::partition::neighbor::PartitionKind;
+
+    fn arb_plan() -> impl Strategy<Value = WorkPlan> {
+        let part = |kind: PartitionKind| {
+            move |(row, start, len): (u32, u64, u32)| NeighborPartition {
+                row: row % 64,
+                start,
+                len: len % 32 + 1,
+                kind,
+            }
+        };
+        (
+            proptest::collection::vec((0u32..64, 0u64..1000, 0u32..32), 0..80),
+            proptest::collection::vec((0u32..64, 0u64..1000, 0u32..32), 0..80),
+        )
+            .prop_map(move |(l, r)| WorkPlan {
+                pe: 0,
+                lnps: l.into_iter().map(part(PartitionKind::Local)).collect(),
+                rnps: r.into_iter().map(part(PartitionKind::Remote)).collect(),
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn both_mappings_cover_every_partition_exactly_once(
+            plan in arb_plan(),
+            dist in 1u32..17,
+        ) {
+            for mode in [MappingMode::Interleaved, MappingMode::Separated] {
+                let warps = map_warps(&plan, dist, mode);
+                let mut local = 0usize;
+                let mut remote = 0usize;
+                for a in &warps {
+                    prop_assert!(a.pairs.len() <= dist as usize);
+                    for (l, r) in &a.pairs {
+                        local += l.is_some() as usize;
+                        remote += r.is_some() as usize;
+                    }
+                }
+                prop_assert_eq!(local, plan.lnps.len(), "{:?}", mode);
+                prop_assert_eq!(remote, plan.rnps.len(), "{:?}", mode);
+            }
+        }
+
+        #[test]
+        fn interleaved_warp_count_is_equation_2(
+            plan in arb_plan(),
+            dist in 1u32..17,
+        ) {
+            let warps = map_warps(&plan, dist, MappingMode::Interleaved);
+            let expect = plan.lnps.len().max(plan.rnps.len()).div_ceil(dist as usize);
+            prop_assert_eq!(warps.len(), expect);
+        }
+    }
+}

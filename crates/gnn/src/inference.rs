@@ -1,0 +1,146 @@
+//! Classification evaluation utilities beyond plain accuracy.
+
+use crate::tensor::Matrix;
+
+/// Row-wise top-`k` predicted class indices, most probable first.
+pub fn top_k(logits: &Matrix, k: usize) -> Vec<Vec<u32>> {
+    let k = k.min(logits.cols());
+    (0..logits.rows())
+        .map(|r| {
+            let mut idx: Vec<u32> = (0..logits.cols() as u32).collect();
+            idx.sort_by(|&a, &b| {
+                logits.row(r)[b as usize]
+                    .partial_cmp(&logits.row(r)[a as usize])
+                    .expect("no NaN logits")
+            });
+            idx.truncate(k);
+            idx
+        })
+        .collect()
+}
+
+/// Fraction of rows whose label appears in the top-`k` predictions.
+pub fn top_k_accuracy(logits: &Matrix, labels: &[u32], k: usize, mask: Option<&[bool]>) -> f64 {
+    assert_eq!(logits.rows(), labels.len(), "one label per row");
+    let preds = top_k(logits, k);
+    let mut hit = 0usize;
+    let mut count = 0usize;
+    for (r, &y) in labels.iter().enumerate() {
+        if let Some(m) = mask {
+            if !m[r] {
+                continue;
+            }
+        }
+        count += 1;
+        if preds[r].contains(&y) {
+            hit += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        hit as f64 / count as f64
+    }
+}
+
+/// A `classes x classes` confusion matrix: `m[actual][predicted]`.
+pub fn confusion_matrix(
+    logits: &Matrix,
+    labels: &[u32],
+    classes: usize,
+    mask: Option<&[bool]>,
+) -> Vec<Vec<u64>> {
+    assert_eq!(logits.rows(), labels.len(), "one label per row");
+    let mut m = vec![vec![0u64; classes]; classes];
+    for (r, &y) in labels.iter().enumerate() {
+        if let Some(mk) = mask {
+            if !mk[r] {
+                continue;
+            }
+        }
+        let row = logits.row(r);
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN logits"))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        m[y as usize][pred] += 1;
+    }
+    m
+}
+
+/// Macro-averaged F1 over classes (classes with no support are skipped).
+pub fn macro_f1(confusion: &[Vec<u64>]) -> f64 {
+    let classes = confusion.len();
+    let mut f1_sum = 0.0f64;
+    let mut counted = 0usize;
+    for (c, row) in confusion.iter().enumerate() {
+        let tp = row[c] as f64;
+        let actual: u64 = row.iter().sum();
+        let predicted: u64 = (0..classes).map(|r| confusion[r][c]).sum();
+        if actual == 0 {
+            continue;
+        }
+        counted += 1;
+        let recall = tp / actual as f64;
+        let precision = if predicted == 0 { 0.0 } else { tp / predicted as f64 };
+        if precision + recall > 0.0 {
+            f1_sum += 2.0 * precision * recall / (precision + recall);
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        f1_sum / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits() -> Matrix {
+        // Rows predict classes 0, 1, 1.
+        Matrix::from_vec(3, 3, vec![3.0, 1.0, 0.0, 0.0, 2.0, 1.0, 0.5, 4.0, 0.0])
+    }
+
+    #[test]
+    fn top_k_orders_by_probability() {
+        let t = top_k(&logits(), 2);
+        assert_eq!(t[0], vec![0, 1]);
+        assert_eq!(t[1], vec![1, 2]);
+    }
+
+    #[test]
+    fn top_k_accuracy_grows_with_k() {
+        let labels = [2u32, 2, 1];
+        let l = logits();
+        let a1 = top_k_accuracy(&l, &labels, 1, None);
+        let a2 = top_k_accuracy(&l, &labels, 2, None);
+        let a3 = top_k_accuracy(&l, &labels, 3, None);
+        assert!(a1 <= a2 && a2 <= a3);
+        assert!((a3 - 1.0).abs() < 1e-12, "top-all is always a hit");
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let labels = [0u32, 1, 0];
+        let m = confusion_matrix(&logits(), &labels, 3, None);
+        assert_eq!(m[0][0], 1); // row 0: actual 0 predicted 0
+        assert_eq!(m[1][1], 1); // row 1: actual 1 predicted 1
+        assert_eq!(m[0][1], 1); // row 2: actual 0 predicted 1
+    }
+
+    #[test]
+    fn perfect_predictions_give_f1_one() {
+        let m = vec![vec![5, 0], vec![0, 7]];
+        assert!((macro_f1(&m) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_support_classes_are_skipped() {
+        let m = vec![vec![4, 0, 0], vec![0, 3, 0], vec![0, 0, 0]];
+        assert!((macro_f1(&m) - 1.0).abs() < 1e-12);
+    }
+}

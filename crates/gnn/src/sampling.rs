@@ -1,0 +1,97 @@
+//! Uniform neighbor sampling (the "GNN w/ sampling" side of Table 5).
+//!
+//! Sampling caps each node's aggregation at `fanout` uniformly chosen
+//! neighbors, the conventional GraphSAGE recipe the paper compares against
+//! ("we follow the conventional way for GNN sampling", §5.3). It trades
+//! accuracy for less aggregation work.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use mgg_graph::{CsrGraph, GraphBuilder, NodeId};
+
+/// Neighbor-sampling configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplingConfig {
+    /// Maximum neighbors kept per node.
+    pub fanout: usize,
+    pub seed: u64,
+}
+
+/// Samples up to `fanout` neighbors per node, uniformly without
+/// replacement (reservoir sampling keeps it O(degree) per node).
+pub fn sample_neighbors(graph: &CsrGraph, cfg: &SamplingConfig) -> CsrGraph {
+    assert!(cfg.fanout >= 1, "fanout must be at least 1");
+    let n = graph.num_nodes();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = GraphBuilder::new(n).dedup(false);
+    let mut reservoir: Vec<NodeId> = Vec::with_capacity(cfg.fanout);
+    for v in 0..n as NodeId {
+        let nbrs = graph.neighbors(v);
+        reservoir.clear();
+        for (i, &u) in nbrs.iter().enumerate() {
+            if i < cfg.fanout {
+                reservoir.push(u);
+            } else {
+                let j = rng.random_range(0..=i);
+                if j < cfg.fanout {
+                    reservoir[j] = u;
+                }
+            }
+        }
+        for &u in &reservoir {
+            b.add_edge(v, u);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgg_graph::generators::regular::{ring, star};
+    use mgg_graph::generators::rmat::{rmat, RmatConfig};
+
+    #[test]
+    fn degrees_are_capped() {
+        let g = star(100);
+        let s = sample_neighbors(&g, &SamplingConfig { fanout: 5, seed: 1 });
+        assert_eq!(s.degree(0), 5);
+        assert_eq!(s.degree(1), 1, "leaves keep their single neighbor");
+    }
+
+    #[test]
+    fn small_degrees_untouched() {
+        let g = ring(10);
+        let s = sample_neighbors(&g, &SamplingConfig { fanout: 8, seed: 2 });
+        assert_eq!(s, g);
+    }
+
+    #[test]
+    fn sampled_neighbors_are_a_subset() {
+        let g = rmat(&RmatConfig::graph500(9, 4_000, 5));
+        let s = sample_neighbors(&g, &SamplingConfig { fanout: 4, seed: 3 });
+        for v in 0..g.num_nodes() as NodeId {
+            for &u in s.neighbors(v) {
+                assert!(g.neighbors(v).contains(&u), "({v},{u}) not in original");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = rmat(&RmatConfig::graph500(8, 2_000, 7));
+        let a = sample_neighbors(&g, &SamplingConfig { fanout: 3, seed: 9 });
+        let b = sample_neighbors(&g, &SamplingConfig { fanout: 3, seed: 9 });
+        let c = sample_neighbors(&g, &SamplingConfig { fanout: 3, seed: 10 });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn reduces_edge_count_on_dense_graph() {
+        let g = rmat(&RmatConfig::graph500(9, 30_000, 11));
+        let s = sample_neighbors(&g, &SamplingConfig { fanout: 4, seed: 1 });
+        assert!(s.num_edges() < g.num_edges() / 2);
+    }
+}

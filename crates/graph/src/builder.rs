@@ -1,0 +1,142 @@
+//! Edge-list to CSR construction.
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Accumulates directed edges `(dst, src)` ("src contributes to dst") and
+/// finalizes them into a [`CsrGraph`].
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    dedup: bool,
+    symmetric: bool,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder { num_nodes, edges: Vec::new(), dedup: true, symmetric: false }
+    }
+
+    /// Whether duplicate edges are removed (default: true).
+    pub fn dedup(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Whether every edge is mirrored (undirected input; default: false).
+    pub fn symmetric(mut self, yes: bool) -> Self {
+        self.symmetric = yes;
+        self
+    }
+
+    /// Adds the directed edge `dst <- src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an endpoint is out of range.
+    pub fn add_edge(&mut self, dst: NodeId, src: NodeId) {
+        assert!(
+            (dst as usize) < self.num_nodes && (src as usize) < self.num_nodes,
+            "edge ({dst}, {src}) out of range for {} nodes",
+            self.num_nodes
+        );
+        self.edges.push((dst, src));
+    }
+
+    /// Adds many edges at once.
+    pub fn extend(&mut self, edges: impl IntoIterator<Item = (NodeId, NodeId)>) {
+        for (d, s) in edges {
+            self.add_edge(d, s);
+        }
+    }
+
+    /// Number of edges accumulated so far (before dedup/mirroring).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when no edges were added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finalizes into CSR form with sorted neighbor lists.
+    pub fn build(mut self) -> CsrGraph {
+        if self.symmetric {
+            let mirrored: Vec<(NodeId, NodeId)> =
+                self.edges.iter().map(|&(d, s)| (s, d)).collect();
+            self.edges.extend(mirrored);
+        }
+        self.edges.sort_unstable();
+        if self.dedup {
+            self.edges.dedup();
+        }
+        let n = self.num_nodes;
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(self.edges.len());
+        row_ptr.push(0u64);
+        let mut cur = 0 as NodeId;
+        for &(d, s) in &self.edges {
+            while cur < d {
+                row_ptr.push(col_idx.len() as u64);
+                cur += 1;
+            }
+            col_idx.push(s);
+        }
+        while (row_ptr.len() - 1) < n {
+            row_ptr.push(col_idx.len() as u64);
+        }
+        CsrGraph::from_raw(row_ptr, col_idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_dedup() {
+        let mut b = GraphBuilder::new(3);
+        b.extend([(0, 2), (0, 1), (0, 2), (2, 0)]);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[NodeId]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn keeps_duplicates_when_asked() {
+        let mut b = GraphBuilder::new(2).dedup(false);
+        b.extend([(0, 1), (0, 1)]);
+        assert_eq!(b.len(), 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn symmetric_mirrors_edges() {
+        let mut b = GraphBuilder::new(3).symmetric(true);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn trailing_isolated_nodes_get_rows() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(1, 0);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.degree(4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+}

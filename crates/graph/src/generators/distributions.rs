@@ -1,0 +1,113 @@
+//! Small samplers implemented in-crate so the workspace does not need
+//! `rand_distr`.
+
+use rand::{Rng, RngExt};
+
+/// Samples a standard normal via the Box-Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `N(mu, sigma^2)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    mu + sigma * standard_normal(rng)
+}
+
+/// Samples an integer in `[0, n)` from a Zipf-like distribution with
+/// exponent `s` using inverse-CDF on the discrete power law.
+///
+/// Used to inject degree skew where R-MAT's recursive skew is not wanted.
+pub fn zipf<R: Rng + ?Sized>(rng: &mut R, n: usize, s: f64) -> usize {
+    debug_assert!(n > 0);
+    // Inverse transform on the continuous approximation of the Zipf CDF,
+    // which is accurate enough for workload-shaping purposes.
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    if (s - 1.0).abs() < 1e-9 {
+        let x = (n as f64).powf(u);
+        (x as usize).min(n - 1)
+    } else {
+        let t = 1.0 - s;
+        let x = ((n as f64).powf(t) * u + (1.0 - u)).powf(1.0 / t);
+        (x as usize - 1).min(n - 1)
+    }
+}
+
+/// Samples a Poisson-distributed count with mean `lambda`.
+///
+/// Uses Knuth's method for small `lambda` and a normal approximation for
+/// large `lambda` (where the discrete error is negligible for our use —
+/// edge-count sampling in the SBM generator).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    debug_assert!(lambda >= 0.0);
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let x = normal(rng, lambda, lambda.sqrt());
+        x.max(0.0).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.3, "var={var}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 1_000;
+        let mut counts = vec![0u32; n];
+        for _ in 0..50_000 {
+            let k = zipf(&mut rng, n, 1.1);
+            counts[k] += 1;
+        }
+        // Head must be much heavier than the tail.
+        let head: u32 = counts[..10].iter().sum();
+        let tail: u32 = counts[n - 10..].iter().sum();
+        assert!(head > 10 * tail.max(1), "head={head} tail={tail}");
+    }
+
+    #[test]
+    fn poisson_small_and_large_means() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m_small: f64 =
+            (0..20_000).map(|_| poisson(&mut rng, 4.0) as f64).sum::<f64>() / 20_000.0;
+        assert!((m_small - 4.0).abs() < 0.15, "m_small={m_small}");
+        let m_large: f64 =
+            (0..5_000).map(|_| poisson(&mut rng, 400.0) as f64).sum::<f64>() / 5_000.0;
+        assert!((m_large - 400.0).abs() < 2.0, "m_large={m_large}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+}

@@ -1,0 +1,14 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper's datasets (Table 3) are large public graphs that are not
+//! available offline; these generators produce structurally comparable
+//! graphs (matched average degree and skew) from fixed seeds.
+
+pub mod distributions;
+pub mod random;
+pub mod regular;
+pub mod rmat;
+
+pub use random::{erdos_renyi, sbm, SbmConfig};
+pub use regular::{complete, grid2d, path, ring, star};
+pub use rmat::{rmat, RmatConfig};

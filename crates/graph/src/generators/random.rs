@@ -1,0 +1,147 @@
+//! Erdős–Rényi and stochastic-block-model generators.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, NodeId};
+use crate::generators::distributions::poisson;
+
+/// G(n, m): `m` uniformly random directed edges on `n` nodes (no
+/// self-loops; deduplicated, so the result can be slightly smaller).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..m {
+        let d = rng.random_range(0..n) as NodeId;
+        let mut s = rng.random_range(0..n) as NodeId;
+        if s == d {
+            s = (s + 1) % n as NodeId;
+        }
+        b.add_edge(d, s);
+    }
+    b.build()
+}
+
+/// Configuration of a stochastic block model.
+#[derive(Debug, Clone)]
+pub struct SbmConfig {
+    /// Number of nodes per block.
+    pub block_sizes: Vec<usize>,
+    /// Expected intra-block edges per node.
+    pub avg_degree_in: f64,
+    /// Expected inter-block edges per node.
+    pub avg_degree_out: f64,
+    pub seed: u64,
+}
+
+/// Output of [`sbm`]: the graph plus the planted block label per node.
+#[derive(Debug, Clone)]
+pub struct SbmGraph {
+    pub graph: CsrGraph,
+    pub labels: Vec<u32>,
+}
+
+/// Generates a stochastic-block-model graph with planted communities.
+///
+/// Used by the Table-5 accuracy experiments: the labels are the node
+/// classification targets, so aggregation over mostly-intra-block
+/// neighborhoods is genuinely informative.
+pub fn sbm(cfg: &SbmConfig) -> SbmGraph {
+    assert!(!cfg.block_sizes.is_empty(), "need at least one block");
+    let n: usize = cfg.block_sizes.iter().sum();
+    let k = cfg.block_sizes.len();
+    let mut starts = Vec::with_capacity(k + 1);
+    starts.push(0usize);
+    for &s in &cfg.block_sizes {
+        starts.push(starts.last().unwrap() + s);
+    }
+    let mut labels = vec![0u32; n];
+    for (b, w) in starts.windows(2).enumerate() {
+        labels[w[0]..w[1]].iter_mut().for_each(|l| *l = b as u32);
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut builder = GraphBuilder::new(n).symmetric(true);
+    for bi in 0..k {
+        for bj in bi..k {
+            let ni = cfg.block_sizes[bi];
+            let nj = cfg.block_sizes[bj];
+            // Expected undirected edge count for the block pair.
+            let lambda = if bi == bj {
+                cfg.avg_degree_in * ni as f64 / 2.0
+            } else {
+                cfg.avg_degree_out * (ni + nj) as f64 / (2.0 * (k - 1).max(1) as f64)
+            };
+            let count = poisson(&mut rng, lambda);
+            for _ in 0..count {
+                let u = starts[bi] + rng.random_range(0..ni);
+                let v = starts[bj] + rng.random_range(0..nj);
+                if u != v {
+                    builder.add_edge(u as NodeId, v as NodeId);
+                }
+            }
+        }
+    }
+    SbmGraph { graph: builder.build(), labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_deterministic_and_sized() {
+        let g1 = erdos_renyi(100, 500, 5);
+        let g2 = erdos_renyi(100, 500, 5);
+        assert_eq!(g1, g2);
+        assert!(g1.num_edges() > 400 && g1.num_edges() <= 500);
+    }
+
+    #[test]
+    fn er_has_no_self_loops() {
+        let g = erdos_renyi(50, 400, 9);
+        for v in 0..g.num_nodes() as NodeId {
+            assert!(!g.neighbors(v).contains(&v));
+        }
+    }
+
+    #[test]
+    fn sbm_prefers_intra_block_edges() {
+        let cfg = SbmConfig {
+            block_sizes: vec![200, 200, 200],
+            avg_degree_in: 12.0,
+            avg_degree_out: 2.0,
+            seed: 13,
+        };
+        let out = sbm(&cfg);
+        let g = &out.graph;
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for v in 0..g.num_nodes() as NodeId {
+            for &u in g.neighbors(v) {
+                if out.labels[v as usize] == out.labels[u as usize] {
+                    intra += 1;
+                } else {
+                    inter += 1;
+                }
+            }
+        }
+        assert!(intra > 3 * inter, "intra={intra} inter={inter}");
+    }
+
+    #[test]
+    fn sbm_labels_cover_blocks() {
+        let out = sbm(&SbmConfig {
+            block_sizes: vec![10, 20, 30],
+            avg_degree_in: 4.0,
+            avg_degree_out: 1.0,
+            seed: 3,
+        });
+        assert_eq!(out.labels.len(), 60);
+        assert_eq!(out.labels[0], 0);
+        assert_eq!(out.labels[15], 1);
+        assert_eq!(out.labels[59], 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Small regular graphs used throughout the test suites.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, NodeId};
+
+/// Undirected ring of `n` nodes.
+pub fn ring(n: usize) -> CsrGraph {
+    assert!(n >= 3, "ring needs at least 3 nodes");
+    let mut b = GraphBuilder::new(n).symmetric(true);
+    for v in 0..n {
+        b.add_edge(v as NodeId, ((v + 1) % n) as NodeId);
+    }
+    b.build()
+}
+
+/// Undirected path of `n` nodes.
+pub fn path(n: usize) -> CsrGraph {
+    assert!(n >= 2, "path needs at least 2 nodes");
+    let mut b = GraphBuilder::new(n).symmetric(true);
+    for v in 0..n - 1 {
+        b.add_edge(v as NodeId, (v + 1) as NodeId);
+    }
+    b.build()
+}
+
+/// Star with node 0 as the hub and `n - 1` leaves — maximal workload
+/// imbalance, the adversarial case for neighbor partitioning.
+pub fn star(n: usize) -> CsrGraph {
+    assert!(n >= 2, "star needs at least 2 nodes");
+    let mut b = GraphBuilder::new(n).symmetric(true);
+    for v in 1..n {
+        b.add_edge(0, v as NodeId);
+    }
+    b.build()
+}
+
+/// Undirected 2D grid of `rows x cols` nodes.
+pub fn grid2d(rows: usize, cols: usize) -> CsrGraph {
+    assert!(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut b = GraphBuilder::new(rows * cols).symmetric(true);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete graph on `n` nodes (no self-loops).
+pub fn complete(n: usize) -> CsrGraph {
+    assert!(n >= 2, "complete graph needs at least 2 nodes");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for u in 0..n {
+            if u != v {
+                b.add_edge(v as NodeId, u as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_degrees() {
+        let g = ring(5);
+        assert_eq!(g.num_edges(), 10);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn path_endpoints() {
+        let g = path(4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn star_hub_degree() {
+        let g = star(10);
+        assert_eq!(g.degree(0), 9);
+        assert_eq!(g.degree(5), 1);
+    }
+
+    #[test]
+    fn grid_corner_and_center() {
+        let g = grid2d(3, 3);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(4), 4); // center
+        assert_eq!(g.num_edges(), 24);
+    }
+
+    #[test]
+    fn complete_is_complete() {
+        let g = complete(4);
+        assert_eq!(g.num_edges(), 12);
+        for v in 0..4 {
+            assert_eq!(g.degree(v), 3);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Graph substrate for the MGG reproduction.
+//!
+//! Provides everything MGG needs from the graph side:
+//!
+//! * [`csr::CsrGraph`] — compressed sparse row storage with u32 node ids
+//!   and u64 edge offsets (the paper's inputs reach 200M+ edges).
+//! * [`generators`] — deterministic synthetic graph generators (R-MAT,
+//!   Erdős–Rényi, stochastic block model, and regular test shapes).
+//! * [`datasets`] — scaled stand-ins for the five Table-3 datasets
+//!   (Reddit, enwiki-2013, ogbn-products, ogbn-proteins, com-orkut) that
+//!   preserve average degree, degree skew, feature dimension and class
+//!   count.
+//! * [`partition`] — the paper's three-level pipeline-aware workload
+//!   management (§3.1): edge-balanced node split (Algorithm 1),
+//!   locality-aware edge split into local/remote virtual CSRs, and
+//!   workload-aware neighbor partitioning; plus a multilevel
+//!   communication-minimizing partitioner standing in for DGCL's costly
+//!   preprocessing, and a BFS locality reordering (§6).
+
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod generators;
+pub mod io;
+pub mod partition;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, NodeId};
+pub use datasets::{Dataset, DatasetSpec};
+pub use partition::locality::{LocalRef, LocalityPartition, RemoteRef};
+pub use partition::neighbor::{NeighborPartition, PartitionKind};
+pub use partition::node_split::NodeSplit;

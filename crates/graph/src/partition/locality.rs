@@ -1,0 +1,267 @@
+//! Locality-aware edge split into local and remote virtual CSRs (§3.1).
+//!
+//! After the node split, every GPU's aggregation workload mixes neighbors
+//! that live in its own embedding partition ("local") with neighbors owned
+//! by other GPUs ("remote"). Grouping the two kinds into separate *virtual
+//! graphs* (Figure 4(a)-1) lets the kernel treat them with different memory
+//! paths and lets the mapper interleave them deliberately.
+//!
+//! Remote adjacency entries are pre-translated from global node ids to
+//! `(owner GPU, local offset)` pairs, exactly the Figure-5 conversion: the
+//! NVSHMEM symmetric heap is indexed per-PE from zero, so the kernel needs
+//! the owner's id and the offset within the owner's partition.
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::partition::node_split::NodeSplit;
+
+/// A reference to a neighbor embedding held by the local GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalRef {
+    /// Row index within this GPU's embedding partition.
+    pub local: u32,
+    /// Index of the originating edge in the input graph's flat adjacency
+    /// (for per-edge payloads such as GAT attention weights).
+    pub edge: u32,
+}
+
+/// A reference to a neighbor embedding held by another GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteRef {
+    /// Owning GPU.
+    pub owner: u16,
+    /// Row index within the owner's embedding partition.
+    pub local: u32,
+    /// Index of the originating edge in the input graph's flat adjacency.
+    pub edge: u32,
+}
+
+/// A CSR over this GPU's owned nodes with adjacency payload `T`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VirtualCsr<T> {
+    row_ptr: Vec<u64>,
+    adj: Vec<T>,
+}
+
+impl<T> VirtualCsr<T> {
+    /// Number of rows (owned nodes).
+    pub fn num_rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Total adjacency entries.
+    pub fn num_entries(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adjacency of local row `r`.
+    #[inline]
+    pub fn row(&self, r: u32) -> &[T] {
+        let s = self.row_ptr[r as usize] as usize;
+        let e = self.row_ptr[r as usize + 1] as usize;
+        &self.adj[s..e]
+    }
+
+    /// Row pointers (length `num_rows() + 1`).
+    pub fn row_ptr(&self) -> &[u64] {
+        &self.row_ptr
+    }
+
+    /// Flat adjacency payload.
+    pub fn adj(&self) -> &[T] {
+        &self.adj
+    }
+}
+
+/// One GPU's locality-split workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalityPartition {
+    /// This GPU's rank.
+    pub pe: usize,
+    /// Global node range owned by this GPU.
+    pub node_range: std::ops::Range<NodeId>,
+    /// Virtual graph of local neighbors.
+    pub local: VirtualCsr<LocalRef>,
+    /// Virtual graph of remote neighbors.
+    pub remote: VirtualCsr<RemoteRef>,
+}
+
+impl LocalityPartition {
+    /// Fraction of this GPU's aggregation edges that need remote access.
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.local.num_entries() + self.remote.num_entries();
+        if total == 0 {
+            0.0
+        } else {
+            self.remote.num_entries() as f64 / total as f64
+        }
+    }
+}
+
+/// Splits `graph` across the GPUs of `split` into per-GPU local/remote
+/// virtual CSRs.
+pub fn build(graph: &CsrGraph, split: &NodeSplit) -> Vec<LocalityPartition> {
+    let n = graph.num_nodes();
+    assert_eq!(
+        split.range(split.num_parts() - 1).end as usize,
+        n,
+        "split does not cover the graph"
+    );
+    (0..split.num_parts())
+        .map(|pe| {
+            let range = split.range(pe);
+            let rows = (range.end - range.start) as usize;
+            let mut local_ptr = Vec::with_capacity(rows + 1);
+            let mut remote_ptr = Vec::with_capacity(rows + 1);
+            let mut local_adj: Vec<LocalRef> = Vec::new();
+            let mut remote_adj: Vec<RemoteRef> = Vec::new();
+            local_ptr.push(0u64);
+            remote_ptr.push(0u64);
+            for v in range.clone() {
+                let row_base = graph.row_ptr()[v as usize];
+                for (k, &u) in graph.neighbors(v).iter().enumerate() {
+                    let edge = (row_base + k as u64) as u32;
+                    let owner = split.owner(u);
+                    if owner == pe {
+                        local_adj.push(LocalRef { local: u - range.start, edge });
+                    } else {
+                        remote_adj.push(RemoteRef {
+                            owner: owner as u16,
+                            local: split.local_index(u),
+                            edge,
+                        });
+                    }
+                }
+                local_ptr.push(local_adj.len() as u64);
+                remote_ptr.push(remote_adj.len() as u64);
+            }
+            LocalityPartition {
+                pe,
+                node_range: range,
+                local: VirtualCsr { row_ptr: local_ptr, adj: local_adj },
+                remote: VirtualCsr { row_ptr: remote_ptr, adj: remote_adj },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::regular::ring;
+    use crate::generators::rmat::{rmat, RmatConfig};
+
+    #[test]
+    fn ring_boundary_nodes_have_remote_neighbors() {
+        let g = ring(8);
+        let split = NodeSplit::uniform(8, 2);
+        let parts = build(&g, &split);
+        // Node 0's neighbors are 1 (local) and 7 (remote on GPU 1); edge
+        // indices follow the sorted adjacency order of the ring's CSR.
+        let p0 = &parts[0];
+        assert_eq!(p0.local.row(0), &[LocalRef { local: 1, edge: 0 }]);
+        assert_eq!(p0.remote.row(0), &[RemoteRef { owner: 1, local: 3, edge: 1 }]);
+        // Interior node 2 is fully local.
+        assert_eq!(p0.local.row(2).len(), 2);
+        assert!(p0.remote.row(2).is_empty());
+    }
+
+    #[test]
+    fn edges_are_conserved() {
+        let g = rmat(&RmatConfig::graph500(10, 8_000, 17));
+        let split = NodeSplit::edge_balanced(&g, 4);
+        let parts = build(&g, &split);
+        let total: usize =
+            parts.iter().map(|p| p.local.num_entries() + p.remote.num_entries()).sum();
+        assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn remote_refs_resolve_to_original_neighbors() {
+        let g = rmat(&RmatConfig::graph500(9, 4_000, 23));
+        let split = NodeSplit::edge_balanced(&g, 3);
+        let parts = build(&g, &split);
+        for p in &parts {
+            for (r, v) in p.node_range.clone().enumerate() {
+                // Reconstruct the neighbor multiset from local + remote.
+                let mut got: Vec<NodeId> = p
+                    .local
+                    .row(r as u32)
+                    .iter()
+                    .map(|lr| p.node_range.start + lr.local)
+                    .chain(p.remote.row(r as u32).iter().map(|rr| {
+                        split.range(rr.owner as usize).start + rr.local
+                    }))
+                    .collect();
+                got.sort_unstable();
+                let mut want = g.neighbors(v).to_vec();
+                want.sort_unstable();
+                assert_eq!(got, want, "node {v} on pe {}", p.pe);
+            }
+        }
+    }
+
+    #[test]
+    fn remote_fraction_zero_on_single_gpu() {
+        let g = ring(12);
+        let split = NodeSplit::uniform(12, 1);
+        let parts = build(&g, &split);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].remote_fraction(), 0.0);
+    }
+
+    #[test]
+    fn remote_fraction_grows_with_gpus() {
+        let g = rmat(&RmatConfig::graph500(10, 8_000, 31));
+        let f2: f64 = {
+            let parts = build(&g, &NodeSplit::edge_balanced(&g, 2));
+            parts.iter().map(|p| p.remote_fraction()).sum::<f64>() / 2.0
+        };
+        let f8: f64 = {
+            let parts = build(&g, &NodeSplit::edge_balanced(&g, 8));
+            parts.iter().map(|p| p.remote_fraction()).sum::<f64>() / 8.0
+        };
+        assert!(f8 > f2, "f8={f8} f2={f2}");
+    }
+}
+
+#[cfg(test)]
+mod edge_index_tests {
+    use super::*;
+    use crate::generators::rmat::{rmat, RmatConfig};
+
+    #[test]
+    fn edge_indices_are_a_permutation_of_the_adjacency() {
+        let g = rmat(&RmatConfig::graph500(9, 4_000, 59));
+        let split = NodeSplit::edge_balanced(&g, 4);
+        let parts = build(&g, &split);
+        let mut seen = vec![false; g.num_edges()];
+        for p in &parts {
+            for lr in p.local.adj() {
+                assert!(!seen[lr.edge as usize], "edge {} split twice", lr.edge);
+                seen[lr.edge as usize] = true;
+            }
+            for rr in p.remote.adj() {
+                assert!(!seen[rr.edge as usize], "edge {} split twice", rr.edge);
+                seen[rr.edge as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "every edge must appear exactly once");
+    }
+
+    #[test]
+    fn edge_index_points_at_the_right_neighbor() {
+        let g = rmat(&RmatConfig::graph500(8, 2_000, 61));
+        let split = NodeSplit::edge_balanced(&g, 3);
+        let parts = build(&g, &split);
+        for p in &parts {
+            for lr in p.local.adj() {
+                let u = g.col_idx()[lr.edge as usize];
+                assert_eq!(u, p.node_range.start + lr.local);
+            }
+            for rr in p.remote.adj() {
+                let u = g.col_idx()[rr.edge as usize];
+                assert_eq!(u, split.range(rr.owner as usize).start + rr.local);
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! GNN-oriented graph partitioning.
+//!
+//! Implements the paper's three-level *pipeline-aware workload management*
+//! (§3.1) plus the substitutes for related-work partitioners:
+//!
+//! 1. [`node_split`] — **edge-balanced node split**: contiguous node ranges
+//!    per GPU holding approximately equal edge counts, found with the
+//!    paper's range-constrained binary search (Algorithm 1).
+//! 2. [`locality`] — **locality-aware edge split**: per GPU, two *virtual
+//!    CSRs* separating neighbors resident on the local GPU from remote
+//!    ones, with global node ids rewritten to `(owner GPU, local offset)`
+//!    as in Figure 5.
+//! 3. [`neighbor`] — **workload-aware neighbor split**: fixed-size neighbor
+//!    partitions so that warp workloads are uniform (Figure 4(a)-2).
+//! 4. [`multilevel`] — a multilevel communication-minimizing partitioner
+//!    (heavy-edge matching + greedy refinement), standing in for DGCL's
+//!    expensive preprocessing and for locality-driven partitioning (§6).
+//! 5. [`reorder`] — BFS locality reordering (a lightweight Rabbit-order
+//!    stand-in, §6).
+
+pub mod locality;
+pub mod multilevel;
+pub mod neighbor;
+pub mod node_split;
+pub mod reorder;

@@ -1,0 +1,449 @@
+//! Multilevel k-way communication-minimizing partitioner.
+//!
+//! This is the stand-in for DGCL's expensive graph preprocessing (§5.2,
+//! Table 4): DGCL runs a dedicated algorithm to produce a
+//! communication-optimized partitioning and device mapping for each input
+//! graph, which the paper measures at tens to hundreds of seconds — more
+//! than 100× MGG's lightweight split. We implement the classic multilevel
+//! scheme (METIS-style):
+//!
+//! 1. **Coarsening** — repeated heavy-edge matching merges strongly
+//!    connected node pairs until the graph is small.
+//! 2. **Initial partitioning** — greedy BFS region growing on the coarsest
+//!    graph, balanced by node weight.
+//! 3. **Uncoarsening + refinement** — labels project back level by level,
+//!    with boundary-move refinement (positive-gain moves under a balance
+//!    constraint) at every level.
+//!
+//! The result is also used for the §6 discussion of locality-driven
+//! partitioning: it yields much lower edge cut than MGG's contiguous split,
+//! at orders of magnitude more preprocessing time.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Configuration of the multilevel partitioner.
+#[derive(Debug, Clone, Copy)]
+pub struct MultilevelConfig {
+    /// Number of partitions (GPUs).
+    pub parts: usize,
+    /// Stop coarsening when the graph has at most this many nodes...
+    pub coarsen_until: usize,
+    /// ...or after this many levels.
+    pub max_levels: usize,
+    /// Refinement passes per level.
+    pub refine_passes: usize,
+    /// Allowed node-weight imbalance, e.g. 0.05 for 5%.
+    pub balance_slack: f64,
+    pub seed: u64,
+}
+
+impl MultilevelConfig {
+    /// Defaults tuned like a typical graph partitioner invocation.
+    pub fn new(parts: usize) -> Self {
+        MultilevelConfig {
+            parts,
+            coarsen_until: 64 * parts.max(1),
+            max_levels: 20,
+            refine_passes: 4,
+            balance_slack: 0.05,
+            seed: 0x9e3779b9,
+        }
+    }
+}
+
+/// A weighted graph used internally during coarsening.
+#[derive(Debug, Clone)]
+struct WGraph {
+    /// Adjacency: per node, (neighbor, edge weight).
+    adj: Vec<Vec<(u32, u64)>>,
+    node_weight: Vec<u64>,
+}
+
+impl WGraph {
+    fn from_csr(g: &CsrGraph) -> WGraph {
+        let n = g.num_nodes();
+        let mut adj = vec![Vec::new(); n];
+        for v in 0..n as NodeId {
+            for &u in g.neighbors(v) {
+                if u != v {
+                    adj[v as usize].push((u, 1u64));
+                }
+            }
+        }
+        // Merge parallel edges.
+        for list in &mut adj {
+            list.sort_unstable_by_key(|&(u, _)| u);
+            let mut merged: Vec<(u32, u64)> = Vec::with_capacity(list.len());
+            for &(u, w) in list.iter() {
+                if let Some(last) = merged.last_mut() {
+                    if last.0 == u {
+                        last.1 += w;
+                        continue;
+                    }
+                }
+                merged.push((u, w));
+            }
+            *list = merged;
+        }
+        WGraph { adj, node_weight: vec![1; n] }
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+/// Result of a multilevel partitioning run.
+#[derive(Debug, Clone)]
+pub struct MultilevelPartition {
+    /// Partition label per node.
+    pub labels: Vec<u16>,
+    /// Number of coarsening levels performed.
+    pub levels: usize,
+    /// Edge cut of the final labeling on the input graph.
+    pub edge_cut: u64,
+}
+
+/// Runs the multilevel partitioner.
+pub fn partition(graph: &CsrGraph, cfg: &MultilevelConfig) -> MultilevelPartition {
+    assert!(cfg.parts >= 1, "need at least one partition");
+    let n = graph.num_nodes();
+    if cfg.parts == 1 || n <= cfg.parts {
+        let labels: Vec<u16> =
+            (0..n).map(|v| (v % cfg.parts.max(1)).min(u16::MAX as usize) as u16).collect();
+        let cut = edge_cut(graph, &labels);
+        return MultilevelPartition { labels, levels: 0, edge_cut: cut };
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Coarsen.
+    let mut levels: Vec<(WGraph, Vec<u32>)> = Vec::new(); // (coarse graph, fine->coarse map)
+    let mut cur = WGraph::from_csr(graph);
+    while cur.num_nodes() > cfg.coarsen_until && levels.len() < cfg.max_levels {
+        let (coarse, map) = coarsen_once(&cur, &mut rng);
+        // Stop if matching stalls (e.g. star graphs coarsen slowly).
+        if coarse.num_nodes() as f64 > cur.num_nodes() as f64 * 0.95 {
+            levels.push((std::mem::replace(&mut cur, coarse), map));
+            break;
+        }
+        levels.push((std::mem::replace(&mut cur, coarse), map));
+    }
+
+    // Initial partition on the coarsest graph.
+    let mut labels = initial_partition(&cur, cfg, &mut rng);
+    refine(&cur, &mut labels, cfg, &mut rng);
+
+    // Uncoarsen with refinement at each level.
+    for (fine, map) in levels.iter().rev() {
+        let mut fine_labels = vec![0u16; fine.num_nodes()];
+        for (v, &c) in map.iter().enumerate() {
+            fine_labels[v] = labels[c as usize];
+        }
+        labels = fine_labels;
+        refine(fine, &mut labels, cfg, &mut rng);
+    }
+
+    let cut = edge_cut(graph, &labels);
+    MultilevelPartition { labels, levels: levels.len(), edge_cut: cut }
+}
+
+/// One round of heavy-edge matching; returns the coarse graph and the
+/// fine-to-coarse node map.
+fn coarsen_once(g: &WGraph, rng: &mut StdRng) -> (WGraph, Vec<u32>) {
+    let n = g.num_nodes();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    let mut matched: Vec<Option<u32>> = vec![None; n];
+    for &v in &order {
+        if matched[v as usize].is_some() {
+            continue;
+        }
+        // Match with the unmatched neighbor of maximum edge weight.
+        let best = g.adj[v as usize]
+            .iter()
+            .filter(|&&(u, _)| matched[u as usize].is_none() && u != v)
+            .max_by_key(|&&(u, w)| (w, u));
+        match best {
+            Some(&(u, _)) => {
+                matched[v as usize] = Some(u);
+                matched[u as usize] = Some(v);
+            }
+            None => matched[v as usize] = Some(v), // self-match
+        }
+    }
+    // Assign coarse ids.
+    let mut map = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if map[v as usize] != u32::MAX {
+            continue;
+        }
+        let m = matched[v as usize].unwrap_or(v);
+        map[v as usize] = next;
+        map[m as usize] = next;
+        next += 1;
+    }
+    // Build the coarse graph.
+    let cn = next as usize;
+    let mut node_weight = vec![0u64; cn];
+    for v in 0..n {
+        node_weight[map[v] as usize] += g.node_weight[v];
+    }
+    let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); cn];
+    for v in 0..n {
+        let cv = map[v];
+        for &(u, w) in &g.adj[v] {
+            let cu = map[u as usize];
+            if cu != cv {
+                adj[cv as usize].push((cu, w));
+            }
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable_by_key(|&(u, _)| u);
+        let mut merged: Vec<(u32, u64)> = Vec::with_capacity(list.len());
+        for &(u, w) in list.iter() {
+            if let Some(last) = merged.last_mut() {
+                if last.0 == u {
+                    last.1 += w;
+                    continue;
+                }
+            }
+            merged.push((u, w));
+        }
+        *list = merged;
+    }
+    (WGraph { adj, node_weight }, map)
+}
+
+/// Greedy BFS region growing on the coarsest graph.
+fn initial_partition(g: &WGraph, cfg: &MultilevelConfig, rng: &mut StdRng) -> Vec<u16> {
+    let n = g.num_nodes();
+    let total_w: u64 = g.node_weight.iter().sum();
+    let target = total_w.div_ceil(cfg.parts as u64);
+    let mut labels = vec![u16::MAX; n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    let mut order_iter = order.iter();
+    let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+    for part in 0..cfg.parts as u16 {
+        let mut weight = 0u64;
+        queue.clear();
+        while weight < target {
+            let v = match queue.pop_front() {
+                Some(v) => v,
+                None => {
+                    // Find the next unassigned seed.
+                    match order_iter.by_ref().find(|&&v| labels[v as usize] == u16::MAX) {
+                        Some(&v) => v,
+                        None => break,
+                    }
+                }
+            };
+            if labels[v as usize] != u16::MAX {
+                continue;
+            }
+            labels[v as usize] = part;
+            weight += g.node_weight[v as usize];
+            for &(u, _) in &g.adj[v as usize] {
+                if labels[u as usize] == u16::MAX {
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    // Any stragglers go round-robin.
+    for (v, label) in labels.iter_mut().enumerate() {
+        if *label == u16::MAX {
+            *label = (v % cfg.parts) as u16;
+        }
+    }
+    labels
+}
+
+/// Boundary refinement: greedy positive-gain moves under balance.
+fn refine(g: &WGraph, labels: &mut [u16], cfg: &MultilevelConfig, rng: &mut StdRng) {
+    let n = g.num_nodes();
+    let total_w: u64 = g.node_weight.iter().sum();
+    let max_w = ((total_w as f64 / cfg.parts as f64) * (1.0 + cfg.balance_slack)) as u64 + 1;
+    let mut part_w = vec![0u64; cfg.parts];
+    for v in 0..n {
+        part_w[labels[v] as usize] += g.node_weight[v];
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    for _ in 0..cfg.refine_passes {
+        order.shuffle(rng);
+        let mut moved = 0usize;
+        for &v in &order {
+            let from = labels[v as usize] as usize;
+            // Connectivity of v to each partition.
+            let mut conn = vec![0u64; cfg.parts];
+            for &(u, w) in &g.adj[v as usize] {
+                conn[labels[u as usize] as usize] += w;
+            }
+            let (best, best_conn) = conn
+                .iter()
+                .enumerate()
+                .filter(|&(p, _)| p != from)
+                .max_by_key(|&(p, &c)| (c, std::cmp::Reverse(part_w[p])))
+                .map(|(p, &c)| (p, c))
+                .unwrap_or((from, 0));
+            if best == from {
+                continue;
+            }
+            let gain = best_conn as i64 - conn[from] as i64;
+            let w = g.node_weight[v as usize];
+            if gain > 0 && part_w[best] + w <= max_w {
+                labels[v as usize] = best as u16;
+                part_w[from] -= w;
+                part_w[best] += w;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+}
+
+/// Number of edges whose endpoints are in different partitions.
+pub fn edge_cut(graph: &CsrGraph, labels: &[u16]) -> u64 {
+    let mut cut = 0u64;
+    for v in 0..graph.num_nodes() as NodeId {
+        for &u in graph.neighbors(v) {
+            if labels[v as usize] != labels[u as usize] {
+                cut += 1;
+            }
+        }
+    }
+    cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random::{sbm, SbmConfig};
+    use crate::generators::regular::{ring, star};
+    use crate::generators::rmat::{rmat, RmatConfig};
+    use crate::partition::node_split::NodeSplit;
+
+    fn balance(labels: &[u16], parts: usize) -> f64 {
+        let mut counts = vec![0usize; parts];
+        for &l in labels {
+            counts[l as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        max / (labels.len() as f64 / parts as f64)
+    }
+
+    #[test]
+    fn recovers_planted_communities() {
+        let out = sbm(&SbmConfig {
+            block_sizes: vec![150, 150],
+            avg_degree_in: 16.0,
+            avg_degree_out: 1.0,
+            seed: 77,
+        });
+        let p = partition(&out.graph, &MultilevelConfig::new(2));
+        // Edge cut must be close to the planted inter-block edge count,
+        // i.e. far below a random split's expected half of all edges.
+        assert!(
+            (p.edge_cut as f64) < 0.15 * out.graph.num_edges() as f64,
+            "cut {} of {} edges",
+            p.edge_cut,
+            out.graph.num_edges()
+        );
+        assert!(balance(&p.labels, 2) < 1.2);
+    }
+
+    #[test]
+    fn beats_contiguous_split_on_skewed_graph() {
+        let g = rmat(&RmatConfig::graph500(11, 16_000, 3));
+        let ml = partition(&g, &MultilevelConfig::new(4));
+        let split = NodeSplit::edge_balanced(&g, 4);
+        let contiguous: Vec<u16> =
+            (0..g.num_nodes() as NodeId).map(|v| split.owner(v) as u16).collect();
+        let cut_contig = edge_cut(&g, &contiguous);
+        assert!(
+            ml.edge_cut < cut_contig,
+            "multilevel cut {} not below contiguous cut {cut_contig}",
+            ml.edge_cut
+        );
+    }
+
+    #[test]
+    fn balanced_within_slack() {
+        let g = rmat(&RmatConfig::graph500(11, 16_000, 5));
+        let p = partition(&g, &MultilevelConfig::new(8));
+        assert!(balance(&p.labels, 8) < 1.35, "balance {}", balance(&p.labels, 8));
+    }
+
+    #[test]
+    fn single_partition_trivial() {
+        let g = ring(10);
+        let p = partition(&g, &MultilevelConfig::new(1));
+        assert!(p.labels.iter().all(|&l| l == 0));
+        assert_eq!(p.edge_cut, 0);
+    }
+
+    #[test]
+    fn star_graph_terminates() {
+        // Matching stalls on stars; the partitioner must still finish.
+        let g = star(2_000);
+        let p = partition(&g, &MultilevelConfig::new(4));
+        assert_eq!(p.labels.len(), 2_000);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = rmat(&RmatConfig::graph500(10, 6_000, 9));
+        let a = partition(&g, &MultilevelConfig::new(4));
+        let b = partition(&g, &MultilevelConfig::new(4));
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.edge_cut, b.edge_cut);
+    }
+
+    #[test]
+    fn edge_cut_counts_directed_edges() {
+        let g = ring(4); // 8 directed edges
+        let labels = vec![0u16, 0, 1, 1];
+        // Cut edges: 1-2, 2-1, 3-0, 0-3.
+        assert_eq!(edge_cut(&g, &labels), 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn labels_always_valid_and_cut_bounded(
+            n in 2usize..80,
+            edges in proptest::collection::vec((0u32..80, 0u32..80), 0..200),
+            parts in 1usize..6,
+        ) {
+            let mut b = GraphBuilder::new(n);
+            for (d, s) in edges {
+                if (d as usize) < n && (s as usize) < n {
+                    b.add_edge(d, s);
+                }
+            }
+            let g = b.build();
+            let p = partition(&g, &MultilevelConfig::new(parts));
+            prop_assert_eq!(p.labels.len(), n);
+            prop_assert!(p.labels.iter().all(|&l| (l as usize) < parts));
+            prop_assert!(p.edge_cut <= g.num_edges() as u64);
+            prop_assert_eq!(p.edge_cut, edge_cut(&g, &p.labels));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Workload-aware neighbor split (§3.1, Figure 4(a)-2).
+//!
+//! Splits every node's (local or remote) neighbor list into fixed-size
+//! partitions of at most `ps` neighbors. Each partition becomes one unit of
+//! warp work, so the extreme degree skew of power-law graphs no longer maps
+//! to extreme warp-workload skew.
+
+/// Which virtual graph a partition came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionKind {
+    Local,
+    Remote,
+}
+
+/// One unit of aggregation work: up to `len` consecutive neighbors of row
+/// `row`, starting at flat adjacency offset `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NeighborPartition {
+    /// Local row (node index within the GPU's owned range).
+    pub row: u32,
+    /// Offset into the virtual CSR's flat adjacency array.
+    pub start: u64,
+    /// Number of neighbors in this partition.
+    pub len: u32,
+    pub kind: PartitionKind,
+}
+
+/// Splits the rows of a virtual CSR (given by its `row_ptr`) into neighbor
+/// partitions of size at most `ps`.
+///
+/// `ps == 0` disables partitioning: each non-empty row becomes a single
+/// partition covering all its neighbors (the Figure-9(a) ablation).
+pub fn partition_rows(row_ptr: &[u64], ps: usize, kind: PartitionKind) -> Vec<NeighborPartition> {
+    assert!(!row_ptr.is_empty(), "row_ptr must be non-empty");
+    let mut out = Vec::new();
+    for r in 0..row_ptr.len() - 1 {
+        let s = row_ptr[r];
+        let e = row_ptr[r + 1];
+        if s == e {
+            continue;
+        }
+        if ps == 0 {
+            out.push(NeighborPartition {
+                row: r as u32,
+                start: s,
+                len: (e - s) as u32,
+                kind,
+            });
+            continue;
+        }
+        let mut cur = s;
+        while cur < e {
+            let len = ((e - cur) as usize).min(ps) as u32;
+            out.push(NeighborPartition { row: r as u32, start: cur, len, kind });
+            cur += len as u64;
+        }
+    }
+    out
+}
+
+/// Checks that `parts` exactly tile the adjacency ranges of `row_ptr`:
+/// every neighbor covered once, in order, with no overlap. Used by tests
+/// and debug assertions.
+pub fn verify_tiling(row_ptr: &[u64], parts: &[NeighborPartition]) -> bool {
+    let mut cursor: Vec<u64> = row_ptr[..row_ptr.len() - 1].to_vec();
+    for p in parts {
+        let r = p.row as usize;
+        if r >= cursor.len() || cursor[r] != p.start {
+            return false;
+        }
+        if p.start + p.len as u64 > row_ptr[r + 1] {
+            return false;
+        }
+        cursor[r] += p.len as u64;
+    }
+    cursor.iter().enumerate().all(|(r, &c)| c == row_ptr[r + 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let row_ptr = vec![0u64, 4, 8];
+        let parts = partition_rows(&row_ptr, 2, PartitionKind::Local);
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(|p| p.len == 2));
+        assert!(verify_tiling(&row_ptr, &parts));
+    }
+
+    #[test]
+    fn remainder_partition_is_short() {
+        let row_ptr = vec![0u64, 5];
+        let parts = partition_rows(&row_ptr, 2, PartitionKind::Remote);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[2].len, 1);
+        assert!(verify_tiling(&row_ptr, &parts));
+    }
+
+    #[test]
+    fn empty_rows_skipped() {
+        let row_ptr = vec![0u64, 0, 3, 3];
+        let parts = partition_rows(&row_ptr, 4, PartitionKind::Local);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].row, 1);
+    }
+
+    #[test]
+    fn ps_zero_disables_partitioning() {
+        let row_ptr = vec![0u64, 100, 101];
+        let parts = partition_rows(&row_ptr, 0, PartitionKind::Local);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].len, 100);
+        assert!(verify_tiling(&row_ptr, &parts));
+    }
+
+    #[test]
+    fn partition_count_matches_formula() {
+        let row_ptr = vec![0u64, 7, 7, 23];
+        let ps = 4;
+        let parts = partition_rows(&row_ptr, ps, PartitionKind::Local);
+        // ceil(7/4) + ceil(16/4) = 2 + 4.
+        assert_eq!(parts.len(), 6);
+    }
+
+    #[test]
+    fn verify_detects_gaps() {
+        let row_ptr = vec![0u64, 4];
+        let mut parts = partition_rows(&row_ptr, 2, PartitionKind::Local);
+        parts.remove(0);
+        assert!(!verify_tiling(&row_ptr, &parts));
+    }
+
+    #[test]
+    fn verify_detects_overlap() {
+        let row_ptr = vec![0u64, 4];
+        let parts = vec![
+            NeighborPartition { row: 0, start: 0, len: 3, kind: PartitionKind::Local },
+            NeighborPartition { row: 0, start: 0, len: 1, kind: PartitionKind::Local },
+        ];
+        assert!(!verify_tiling(&row_ptr, &parts));
+    }
+}

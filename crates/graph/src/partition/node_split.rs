@@ -1,0 +1,258 @@
+//! Edge-balanced node split (the paper's Algorithm 1).
+//!
+//! Partitions the node id space into contiguous ranges, one per GPU, such
+//! that every range holds approximately the same number of edges. Node
+//! split (rather than edge split) means each output node is owned by
+//! exactly one GPU, so no cross-GPU reduction of partial aggregation
+//! results is needed (§3.1, "Edge-balanced Node Split").
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Contiguous ownership ranges: GPU `g` owns nodes
+/// `bounds[g] .. bounds[g + 1]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSplit {
+    bounds: Vec<NodeId>,
+}
+
+impl NodeSplit {
+    /// Splits `graph` into `num_gpus` ranges with balanced edge counts
+    /// using a range-constrained binary search over the CSR row pointers
+    /// (Algorithm 1 of the paper). Runs in `O(num_gpus · log n)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mgg_graph::generators::regular::star;
+    /// use mgg_graph::NodeSplit;
+    ///
+    /// // The star's hub holds half of all edges, so edge balancing gives
+    /// // GPU 0 far fewer nodes than GPU 1.
+    /// let g = star(1_001);
+    /// let split = NodeSplit::edge_balanced(&g, 2);
+    /// assert!(split.part_nodes(0) < split.part_nodes(1));
+    /// assert!(split.edge_imbalance(&g) < 1.6);
+    /// ```
+    pub fn edge_balanced(graph: &CsrGraph, num_gpus: usize) -> NodeSplit {
+        assert!(num_gpus >= 1, "need at least one GPU");
+        let n = graph.num_nodes();
+        let n_ptr = graph.row_ptr();
+        let total = graph.num_edges() as u64;
+        // Paper line 2: ePerGPU = ceil(len(eList) / numGPUs).
+        let e_per_gpu = total.div_ceil(num_gpus.max(1) as u64).max(1);
+        let mut bounds = Vec::with_capacity(num_gpus + 1);
+        bounds.push(0 as NodeId);
+        let mut last_pos = 0usize;
+        for _ in 0..num_gpus.saturating_sub(1) {
+            // Paper line 11: target = min(nPtr[lastPos] + ePerGPU, nPtr[n]).
+            let target = (n_ptr[last_pos] + e_per_gpu).min(n_ptr[n]);
+            // Binary search for the largest i in [lastPos, n] with
+            // nPtr[i] <= target (the range constraint is the lower bound
+            // lastPos, which makes the ranges contiguous and ordered).
+            let mut lo = last_pos;
+            let mut hi = n;
+            while lo < hi {
+                let mid = (lo + hi).div_ceil(2);
+                if n_ptr[mid] <= target {
+                    lo = mid;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            // Guarantee forward progress so no GPU gets an empty range
+            // while nodes remain.
+            let split = lo.max(last_pos + 1).min(n);
+            bounds.push(split as NodeId);
+            last_pos = split;
+        }
+        bounds.push(n as NodeId);
+        // Later splits can collapse onto n when GPUs outnumber nodes; the
+        // bounds remain monotone by construction.
+        for i in 1..bounds.len() {
+            debug_assert!(bounds[i - 1] <= bounds[i]);
+        }
+        NodeSplit { bounds }
+    }
+
+    /// Reference implementation by linear scan: greedily close a range as
+    /// soon as it reaches the per-GPU edge quota. Used to validate
+    /// [`NodeSplit::edge_balanced`] in property tests.
+    pub fn edge_balanced_linear(graph: &CsrGraph, num_gpus: usize) -> NodeSplit {
+        assert!(num_gpus >= 1, "need at least one GPU");
+        let n = graph.num_nodes();
+        let n_ptr = graph.row_ptr();
+        let total = graph.num_edges() as u64;
+        let e_per_gpu = total.div_ceil(num_gpus.max(1) as u64).max(1);
+        let mut bounds = vec![0 as NodeId];
+        let mut last_pos = 0usize;
+        for _ in 0..num_gpus.saturating_sub(1) {
+            let target = (n_ptr[last_pos] + e_per_gpu).min(n_ptr[n]);
+            let mut i = last_pos;
+            while i < n && n_ptr[i + 1] <= target {
+                i += 1;
+            }
+            let split = i.max(last_pos + 1).min(n);
+            bounds.push(split as NodeId);
+            last_pos = split;
+        }
+        bounds.push(n as NodeId);
+        NodeSplit { bounds }
+    }
+
+    /// Uniform node-count split (the naive baseline the paper improves on).
+    pub fn uniform(num_nodes: usize, num_gpus: usize) -> NodeSplit {
+        assert!(num_gpus >= 1, "need at least one GPU");
+        let mut bounds = Vec::with_capacity(num_gpus + 1);
+        for g in 0..=num_gpus {
+            bounds.push(((num_nodes * g) / num_gpus) as NodeId);
+        }
+        NodeSplit { bounds }
+    }
+
+    /// Number of partitions.
+    pub fn num_parts(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Ownership range of GPU `g`.
+    pub fn range(&self, g: usize) -> std::ops::Range<NodeId> {
+        self.bounds[g]..self.bounds[g + 1]
+    }
+
+    /// Number of nodes owned by GPU `g`.
+    pub fn part_nodes(&self, g: usize) -> usize {
+        (self.bounds[g + 1] - self.bounds[g]) as usize
+    }
+
+    /// The GPU owning node `v`.
+    #[inline]
+    pub fn owner(&self, v: NodeId) -> usize {
+        debug_assert!(v < *self.bounds.last().expect("non-empty bounds"));
+        // partition_point returns the count of bounds <= v over the inner
+        // bounds; bounds[0] = 0 <= v always, so subtract one.
+        self.bounds.partition_point(|&b| b <= v) - 1
+    }
+
+    /// Local index of `v` within its owner's embedding buffer (the
+    /// global-to-local conversion of Figure 5).
+    #[inline]
+    pub fn local_index(&self, v: NodeId) -> u32 {
+        v - self.bounds[self.owner(v)]
+    }
+
+    /// Edge count of each partition.
+    pub fn part_edges(&self, graph: &CsrGraph) -> Vec<u64> {
+        let n_ptr = graph.row_ptr();
+        (0..self.num_parts())
+            .map(|g| {
+                n_ptr[self.bounds[g + 1] as usize] - n_ptr[self.bounds[g] as usize]
+            })
+            .collect()
+    }
+
+    /// Ratio of the largest partition's edges to the ideal share; 1.0 is
+    /// perfect balance.
+    pub fn edge_imbalance(&self, graph: &CsrGraph) -> f64 {
+        let parts = self.part_edges(graph);
+        let max = *parts.iter().max().unwrap_or(&0) as f64;
+        let ideal = graph.num_edges() as f64 / self.num_parts() as f64;
+        if ideal == 0.0 {
+            1.0
+        } else {
+            max / ideal
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::regular::{ring, star};
+    use crate::generators::rmat::{rmat, RmatConfig};
+
+    #[test]
+    fn uniform_split_covers_everything() {
+        let s = NodeSplit::uniform(10, 3);
+        assert_eq!(s.num_parts(), 3);
+        assert_eq!(s.range(0), 0..3);
+        assert_eq!(s.range(2), 6..10);
+        let total: usize = (0..3).map(|g| s.part_nodes(g)).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn owner_and_local_index() {
+        let s = NodeSplit::uniform(10, 2);
+        assert_eq!(s.owner(0), 0);
+        assert_eq!(s.owner(4), 0);
+        assert_eq!(s.owner(5), 1);
+        assert_eq!(s.owner(9), 1);
+        assert_eq!(s.local_index(7), 2);
+    }
+
+    #[test]
+    fn edge_balanced_on_uniform_graph_is_uniform() {
+        let g = ring(16);
+        let s = NodeSplit::edge_balanced(&g, 4);
+        for p in 0..4 {
+            assert_eq!(s.part_nodes(p), 4, "split {s:?}");
+        }
+    }
+
+    #[test]
+    fn edge_balanced_isolates_the_hub() {
+        // Star: node 0 carries half the edges; edge balancing must give
+        // GPU 0 far fewer nodes than a uniform split would.
+        let g = star(1_001);
+        let s = NodeSplit::edge_balanced(&g, 2);
+        assert!(
+            s.part_nodes(0) < 700,
+            "hub partition too large: {} nodes",
+            s.part_nodes(0)
+        );
+        let parts = s.part_edges(&g);
+        let total: u64 = parts.iter().sum();
+        assert_eq!(total, g.num_edges() as u64);
+    }
+
+    #[test]
+    fn matches_linear_reference_on_skewed_graph() {
+        let g = rmat(&RmatConfig::graph500(11, 20_000, 5));
+        for gpus in [2, 3, 4, 8] {
+            let a = NodeSplit::edge_balanced(&g, gpus);
+            let b = NodeSplit::edge_balanced_linear(&g, gpus);
+            assert_eq!(a, b, "binary search disagrees with linear scan for {gpus} GPUs");
+        }
+    }
+
+    #[test]
+    fn imbalance_is_bounded_by_max_degree() {
+        let g = rmat(&RmatConfig::graph500(11, 20_000, 9));
+        let s = NodeSplit::edge_balanced(&g, 4);
+        let parts = s.part_edges(&g);
+        let quota = (g.num_edges() as u64).div_ceil(4);
+        for (i, &p) in parts.iter().enumerate() {
+            assert!(
+                p <= quota + g.max_degree() as u64,
+                "partition {i} has {p} edges, quota {quota}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_gpus_than_nodes_degenerates_gracefully() {
+        let g = ring(3);
+        let s = NodeSplit::edge_balanced(&g, 8);
+        assert_eq!(s.num_parts(), 8);
+        let covered: usize = (0..8).map(|p| s.part_nodes(p)).sum();
+        assert_eq!(covered, 3);
+    }
+
+    #[test]
+    fn empty_graph_split() {
+        let g = CsrGraph::empty(5);
+        let s = NodeSplit::edge_balanced(&g, 2);
+        assert_eq!(s.num_parts(), 2);
+        assert_eq!(s.part_nodes(0) + s.part_nodes(1), 5);
+    }
+}

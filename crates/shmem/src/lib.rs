@@ -1,0 +1,24 @@
+//! NVSHMEM-like partitioned global address space (PGAS) over the simulated
+//! cluster.
+//!
+//! NVSHMEM (paper §2.3, Listing 1) exposes a *symmetric heap*: the same
+//! allocation call on every PE yields one region per GPU, any of which is
+//! addressable from kernels on any GPU by `(PE id, offset)`. This crate
+//! reproduces that model in two planes:
+//!
+//! * **Data plane** — [`SymmetricRegion`] holds real `f32` rows per PE and
+//!   implements `get`/`put` functionally, so GNN engines produce real
+//!   embedding values.
+//! * **Timing plane** — remote accesses are *charged* by emitting
+//!   [`mgg_sim::WarpOp::RemoteGet`] operations inside kernel traces (done
+//!   by the engine crates) or, for host-initiated operations such as
+//!   [`barrier_all`], by advancing the cluster channels directly.
+//!
+//! The split keeps values exact and timing deterministic without simulating
+//! data movement byte by byte.
+
+pub mod collectives;
+pub mod region;
+
+pub use collectives::{barrier_all, sum_reduce_all};
+pub use region::SymmetricRegion;

@@ -1,0 +1,174 @@
+//! Deterministic event queue for the simulation main loop.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event queue delivering `(time, payload)` pairs in time order, with
+/// FIFO tie-breaking by insertion sequence so runs are fully deterministic.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(SimTime, u64, Slot<T>)>>,
+    seq: u64,
+}
+
+/// Wrapper that exempts the payload from ordering (only `(time, seq)` sort).
+#[derive(Debug)]
+struct Slot<T>(T);
+
+impl<T> PartialEq for Slot<T> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<T> Eq for Slot<T> {}
+impl<T> PartialOrd for Slot<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Slot<T> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `payload` at `time`.
+    pub fn push(&mut self, time: SimTime, payload: T) {
+        self.heap.push(Reverse((time, self.seq, Slot(payload))));
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|Reverse((t, _, Slot(p)))| (t, p))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A pool of `k` identical servers with FIFO admission, used to model
+/// resources with bounded concurrency (e.g. the GPU's page-fault handling
+/// pipeline, which can service only a few faults at once).
+#[derive(Debug, Clone)]
+pub struct MultiServerQueue {
+    /// `available[i]` is the time server `i` frees up.
+    available: Vec<SimTime>,
+    jobs: u64,
+    busy_ns_total: u64,
+}
+
+impl MultiServerQueue {
+    /// Creates a pool of `servers` servers (at least one).
+    pub fn new(servers: u32) -> Self {
+        assert!(servers >= 1, "need at least one server");
+        MultiServerQueue { available: vec![0; servers as usize], jobs: 0, busy_ns_total: 0 }
+    }
+
+    /// Submits a job of `service_ns` at `now`; returns its completion time.
+    pub fn submit(&mut self, now: SimTime, service_ns: u64) -> SimTime {
+        // The earliest-free server takes the job.
+        let (idx, &earliest) = self
+            .available
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("non-empty server pool");
+        let start = earliest.max(now);
+        let done = start + service_ns;
+        self.available[idx] = done;
+        self.jobs += 1;
+        self.busy_ns_total += service_ns;
+        done
+    }
+
+    /// Number of jobs serviced.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Total service time dispensed.
+    pub fn busy_ns_total(&self) -> u64 {
+        self.busy_ns_total
+    }
+
+    /// Clears all queueing state.
+    pub fn reset(&mut self) {
+        self.available.iter_mut().for_each(|t| *t = 0);
+        self.jobs = 0;
+        self.busy_ns_total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(5, 1);
+        q.push(5, 2);
+        q.push(5, 3);
+        assert_eq!(q.pop(), Some((5, 1)));
+        assert_eq!(q.pop(), Some((5, 2)));
+        assert_eq!(q.pop(), Some((5, 3)));
+    }
+
+    #[test]
+    fn multiserver_parallelism() {
+        let mut pool = MultiServerQueue::new(2);
+        // Two jobs run in parallel, the third queues behind the earliest.
+        assert_eq!(pool.submit(0, 100), 100);
+        assert_eq!(pool.submit(0, 100), 100);
+        assert_eq!(pool.submit(0, 100), 200);
+        assert_eq!(pool.jobs(), 3);
+    }
+
+    #[test]
+    fn multiserver_respects_arrival_time() {
+        let mut pool = MultiServerQueue::new(1);
+        assert_eq!(pool.submit(0, 10), 10);
+        // Arrives after the server freed: no queueing delay.
+        assert_eq!(pool.submit(50, 10), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one server")]
+    fn zero_servers_rejected() {
+        let _ = MultiServerQueue::new(0);
+    }
+}

@@ -1,0 +1,712 @@
+//! Event-driven execution of kernels on the simulated GPUs.
+//!
+//! Execution model, per GPU:
+//!
+//! * Blocks from the grid are admitted to SMs in launch order whenever an SM
+//!   has a free residency slot (bounded by warp slots, shared memory, and
+//!   the hardware block cap — see [`KernelLaunch::max_resident_blocks`]).
+//! * Each SM has `schedulers_per_sm` scheduler slots. A
+//!   [`WarpOp::Compute`] occupies one slot for its duration; an `nbi`
+//!   remote get occupies one slot for the request-issue overhead. Other
+//!   memory operations need a free scheduler at the moment they issue but
+//!   do not hold it, so a warp stalled on memory leaves the SM free to
+//!   issue other warps — the latency-hiding slack MGG's interleaving fills.
+//! * Warps blocked on memory wake when their transfer completes; ready
+//!   warps are served FIFO, deterministically.
+
+use std::collections::VecDeque;
+
+use crate::cluster::{Cluster, PageHandler};
+use crate::engine::EventQueue;
+use crate::kernel::{GpuKernelStats, KernelLaunch, KernelProgram, KernelStats, LaunchError};
+use crate::spec::GpuSpec;
+use crate::time::SimTime;
+use crate::trace::{TraceEvent, TraceKind};
+use crate::warp::WarpOp;
+
+/// Namespace for kernel execution on a cluster.
+pub struct GpuSim;
+
+#[derive(Debug)]
+struct WarpRt {
+    ops: Vec<WarpOp>,
+    pc: usize,
+    /// Completion time of the latest outstanding `nbi` transfer.
+    pending_remote: SimTime,
+    block_slot: u32,
+}
+
+#[derive(Debug)]
+struct BlockRt {
+    live_warps: u32,
+}
+
+#[derive(Debug)]
+struct SmRt {
+    free_scheds: u32,
+    ready: VecDeque<u32>,
+    resident_blocks: u32,
+    resident_warps: u32,
+    /// Resident warps that are not blocked on memory (ready or computing).
+    active_warps: u32,
+    last_change: SimTime,
+    warp_ns: u64,
+    active_warp_ns: u64,
+    live_ns: u64,
+}
+
+impl SmRt {
+    fn new(scheds: u32) -> Self {
+        SmRt {
+            free_scheds: scheds,
+            ready: VecDeque::new(),
+            resident_blocks: 0,
+            resident_warps: 0,
+            active_warps: 0,
+            last_change: 0,
+            warp_ns: 0,
+            active_warp_ns: 0,
+            live_ns: 0,
+        }
+    }
+
+    /// Integrates the occupancy counters up to `now`.
+    fn touch(&mut self, now: SimTime) {
+        let dt = now.saturating_sub(self.last_change);
+        self.warp_ns += self.resident_warps as u64 * dt;
+        self.active_warp_ns += self.active_warps as u64 * dt;
+        if self.active_warps > 0 {
+            self.live_ns += dt;
+        }
+        self.last_change = now;
+    }
+}
+
+#[derive(Debug)]
+struct GpuRt {
+    launch: KernelLaunch,
+    next_block: u32,
+    blocks: Vec<BlockRt>,
+    warps: Vec<WarpRt>,
+    sms: Vec<SmRt>,
+    finish_ns: SimTime,
+    sched_busy_ns: u64,
+    warps_done: u64,
+    blocks_done: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ev {
+    gpu: u16,
+    sm: u16,
+    warp: u32,
+    kind: EvKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EvKind {
+    /// A scheduler slot frees and its warp becomes ready again.
+    SchedFree,
+    /// A blocking memory operation completed; the warp becomes ready.
+    Wake,
+}
+
+impl GpuSim {
+    /// Runs the SPMD `program` on every GPU of `cluster` concurrently and
+    /// returns timing statistics. Functionally inert: only time and traffic
+    /// are produced.
+    pub fn run(
+        cluster: &mut Cluster,
+        program: &dyn KernelProgram,
+        handler: &mut dyn PageHandler,
+    ) -> Result<KernelStats, LaunchError> {
+        Self::run_impl(cluster, program, handler, &mut None)
+    }
+
+    /// Like [`GpuSim::run`], additionally recording a per-operation trace
+    /// (see [`crate::trace`]). Tracing does not change the simulation.
+    pub fn run_traced(
+        cluster: &mut Cluster,
+        program: &dyn KernelProgram,
+        handler: &mut dyn PageHandler,
+    ) -> Result<(KernelStats, Vec<TraceEvent>), LaunchError> {
+        let mut events = Vec::new();
+        let stats = {
+            let mut sink = Some(&mut events);
+            Self::run_impl(cluster, program, handler, &mut sink)?
+        };
+        Ok((stats, events))
+    }
+
+    fn run_impl(
+        cluster: &mut Cluster,
+        program: &dyn KernelProgram,
+        handler: &mut dyn PageHandler,
+        trace: &mut Option<&mut Vec<TraceEvent>>,
+    ) -> Result<KernelStats, LaunchError> {
+        let spec = cluster.spec.gpu.clone();
+        let n = cluster.num_gpus();
+        let mut gpus: Vec<GpuRt> = Vec::with_capacity(n);
+        for pe in 0..n {
+            let launch = program.launch(pe);
+            // Validate even for empty grids so misconfigurations surface.
+            let _ = launch.max_resident_blocks(&spec)?;
+            gpus.push(GpuRt {
+                launch,
+                next_block: 0,
+                blocks: Vec::new(),
+                warps: Vec::new(),
+                sms: (0..spec.num_sms).map(|_| SmRt::new(spec.schedulers_per_sm)).collect(),
+                finish_ns: 0,
+                sched_busy_ns: 0,
+                warps_done: 0,
+                blocks_done: 0,
+            });
+        }
+
+        let mut q: EventQueue<Ev> = EventQueue::new();
+
+        // Initial block admission: fill every SM up to its residency limit,
+        // round-robin over SMs the way the hardware rasterizes a grid.
+        for (pe, gpu) in gpus.iter_mut().enumerate() {
+            let max_res = gpu.launch.max_resident_blocks(&spec)?;
+            'fill: for _round in 0..max_res {
+                for sm in 0..spec.num_sms as usize {
+                    if gpu.next_block >= gpu.launch.blocks {
+                        break 'fill;
+                    }
+                    admit_block(pe, sm, gpu, program, 0);
+                }
+            }
+        }
+
+        // Prime the pipelines.
+        for (pe, gpu) in gpus.iter_mut().enumerate() {
+            for sm in 0..spec.num_sms as usize {
+                issue(pe, sm, 0, gpu, cluster, handler, &mut q, program, &spec, trace);
+            }
+        }
+
+        while let Some((now, ev)) = q.pop() {
+            let pe = ev.gpu as usize;
+            let sm = ev.sm as usize;
+            match ev.kind {
+                EvKind::SchedFree => {
+                    gpus[pe].sms[sm].free_scheds += 1;
+                    gpus[pe].sms[sm].ready.push_back(ev.warp);
+                }
+                EvKind::Wake => {
+                    gpus[pe].sms[sm].touch(now);
+                    gpus[pe].sms[sm].active_warps += 1;
+                    gpus[pe].sms[sm].ready.push_back(ev.warp);
+                }
+            }
+            issue(pe, sm, now, &mut gpus[pe], cluster, handler, &mut q, program, &spec, trace);
+        }
+
+        let mut stats = KernelStats {
+            per_gpu: Vec::with_capacity(n),
+            traffic: cluster.ic.traffic(),
+            num_sms: spec.num_sms,
+            warp_slots_per_sm: spec.warp_slots_per_sm,
+        };
+        for gpu in &mut gpus {
+            let finish = gpu.finish_ns;
+            for sm in &mut gpu.sms {
+                sm.touch(finish);
+            }
+            stats.per_gpu.push(GpuKernelStats {
+                finish_ns: finish,
+                warp_residency_ns: gpu.sms.iter().map(|s| s.warp_ns).sum(),
+                active_warp_ns: gpu.sms.iter().map(|s| s.active_warp_ns).sum(),
+                sm_active_ns: gpu.sms.iter().map(|s| s.live_ns).sum(),
+                sched_busy_ns: gpu.sched_busy_ns,
+                warps: gpu.warps_done,
+                blocks: gpu.blocks_done,
+            });
+        }
+        Ok(stats)
+    }
+}
+
+/// Admits the next pending block of `gpu` onto SM `sm` (if any remain).
+fn admit_block(pe: usize, sm: usize, gpu: &mut GpuRt, program: &dyn KernelProgram, now: SimTime) {
+    if gpu.next_block >= gpu.launch.blocks {
+        return;
+    }
+    let block_id = gpu.next_block;
+    gpu.next_block += 1;
+    let wpb = gpu.launch.warps_per_block;
+    let block_slot = gpu.blocks.len() as u32;
+    gpu.blocks.push(BlockRt { live_warps: wpb });
+    gpu.sms[sm].touch(now);
+    gpu.sms[sm].resident_blocks += 1;
+    gpu.sms[sm].resident_warps += wpb;
+    gpu.sms[sm].active_warps += wpb;
+    for w in 0..wpb {
+        let ops = program.warp_ops(pe, block_id, w);
+        let idx = gpu.warps.len() as u32;
+        gpu.warps.push(WarpRt { ops, pc: 0, pending_remote: 0, block_slot });
+        gpu.sms[sm].ready.push_back(idx);
+    }
+}
+
+/// Issues operations for ready warps on `(pe, sm)` until the ready queue
+/// drains or a scheduler-consuming operation finds no free slot.
+#[allow(clippy::too_many_arguments)]
+fn issue(
+    pe: usize,
+    sm: usize,
+    now: SimTime,
+    gpu: &mut GpuRt,
+    cluster: &mut Cluster,
+    handler: &mut dyn PageHandler,
+    q: &mut EventQueue<Ev>,
+    program: &dyn KernelProgram,
+    spec: &GpuSpec,
+    trace: &mut Option<&mut Vec<TraceEvent>>,
+) {
+    let overhead = cluster.ic.request_overhead_ns;
+    macro_rules! record {
+        ($w:expr, $kind:expr, $start:expr, $end:expr) => {
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(TraceEvent {
+                    gpu: pe as u16,
+                    warp: $w,
+                    kind: $kind,
+                    start: $start,
+                    end: $end,
+                });
+            }
+        };
+    }
+    while let Some(&w) = gpu.sms[sm].ready.front() {
+        // A warp at the head whose next op needs a scheduler slot blocks
+        // the queue when none is free (issue-port contention).
+        let needs_sched = matches!(
+            gpu.warps[w as usize].ops.get(gpu.warps[w as usize].pc),
+            Some(WarpOp::Compute { .. }) | Some(WarpOp::RemoteGet { nbi: true, .. })
+        );
+        if needs_sched && gpu.sms[sm].free_scheds == 0 {
+            break;
+        }
+        gpu.sms[sm].ready.pop_front();
+
+        // Execute ops of warp `w` until it blocks, takes a scheduler slot,
+        // or retires. Posted operations (writes, puts) fall through.
+        loop {
+            let next_op = {
+                let warp = &gpu.warps[w as usize];
+                warp.ops.get(warp.pc).copied()
+            };
+            let Some(op) = next_op else {
+                // Warp retires.
+                let block_slot = {
+                    let warp = &mut gpu.warps[w as usize];
+                    warp.ops = Vec::new();
+                    warp.block_slot as usize
+                };
+                gpu.warps_done += 1;
+                gpu.finish_ns = gpu.finish_ns.max(now);
+                gpu.sms[sm].touch(now);
+                gpu.sms[sm].resident_warps -= 1;
+                gpu.sms[sm].active_warps -= 1;
+                gpu.blocks[block_slot].live_warps -= 1;
+                if gpu.blocks[block_slot].live_warps == 0 {
+                    gpu.blocks_done += 1;
+                    gpu.sms[sm].resident_blocks -= 1;
+                    admit_block(pe, sm, gpu, program, now);
+                }
+                break;
+            };
+            // A scheduler-consuming op can be reached mid-burst (after a
+            // posted write or a satisfied WaitRemote fell through); if no
+            // slot is free, requeue the warp at the head — the next
+            // SchedFree event re-issues it.
+            if matches!(op, WarpOp::Compute { .. } | WarpOp::RemoteGet { nbi: true, .. })
+                && gpu.sms[sm].free_scheds == 0
+            {
+                gpu.sms[sm].ready.push_front(w);
+                break;
+            }
+            gpu.warps[w as usize].pc += 1;
+            match op {
+                WarpOp::Compute { cycles } => {
+                    let dur = spec.cycles_to_ns(cycles as u64).max(1);
+                    gpu.sms[sm].free_scheds -= 1;
+                    gpu.sched_busy_ns += dur;
+                    record!(w, TraceKind::Compute, now, now + dur);
+                    q.push(
+                        now + dur,
+                        Ev { gpu: pe as u16, sm: sm as u16, warp: w, kind: EvKind::SchedFree },
+                    );
+                    break;
+                }
+                WarpOp::GlobalRead { bytes } => {
+                    let done = cluster.ic.hbm_transfer(now, pe, bytes as u64);
+                    record!(w, TraceKind::GlobalRead, now, done);
+                    q.push(done, Ev { gpu: pe as u16, sm: sm as u16, warp: w, kind: EvKind::Wake });
+                    gpu.sms[sm].touch(now);
+                    gpu.sms[sm].active_warps -= 1;
+                    break;
+                }
+                WarpOp::GlobalWrite { bytes } => {
+                    // Posted: charge the channel, keep executing.
+                    let _ = cluster.ic.hbm_transfer(now, pe, bytes as u64);
+                }
+                WarpOp::RemoteGet { peer, bytes, nbi } => {
+                    if nbi {
+                        let done =
+                            cluster.ic.remote_transfer(now + overhead, peer as usize, pe, bytes as u64);
+                        let warp = &mut gpu.warps[w as usize];
+                        warp.pending_remote = warp.pending_remote.max(done);
+                        gpu.sms[sm].free_scheds -= 1;
+                        gpu.sched_busy_ns += overhead.max(1);
+                        record!(w, TraceKind::RemoteIssue, now, now + overhead.max(1));
+                        record!(w, TraceKind::RemoteWire, now + overhead, done);
+                        q.push(
+                            now + overhead.max(1),
+                            Ev { gpu: pe as u16, sm: sm as u16, warp: w, kind: EvKind::SchedFree },
+                        );
+                    } else {
+                        let done =
+                            cluster.ic.remote_transfer(now + overhead, peer as usize, pe, bytes as u64);
+                        record!(w, TraceKind::RemoteWire, now, done);
+                        q.push(done, Ev { gpu: pe as u16, sm: sm as u16, warp: w, kind: EvKind::Wake });
+                        gpu.sms[sm].touch(now);
+                        gpu.sms[sm].active_warps -= 1;
+                    }
+                    break;
+                }
+                WarpOp::RemotePut { peer, bytes } => {
+                    // Posted one-sided put.
+                    let _ = cluster.ic.remote_transfer(now + overhead, pe, peer as usize, bytes as u64);
+                }
+                WarpOp::WaitRemote => {
+                    let pending = gpu.warps[w as usize].pending_remote;
+                    if pending > now {
+                        record!(w, TraceKind::WaitRemote, now, pending);
+                        q.push(
+                            pending,
+                            Ev { gpu: pe as u16, sm: sm as u16, warp: w, kind: EvKind::Wake },
+                        );
+                        gpu.sms[sm].touch(now);
+                        gpu.sms[sm].active_warps -= 1;
+                        break;
+                    }
+                    // Already complete: fall through to the next op.
+                }
+                WarpOp::PageAccess { page, bytes } => {
+                    let outcome = handler.access(now, pe, page, &mut cluster.ic);
+                    let start = outcome.ready_at.max(now);
+                    let done = cluster.ic.hbm_transfer(start, pe, bytes as u64);
+                    record!(w, TraceKind::PageAccess, now, done);
+                    q.push(done, Ev { gpu: pe as u16, sm: sm as u16, warp: w, kind: EvKind::Wake });
+                    gpu.sms[sm].touch(now);
+                    gpu.sms[sm].active_warps -= 1;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::NoPaging;
+    use crate::spec::ClusterSpec;
+
+    /// A kernel whose every warp runs the same fixed trace.
+    struct Uniform {
+        launch: KernelLaunch,
+        ops: Vec<WarpOp>,
+    }
+
+    impl KernelProgram for Uniform {
+        fn launch(&self, _pe: usize) -> KernelLaunch {
+            self.launch
+        }
+        fn warp_ops(&self, pe: usize, _b: u32, _w: u32) -> Vec<WarpOp> {
+            // SPMD: every PE runs the trace; rewrite remote-get peers so a
+            // PE never targets itself.
+            self.ops
+                .iter()
+                .map(|op| match *op {
+                    WarpOp::RemoteGet { peer, bytes, nbi } if peer as usize == pe => {
+                        WarpOp::RemoteGet { peer: (pe as u16 + 1) % 2, bytes, nbi }
+                    }
+                    other => other,
+                })
+                .collect()
+        }
+    }
+
+    fn small_cluster() -> Cluster {
+        Cluster::new(ClusterSpec::dgx_a100(2))
+    }
+
+    #[test]
+    fn empty_grid_finishes_at_zero() {
+        let mut c = small_cluster();
+        let k = Uniform {
+            launch: KernelLaunch { blocks: 0, warps_per_block: 1, smem_per_block: 0 },
+            ops: vec![],
+        };
+        let stats = GpuSim::run(&mut c, &k, &mut NoPaging).unwrap();
+        assert_eq!(stats.makespan_ns(), 0);
+    }
+
+    #[test]
+    fn single_compute_warp_takes_its_cycles() {
+        let mut c = small_cluster();
+        let k = Uniform {
+            launch: KernelLaunch { blocks: 1, warps_per_block: 1, smem_per_block: 0 },
+            ops: vec![WarpOp::compute(1_410)], // 1 µs at 1.41 GHz
+        };
+        let stats = GpuSim::run(&mut c, &k, &mut NoPaging).unwrap();
+        assert_eq!(stats.makespan_ns(), 1_000);
+        assert_eq!(stats.per_gpu[0].warps, 1);
+    }
+
+    #[test]
+    fn compute_saturates_schedulers() {
+        // 8 warps of equal compute on one SM with 4 schedulers must take
+        // twice as long as 4 warps.
+        let mut c = small_cluster();
+        let mk = |warps| Uniform {
+            launch: KernelLaunch { blocks: 1, warps_per_block: warps, smem_per_block: 0 },
+            ops: vec![WarpOp::compute(14_100)],
+        };
+        let t4 = GpuSim::run(&mut c, &mk(4), &mut NoPaging).unwrap().makespan_ns();
+        c.reset();
+        let t8 = GpuSim::run(&mut c, &mk(8), &mut NoPaging).unwrap().makespan_ns();
+        assert_eq!(t8, 2 * t4);
+    }
+
+    #[test]
+    fn memory_latency_is_hidden_by_other_warps() {
+        // Warps alternating read+compute: with many warps the reads overlap
+        // each other and compute, so 8 warps take far less than 8x one warp.
+        let ops = vec![
+            WarpOp::GlobalRead { bytes: 2_048 },
+            WarpOp::compute(1_410),
+            WarpOp::GlobalRead { bytes: 2_048 },
+            WarpOp::compute(1_410),
+        ];
+        let mut c = small_cluster();
+        let mk = |warps| Uniform {
+            launch: KernelLaunch { blocks: 1, warps_per_block: warps, smem_per_block: 0 },
+            ops: ops.clone(),
+        };
+        let t1 = GpuSim::run(&mut c, &mk(1), &mut NoPaging).unwrap().makespan_ns();
+        c.reset();
+        let t8 = GpuSim::run(&mut c, &mk(8), &mut NoPaging).unwrap().makespan_ns();
+        assert!(t8 < 2 * t1, "t8={t8} t1={t1}: expected latency hiding");
+    }
+
+    #[test]
+    fn nbi_get_overlaps_with_compute() {
+        // Async: issue get, compute, then wait — the transfer hides behind
+        // the compute. Sync: get then compute serialize.
+        let dim_bytes = 256 * 4;
+        let sync_ops = vec![
+            WarpOp::RemoteGet { peer: 1, bytes: dim_bytes, nbi: false },
+            WarpOp::compute(5_000),
+        ];
+        let async_ops = vec![
+            WarpOp::RemoteGet { peer: 1, bytes: dim_bytes, nbi: true },
+            WarpOp::compute(5_000),
+            WarpOp::WaitRemote,
+        ];
+        let mk = |ops: &Vec<WarpOp>| Uniform {
+            launch: KernelLaunch { blocks: 1, warps_per_block: 1, smem_per_block: 0 },
+            ops: ops.clone(),
+        };
+        let mut c = small_cluster();
+        let t_sync = GpuSim::run(&mut c, &mk(&sync_ops), &mut NoPaging).unwrap().makespan_ns();
+        c.reset();
+        let t_async = GpuSim::run(&mut c, &mk(&async_ops), &mut NoPaging).unwrap().makespan_ns();
+        assert!(
+            t_async < t_sync,
+            "async ({t_async}) must beat sync ({t_sync}) by overlapping"
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let ops = vec![
+            WarpOp::RemoteGet { peer: 1, bytes: 512, nbi: true },
+            WarpOp::compute(700),
+            WarpOp::WaitRemote,
+            WarpOp::GlobalRead { bytes: 2_048 },
+            WarpOp::compute(300),
+        ];
+        let k = Uniform {
+            launch: KernelLaunch { blocks: 64, warps_per_block: 4, smem_per_block: 1024 },
+            ops,
+        };
+        let mut c1 = small_cluster();
+        let mut c2 = small_cluster();
+        let s1 = GpuSim::run(&mut c1, &k, &mut NoPaging).unwrap();
+        let s2 = GpuSim::run(&mut c2, &k, &mut NoPaging).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn launch_validation_propagates() {
+        let mut c = small_cluster();
+        let k = Uniform {
+            launch: KernelLaunch { blocks: 1, warps_per_block: 0, smem_per_block: 0 },
+            ops: vec![],
+        };
+        assert!(GpuSim::run(&mut c, &k, &mut NoPaging).is_err());
+    }
+
+    #[test]
+    fn occupancy_reflects_residency() {
+        // One warp on a 108-SM GPU: occupancy must be tiny but positive.
+        let mut c = small_cluster();
+        let k = Uniform {
+            launch: KernelLaunch { blocks: 1, warps_per_block: 1, smem_per_block: 0 },
+            ops: vec![WarpOp::compute(10_000)],
+        };
+        let stats = GpuSim::run(&mut c, &k, &mut NoPaging).unwrap();
+        let occ = stats.achieved_occupancy();
+        assert!(occ > 0.0 && occ < 0.01, "occ={occ}");
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_simulation() {
+        let ops = vec![
+            WarpOp::RemoteGet { peer: 1, bytes: 512, nbi: true },
+            WarpOp::compute(700),
+            WarpOp::WaitRemote,
+            WarpOp::GlobalRead { bytes: 2_048 },
+            WarpOp::compute(300),
+        ];
+        let k = Uniform {
+            launch: KernelLaunch { blocks: 16, warps_per_block: 4, smem_per_block: 512 },
+            ops,
+        };
+        let mut c1 = small_cluster();
+        let plain = GpuSim::run(&mut c1, &k, &mut NoPaging).unwrap();
+        let mut c2 = small_cluster();
+        let (traced, events) = GpuSim::run_traced(&mut c2, &k, &mut NoPaging).unwrap();
+        assert_eq!(plain, traced);
+        assert!(!events.is_empty());
+        // Every span is well-formed and inside the makespan.
+        let mk = traced.makespan_ns();
+        for e in &events {
+            assert!(e.start <= e.end);
+            assert!(e.end <= mk, "span past makespan: {e:?}");
+        }
+        // The async gets must produce both issue and wire spans.
+        use crate::trace::TraceKind;
+        assert!(events.iter().any(|e| e.kind == TraceKind::RemoteIssue));
+        assert!(events.iter().any(|e| e.kind == TraceKind::RemoteWire));
+        assert!(events.iter().any(|e| e.kind == TraceKind::WaitRemote));
+    }
+
+    #[test]
+    fn blocks_queue_behind_residency_limit() {
+        // Each block claims all 64 warp slots, so blocks on one SM must
+        // serialize: many blocks take proportionally longer.
+        let mk = |blocks| Uniform {
+            launch: KernelLaunch { blocks, warps_per_block: 64, smem_per_block: 0 },
+            ops: vec![WarpOp::compute(14_100)],
+        };
+        let mut c = small_cluster();
+        let t1 = GpuSim::run(&mut c, &mk(108), &mut NoPaging).unwrap().makespan_ns();
+        c.reset();
+        let t2 = GpuSim::run(&mut c, &mk(216), &mut NoPaging).unwrap().makespan_ns();
+        assert!(t2 >= 2 * t1, "t2={t2} t1={t1}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+    use crate::cluster::NoPaging;
+    use crate::spec::ClusterSpec;
+
+    /// A kernel whose warps run arbitrary (sanitized) op traces.
+    struct FuzzKernel {
+        launch: KernelLaunch,
+        traces: Vec<Vec<WarpOp>>,
+    }
+
+    impl KernelProgram for FuzzKernel {
+        fn launch(&self, _pe: usize) -> KernelLaunch {
+            self.launch
+        }
+        fn warp_ops(&self, pe: usize, block: u32, warp: u32) -> Vec<WarpOp> {
+            let idx = (block * self.launch.warps_per_block + warp) as usize;
+            self.traces
+                .get(idx % self.traces.len().max(1))
+                .cloned()
+                .unwrap_or_default()
+                .into_iter()
+                .map(|op| match op {
+                    // A PE never GETs from itself.
+                    WarpOp::RemoteGet { peer, bytes, nbi } if peer as usize == pe => {
+                        WarpOp::RemoteGet { peer: (peer + 1) % 3, bytes, nbi }
+                    }
+                    WarpOp::RemotePut { peer, bytes } if peer as usize == pe => {
+                        WarpOp::RemotePut { peer: (peer + 1) % 3, bytes }
+                    }
+                    other => other,
+                })
+                .collect()
+        }
+    }
+
+    fn arb_op() -> impl Strategy<Value = WarpOp> {
+        prop_oneof![
+            (1u32..5_000).prop_map(|cycles| WarpOp::Compute { cycles }),
+            (1u32..100_000).prop_map(|bytes| WarpOp::GlobalRead { bytes }),
+            (1u32..100_000).prop_map(|bytes| WarpOp::GlobalWrite { bytes }),
+            (0u16..3, 1u32..10_000, proptest::bool::ANY)
+                .prop_map(|(peer, bytes, nbi)| WarpOp::RemoteGet { peer, bytes, nbi }),
+            (0u16..3, 1u32..10_000)
+                .prop_map(|(peer, bytes)| WarpOp::RemotePut { peer, bytes }),
+            Just(WarpOp::WaitRemote),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Any sanitized trace must terminate with consistent accounting
+        /// and run deterministically.
+        #[test]
+        fn random_traces_terminate_consistently(
+            traces in proptest::collection::vec(
+                proptest::collection::vec(arb_op(), 0..12), 1..6),
+            blocks in 0u32..20,
+            wpb in 1u32..8,
+        ) {
+            let kernel = FuzzKernel {
+                launch: KernelLaunch { blocks, warps_per_block: wpb, smem_per_block: 256 },
+                traces,
+            };
+            let run = || {
+                let mut cluster = Cluster::new(ClusterSpec::dgx_a100(3));
+                GpuSim::run(&mut cluster, &kernel, &mut NoPaging).expect("valid launch")
+            };
+            let stats = run();
+            for g in &stats.per_gpu {
+                prop_assert_eq!(g.warps, (blocks * wpb) as u64);
+                prop_assert_eq!(g.blocks, blocks as u64);
+            }
+            let occ = stats.achieved_occupancy();
+            prop_assert!((0.0..=1.0).contains(&occ), "occupancy {occ}");
+            let util = stats.sm_utilization();
+            prop_assert!((0.0..=1.0).contains(&util), "utilization {util}");
+            // Determinism.
+            prop_assert_eq!(stats, run());
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Counters and snapshots reported by simulation runs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::channel::BandwidthChannel;
+
+/// Snapshot of one channel's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChannelStats {
+    pub bytes: u64,
+    pub requests: u64,
+    pub busy_ns: u64,
+}
+
+impl ChannelStats {
+    /// Captures the current counters of `ch`.
+    pub fn snapshot(ch: &BandwidthChannel) -> Self {
+        ChannelStats {
+            bytes: ch.bytes_total(),
+            requests: ch.requests(),
+            busy_ns: ch.busy_ns_total(),
+        }
+    }
+
+    /// Counter difference `self - earlier` (for per-phase accounting).
+    pub fn since(&self, earlier: &ChannelStats) -> ChannelStats {
+        ChannelStats {
+            bytes: self.bytes - earlier.bytes,
+            requests: self.requests - earlier.requests,
+            busy_ns: self.busy_ns - earlier.busy_ns,
+        }
+    }
+}
+
+/// Aggregate traffic snapshot across the cluster's resources.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Per-GPU HBM traffic.
+    pub hbm: Vec<ChannelStats>,
+    /// Per-GPU interconnect ingress traffic.
+    pub link_in: Vec<ChannelStats>,
+    /// Per-GPU interconnect egress traffic.
+    pub link_out: Vec<ChannelStats>,
+    /// Shared host (PCIe) path traffic.
+    pub host: ChannelStats,
+}
+
+impl TrafficStats {
+    /// Total bytes that crossed the inter-GPU fabric.
+    pub fn remote_bytes(&self) -> u64 {
+        self.link_in.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Total number of inter-GPU requests.
+    pub fn remote_requests(&self) -> u64 {
+        self.link_in.iter().map(|c| c.requests).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_diff() {
+        let mut ch = BandwidthChannel::new(1.0, 0);
+        let _ = ch.transfer(0, 100);
+        let a = ChannelStats::snapshot(&ch);
+        let _ = ch.transfer(0, 50);
+        let b = ChannelStats::snapshot(&ch);
+        let d = b.since(&a);
+        assert_eq!(d.bytes, 50);
+        assert_eq!(d.requests, 1);
+    }
+}

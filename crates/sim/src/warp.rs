@@ -1,0 +1,86 @@
+//! The per-warp operation "ISA" that kernels are traced into.
+//!
+//! Higher-level crates lower their GPU kernels (MGG's pipelined aggregation,
+//! the UVM baseline, the direct-NVSHMEM strawman, ...) into a flat sequence
+//! of these operations per warp. The simulator replays the sequences against
+//! the platform model to attribute time.
+
+/// One dynamic operation executed by a warp.
+///
+/// Shared-memory traffic is folded into [`WarpOp::Compute`] cycles by the
+/// kernel builders (shared memory is an on-SM resource whose cost is
+/// throughput-like, not a contended off-chip channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpOp {
+    /// Occupies one SM scheduler slot for `cycles` core cycles.
+    Compute {
+        cycles: u32,
+    },
+    /// Reads `bytes` from the local GPU's device memory (HBM).
+    ///
+    /// The warp blocks until the data arrives; the SM scheduler is *not*
+    /// occupied meanwhile, so other resident warps can issue — this is the
+    /// latency-hiding slack MGG's interleaving fills (§3.3).
+    GlobalRead {
+        bytes: u32,
+    },
+    /// Writes `bytes` to the local GPU's device memory.
+    ///
+    /// Writes are fire-and-forget (posted): the warp pays only the channel
+    /// issue serialization, not the full round trip.
+    GlobalWrite {
+        bytes: u32,
+    },
+    /// Fetches `bytes` from `peer`'s device memory through the interconnect
+    /// (an NVSHMEM-style one-sided GET).
+    ///
+    /// With `nbi` (non-blocking-implicit, mirroring `nvshmem_..._nbi`), the
+    /// warp continues after the SM-side issue cost and the transfer
+    /// completes in the background; a later [`WarpOp::WaitRemote`] joins it.
+    /// Without `nbi` the warp stalls until the data arrives.
+    RemoteGet {
+        peer: u16,
+        bytes: u32,
+        nbi: bool,
+    },
+    /// Pushes `bytes` to `peer`'s device memory (one-sided PUT, posted).
+    RemotePut {
+        peer: u16,
+        bytes: u32,
+    },
+    /// Blocks until every outstanding `nbi` transfer of this warp is done
+    /// (mirrors `nvshmem_quiet` at warp scope).
+    WaitRemote,
+    /// Touches `bytes` at unified-memory `page`; if the page is not
+    /// resident on this GPU a fault + migration is simulated by the
+    /// installed [`crate::cluster::PageHandler`].
+    PageAccess {
+        page: u64,
+        bytes: u32,
+    },
+}
+
+impl WarpOp {
+    /// Convenience constructor for a compute op.
+    pub fn compute(cycles: u32) -> Self {
+        WarpOp::Compute { cycles }
+    }
+
+    /// True for operations that move data off-SM.
+    pub fn is_memory(&self) -> bool {
+        !matches!(self, WarpOp::Compute { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_classification() {
+        assert!(!WarpOp::compute(5).is_memory());
+        assert!(WarpOp::GlobalRead { bytes: 4 }.is_memory());
+        assert!(WarpOp::RemoteGet { peer: 1, bytes: 4, nbi: true }.is_memory());
+        assert!(WarpOp::WaitRemote.is_memory());
+    }
+}

@@ -1,0 +1,63 @@
+//! Auto-tuning demo: the §4 cross-iteration optimizer searching
+//! `(ps, dist, wpb)` for a workload, printing every probe of its
+//! configuration lookup table.
+//!
+//! ```sh
+//! cargo run --release --example autotune
+//! ```
+
+use std::cell::RefCell;
+
+use mgg::core::{AnalyticalModel, MggConfig, MggEngine, Tuner};
+use mgg::gnn::reference::AggregateMode;
+use mgg::graph::datasets::DatasetSpec;
+use mgg::sim::ClusterSpec;
+
+fn main() {
+    let d = DatasetSpec::rdd().build(0.5);
+    let spec = ClusterSpec::dgx_a100(8);
+    let dim = 16; // GCN hidden width — the dimension the runtime tunes for.
+
+    let mut engine =
+        MggEngine::new(&d.graph, spec.clone(), MggConfig::initial(), AggregateMode::GcnNorm);
+    let model = AnalyticalModel::new(spec.gpu.clone(), dim);
+    println!(
+        "tuning MGG for the Reddit stand-in on 8xA100 (aggregation dim {dim});"
+    );
+    println!(
+        "model: SMEM(initial) = {} B, SMEM(ps=32,wpb=16) = {} B (cap {} B)\n",
+        model.smem_bytes(&MggConfig::initial()),
+        model.smem_bytes(&MggConfig { ps: 32, dist: 1, wpb: 16 }),
+        spec.gpu.smem_per_sm,
+    );
+
+    let result = {
+        let cell = RefCell::new(&mut engine);
+        Tuner::new(|cfg: &MggConfig| {
+            let mut e = cell.borrow_mut();
+            e.set_config(*cfg);
+            e.simulate_aggregation_ns(dim).unwrap_or(u64::MAX)
+        })
+        .with_feasibility(move |cfg| model.feasible(cfg))
+        .run()
+    };
+
+    println!("{:>4} {:<22} {:>12}", "#", "configuration", "latency (ms)");
+    for (i, step) in result.trace.iter().enumerate() {
+        let marker = if step.config == result.best { "  <- best" } else { "" };
+        println!(
+            "{:>4} {:<22} {:>12.4}{marker}",
+            i + 1,
+            step.config.to_string(),
+            step.latency_ns as f64 / 1e6
+        );
+    }
+    println!(
+        "\nconverged in {} probes: {} ({:.4} ms), {:.0}% below the initial all-ones config",
+        result.iterations,
+        result.best,
+        result.best_latency_ns as f64 / 1e6,
+        100.0 * result.improvement()
+    );
+    println!("(paper §5.3: ~10 probe iterations, up to 68% latency reduction)");
+}

@@ -1,0 +1,116 @@
+//! Application generality (§6): DLRM-style embedding-bag lookups on MGG.
+//!
+//! The paper's Discussion argues the pipelined design generalizes to
+//! deep-learning recommendation models: a huge embedding table partitioned
+//! across GPUs' symmetric memory, with each inference query gathering a
+//! handful of rows and combining them with an associative reduction
+//! (sum-pooling). Structurally that *is* a graph aggregation — queries are
+//! nodes, their looked-up table rows are the neighbors — so the MGG engine
+//! runs it unchanged: balanced query sharding, local/remote row split,
+//! non-blocking gets overlapped with local pooling.
+//!
+//! ```sh
+//! cargo run --release --example dlrm_embedding
+//! ```
+
+use mgg::baselines::DirectNvshmemEngine;
+use mgg::core::{MggConfig, MggEngine};
+use mgg::gnn::reference::{aggregate, AggregateMode};
+use mgg::gnn::Matrix;
+use mgg::graph::{CsrGraph, GraphBuilder, NodeId};
+use mgg::sim::ClusterSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds the bipartite lookup structure with the §6 DLRM placement baked
+/// into the id space: the table is partitioned by rows across GPUs and
+/// the query batch is spread evenly, so GPU `g`'s contiguous id block
+/// holds its query shard followed by its table shard. A plain uniform
+/// node split then realizes "embedding tables partitioned by rows ...
+/// queries evenly distributed among GPUs".
+fn lookup_graph(
+    queries: usize,
+    table_rows: usize,
+    per_query: usize,
+    gpus: usize,
+    seed: u64,
+) -> CsrGraph {
+    assert!(
+        queries.is_multiple_of(gpus) && table_rows.is_multiple_of(gpus),
+        "shards must divide evenly"
+    );
+    let q_shard = queries / gpus;
+    let t_shard = table_rows / gpus;
+    let block = q_shard + t_shard;
+    // Query j (owned by GPU j % gpus) and table row r (owned by r % gpus).
+    let query_id = |j: usize| ((j % gpus) * block + j / gpus) as NodeId;
+    let row_id = |r: usize| ((r % gpus) * block + q_shard + r / gpus) as NodeId;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(queries + table_rows);
+    for q in 0..queries {
+        for _ in 0..per_query {
+            // Skewed access: hot rows get most lookups, like real CTR
+            // workloads.
+            let r = mgg::graph::generators::distributions::zipf(&mut rng, table_rows, 1.05);
+            b.add_edge(query_id(q), row_id(r));
+        }
+    }
+    b.build()
+}
+
+fn main() {
+    let queries = 8_192;
+    let table_rows = 32_768;
+    let per_query = 24; // multi-hot categorical features per query
+    let dim = 64; // embedding vector width
+    let gpus = 8;
+
+    let g = lookup_graph(queries, table_rows, per_query, gpus, 7);
+    println!(
+        "DLRM lookup batch: {queries} queries x {per_query} rows from a \
+         {table_rows}-row table (dim {dim}), {gpus} GPUs"
+    );
+    println!(
+        "as a bipartite graph: {} nodes, {} lookup edges\n",
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    // Table contents: deterministic pseudo-embeddings.
+    let x = Matrix::glorot(g.num_nodes(), dim, 21);
+
+    // MGG: pipelined gathers + local pooling, with the DLRM placement
+    // (uniform split over the query-shard/table-shard id blocks).
+    let mut mgg = MggEngine::with_split(
+        &g,
+        ClusterSpec::dgx_a100(gpus),
+        mgg::graph::NodeSplit::uniform(g.num_nodes(), gpus),
+        MggConfig::default_fixed(),
+        AggregateMode::Sum,
+    );
+    let pooled = mgg.aggregate_values(&x);
+    let t_mgg = mgg.simulate_aggregation_ns(dim).expect("valid launch");
+
+    // Naive: one warp per query, blocking gets row by row.
+    let mut naive = DirectNvshmemEngine::new(&g, ClusterSpec::dgx_a100(gpus), AggregateMode::Sum);
+    let t_naive = naive.simulate_aggregation_ns(dim);
+
+    // Correctness: pooled embeddings equal the reference.
+    let want = aggregate(&g, &x, AggregateMode::Sum);
+    let diff = pooled.max_abs_diff(&want);
+    assert!(diff < 1e-3);
+
+    println!("{:<28} {:>12}", "engine", "batch (ms)");
+    println!("{:<28} {:>12.3}", "MGG pipelined lookups", t_mgg as f64 / 1e6);
+    println!("{:<28} {:>12.3}", "blocking per-row lookups", t_naive as f64 / 1e6);
+    println!(
+        "\npipelining speeds up the embedding bag by {:.2}x; pooled vectors match \
+         the reference (max err {diff:.1e})",
+        t_naive as f64 / t_mgg as f64
+    );
+    println!(
+        "(per §6, this works because sum-pooling is associative; order-sensitive \
+         combiners would need synchronization)"
+    );
+}

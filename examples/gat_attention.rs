@@ -1,0 +1,59 @@
+//! GAT on MGG: attention-weighted aggregation through the pipelined
+//! multi-GPU engine (§5 cites GAT as the advanced edge-property GNN).
+//!
+//! Each GAT layer costs MGG two sparse phases: a scalar (dim-1) exchange
+//! of neighbor scores, then a weighted aggregation at the hidden width.
+//! Both ride the same pipelined kernel; the example prints the per-phase
+//! simulated times and checks the logits against the reference backend.
+//!
+//! ```sh
+//! cargo run --release --example gat_attention
+//! ```
+
+use mgg::core::{MggConfig, MggEngine};
+use mgg::gnn::gat::{Gat, ReferenceGatBackend};
+use mgg::gnn::reference::AggregateMode;
+use mgg::gnn::Matrix;
+use mgg::graph::generators::rmat::{rmat, RmatConfig};
+use mgg::sim::ClusterSpec;
+
+fn main() {
+    let graph = rmat(&RmatConfig::graph500(12, 40_000, 33));
+    let (in_dim, hidden, classes) = (256usize, 128usize, 8usize);
+    let x = Matrix::glorot(graph.num_nodes(), in_dim, 3);
+    let model = Gat::new(in_dim, hidden, classes, 7);
+    println!(
+        "GAT {in_dim} -> {hidden} -> {classes} on {} nodes / {} edges, 8 GPUs\n",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    let mut engine = MggEngine::new(
+        &graph,
+        ClusterSpec::dgx_a100(8),
+        MggConfig::default_fixed(),
+        AggregateMode::Sum,
+    );
+    let (logits, timings) = model.forward(&mut engine, &x);
+
+    println!("{:<8} {:>16} {:>16}", "layer", "attention (ms)", "aggregate (ms)");
+    for (i, t) in timings.iter().enumerate() {
+        println!(
+            "{:<8} {:>16.3} {:>16.3}",
+            i + 1,
+            t.attention_ns as f64 / 1e6,
+            t.aggregate_ns as f64 / 1e6
+        );
+    }
+
+    let mut reference = ReferenceGatBackend { graph };
+    let (want, _) = model.forward(&mut reference, &x);
+    let diff = logits.max_abs_diff(&want);
+    assert!(diff < 1e-3);
+    println!(
+        "\nlogits match the single-machine reference (max err {diff:.1e}). At these\n\
+         request-bound sizes the scalar score exchange costs about as much as the\n\
+         weighted aggregation, so a GAT layer is roughly two pipelined sparse\n\
+         passes on MGG — the edge property adds one pass, not a new mechanism."
+    );
+}

@@ -1,0 +1,75 @@
+//! End-to-end GCN training on a planted-community graph: full-graph
+//! aggregation vs neighbor-sampled training (the Table-5 tradeoff).
+//!
+//! ```sh
+//! cargo run --release --example train_gcn
+//! ```
+
+use mgg::gnn::features::{label_features, split_masks};
+use mgg::gnn::train::{train_gcn, TrainConfig};
+use mgg::graph::generators::random::{sbm, SbmConfig};
+
+fn main() {
+    // A 10-community SBM graph: neighbors mostly share the node's label,
+    // so aggregation genuinely denoises the features.
+    let out = sbm(&SbmConfig {
+        block_sizes: vec![120; 12],
+        avg_degree_in: 12.0,
+        avg_degree_out: 6.0,
+        seed: 11,
+    });
+    let classes = 12;
+    let x = label_features(&out.labels, classes, 48, 0.12, 12);
+    let n = out.graph.num_nodes();
+    let (train, val, test) = split_masks(n, 0.3, 0.2, 13);
+    println!(
+        "task: {} nodes, {} edges, {} classes, dim 48 (weak per-node signal)\n",
+        n,
+        out.graph.num_edges(),
+        classes
+    );
+
+    let full = train_gcn(
+        &out.graph,
+        &x,
+        &out.labels,
+        classes,
+        &train,
+        &val,
+        &test,
+        &TrainConfig::paper(100, 21),
+    );
+    let sampled = train_gcn(
+        &out.graph,
+        &x,
+        &out.labels,
+        classes,
+        &train,
+        &val,
+        &test,
+        &TrainConfig::paper_sampled(100, 21, 2),
+    );
+
+    println!("{:<22} {:>12} {:>12}", "", "full graph", "sampled (k=2)");
+    println!(
+        "{:<22} {:>12.4} {:>12.4}",
+        "first-epoch loss", full.train_losses[0], sampled.train_losses[0]
+    );
+    println!(
+        "{:<22} {:>12.4} {:>12.4}",
+        "last-epoch loss",
+        full.train_losses.last().unwrap(),
+        sampled.train_losses.last().unwrap()
+    );
+    println!("{:<22} {:>12.3} {:>12.3}", "validation accuracy", full.val_accuracy, sampled.val_accuracy);
+    println!("{:<22} {:>12.3} {:>12.3}", "test accuracy", full.test_accuracy, sampled.test_accuracy);
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "edges per epoch", full.edges_per_epoch, sampled.edges_per_epoch
+    );
+    println!(
+        "\nfull-graph training gains {:+.1} accuracy points over sampling \
+         (paper Table 5: +2.0 on Reddit, +4.9 on Proteins)",
+        100.0 * (full.test_accuracy - sampled.test_accuracy)
+    );
+}

@@ -1,0 +1,89 @@
+//! Golden regression tests: exact simulated values for fixed scenarios.
+//!
+//! The simulator is fully deterministic, so these values reproduce
+//! bit-identically on every platform. They exist to catch *unintentional*
+//! changes to the timing model — if you change the model on purpose
+//! (channel constants, scheduling rules, kernel lowering), re-run with
+//! `UPDATE_GOLDEN=1 cargo test --test golden -- --nocapture` and paste the
+//! printed values.
+
+use mgg::baselines::{DirectNvshmemEngine, UvmGnnEngine};
+use mgg::core::{MggConfig, MggEngine};
+use mgg::gnn::reference::AggregateMode;
+use mgg::graph::generators::rmat::{rmat, RmatConfig};
+use mgg::sim::ClusterSpec;
+
+fn scenario() -> mgg::graph::CsrGraph {
+    rmat(&RmatConfig::graph500(10, 10_000, 2024))
+}
+
+struct Golden {
+    name: &'static str,
+    got: u64,
+    want: u64,
+}
+
+fn check(goldens: &[Golden]) {
+    let update = std::env::var("UPDATE_GOLDEN").is_ok();
+    let mut failures = Vec::new();
+    for g in goldens {
+        if update {
+            println!("{}: {}", g.name, g.got);
+        } else if g.got != g.want {
+            failures.push(format!("{}: got {}, golden {}", g.name, g.got, g.want));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "timing model changed (intentional? update the goldens):\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn golden_engine_timings() {
+    let g = scenario();
+    let spec = ClusterSpec::dgx_a100(4);
+
+    let mut mgg = MggEngine::new(
+        &g,
+        spec.clone(),
+        MggConfig::default_fixed(),
+        AggregateMode::Sum,
+    );
+    let mgg_16 = mgg.simulate_aggregation_ns(16).unwrap();
+    let mgg_128 = mgg.simulate_aggregation_ns(128).unwrap();
+
+    let mut uvm = UvmGnnEngine::new(&g, spec.clone(), AggregateMode::Sum);
+    let uvm_128 = uvm.simulate_aggregation_ns(128);
+
+    let mut direct = DirectNvshmemEngine::new(&g, spec, AggregateMode::Sum);
+    let direct_128 = direct.simulate_aggregation_ns(128);
+
+    check(&[
+        Golden { name: "mgg_dim16_ns", got: mgg_16, want: 15_227 },
+        Golden { name: "mgg_dim128_ns", got: mgg_128, want: 17_053 },
+        Golden { name: "uvm_dim128_ns", got: uvm_128, want: 79_199 },
+        Golden { name: "direct_dim128_ns", got: direct_128, want: 365_104 },
+    ]);
+}
+
+#[test]
+fn golden_ordering_is_the_paper_ordering() {
+    // Independent of exact values: MGG < UVM < direct on this scenario.
+    let g = scenario();
+    let spec = ClusterSpec::dgx_a100(4);
+    let mut mgg = MggEngine::new(
+        &g,
+        spec.clone(),
+        MggConfig::default_fixed(),
+        AggregateMode::Sum,
+    );
+    let t_mgg = mgg.simulate_aggregation_ns(128).unwrap();
+    let mut uvm = UvmGnnEngine::new(&g, spec.clone(), AggregateMode::Sum);
+    let t_uvm = uvm.simulate_aggregation_ns(128);
+    let mut direct = DirectNvshmemEngine::new(&g, spec, AggregateMode::Sum);
+    let t_direct = direct.simulate_aggregation_ns(128);
+    assert!(t_mgg < t_uvm, "mgg {t_mgg} vs uvm {t_uvm}");
+    assert!(t_uvm < t_direct, "uvm {t_uvm} vs direct {t_direct}");
+}

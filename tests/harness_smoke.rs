@@ -1,0 +1,237 @@
+//! Smoke tests of the experiment harness at a tiny scale: every paper
+//! artifact regenerates, and the qualitative shapes hold even on the
+//! smallest inputs.
+
+use mgg_bench::experiments::{fig10, fig2, fig3, fig7, fig8, fig9, occupancy, tab1, tab2, tab4, tab5};
+
+const TINY: f64 = 0.125;
+
+#[test]
+fn fig2_comm_dominates() {
+    let r = fig2::run(TINY, 8);
+    assert_eq!(r.rows.len(), 2);
+    for row in &r.rows {
+        assert!(row.comm_to_comp > 1.0, "{}: ratio {}", row.dataset, row.comm_to_comp);
+    }
+}
+
+#[test]
+fn fig3_fault_metrics_grow_with_gpus() {
+    let r = fig3::run(TINY);
+    assert_eq!(r.rows.len(), 3);
+    assert!(r.rows[2].faults > r.rows[0].faults);
+    assert!(r.rows[2].duration_norm > r.rows[0].duration_norm);
+    assert!((r.rows[0].faults_norm - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn tab1_direct_nvshmem_is_no_free_lunch() {
+    let r = tab1::run(TINY, 8);
+    assert_eq!(r.rows.len(), 5);
+    // The paper's headline: on average, direct NVSHMEM does *not* beat UVM.
+    assert!(
+        r.geomean_speedup < 1.0,
+        "geomean {} should be below 1",
+        r.geomean_speedup
+    );
+}
+
+#[test]
+fn tab2_is_the_paper_table() {
+    let r = tab2::run();
+    assert_eq!(r.rows.len(), 3);
+    assert_eq!(r.rows[2].gpu_initiated, "Yes");
+}
+
+#[test]
+fn fig7_async_wins() {
+    let r = fig7::run(TINY, 8);
+    assert!(r.geomean_slowdown > 1.0, "sync should be slower: {}", r.geomean_slowdown);
+}
+
+#[test]
+fn fig8_mgg_beats_uvm_everywhere() {
+    let r = fig8::run(TINY);
+    assert_eq!(r.rows.len(), 20);
+    for row in &r.rows {
+        assert!(
+            row.speedup > 1.0,
+            "{} {} {} GPUs: speedup {}",
+            row.dataset,
+            row.model,
+            row.gpus,
+            row.speedup
+        );
+    }
+    assert!(r.geomean_gcn > 1.5);
+    assert!(r.geomean_gin > 1.5);
+}
+
+#[test]
+fn fig9_ablations_cost_performance() {
+    let a = fig9::run_9a(TINY, 4);
+    assert!(a.geomean_slowdown > 1.1, "no-partitioning slowdown {}", a.geomean_slowdown);
+    let b = fig9::run_9b(TINY, 4);
+    assert!(b.geomean_slowdown >= 1.0, "no-interleaving slowdown {}", b.geomean_slowdown);
+}
+
+#[test]
+fn fig10_tuner_finds_low_latency_points() {
+    let r = fig10::run(TINY);
+    assert_eq!(r.settings.len(), 4);
+    for s in &r.settings {
+        assert!(!s.ps_dist_grid.is_empty());
+        assert!(s.tuned_latency_ms <= s.initial_latency_ms);
+        // The tuner's pick is within 25% of the best grid point.
+        assert!(
+            s.tuned_latency_ms <= s.grid_best_ms * 1.25,
+            "{}: tuned {} vs grid best {}",
+            s.name,
+            s.tuned_latency_ms,
+            s.grid_best_ms
+        );
+    }
+}
+
+#[test]
+fn occupancy_gains_are_positive() {
+    let r = occupancy::run(TINY, 8);
+    assert!(r.avg_occupancy_gain > 0.0);
+    assert!(r.avg_sm_util_gain > 0.0);
+}
+
+#[test]
+fn tab4_mgg_wins_both_phases() {
+    let r = tab4::run(TINY, 8);
+    assert!(r.geomean_prep_speedup > 5.0, "prep speedup {}", r.geomean_prep_speedup);
+    assert!(r.geomean_gcn_speedup > 1.5, "gcn speedup {}", r.geomean_gcn_speedup);
+}
+
+#[test]
+fn tab5_full_graph_training_gains_accuracy() {
+    let r = tab5::run(0.5, 8);
+    assert_eq!(r.rows.len(), 2);
+    for row in &r.rows {
+        assert!(
+            row.acc_full + 0.01 >= row.acc_sampled,
+            "{}: full {} vs sampled {}",
+            row.dataset,
+            row.acc_full,
+            row.acc_sampled
+        );
+        assert!(row.latency_ratio >= 1.0);
+    }
+    // At least one task shows a clear gap, as in the paper.
+    assert!(r.rows.iter().any(|row| row.acc_full > row.acc_sampled + 0.02));
+}
+
+#[test]
+fn tab3_stats_are_consistent() {
+    let r = mgg_bench::experiments::tab3::run(TINY);
+    assert_eq!(r.rows.len(), 5);
+    for row in &r.rows {
+        assert!(row.avg_degree > 1.0);
+        assert!(row.max_degree > row.avg_degree as usize);
+    }
+}
+
+#[test]
+fn ext_reorder_cuts_remote_fraction() {
+    let r = mgg_bench::experiments::ext::run_reorder(0.25, 8);
+    for row in &r.rows {
+        assert!(
+            row.remote_frac_after < row.remote_frac_before,
+            "{}: {} -> {}",
+            row.graph,
+            row.remote_frac_before,
+            row.remote_frac_after
+        );
+    }
+}
+
+#[test]
+fn ext_replicated_shows_memory_tradeoff() {
+    let r = mgg_bench::experiments::ext::run_replicated(TINY, 8);
+    for row in &r.rows {
+        assert_eq!(row.replicated_bytes_per_gpu, 8 * row.mgg_bytes_per_gpu);
+    }
+}
+
+#[test]
+fn ext_fabric_pcie_shrinks_the_gap() {
+    let r = mgg_bench::experiments::ext::run_fabric(0.25, 8);
+    assert_eq!(r.rows.len(), 3);
+    let nvswitch = r.rows[0].speedup;
+    let pcie = r.rows[2].speedup;
+    assert!(
+        pcie < nvswitch,
+        "PCIe ({pcie}) must shrink MGG's advantage vs NVSwitch ({nvswitch})"
+    );
+}
+
+#[test]
+fn ext_train_same_accuracy_different_time() {
+    let r = mgg_bench::experiments::ext::run_train(0.5, 8);
+    assert_eq!(r.rows.len(), 2);
+    let (mgg, uvm) = (&r.rows[0], &r.rows[1]);
+    assert!((mgg.test_accuracy - uvm.test_accuracy).abs() < 1e-9, "identical math");
+    assert!(uvm.epoch_ms > mgg.epoch_ms, "UVM epochs must be slower");
+}
+
+#[test]
+fn ext_cpu_pipeline_transfers_to_cpus() {
+    let r = mgg_bench::experiments::ext::run_cpu(0.25, 8);
+    assert_eq!(r.rows.len(), 2);
+    for row in &r.rows {
+        assert!(
+            row.pipelining_gain > 1.0,
+            "{}: async must beat sync ({}x)",
+            row.platform,
+            row.pipelining_gain
+        );
+        assert!(row.tuned_ms <= row.async_ms + 1e-9);
+    }
+    // The CPU cluster is the slower platform.
+    assert!(r.rows[1].async_ms > r.rows[0].async_ms);
+}
+
+#[test]
+fn ext_putget_get_wins() {
+    let r = mgg_bench::experiments::ext::run_putget(TINY, 8);
+    assert_eq!(r.rows.len(), 5);
+    assert!(
+        r.geomean_advantage > 1.0,
+        "GET must beat PUT on average: {}",
+        r.geomean_advantage
+    );
+}
+
+#[test]
+fn ext_dims_mgg_wins_at_every_width() {
+    let r = mgg_bench::experiments::ext::run_dims(TINY, 8);
+    assert_eq!(r.rows.len(), 6);
+    for row in &r.rows {
+        assert!(row.speedup > 1.0, "dim {}: speedup {}", row.dim, row.speedup);
+    }
+    // Fabric volume scales with the width.
+    assert!(r.rows.last().unwrap().mgg_fabric_mib > 10.0 * r.rows[0].mgg_fabric_mib);
+}
+
+#[test]
+fn microcal_runs_on_both_platforms() {
+    let reports = mgg_bench::experiments::microcal::run();
+    assert_eq!(reports.len(), 2);
+    for r in &reports {
+        assert!(r.rows.iter().all(|row| row.ns > 0));
+    }
+}
+
+#[test]
+fn ext_scaling_advantage_grows_with_gpus() {
+    let r = mgg_bench::experiments::ext::run_scaling(0.25);
+    assert_eq!(r.rows.len(), 4);
+    let multi: Vec<f64> = r.rows.iter().filter(|x| x.gpus > 1).map(|x| x.speedup).collect();
+    assert!(multi.iter().all(|&s| s > 1.0), "{multi:?}");
+    // 8-GPU speedup is at least the 2-GPU speedup (the Figure-8 trend).
+    assert!(r.rows[3].speedup >= r.rows[1].speedup * 0.95, "{:?}", r.rows);
+}

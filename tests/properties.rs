@@ -1,0 +1,119 @@
+//! Property-based cross-crate invariants (proptest).
+
+use proptest::prelude::*;
+
+use mgg::core::{MggConfig, MggEngine};
+use mgg::gnn::reference::{aggregate, AggregateMode};
+use mgg::gnn::Matrix;
+use mgg::graph::partition::locality;
+use mgg::graph::partition::neighbor::{partition_rows, verify_tiling, PartitionKind};
+use mgg::graph::{CsrGraph, GraphBuilder, NodeSplit};
+use mgg::sim::ClusterSpec;
+
+/// Strategy: a small arbitrary directed graph as an edge list.
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..60).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..300).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (d, s) in edges {
+                b.add_edge(d, s);
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn algorithm1_matches_linear_reference(g in arb_graph(), gpus in 1usize..9) {
+        let fast = NodeSplit::edge_balanced(&g, gpus);
+        let slow = NodeSplit::edge_balanced_linear(&g, gpus);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn node_split_covers_and_orders(g in arb_graph(), gpus in 1usize..9) {
+        let s = NodeSplit::edge_balanced(&g, gpus);
+        prop_assert_eq!(s.num_parts(), gpus);
+        let total: usize = (0..gpus).map(|p| s.part_nodes(p)).sum();
+        prop_assert_eq!(total, g.num_nodes());
+        // Ownership is consistent with ranges.
+        for v in 0..g.num_nodes() as u32 {
+            let o = s.owner(v);
+            prop_assert!(s.range(o).contains(&v));
+            prop_assert_eq!(s.range(o).start + s.local_index(v), v);
+        }
+    }
+
+    #[test]
+    fn locality_split_conserves_edges(g in arb_graph(), gpus in 1usize..6) {
+        let s = NodeSplit::edge_balanced(&g, gpus);
+        let parts = locality::build(&g, &s);
+        let total: usize = parts.iter()
+            .map(|p| p.local.num_entries() + p.remote.num_entries())
+            .sum();
+        prop_assert_eq!(total, g.num_edges());
+        // Remote refs resolve to valid rows on their owners.
+        for p in &parts {
+            for rr in p.remote.adj() {
+                prop_assert!(rr.owner as usize != p.pe);
+                prop_assert!((rr.local as usize) < s.part_nodes(rr.owner as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_partitions_tile_any_row_ptr(
+        rows in proptest::collection::vec(0u64..40, 1..30),
+        ps in 0usize..20,
+    ) {
+        let mut row_ptr = vec![0u64];
+        for r in rows {
+            row_ptr.push(row_ptr.last().unwrap() + r);
+        }
+        let parts = partition_rows(&row_ptr, ps, PartitionKind::Local);
+        prop_assert!(verify_tiling(&row_ptr, &parts));
+        if ps > 0 {
+            prop_assert!(parts.iter().all(|p| p.len as usize <= ps));
+        }
+    }
+
+    #[test]
+    fn mgg_aggregation_matches_reference_on_random_graphs(
+        g in arb_graph(),
+        gpus in 1usize..5,
+        dim in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let x = Matrix::glorot(g.num_nodes(), dim, seed);
+        let engine = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(gpus),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        let got = engine.aggregate_values(&x);
+        let want = aggregate(&g, &x, AggregateMode::Sum);
+        prop_assert!(got.max_abs_diff(&want) < 1e-3);
+    }
+
+    #[test]
+    fn simulated_time_is_positive_and_monotone_in_dim(
+        g in arb_graph(),
+        gpus in 2usize..5,
+    ) {
+        prop_assume!(g.num_edges() > 0);
+        let mut engine = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(gpus),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        let t_small = engine.simulate_aggregation_ns(8).unwrap();
+        let t_big = engine.simulate_aggregation_ns(512).unwrap();
+        prop_assert!(t_small > 0);
+        prop_assert!(t_big >= t_small);
+    }
+}

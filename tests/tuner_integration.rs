@@ -1,0 +1,72 @@
+//! The §4 tuner driving the real simulated engine.
+
+use std::cell::RefCell;
+
+use mgg::core::{AnalyticalModel, MggConfig, MggEngine, Tuner};
+use mgg::gnn::reference::AggregateMode;
+use mgg::graph::generators::rmat::{rmat, RmatConfig};
+use mgg::sim::ClusterSpec;
+
+fn tune(gpus: usize, dim: usize) -> (mgg::core::TuneResult, MggEngine) {
+    let g = rmat(&RmatConfig::graph500(11, 60_000, 55));
+    let spec = ClusterSpec::dgx_a100(gpus);
+    let mut engine =
+        MggEngine::new(&g, spec.clone(), MggConfig::initial(), AggregateMode::Sum);
+    let model = AnalyticalModel::new(spec.gpu.clone(), dim);
+    let result = {
+        let cell = RefCell::new(&mut engine);
+        Tuner::new(|cfg: &MggConfig| {
+            let mut e = cell.borrow_mut();
+            e.set_config(*cfg);
+            e.simulate_aggregation_ns(dim).unwrap_or(u64::MAX)
+        })
+        .with_feasibility(move |cfg| cfg.ps >= 1 && model.feasible(cfg))
+        .run()
+    };
+    (result, engine)
+}
+
+#[test]
+fn tuner_improves_over_initial_on_real_engine() {
+    let (result, _) = tune(8, 16);
+    assert!(result.best_latency_ns <= result.initial_latency_ns());
+    assert!(result.improvement() >= 0.2, "improvement {:.2}", result.improvement());
+}
+
+#[test]
+fn tuner_converges_quickly_and_stays_in_bounds() {
+    let (result, _) = tune(4, 16);
+    assert!(
+        result.iterations <= 20,
+        "took {} probes, paper reports about 10",
+        result.iterations
+    );
+    assert!(result.best.in_search_space(), "best {:?} out of bounds", result.best);
+    for step in &result.trace {
+        assert!(step.config.in_search_space(), "probed {:?} out of bounds", step.config);
+    }
+}
+
+#[test]
+fn tuned_config_is_best_in_its_own_table() {
+    let (result, _) = tune(8, 32);
+    let table_min = result.trace.iter().map(|s| s.latency_ns).min().unwrap();
+    assert_eq!(result.best_latency_ns, table_min);
+}
+
+#[test]
+fn tuner_is_deterministic() {
+    let (a, _) = tune(4, 16);
+    let (b, _) = tune(4, 16);
+    assert_eq!(a.best, b.best);
+    assert_eq!(a.best_latency_ns, b.best_latency_ns);
+    assert_eq!(a.iterations, b.iterations);
+}
+
+#[test]
+fn applied_configuration_reproduces_tuned_latency() {
+    let (result, mut engine) = tune(8, 16);
+    engine.set_config(result.best);
+    let replay = engine.simulate_aggregation_ns(16).unwrap();
+    assert_eq!(replay, result.best_latency_ns);
+}
