@@ -59,7 +59,7 @@ fn sweep_setting(name: String, spec: ClusterSpec, dim: usize, scale: f64) -> Fig
         if !model.feasible(&cfg) {
             return None;
         }
-        engine.set_config(cfg);
+        engine.set_config(cfg).expect("search configs are valid");
         engine.simulate_aggregation_ns(dim).ok()
     };
 
@@ -79,7 +79,7 @@ fn sweep_setting(name: String, spec: ClusterSpec, dim: usize, scale: f64) -> Fig
     let model2 = model.clone();
     let result = Tuner::new(|cfg: &MggConfig| {
         let mut e = engine_cell.borrow_mut();
-        e.set_config(*cfg);
+        e.set_config(*cfg).expect("search configs are valid");
         e.simulate_aggregation_ns(dim).unwrap_or(u64::MAX)
     })
     .with_feasibility(move |cfg| model2.feasible(cfg))
@@ -92,7 +92,7 @@ fn sweep_setting(name: String, spec: ClusterSpec, dim: usize, scale: f64) -> Fig
         for &dist in &DIST_STEPS {
             let cfg = MggConfig { ps: result.best.ps, dist, wpb };
             if model.feasible(&cfg) {
-                engine.set_config(cfg);
+                engine.set_config(cfg).expect("search configs are valid");
                 if let Ok(ns) = engine.simulate_aggregation_ns(dim) {
                     wpb_dist_grid.push(GridCell {
                         ps: result.best.ps,

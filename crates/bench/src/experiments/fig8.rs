@@ -44,13 +44,13 @@ pub fn tuned_engine(
         let engine_cell = std::cell::RefCell::new(&mut engine);
         Tuner::new(|cfg: &MggConfig| {
             let mut e = engine_cell.borrow_mut();
-            e.set_config(*cfg);
+            e.set_config(*cfg).expect("search configs are valid");
             e.simulate_aggregation_ns(dim).unwrap_or(u64::MAX)
         })
         .with_feasibility(move |cfg| model.feasible(cfg))
         .run()
     };
-    engine.set_config(result.best);
+    engine.set_config(result.best).expect("search configs are valid");
     engine
 }
 

@@ -16,7 +16,8 @@
 use std::path::{Path, PathBuf};
 
 use mgg_baselines::{DgclEngine, DirectNvshmemEngine, UvmGnnEngine};
-use mgg_core::{AnalyticalModel, MggConfig, MggEngine, ReplicatedEngine, Tuner};
+use mgg_core::{AnalyticalModel, MggConfig, MggEngine, RecoveryAction, ReplicatedEngine, Tuner};
+use mgg_fault::{FaultSchedule, FaultSpec};
 use mgg_gnn::reference::AggregateMode;
 use mgg_graph::datasets::DatasetSpec;
 use mgg_graph::generators::rmat::{rmat, RmatConfig};
@@ -31,7 +32,15 @@ pub enum Command {
     Stats { graph: PathBuf },
     Partition { graph: PathBuf, gpus: usize, multilevel: bool },
     Reorder { graph: PathBuf, out: PathBuf },
-    Simulate { graph: PathBuf, gpus: usize, dim: usize, engine: Engine, tune: bool, platform: Platform },
+    Simulate {
+        graph: PathBuf,
+        gpus: usize,
+        dim: usize,
+        engine: Engine,
+        tune: bool,
+        platform: Platform,
+        fault: Option<FaultSpec>,
+    },
     Train { communities: usize, size: usize, epochs: usize, gpus: usize },
 }
 
@@ -159,6 +168,26 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 "pcie" => Platform::Pcie,
                 other => return Err(format!("unknown platform '{other}'")),
             };
+            let get_f64 = |k: &str, default: f64| -> Result<f64, String> {
+                flags
+                    .get(k)
+                    .map(|v| v.parse::<f64>().map_err(|_| format!("--{k} expects a number")))
+                    .unwrap_or(Ok(default))
+            };
+            let fault_flags =
+                ["fault-seed", "fault-link-degrade", "fault-straggler", "fault-drop-rate"];
+            let fault = if fault_flags.iter().any(|k| flags.contains_key(*k)) {
+                let spec = FaultSpec {
+                    seed: get_usize("fault-seed", 0)? as u64,
+                    link_degrade: get_f64("fault-link-degrade", 1.0)?,
+                    straggler: get_f64("fault-straggler", 1.0)?,
+                    drop_rate: get_f64("fault-drop-rate", 0.0)?,
+                };
+                spec.validate()?;
+                Some(spec)
+            } else {
+                None
+            };
             Ok(Command::Simulate {
                 graph: graph_path(&positional)?,
                 gpus: get_usize("gpus", 8)?,
@@ -166,6 +195,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 engine,
                 tune: switches.contains("tune"),
                 platform,
+                fault,
             })
         }
         other => Err(format!("unknown command '{other}'")),
@@ -276,33 +306,50 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
         Command::Train { communities, size, epochs, gpus } => {
             run_train(*communities, *size, *epochs, *gpus)
         }
-        Command::Simulate { graph, gpus, dim, engine, tune, platform } => {
+        Command::Simulate { graph, gpus, dim, engine, tune, platform, fault } => {
             let g = load_graph(graph)?;
             let spec = platform.spec(*gpus);
             let mode = AggregateMode::Sum;
             let (label, ns, extra) = match engine {
                 Engine::Mgg => {
-                    let mut e = MggEngine::new(&g, spec.clone(), MggConfig::default_fixed(), mode);
+                    let mut e = MggEngine::try_new(&g, spec.clone(), MggConfig::default_fixed(), mode)
+                        .map_err(|e| e.to_string())?;
                     let mut note = String::new();
+                    if let Some(fs) = fault {
+                        e.install_faults(*fs).map_err(|e| e.to_string())?;
+                        let action = match e.recovery_action() {
+                            RecoveryAction::None => "absorb via retries",
+                            RecoveryAction::Rebalance => "re-balance placement",
+                            RecoveryAction::UvmFallback => {
+                                "re-balance placement; UVM fallback recommended"
+                            }
+                        };
+                        note.push_str(&format!(
+                            "faults installed (seed {}): recovery plan: {action}\n",
+                            fs.seed
+                        ));
+                    }
                     if *tune {
                         let model = AnalyticalModel::new(spec.gpu.clone(), *dim);
                         let result = {
                             let cell = std::cell::RefCell::new(&mut e);
                             Tuner::new(|cfg: &MggConfig| {
                                 let mut e = cell.borrow_mut();
-                                e.set_config(*cfg);
+                                if e.set_config(*cfg).is_err() {
+                                    return u64::MAX;
+                                }
                                 e.simulate_aggregation_ns(*dim).unwrap_or(u64::MAX)
                             })
                             .with_feasibility(move |cfg| model.feasible(cfg))
                             .run()
                         };
-                        e.set_config(result.best);
-                        note = format!(
+                        e.set_config(result.best).map_err(|e| e.to_string())?;
+                        note.push_str(&format!(
                             "tuned to {} in {} probes ({:.0}% below initial)\n",
                             result.best,
                             result.iterations,
                             100.0 * result.improvement()
-                        );
+                        ));
                     }
                     let stats = e.simulate_aggregation(*dim).map_err(|e| e.to_string())?;
                     let ns = stats.makespan_ns() + spec.kernel_launch_ns;
@@ -313,10 +360,24 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                         stats.traffic.remote_bytes() as f64 / (1 << 20) as f64,
                         stats.traffic.remote_requests()
                     ));
+                    if fault.is_some() {
+                        let r = stats.recovery;
+                        note.push_str(&format!(
+                            "recovery: {} retried gets, {} timed-out completions, {} degraded transfers, {} replans, recovery latency {:.3} ms\n",
+                            r.retried_gets,
+                            r.dropped_completions,
+                            r.degraded_transfers,
+                            r.replans,
+                            r.recovery_latency_ns as f64 / 1e6
+                        ));
+                    }
                     ("MGG", ns, note)
                 }
                 Engine::Uvm => {
                     let mut e = UvmGnnEngine::new(&g, spec, mode);
+                    if let Some(fs) = fault {
+                        e.cluster.install_faults(FaultSchedule::derive(fs, *gpus));
+                    }
                     let ns = e.simulate_aggregation_ns(*dim);
                     let faults = e.last_uvm_stats.as_ref().map(|s| s.total_faults()).unwrap_or(0);
                     ("UVM", ns, format!("{faults} page faults\n"))
@@ -407,6 +468,8 @@ pub fn usage() -> &'static str {
   mgg-cli reorder <graph> -o <file>
   mgg-cli simulate <graph> [--gpus N] [--dim D] [--engine mgg|uvm|direct|dgcl|replicated]
                    [--tune] [--platform a100|v100|pcie]
+                   [--fault-seed N] [--fault-link-degrade F] [--fault-straggler F]
+                   [--fault-drop-rate F]
   mgg-cli train [--communities K] [--size NODES_PER_COMMUNITY] [--epochs E] [--gpus N]
 
 graph files: .txt = edge list, anything else = binary CSR\n"
@@ -456,8 +519,38 @@ mod tests {
                 engine: Engine::Mgg,
                 tune: false,
                 platform: Platform::A100,
+                fault: None,
             }
         );
+    }
+
+    #[test]
+    fn parse_fault_flags() {
+        let cmd = parse(&args(
+            "simulate g.csr --fault-seed 42 --fault-link-degrade 0.5 --fault-drop-rate 0.01",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Simulate { fault: Some(spec), .. } => {
+                assert_eq!(spec.seed, 42);
+                assert_eq!(spec.link_degrade, 0.5);
+                assert_eq!(spec.straggler, 1.0);
+                assert_eq!(spec.drop_rate, 0.01);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_fault_flags_are_rejected() {
+        let err = parse(&args("simulate g.csr --fault-link-degrade 0")).unwrap_err();
+        assert!(err.contains("link_degrade"), "{err}");
+        let err = parse(&args("simulate g.csr --fault-drop-rate 1.5")).unwrap_err();
+        assert!(err.contains("drop_rate"), "{err}");
+        let err = parse(&args("simulate g.csr --fault-straggler 0.5")).unwrap_err();
+        assert!(err.contains("straggler"), "{err}");
+        let err = parse(&args("simulate g.csr --fault-seed nope")).unwrap_err();
+        assert!(err.contains("integer"), "{err}");
     }
 
     #[test]
@@ -549,6 +642,36 @@ mod tests {
             .unwrap();
             assert!(out.contains("simulated"), "{engine}: {out}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_under_faults_reports_recovery() {
+        let dir = std::env::temp_dir().join(format!("mgg-cli-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.csr");
+        let p = path.to_str().unwrap();
+        execute(&parse(&args(&format!("generate --rmat 8,2000 -o {p}"))).unwrap()).unwrap();
+
+        let out = execute(
+            &parse(&args(&format!(
+                "simulate {p} --gpus 4 --dim 16 --fault-seed 42 --fault-link-degrade 0.5"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("re-balance placement"), "{out}");
+        assert!(out.contains("replans"), "{out}");
+
+        // The UVM baseline accepts the same fault scenario.
+        let out = execute(
+            &parse(&args(&format!(
+                "simulate {p} --gpus 4 --dim 16 --engine uvm --fault-seed 42 --fault-link-degrade 0.5"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("simulated"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

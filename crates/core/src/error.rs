@@ -1,0 +1,80 @@
+//! Structured error taxonomy of the MGG engine.
+//!
+//! The executor and CLI hot paths report failures through [`MggError`]
+//! instead of panicking, so callers (the CLI, the bench harness, library
+//! users) can distinguish a misconfiguration from a hardware-limit
+//! violation from a communication failure and react accordingly.
+
+use std::fmt;
+
+use mgg_shmem::ShmemError;
+use mgg_sim::LaunchError;
+
+/// Any failure the MGG engine can report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MggError {
+    /// The `(ps, dist, wpb)` configuration is outside the paper's bounds.
+    InvalidConfig(String),
+    /// A fault-injection spec is outside its documented domain.
+    InvalidFaultSpec(String),
+    /// The kernel launch violates a hardware limit of the target GPU.
+    Launch(LaunchError),
+    /// A resilient one-sided operation exhausted its recovery budget.
+    Shmem(ShmemError),
+}
+
+impl fmt::Display for MggError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MggError::InvalidConfig(msg) => write!(f, "invalid MGG configuration: {msg}"),
+            MggError::InvalidFaultSpec(msg) => write!(f, "invalid fault spec: {msg}"),
+            MggError::Launch(e) => write!(f, "kernel launch rejected: {e}"),
+            MggError::Shmem(e) => write!(f, "communication failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MggError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MggError::Launch(e) => Some(e),
+            MggError::Shmem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LaunchError> for MggError {
+    fn from(e: LaunchError) -> Self {
+        MggError::Launch(e)
+    }
+}
+
+impl From<ShmemError> for MggError {
+    fn from(e: ShmemError) -> Self {
+        MggError::Shmem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = MggError::InvalidConfig("ps out of range".into());
+        assert!(e.to_string().contains("ps out of range"));
+        let e: MggError = LaunchError::ZeroWarps.into();
+        assert!(e.to_string().contains("launch rejected"));
+        let e: MggError = ShmemError::GetFailed { pe: 2, row: 5, attempts: 4 }.into();
+        assert!(e.to_string().contains("communication failure"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let e: MggError = LaunchError::ZeroWarps.into();
+        assert!(e.source().is_some());
+        assert!(MggError::InvalidConfig("x".into()).source().is_none());
+    }
+}

@@ -5,18 +5,40 @@
 //! functional outputs match the CPU reference (up to floating-point
 //! reassociation) while timing comes from the discrete-event simulation.
 
+use mgg_fault::{FaultSchedule, FaultSpec};
 use mgg_gnn::models::Aggregator;
 use mgg_gnn::reference::AggregateMode;
 use mgg_gnn::Matrix;
 use mgg_graph::{CsrGraph, NodeSplit};
-use mgg_sim::{Cluster, ClusterSpec, GpuSim, KernelStats, LaunchError, NoPaging, SimTime};
+use mgg_shmem::resilience::{ResilienceStats, ResilientRegion};
+use mgg_sim::{Cluster, ClusterSpec, GpuSim, KernelStats, NoPaging, SimTime};
 
 use crate::config::MggConfig;
+use crate::error::MggError;
 use crate::kernel::{KernelVariant, MggKernel};
 use crate::mapping::MappingMode;
 use crate::model::AnalyticalModel;
 use crate::placement::HybridPlacement;
 use crate::workload::{build_plans, WorkPlan};
+
+/// Below this per-GPU health the engine re-plans placement around the
+/// impaired GPU instead of riding out the degradation.
+const REPLAN_HEALTH_THRESHOLD: f64 = 0.9;
+
+/// Below this health the degradation is severe enough that the engine also
+/// recommends abandoning peer-to-peer access for the UVM path.
+const UVM_FALLBACK_HEALTH_THRESHOLD: f64 = 0.25;
+
+/// What the engine decided to do about an installed fault scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Faults (if any) are mild: retries and timeouts absorb them.
+    None,
+    /// Re-balance the impaired GPUs' share of the workload.
+    Rebalance,
+    /// Degradation is severe: re-balance, and recommend the UVM path.
+    UvmFallback,
+}
 
 /// The MGG multi-GPU aggregation engine.
 pub struct MggEngine {
@@ -29,19 +51,34 @@ pub struct MggEngine {
     mode: AggregateMode,
     /// Global GCN normalization coefficients (empty for other modes).
     norm: Vec<f32>,
+    /// The input graph, kept for fault-driven re-planning.
+    graph: CsrGraph,
+    /// True once placement has been re-planned around the current faults.
+    replanned: bool,
     /// Statistics of the most recent simulated kernel.
     pub last_stats: Option<KernelStats>,
 }
 
 impl MggEngine {
     /// Builds the engine with MGG's defaults (edge-balanced split, async
-    /// pipelined kernel, interleaved mapping).
+    /// pipelined kernel, interleaved mapping). Panics on an invalid
+    /// configuration; use [`MggEngine::try_new`] to handle it.
     pub fn new(
         graph: &CsrGraph,
         spec: ClusterSpec,
         config: MggConfig,
         mode: AggregateMode,
     ) -> Self {
+        Self::try_new(graph, spec, config, mode).expect("invalid MGG configuration")
+    }
+
+    /// Fallible [`MggEngine::new`].
+    pub fn try_new(
+        graph: &CsrGraph,
+        spec: ClusterSpec,
+        config: MggConfig,
+        mode: AggregateMode,
+    ) -> Result<Self, MggError> {
         let placement = HybridPlacement::plan(graph, spec.num_gpus);
         Self::with_placement(graph, spec, placement, config, mode)
     }
@@ -56,6 +93,7 @@ impl MggEngine {
     ) -> Self {
         let placement = HybridPlacement::from_split(graph, split);
         Self::with_placement(graph, spec, placement, config, mode)
+            .expect("invalid MGG configuration")
     }
 
     fn with_placement(
@@ -64,14 +102,14 @@ impl MggEngine {
         placement: HybridPlacement,
         config: MggConfig,
         mode: AggregateMode,
-    ) -> Self {
-        config.validate().expect("invalid MGG configuration");
+    ) -> Result<Self, MggError> {
+        config.validate().map_err(MggError::InvalidConfig)?;
         let plans = build_plans(&placement, config.ps);
         let norm = match mode {
             AggregateMode::GcnNorm => graph.gcn_norm(),
             _ => Vec::new(),
         };
-        MggEngine {
+        Ok(MggEngine {
             cluster: Cluster::new(spec),
             placement,
             plans,
@@ -80,8 +118,10 @@ impl MggEngine {
             mapping: MappingMode::Interleaved,
             mode,
             norm,
+            graph: graph.clone(),
+            replanned: false,
             last_stats: None,
-        }
+        })
     }
 
     /// Current configuration.
@@ -90,18 +130,93 @@ impl MggEngine {
     }
 
     /// Replaces the configuration, rebuilding work plans when `ps` changed.
-    pub fn set_config(&mut self, config: MggConfig) {
-        config.validate().expect("invalid MGG configuration");
+    pub fn set_config(&mut self, config: MggConfig) -> Result<(), MggError> {
+        config.validate().map_err(MggError::InvalidConfig)?;
         if config.ps != self.config.ps {
             self.plans = build_plans(&self.placement, config.ps);
         }
         self.config = config;
+        Ok(())
+    }
+
+    /// Derives a deterministic fault scenario from `spec` and installs it
+    /// on the cluster. Subsequent simulations run under these faults (and
+    /// may trigger graceful degradation — see
+    /// [`MggEngine::simulate_aggregation`]).
+    pub fn install_faults(&mut self, spec: FaultSpec) -> Result<(), MggError> {
+        spec.validate().map_err(MggError::InvalidFaultSpec)?;
+        let sched = FaultSchedule::derive(&spec, self.cluster.num_gpus());
+        self.cluster.install_faults(sched);
+        self.replanned = false;
+        Ok(())
+    }
+
+    /// Installs an explicit fault schedule (pinned test scenarios).
+    pub fn install_fault_schedule(&mut self, sched: FaultSchedule) {
+        self.cluster.install_faults(sched);
+        self.replanned = false;
+    }
+
+    /// Removes any installed fault scenario.
+    pub fn clear_faults(&mut self) {
+        self.cluster.clear_faults();
+        self.replanned = false;
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_schedule(&self) -> Option<&FaultSchedule> {
+        self.cluster.faults()
+    }
+
+    /// What graceful degradation the installed faults call for.
+    pub fn recovery_action(&self) -> RecoveryAction {
+        let Some(sched) = self.cluster.faults() else { return RecoveryAction::None };
+        let min_health = (0..sched.num_gpus())
+            .map(|g| sched.health(g))
+            .fold(1.0_f64, f64::min);
+        if min_health < UVM_FALLBACK_HEALTH_THRESHOLD {
+            RecoveryAction::UvmFallback
+        } else if min_health < REPLAN_HEALTH_THRESHOLD {
+            RecoveryAction::Rebalance
+        } else {
+            RecoveryAction::None
+        }
     }
 
     /// Simulates one aggregation pass at embedding dimension `dim` and
     /// returns the kernel statistics. Channels are reset first, so calls
     /// are independent measurements.
-    pub fn simulate_aggregation(&mut self, dim: usize) -> Result<KernelStats, LaunchError> {
+    ///
+    /// Under an installed fault scenario with impaired GPUs, the first
+    /// call additionally performs graceful degradation: the run that
+    /// observed the degradation is treated as the detection pass, placement
+    /// is re-planned with capacity weights proportional to each GPU's
+    /// health, and the kernel is re-run on the re-balanced placement. The
+    /// returned statistics are those of the recovered run, with the
+    /// detection pass charged to `recovery.recovery_latency_ns`.
+    pub fn simulate_aggregation(&mut self, dim: usize) -> Result<KernelStats, MggError> {
+        let mut stats = self.run_kernel(dim)?;
+        let action = self.recovery_action();
+        if action != RecoveryAction::None && !self.replanned {
+            let sched = self.cluster.faults().expect("action implies faults").clone();
+            let weights: Vec<f64> =
+                (0..sched.num_gpus()).map(|g| sched.health(g).max(0.05)).collect();
+            let detection_ns = stats.makespan_ns();
+            self.replan_weighted(&weights);
+            let mut recovered = self.run_kernel(dim)?;
+            recovered.recovery.replans += 1;
+            if action == RecoveryAction::UvmFallback {
+                recovered.recovery.uvm_fallbacks += 1;
+            }
+            recovered.recovery.recovery_latency_ns += detection_ns;
+            stats = recovered;
+        }
+        self.last_stats = Some(stats.clone());
+        Ok(stats)
+    }
+
+    /// One raw kernel simulation on the current placement (no recovery).
+    fn run_kernel(&mut self, dim: usize) -> Result<KernelStats, MggError> {
         let model = AnalyticalModel::new(self.cluster.spec.gpu.clone(), dim);
         let kernel = MggKernel::build(
             &self.placement,
@@ -113,14 +228,22 @@ impl MggEngine {
             self.mapping,
         );
         self.cluster.reset();
-        let stats = GpuSim::run(&mut self.cluster, &kernel, &mut NoPaging)?;
-        self.last_stats = Some(stats.clone());
-        Ok(stats)
+        Ok(GpuSim::run(&mut self.cluster, &kernel, &mut NoPaging)?)
+    }
+
+    /// Rebuilds split, placement and work plans with per-GPU capacity
+    /// weights. Functional outputs are split-invariant, so this only moves
+    /// work, never changes values.
+    fn replan_weighted(&mut self, weights: &[f64]) {
+        let split = NodeSplit::edge_balanced_weighted(&self.graph, weights);
+        self.placement = HybridPlacement::from_split(&self.graph, split);
+        self.plans = build_plans(&self.placement, self.config.ps);
+        self.replanned = true;
     }
 
     /// Simulated end-to-end duration of one aggregation (kernel makespan
     /// plus the host launch overhead).
-    pub fn simulate_aggregation_ns(&mut self, dim: usize) -> Result<SimTime, LaunchError> {
+    pub fn simulate_aggregation_ns(&mut self, dim: usize) -> Result<SimTime, MggError> {
         let launch_overhead = self.cluster.spec.kernel_launch_ns;
         Ok(self.simulate_aggregation(dim)?.makespan_ns() + launch_overhead)
     }
@@ -182,6 +305,70 @@ impl MggEngine {
             }
         }
         out
+    }
+
+    /// Functional aggregation through the resilience plane: remote rows are
+    /// fetched with non-blocking resilient GETs (retrying transiently
+    /// dropped ones) and settled per destination row. Values are identical
+    /// to [`MggEngine::aggregate_values`] — faults never corrupt data, they
+    /// only cost retries — and the resilience counters report what recovery
+    /// work was needed.
+    pub fn aggregate_values_resilient(
+        &self,
+        x: &Matrix,
+    ) -> Result<(Matrix, ResilienceStats), MggError> {
+        let dim = x.cols();
+        let region = self.placement.place_embeddings(x);
+        let mut resilient = ResilientRegion::new(&region, self.cluster.faults());
+        let mut out = Matrix::zeros(x.rows(), dim);
+        let mut fetched = vec![0.0f32; dim];
+        for part in &self.placement.parts {
+            let base = part.node_range.start as usize;
+            for r in 0..part.local.num_rows() as u32 {
+                let v = base + r as usize;
+                let out_row_start = v * dim;
+                for lr in part.local.row(r) {
+                    let w = self.weight(v, base + lr.local as usize);
+                    let src = region.row(part.pe, lr.local);
+                    let dst = &mut out.data_mut()[out_row_start..out_row_start + dim];
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d += w * s;
+                    }
+                }
+                for rr in part.remote.row(r) {
+                    let owner_base = self.placement.split.range(rr.owner as usize).start;
+                    let w = self.weight(v, (owner_base + rr.local) as usize);
+                    resilient.get_nbi(&mut fetched, part.pe, rr.owner as usize, rr.local)?;
+                    let dst = &mut out.data_mut()[out_row_start..out_row_start + dim];
+                    for (d, &s) in dst.iter_mut().zip(fetched.iter()) {
+                        *d += w * s;
+                    }
+                }
+                resilient.quiet(part.pe)?;
+                match self.mode {
+                    AggregateMode::GcnNorm => {
+                        let w = self.norm[v] * self.norm[v];
+                        let src: Vec<f32> = x.row(v).to_vec();
+                        let dst = &mut out.data_mut()[out_row_start..out_row_start + dim];
+                        for (d, s) in dst.iter_mut().zip(src) {
+                            *d += w * s;
+                        }
+                    }
+                    AggregateMode::Mean => {
+                        let deg = part.local.row(r).len() + part.remote.row(r).len();
+                        if deg > 0 {
+                            let inv = 1.0 / deg as f32;
+                            let dst = &mut out.data_mut()[out_row_start..out_row_start + dim];
+                            for d in dst {
+                                *d *= inv;
+                            }
+                        }
+                    }
+                    AggregateMode::Sum => {}
+                }
+            }
+        }
+        Ok((out, resilient.stats()))
     }
 
     #[inline]
@@ -403,9 +590,123 @@ mod tests {
             AggregateMode::Sum,
         );
         let coarse: usize = e.plans.iter().map(|p| p.lnps.len() + p.rnps.len()).sum();
-        e.set_config(MggConfig { ps: 2, dist: 1, wpb: 1 });
+        e.set_config(MggConfig { ps: 2, dist: 1, wpb: 1 }).unwrap();
         let fine: usize = e.plans.iter().map(|p| p.lnps.len() + p.rnps.len()).sum();
         assert!(fine > coarse);
+    }
+
+    #[test]
+    fn quiet_faults_leave_engine_bit_identical() {
+        let g = graph();
+        let x = features(g.num_nodes(), 16);
+        let mut plain = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(4),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        let mut faulty = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(4),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        faulty.install_faults(mgg_fault::FaultSpec::quiet()).unwrap();
+        assert_eq!(faulty.recovery_action(), RecoveryAction::None);
+        let a = plain.simulate_aggregation(64).unwrap();
+        let b = faulty.simulate_aggregation(64).unwrap();
+        assert_eq!(a, b, "quiet fault spec must not perturb timing");
+        let (va, _) = plain.aggregate_values_resilient(&x).unwrap();
+        let vb = faulty.aggregate_values(&x);
+        assert_eq!(va.data(), vb.data(), "quiet faults must not perturb values");
+    }
+
+    #[test]
+    fn degraded_link_triggers_replan_and_keeps_values_exact() {
+        let g = graph();
+        let x = features(g.num_nodes(), 16);
+        let mut e = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(4),
+            MggConfig::default_fixed(),
+            AggregateMode::GcnNorm,
+        );
+        let spec = mgg_fault::FaultSpec { seed: 42, link_degrade: 0.5, ..Default::default() };
+        e.install_faults(spec).unwrap();
+        assert_eq!(e.recovery_action(), RecoveryAction::Rebalance);
+        let stats = e.simulate_aggregation(64).unwrap();
+        assert_eq!(stats.recovery.replans, 1);
+        assert!(stats.recovery.recovery_latency_ns > 0);
+        // Re-planning moves work, never values.
+        let got = e.aggregate_values(&x);
+        let want = aggregate(&g, &x, AggregateMode::GcnNorm);
+        assert!(got.max_abs_diff(&want) < 1e-3);
+        // Second run is on the recovered placement: no further replans.
+        let again = e.simulate_aggregation(64).unwrap();
+        assert_eq!(again.recovery.replans, 0);
+    }
+
+    #[test]
+    fn severe_degradation_recommends_uvm_fallback() {
+        let g = graph();
+        let mut e = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(4),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        let spec = mgg_fault::FaultSpec { seed: 7, link_degrade: 0.1, ..Default::default() };
+        e.install_faults(spec).unwrap();
+        assert_eq!(e.recovery_action(), RecoveryAction::UvmFallback);
+        let stats = e.simulate_aggregation(32).unwrap();
+        assert_eq!(stats.recovery.uvm_fallbacks, 1);
+        e.clear_faults();
+        assert_eq!(e.recovery_action(), RecoveryAction::None);
+    }
+
+    #[test]
+    fn dropped_gets_recover_with_exact_values() {
+        let g = graph();
+        let x = features(g.num_nodes(), 8);
+        let mut e = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(4),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        e.install_faults(mgg_fault::FaultSpec {
+            seed: 3,
+            drop_rate: 0.2,
+            ..Default::default()
+        })
+        .unwrap();
+        let stats = e.simulate_aggregation(32).unwrap();
+        assert!(stats.recovery.retried_gets > 0, "drop rate 0.2 must hit some gets");
+        let (got, rstats) = e.aggregate_values_resilient(&x).unwrap();
+        assert!(rstats.retries > 0);
+        let want = aggregate(&g, &x, AggregateMode::Sum);
+        assert!(got.max_abs_diff(&want) < 1e-3, "recovered values must stay exact");
+    }
+
+    #[test]
+    fn invalid_config_and_spec_are_reported_not_panicked() {
+        let g = graph();
+        let bad = MggConfig { ps: 4, dist: 0, wpb: 1 };
+        match MggEngine::try_new(&g, ClusterSpec::dgx_a100(2), bad, AggregateMode::Sum) {
+            Err(MggError::InvalidConfig(_)) => {}
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("dist=0 must be rejected"),
+        }
+        let mut e = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(2),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        let err = e
+            .install_faults(mgg_fault::FaultSpec { drop_rate: 1.5, ..Default::default() })
+            .unwrap_err();
+        assert!(matches!(err, MggError::InvalidFaultSpec(_)));
     }
 
     #[test]

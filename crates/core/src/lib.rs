@@ -36,6 +36,7 @@
 //!   from `mgg-sim`.
 
 pub mod config;
+pub mod error;
 pub mod executor;
 pub mod kernel;
 pub mod mapping;
@@ -46,7 +47,8 @@ pub mod tuner;
 pub mod workload;
 
 pub use config::MggConfig;
-pub use executor::MggEngine;
+pub use error::MggError;
+pub use executor::{MggEngine, RecoveryAction};
 pub use kernel::{KernelVariant, MggKernel};
 pub use model::AnalyticalModel;
 pub use replicated::ReplicatedEngine;

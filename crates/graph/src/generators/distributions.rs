@@ -1,7 +1,7 @@
 //! Small samplers implemented in-crate so the workspace does not need
 //! `rand_distr`.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Samples a standard normal via the Box-Muller transform.
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {

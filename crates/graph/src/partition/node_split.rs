@@ -99,6 +99,49 @@ impl NodeSplit {
         NodeSplit { bounds }
     }
 
+    /// Capacity-weighted edge-balanced split: GPU `g` receives a share of
+    /// the edges proportional to `weights[g]`. With equal weights this is
+    /// edge balancing; unequal weights let a caller shrink the share of an
+    /// impaired GPU (degraded links, thermal throttling) — the re-planning
+    /// primitive behind graceful degradation.
+    pub fn edge_balanced_weighted(graph: &CsrGraph, weights: &[f64]) -> NodeSplit {
+        assert!(!weights.is_empty(), "need at least one GPU");
+        assert!(
+            weights.iter().all(|&w| w > 0.0 && w.is_finite()),
+            "capacity weights must be positive and finite"
+        );
+        let num_gpus = weights.len();
+        let n = graph.num_nodes();
+        let n_ptr = graph.row_ptr();
+        let total = graph.num_edges() as f64;
+        let weight_sum: f64 = weights.iter().sum();
+        let mut bounds = Vec::with_capacity(num_gpus + 1);
+        bounds.push(0 as NodeId);
+        let mut last_pos = 0usize;
+        let mut cum_weight = 0.0;
+        for &w in weights.iter().take(num_gpus - 1) {
+            cum_weight += w;
+            // Cumulative edge target of the first g+1 partitions; same
+            // range-constrained binary search as `edge_balanced`.
+            let target = ((total * cum_weight / weight_sum).ceil() as u64).min(n_ptr[n]);
+            let mut lo = last_pos;
+            let mut hi = n;
+            while lo < hi {
+                let mid = (lo + hi).div_ceil(2);
+                if n_ptr[mid] <= target {
+                    lo = mid;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            let split = lo.max(last_pos + 1).min(n);
+            bounds.push(split as NodeId);
+            last_pos = split;
+        }
+        bounds.push(n as NodeId);
+        NodeSplit { bounds }
+    }
+
     /// Uniform node-count split (the naive baseline the paper improves on).
     pub fn uniform(num_nodes: usize, num_gpus: usize) -> NodeSplit {
         assert!(num_gpus >= 1, "need at least one GPU");
@@ -237,6 +280,38 @@ mod tests {
                 "partition {i} has {p} edges, quota {quota}"
             );
         }
+    }
+
+    #[test]
+    fn weighted_split_shrinks_the_light_partition() {
+        let g = rmat(&RmatConfig::graph500(11, 20_000, 5));
+        // GPU 1 at quarter capacity must receive clearly fewer edges.
+        let s = NodeSplit::edge_balanced_weighted(&g, &[1.0, 0.25, 1.0, 1.0]);
+        let parts = s.part_edges(&g);
+        let total: u64 = parts.iter().sum();
+        assert_eq!(total, g.num_edges() as u64);
+        let healthy_min = parts[0].min(parts[2]).min(parts[3]);
+        assert!(
+            parts[1] * 2 < healthy_min,
+            "impaired partition has {} edges vs healthy minimum {healthy_min}",
+            parts[1]
+        );
+    }
+
+    #[test]
+    fn equal_weights_are_edge_balanced() {
+        let g = rmat(&RmatConfig::graph500(11, 20_000, 13));
+        let s = NodeSplit::edge_balanced_weighted(&g, &[1.0; 4]);
+        assert!(s.edge_imbalance(&g) < 1.2, "imbalance {}", s.edge_imbalance(&g));
+        let covered: usize = (0..4).map(|p| s.part_nodes(p)).sum();
+        assert_eq!(covered, g.num_nodes());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weighted_split_rejects_zero_weight() {
+        let g = ring(8);
+        let _ = NodeSplit::edge_balanced_weighted(&g, &[1.0, 0.0]);
     }
 
     #[test]

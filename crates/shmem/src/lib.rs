@@ -17,8 +17,15 @@
 //! The split keeps values exact and timing deterministic without simulating
 //! data movement byte by byte.
 
+//! A third plane — **resilience** — wraps the data plane when a fault
+//! schedule is installed: [`ResilientRegion`] retries transiently dropped
+//! GETs and settles lost non-blocking completions by timeout, returning
+//! [`ShmemError`] instead of hanging or panicking.
+
 pub mod collectives;
 pub mod region;
+pub mod resilience;
 
 pub use collectives::{barrier_all, sum_reduce_all};
 pub use region::SymmetricRegion;
+pub use resilience::{ResilienceStats, ResilientRegion, RetryPolicy, ShmemError};

@@ -1,0 +1,366 @@
+//! Resilient one-sided operations: retry, timeout and completion checking.
+//!
+//! The plain [`SymmetricRegion`](crate::SymmetricRegion) assumes a perfect
+//! fabric: every GET returns and every non-blocking operation eventually
+//! signals completion. Under an injected [`FaultSchedule`] that is no longer
+//! true — a GET can be transiently dropped, an `_nbi` completion flag can be
+//! lost. This module wraps the region with the recovery protocol a real
+//! NVSHMEM-level resilience layer would implement:
+//!
+//! * dropped GETs are re-issued up to [`RetryPolicy::max_attempts`] times
+//!   with a fixed backoff, then reported as [`ShmemError::GetFailed`];
+//! * outstanding `_nbi` operations are tracked per PE and settled by
+//!   [`ResilientRegion::quiet`], which detects lost completion signals by
+//!   timeout instead of hanging.
+//!
+//! Everything is deterministic: the drop decisions come from the schedule's
+//! stateless hash, so the timing simulator in `mgg-sim` and this functional
+//! layer agree on *which* operations failed without sharing state.
+
+use std::fmt;
+
+use mgg_fault::{FaultSchedule, COMPLETION_TIMEOUT_NS, RETRY_BACKOFF_NS};
+
+use crate::region::SymmetricRegion;
+
+/// Failure of a resilient one-sided operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShmemError {
+    /// A GET kept being dropped past the retry budget.
+    GetFailed { pe: usize, row: u32, attempts: u32 },
+    /// A row address outside the region.
+    RowOutOfBounds { pe: usize, row: u32, rows: usize },
+    /// `quiet` found operations that could not be settled.
+    IncompleteNbi { pe: usize, outstanding: u64 },
+}
+
+impl fmt::Display for ShmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShmemError::GetFailed { pe, row, attempts } => {
+                write!(f, "one-sided GET of row {row} from PE {pe} failed after {attempts} attempts")
+            }
+            ShmemError::RowOutOfBounds { pe, row, rows } => {
+                write!(f, "row {row} out of bounds on PE {pe} (has {rows} rows)")
+            }
+            ShmemError::IncompleteNbi { pe, outstanding } => {
+                write!(f, "{outstanding} non-blocking operations on PE {pe} never completed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShmemError {}
+
+/// Retry/timeout budget of the resilience layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per GET (first try included).
+    pub max_attempts: u32,
+    /// Simulated backoff charged per retry, in nanoseconds.
+    pub backoff_ns: u64,
+    /// Deadline after which a lost `_nbi` completion is declared done.
+    pub timeout_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_ns: RETRY_BACKOFF_NS,
+            timeout_ns: COMPLETION_TIMEOUT_NS,
+        }
+    }
+}
+
+/// Counters of what the resilience layer had to do.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// GETs issued through the layer.
+    pub gets: u64,
+    /// Re-issues after a transient drop.
+    pub retries: u64,
+    /// GETs that needed at least one retry but ultimately succeeded.
+    pub recovered_gets: u64,
+    /// Lost `_nbi` completions settled by timeout in `quiet`.
+    pub timed_out_completions: u64,
+    /// Simulated nanoseconds spent on backoff and timeouts.
+    pub penalty_ns: u64,
+}
+
+/// A [`SymmetricRegion`] view whose one-sided operations survive the
+/// transient failures of an installed [`FaultSchedule`].
+///
+/// With no schedule (or a quiet one) every operation degenerates to the
+/// plain region call — same data, zero stats — so wrapping is free for
+/// healthy runs.
+#[derive(Debug)]
+pub struct ResilientRegion<'a> {
+    region: &'a SymmetricRegion,
+    faults: Option<&'a FaultSchedule>,
+    policy: RetryPolicy,
+    /// Per-PE serial counter of issued GETs; must mirror the timing plane's
+    /// numbering so both planes drop the same operations.
+    serial: Vec<u64>,
+    /// Per-PE outstanding `_nbi` completions awaiting `quiet`, with their
+    /// drop decision.
+    outstanding: Vec<Vec<bool>>,
+    stats: ResilienceStats,
+}
+
+impl<'a> ResilientRegion<'a> {
+    /// Wraps `region`, consulting `faults` for drop decisions.
+    pub fn new(region: &'a SymmetricRegion, faults: Option<&'a FaultSchedule>) -> Self {
+        Self::with_policy(region, faults, RetryPolicy::default())
+    }
+
+    /// Wraps with an explicit retry budget.
+    pub fn with_policy(
+        region: &'a SymmetricRegion,
+        faults: Option<&'a FaultSchedule>,
+        policy: RetryPolicy,
+    ) -> Self {
+        assert!(policy.max_attempts >= 1, "need at least one attempt");
+        let pes = region.num_pes();
+        ResilientRegion {
+            region,
+            faults,
+            policy,
+            serial: vec![0; pes],
+            outstanding: vec![Vec::new(); pes],
+            stats: ResilienceStats::default(),
+        }
+    }
+
+    /// Blocking resilient GET: copies row `(src_pe, src_row)` into `dst`,
+    /// retrying transient drops. Returns the number of attempts used.
+    pub fn get(
+        &mut self,
+        dst: &mut [f32],
+        issuing_pe: usize,
+        src_pe: usize,
+        src_row: u32,
+    ) -> Result<u32, ShmemError> {
+        self.check_row(src_pe, src_row)?;
+        self.stats.gets += 1;
+        let mut attempts = 0;
+        while attempts < self.policy.max_attempts {
+            let dropped = self.next_drop(issuing_pe).0;
+            attempts += 1;
+            if !dropped {
+                if attempts > 1 {
+                    self.stats.recovered_gets += 1;
+                }
+                self.region.get(dst, src_pe, src_row);
+                return Ok(attempts);
+            }
+            self.stats.retries += 1;
+            self.stats.penalty_ns += self.policy.backoff_ns;
+        }
+        Err(ShmemError::GetFailed { pe: src_pe, row: src_row, attempts })
+    }
+
+    /// Non-blocking resilient GET: the copy happens immediately (the data
+    /// plane is functional), but completion is only guaranteed after
+    /// [`ResilientRegion::quiet`] settles it.
+    pub fn get_nbi(
+        &mut self,
+        dst: &mut [f32],
+        issuing_pe: usize,
+        src_pe: usize,
+        src_row: u32,
+    ) -> Result<(), ShmemError> {
+        self.check_row(src_pe, src_row)?;
+        self.stats.gets += 1;
+        let (dropped, completion_lost) = self.next_drop(issuing_pe);
+        if dropped {
+            // A dropped nbi GET is re-issued inline (one-sided ops have no
+            // target-side state to clean up).
+            self.stats.retries += 1;
+            self.stats.recovered_gets += 1;
+            self.stats.penalty_ns += self.policy.backoff_ns;
+        }
+        self.region.get(dst, src_pe, src_row);
+        self.outstanding[issuing_pe].push(completion_lost);
+        Ok(())
+    }
+
+    /// Settles all outstanding non-blocking operations of `issuing_pe`
+    /// (mirrors `nvshmem_quiet`). Lost completion signals are detected by
+    /// timeout and charged to the penalty counter.
+    pub fn quiet(&mut self, issuing_pe: usize) -> Result<(), ShmemError> {
+        for completion_lost in self.outstanding[issuing_pe].drain(..) {
+            if completion_lost {
+                self.stats.timed_out_completions += 1;
+                self.stats.penalty_ns += self.policy.timeout_ns;
+            }
+        }
+        Ok(())
+    }
+
+    /// Outstanding non-blocking operations of `pe` not yet settled.
+    pub fn outstanding(&self, pe: usize) -> usize {
+        self.outstanding[pe].len()
+    }
+
+    /// What the layer has done so far.
+    pub fn stats(&self) -> ResilienceStats {
+        self.stats
+    }
+
+    fn check_row(&self, pe: usize, row: u32) -> Result<(), ShmemError> {
+        let rows = self.region.rows_on(pe);
+        if (row as usize) < rows {
+            Ok(())
+        } else {
+            Err(ShmemError::RowOutOfBounds { pe, row, rows })
+        }
+    }
+
+    /// Advances `pe`'s serial counter and returns (get dropped, completion
+    /// lost) for that serial.
+    fn next_drop(&mut self, pe: usize) -> (bool, bool) {
+        let Some(s) = self.faults else { return (false, false) };
+        let serial = self.serial[pe];
+        self.serial[pe] += 1;
+        (s.drops_get(pe, serial), s.drops_completion(pe, serial))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mgg_fault::FaultSpec;
+
+    use super::*;
+
+    fn region() -> SymmetricRegion {
+        let matrix: Vec<f32> = (0..16).map(|x| x as f32).collect();
+        SymmetricRegion::scatter_rows(&matrix, &[2, 2], 4)
+    }
+
+    #[test]
+    fn no_faults_is_a_plain_get() {
+        let r = region();
+        let mut res = ResilientRegion::new(&r, None);
+        let mut dst = [0.0f32; 4];
+        let attempts = res.get(&mut dst, 0, 1, 0).unwrap();
+        assert_eq!(attempts, 1);
+        assert_eq!(dst, [8.0, 9.0, 10.0, 11.0]);
+        assert_eq!(res.stats(), ResilienceStats { gets: 1, ..Default::default() });
+    }
+
+    #[test]
+    fn drops_are_retried_and_data_is_exact() {
+        let r = region();
+        let spec = FaultSpec { seed: 123, drop_rate: 0.4, ..FaultSpec::quiet() };
+        let sched = FaultSchedule::derive(&spec, 2);
+        let mut res = ResilientRegion::new(&r, Some(&sched));
+        let mut dst = [0.0f32; 4];
+        // Enough GETs that a 40% drop rate must force retries.
+        for i in 0..64 {
+            let row = i % 2;
+            res.get(&mut dst, 0, 1, row).unwrap();
+            assert_eq!(dst[0], (8 + 4 * row) as f32, "retried GET must return true data");
+        }
+        let s = res.stats();
+        assert!(s.retries > 0, "40% drop rate over 64 GETs must retry");
+        assert_eq!(s.gets, 64);
+        assert!(s.recovered_gets > 0 && s.recovered_gets <= s.retries);
+        assert!(s.penalty_ns >= s.retries * RETRY_BACKOFF_NS);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_reports() {
+        let r = region();
+        // drop_rate just below 1.0: with 2 attempts some GET fails fast.
+        let spec = FaultSpec { seed: 7, drop_rate: 0.99, ..FaultSpec::quiet() };
+        let sched = FaultSchedule::derive(&spec, 2);
+        let policy = RetryPolicy { max_attempts: 2, ..RetryPolicy::default() };
+        let mut res = ResilientRegion::with_policy(&r, Some(&sched), policy);
+        let mut dst = [0.0f32; 4];
+        let mut failed = false;
+        for _ in 0..32 {
+            if let Err(ShmemError::GetFailed { pe, attempts, .. }) = res.get(&mut dst, 0, 1, 0) {
+                assert_eq!(pe, 1);
+                assert_eq!(attempts, 2);
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "a 99% drop rate must exhaust a 2-attempt budget");
+    }
+
+    #[test]
+    fn nbi_completions_settle_in_quiet() {
+        let r = region();
+        let spec = FaultSpec { seed: 99, drop_rate: 0.5, ..FaultSpec::quiet() };
+        let sched = FaultSchedule::derive(&spec, 2);
+        let mut res = ResilientRegion::new(&r, Some(&sched));
+        let mut dst = [0.0f32; 4];
+        for i in 0..32 {
+            res.get_nbi(&mut dst, 0, 1, i % 2).unwrap();
+        }
+        assert_eq!(res.outstanding(0), 32);
+        res.quiet(0).unwrap();
+        assert_eq!(res.outstanding(0), 0);
+        let s = res.stats();
+        assert!(s.timed_out_completions > 0, "50% completion loss must time out");
+        assert!(s.penalty_ns > 0);
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error_not_a_panic() {
+        let r = region();
+        let mut res = ResilientRegion::new(&r, None);
+        let mut dst = [0.0f32; 4];
+        assert_eq!(
+            res.get(&mut dst, 0, 1, 9),
+            Err(ShmemError::RowOutOfBounds { pe: 1, row: 9, rows: 2 })
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ShmemError::GetFailed { pe: 1, row: 3, attempts: 4 };
+        assert!(e.to_string().contains("after 4 attempts"));
+        let e = ShmemError::IncompleteNbi { pe: 0, outstanding: 7 };
+        assert!(e.to_string().contains("7 non-blocking"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use mgg_fault::FaultSpec;
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// Whatever the fault scenario, a successful resilient GET returns
+        /// exactly the plain region's data: faults perturb timing and
+        /// effort, never values.
+        #[test]
+        fn recovered_data_is_bit_exact(
+            seed in 0u64..500,
+            drop_rate in 0.0f64..0.6,
+            dim in 1usize..8,
+            rows in 1u32..6,
+        ) {
+            let pes = 3usize;
+            let total = pes * rows as usize;
+            let matrix: Vec<f32> = (0..total * dim).map(|i| i as f32 * 0.25).collect();
+            let region = SymmetricRegion::scatter_rows(&matrix, &vec![rows as usize; pes], dim);
+            let spec = FaultSpec { seed, drop_rate, ..FaultSpec::quiet() };
+            let sched = FaultSchedule::derive(&spec, pes);
+            let mut res = ResilientRegion::new(&region, Some(&sched));
+            let mut dst = vec![0.0f32; dim];
+            for pe in 0..pes {
+                for row in 0..rows {
+                    if res.get(&mut dst, (pe + 1) % pes, pe, row).is_ok() {
+                        prop_assert_eq!(&dst[..], region.row(pe, row));
+                    }
+                }
+            }
+        }
+    }
+}

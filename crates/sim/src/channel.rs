@@ -1,5 +1,7 @@
 //! Bandwidth-latency pipe model shared by every memory and link resource.
 
+use mgg_fault::LinkFaultWindow;
+
 use crate::spec::LinkSpec;
 use crate::time::SimTime;
 
@@ -49,6 +51,13 @@ pub struct BandwidthChannel {
     requests: u64,
     /// Total occupancy accepted, for utilization reporting.
     busy_ns_total: u64,
+    /// Injected degradation windows (empty on a healthy channel). When
+    /// empty — the default — `transfer` follows exactly the fault-free
+    /// arithmetic, so installing no faults is bit-identical to a build
+    /// without the fault layer.
+    faults: Vec<LinkFaultWindow>,
+    /// Transfers that started inside a degradation window.
+    degraded_requests: u64,
 }
 
 impl BandwidthChannel {
@@ -64,6 +73,8 @@ impl BandwidthChannel {
             bytes_total: 0,
             requests: 0,
             busy_ns_total: 0,
+            faults: Vec::new(),
+            degraded_requests: 0,
         }
     }
 
@@ -84,8 +95,17 @@ impl BandwidthChannel {
     /// Submits a transfer of `bytes` at `now`; returns the completion time.
     pub fn transfer(&mut self, now: SimTime, bytes: u64) -> SimTime {
         let start = self.busy_until.max(now);
-        let occupancy =
-            bytes as f64 / self.bytes_per_ns + self.per_request_ns + self.carry_frac_ns;
+        let mut extra_latency = 0u64;
+        let occupancy = if self.faults.is_empty() {
+            bytes as f64 / self.bytes_per_ns + self.per_request_ns + self.carry_frac_ns
+        } else {
+            let (mult, jitter) = self.fault_state(start);
+            if mult < 1.0 || jitter > 0 {
+                self.degraded_requests += 1;
+                extra_latency = jitter;
+            }
+            bytes as f64 / (self.bytes_per_ns * mult) + self.per_request_ns + self.carry_frac_ns
+        };
         let whole = occupancy.floor();
         self.carry_frac_ns = occupancy - whole;
         let occ_ns = whole as u64;
@@ -93,7 +113,33 @@ impl BandwidthChannel {
         self.bytes_total += bytes;
         self.requests += 1;
         self.busy_ns_total += occ_ns;
-        self.busy_until + self.latency_ns
+        self.busy_until + self.latency_ns + extra_latency
+    }
+
+    /// Bandwidth multiplier and latency jitter in effect at time `t`.
+    fn fault_state(&self, t: SimTime) -> (f64, u64) {
+        for w in &self.faults {
+            if w.start_ns <= t && t < w.end_ns {
+                return (w.bw_multiplier, w.jitter_ns);
+            }
+        }
+        (1.0, 0)
+    }
+
+    /// Installs degradation windows (appending to any already present).
+    pub fn install_faults(&mut self, windows: &[LinkFaultWindow]) {
+        self.faults.extend_from_slice(windows);
+        self.faults.sort_by_key(|w| (w.start_ns, w.end_ns));
+    }
+
+    /// Removes all installed degradation windows.
+    pub fn clear_faults(&mut self) {
+        self.faults.clear();
+    }
+
+    /// Transfers that started inside a degradation window so far.
+    pub fn degraded_requests(&self) -> u64 {
+        self.degraded_requests
     }
 
     /// Earliest time at which a new transfer could start.
@@ -121,13 +167,16 @@ impl BandwidthChannel {
         self.latency_ns
     }
 
-    /// Resets queueing state and counters (new simulation, same wiring).
+    /// Resets queueing state and counters (new simulation, same wiring —
+    /// installed fault windows persist, like the physical link state they
+    /// model).
     pub fn reset(&mut self) {
         self.busy_until = 0;
         self.carry_frac_ns = 0.0;
         self.bytes_total = 0;
         self.requests = 0;
         self.busy_ns_total = 0;
+        self.degraded_requests = 0;
     }
 }
 
@@ -187,6 +236,78 @@ mod tests {
     #[should_panic(expected = "bandwidth must be positive")]
     fn zero_bandwidth_rejected() {
         let _ = BandwidthChannel::new(0.0, 10);
+    }
+
+    #[test]
+    fn fault_window_halves_bandwidth_inside_only() {
+        let window = LinkFaultWindow {
+            start_ns: 1_000,
+            end_ns: 2_000,
+            bw_multiplier: 0.5,
+            jitter_ns: 0,
+        };
+        let mut faulty = BandwidthChannel::new(100.0, 500);
+        faulty.install_faults(&[window]);
+        let mut healthy = BandwidthChannel::new(100.0, 500);
+        // Before the window: identical.
+        assert_eq!(faulty.transfer(0, 10_000), healthy.transfer(0, 10_000));
+        assert_eq!(faulty.degraded_requests(), 0);
+        // Inside the window: occupancy doubles.
+        let f = faulty.transfer(1_200, 10_000);
+        let h = healthy.transfer(1_200, 10_000);
+        assert_eq!(f, h + 100, "0.5x bandwidth doubles the 100 ns occupancy");
+        assert_eq!(faulty.degraded_requests(), 1);
+        // After the window: back to parity (carry state now differs by the
+        // doubled occupancy, so compare fresh channels).
+        let mut faulty2 = BandwidthChannel::new(100.0, 500);
+        faulty2.install_faults(&[window]);
+        let mut healthy2 = BandwidthChannel::new(100.0, 500);
+        assert_eq!(faulty2.transfer(5_000, 10_000), healthy2.transfer(5_000, 10_000));
+    }
+
+    #[test]
+    fn fault_jitter_adds_latency() {
+        let mut ch = BandwidthChannel::new(100.0, 500);
+        ch.install_faults(&[LinkFaultWindow {
+            start_ns: 0,
+            end_ns: 10_000,
+            bw_multiplier: 1.0,
+            jitter_ns: 25,
+        }]);
+        assert_eq!(ch.transfer(0, 10_000), 100 + 500 + 25);
+        assert_eq!(ch.degraded_requests(), 1);
+    }
+
+    #[test]
+    fn empty_fault_list_is_bit_identical() {
+        let mut plain = BandwidthChannel::new(37.0, 113).with_request_cost(1.5);
+        let mut armed = BandwidthChannel::new(37.0, 113).with_request_cost(1.5);
+        armed.install_faults(&[]);
+        for i in 0..100u64 {
+            assert_eq!(plain.transfer(i * 13, i * 7 + 1), armed.transfer(i * 13, i * 7 + 1));
+        }
+        assert_eq!(plain.busy_ns_total(), armed.busy_ns_total());
+    }
+
+    #[test]
+    fn reset_keeps_windows_but_clears_degraded_count() {
+        let mut ch = BandwidthChannel::new(100.0, 0);
+        ch.install_faults(&[LinkFaultWindow {
+            start_ns: 0,
+            end_ns: u64::MAX,
+            bw_multiplier: 0.5,
+            jitter_ns: 0,
+        }]);
+        let _ = ch.transfer(0, 1_000);
+        assert_eq!(ch.degraded_requests(), 1);
+        ch.reset();
+        assert_eq!(ch.degraded_requests(), 0);
+        let _ = ch.transfer(0, 1_000);
+        assert_eq!(ch.degraded_requests(), 1, "windows survive reset");
+        ch.clear_faults();
+        ch.reset();
+        let _ = ch.transfer(0, 1_000);
+        assert_eq!(ch.degraded_requests(), 0);
     }
 }
 

@@ -2,6 +2,8 @@
 
 use std::collections::HashMap;
 
+use mgg_fault::FaultSchedule;
+
 use crate::channel::BandwidthChannel;
 use crate::metrics::{ChannelStats, TrafficStats};
 use crate::spec::{ClusterSpec, Topology};
@@ -200,6 +202,50 @@ impl Interconnect {
         }
     }
 
+    /// Wires a fault schedule's link-degradation windows onto the affected
+    /// channels: on NVSwitch, a GPU's windows degrade its ingress and
+    /// egress ports; on pair topologies, every link incident to the GPU.
+    pub fn install_faults(&mut self, sched: &FaultSchedule) {
+        for gpu in 0..self.num_gpus() {
+            let windows = sched.link_windows(gpu);
+            if windows.is_empty() {
+                continue;
+            }
+            match self.topology {
+                Topology::NvSwitch => {
+                    self.port_in[gpu].install_faults(windows);
+                    self.port_out[gpu].install_faults(windows);
+                }
+                Topology::NvLinkPairs | Topology::HybridCubeMesh => {
+                    for ((a, b), ch) in self.pair_links.iter_mut() {
+                        if *a as usize == gpu || *b as usize == gpu {
+                            ch.install_faults(windows);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes all installed fault windows from every channel.
+    pub fn clear_faults(&mut self) {
+        self.hbm.iter_mut().for_each(BandwidthChannel::clear_faults);
+        self.port_in.iter_mut().for_each(BandwidthChannel::clear_faults);
+        self.port_out.iter_mut().for_each(BandwidthChannel::clear_faults);
+        self.pair_links.values_mut().for_each(BandwidthChannel::clear_faults);
+        self.host.clear_faults();
+    }
+
+    /// Transfers that started inside a degradation window, summed over all
+    /// channels, since the last reset.
+    pub fn degraded_requests(&self) -> u64 {
+        self.hbm.iter().map(BandwidthChannel::degraded_requests).sum::<u64>()
+            + self.port_in.iter().map(BandwidthChannel::degraded_requests).sum::<u64>()
+            + self.port_out.iter().map(BandwidthChannel::degraded_requests).sum::<u64>()
+            + self.pair_links.values().map(BandwidthChannel::degraded_requests).sum::<u64>()
+            + self.host.degraded_requests()
+    }
+
     /// Captures all channel counters.
     pub fn traffic(&self) -> TrafficStats {
         TrafficStats {
@@ -279,18 +325,47 @@ impl PageHandler for NoPaging {
 pub struct Cluster {
     pub spec: ClusterSpec,
     pub ic: Interconnect,
+    /// Installed fault scenario, if any. `None` — the default — keeps every
+    /// simulation bit-identical to a build without the fault layer.
+    faults: Option<FaultSchedule>,
 }
 
 impl Cluster {
     /// Builds a cluster from `spec`.
     pub fn new(spec: ClusterSpec) -> Self {
         let ic = Interconnect::new(&spec);
-        Cluster { spec, ic }
+        Cluster { spec, ic, faults: None }
     }
 
     /// Number of GPUs.
     pub fn num_gpus(&self) -> usize {
         self.spec.num_gpus
+    }
+
+    /// Installs a fault scenario: link windows are wired onto the affected
+    /// channels and the schedule is kept for the per-operation queries the
+    /// GPU model makes (straggler scaling, transient drops). Replaces any
+    /// previously installed scenario.
+    pub fn install_faults(&mut self, sched: FaultSchedule) {
+        assert_eq!(
+            sched.num_gpus(),
+            self.num_gpus(),
+            "fault schedule GPU count must match the cluster"
+        );
+        self.ic.clear_faults();
+        self.ic.install_faults(&sched);
+        self.faults = Some(sched);
+    }
+
+    /// Removes any installed fault scenario.
+    pub fn clear_faults(&mut self) {
+        self.ic.clear_faults();
+        self.faults = None;
+    }
+
+    /// The installed fault scenario, if any.
+    pub fn faults(&self) -> Option<&FaultSchedule> {
+        self.faults.as_ref()
     }
 
     /// Resets channel state between independent measurements.

@@ -16,9 +16,13 @@
 
 use std::collections::VecDeque;
 
+use mgg_fault::{FaultSchedule, COMPLETION_TIMEOUT_NS, RETRY_BACKOFF_NS};
+
 use crate::cluster::{Cluster, PageHandler};
 use crate::engine::EventQueue;
-use crate::kernel::{GpuKernelStats, KernelLaunch, KernelProgram, KernelStats, LaunchError};
+use crate::kernel::{
+    GpuKernelStats, KernelLaunch, KernelProgram, KernelStats, LaunchError, RecoveryStats,
+};
 use crate::spec::GpuSpec;
 use crate::time::SimTime;
 use crate::trace::{TraceEvent, TraceKind};
@@ -103,6 +107,45 @@ struct Ev {
     kind: EvKind,
 }
 
+/// Per-run fault state: the installed schedule (if any) plus the mutable
+/// counters the drop decisions and recovery accounting need.
+#[derive(Debug)]
+struct FaultCtx {
+    schedule: Option<FaultSchedule>,
+    /// Per-GPU compute slowdown, 1.0 everywhere when healthy.
+    compute_scale: Vec<f64>,
+    /// Per-GPU count of one-sided GETs issued so far (the drop decision is
+    /// a pure function of (pe, serial)).
+    remote_serial: Vec<u64>,
+    recovery: RecoveryStats,
+}
+
+impl FaultCtx {
+    fn new(cluster: &Cluster) -> Self {
+        let n = cluster.num_gpus();
+        let schedule = cluster.faults().cloned();
+        let compute_scale = (0..n)
+            .map(|pe| schedule.as_ref().map_or(1.0, |s| s.compute_scale(pe)))
+            .collect();
+        FaultCtx {
+            schedule,
+            compute_scale,
+            remote_serial: vec![0; n],
+            recovery: RecoveryStats::default(),
+        }
+    }
+
+    /// Drop decisions for the next GET issued by `pe`: whether the GET
+    /// itself is dropped, and (for `nbi` ops) whether its completion
+    /// signal is lost.
+    fn next_get(&mut self, pe: usize, nbi: bool) -> (bool, bool) {
+        let Some(s) = &self.schedule else { return (false, false) };
+        let serial = self.remote_serial[pe];
+        self.remote_serial[pe] += 1;
+        (s.drops_get(pe, serial), nbi && s.drops_completion(pe, serial))
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 enum EvKind {
     /// A scheduler slot frees and its warp becomes ready again.
@@ -180,10 +223,12 @@ impl GpuSim {
             }
         }
 
+        let mut faults = FaultCtx::new(cluster);
+
         // Prime the pipelines.
         for (pe, gpu) in gpus.iter_mut().enumerate() {
             for sm in 0..spec.num_sms as usize {
-                issue(pe, sm, 0, gpu, cluster, handler, &mut q, program, &spec, trace);
+                issue(pe, sm, 0, gpu, cluster, handler, &mut q, program, &spec, &mut faults, trace);
             }
         }
 
@@ -201,12 +246,17 @@ impl GpuSim {
                     gpus[pe].sms[sm].ready.push_back(ev.warp);
                 }
             }
-            issue(pe, sm, now, &mut gpus[pe], cluster, handler, &mut q, program, &spec, trace);
+            issue(
+                pe, sm, now, &mut gpus[pe], cluster, handler, &mut q, program, &spec, &mut faults,
+                trace,
+            );
         }
 
+        faults.recovery.degraded_transfers = cluster.ic.degraded_requests();
         let mut stats = KernelStats {
             per_gpu: Vec::with_capacity(n),
             traffic: cluster.ic.traffic(),
+            recovery: faults.recovery,
             num_sms: spec.num_sms,
             warp_slots_per_sm: spec.warp_slots_per_sm,
         };
@@ -264,6 +314,7 @@ fn issue(
     q: &mut EventQueue<Ev>,
     program: &dyn KernelProgram,
     spec: &GpuSpec,
+    faults: &mut FaultCtx,
     trace: &mut Option<&mut Vec<TraceEvent>>,
 ) {
     let overhead = cluster.ic.request_overhead_ns;
@@ -332,7 +383,14 @@ fn issue(
             gpu.warps[w as usize].pc += 1;
             match op {
                 WarpOp::Compute { cycles } => {
-                    let dur = spec.cycles_to_ns(cycles as u64).max(1);
+                    let mut dur = spec.cycles_to_ns(cycles as u64).max(1);
+                    // Straggler GPUs run their compute slower. The 1.0 path
+                    // skips the float round-trip so healthy runs stay
+                    // bit-identical to the pre-fault-layer model.
+                    let scale = faults.compute_scale[pe];
+                    if scale != 1.0 {
+                        dur = ((dur as f64) * scale).round() as u64;
+                    }
                     gpu.sms[sm].free_scheds -= 1;
                     gpu.sched_busy_ns += dur;
                     record!(w, TraceKind::Compute, now, now + dur);
@@ -355,23 +413,42 @@ fn issue(
                     let _ = cluster.ic.hbm_transfer(now, pe, bytes as u64);
                 }
                 WarpOp::RemoteGet { peer, bytes, nbi } => {
+                    let (drop_get, drop_completion) = faults.next_get(pe, nbi);
+                    // The first wire attempt always happens (and its
+                    // occupancy is charged — the data was lost in flight,
+                    // not un-sent); a dropped GET re-issues after a
+                    // detection backoff and only the retry's arrival
+                    // matters.
+                    let first =
+                        cluster.ic.remote_transfer(now + overhead, peer as usize, pe, bytes as u64);
+                    let mut done = first;
+                    if drop_get {
+                        let retry_at = first + RETRY_BACKOFF_NS;
+                        done = cluster.ic.remote_transfer(retry_at, peer as usize, pe, bytes as u64);
+                        faults.recovery.retried_gets += 1;
+                        faults.recovery.recovery_latency_ns += done.saturating_sub(first);
+                        record!(w, TraceKind::RemoteWire, retry_at, done);
+                    }
                     if nbi {
-                        let done =
-                            cluster.ic.remote_transfer(now + overhead, peer as usize, pe, bytes as u64);
+                        if drop_completion {
+                            // The data arrived but its completion flag was
+                            // lost; the waiter recovers by timeout.
+                            done += COMPLETION_TIMEOUT_NS;
+                            faults.recovery.dropped_completions += 1;
+                            faults.recovery.recovery_latency_ns += COMPLETION_TIMEOUT_NS;
+                        }
                         let warp = &mut gpu.warps[w as usize];
                         warp.pending_remote = warp.pending_remote.max(done);
                         gpu.sms[sm].free_scheds -= 1;
                         gpu.sched_busy_ns += overhead.max(1);
                         record!(w, TraceKind::RemoteIssue, now, now + overhead.max(1));
-                        record!(w, TraceKind::RemoteWire, now + overhead, done);
+                        record!(w, TraceKind::RemoteWire, now + overhead, first);
                         q.push(
                             now + overhead.max(1),
                             Ev { gpu: pe as u16, sm: sm as u16, warp: w, kind: EvKind::SchedFree },
                         );
                     } else {
-                        let done =
-                            cluster.ic.remote_transfer(now + overhead, peer as usize, pe, bytes as u64);
-                        record!(w, TraceKind::RemoteWire, now, done);
+                        record!(w, TraceKind::RemoteWire, now, first);
                         q.push(done, Ev { gpu: pe as u16, sm: sm as u16, warp: w, kind: EvKind::Wake });
                         gpu.sms[sm].touch(now);
                         gpu.sms[sm].active_warps -= 1;
@@ -606,6 +683,110 @@ mod tests {
         assert!(events.iter().any(|e| e.kind == TraceKind::RemoteIssue));
         assert!(events.iter().any(|e| e.kind == TraceKind::RemoteWire));
         assert!(events.iter().any(|e| e.kind == TraceKind::WaitRemote));
+    }
+
+    #[test]
+    fn quiet_fault_schedule_is_bit_identical() {
+        use mgg_fault::{FaultSchedule, FaultSpec};
+        let ops = vec![
+            WarpOp::RemoteGet { peer: 1, bytes: 512, nbi: true },
+            WarpOp::compute(700),
+            WarpOp::WaitRemote,
+            WarpOp::GlobalRead { bytes: 2_048 },
+            WarpOp::compute(300),
+        ];
+        let k = Uniform {
+            launch: KernelLaunch { blocks: 32, warps_per_block: 4, smem_per_block: 512 },
+            ops,
+        };
+        let mut plain = small_cluster();
+        let s_plain = GpuSim::run(&mut plain, &k, &mut NoPaging).unwrap();
+        let mut quiet = small_cluster();
+        quiet.install_faults(FaultSchedule::derive(&FaultSpec::quiet(), 2));
+        let s_quiet = GpuSim::run(&mut quiet, &k, &mut NoPaging).unwrap();
+        assert_eq!(s_plain, s_quiet);
+        assert_eq!(s_quiet.recovery, crate::kernel::RecoveryStats::default());
+    }
+
+    #[test]
+    fn straggler_slows_only_the_chosen_gpu() {
+        use mgg_fault::{FaultSchedule, FaultSpec};
+        let k = Uniform {
+            launch: KernelLaunch { blocks: 8, warps_per_block: 4, smem_per_block: 0 },
+            ops: vec![WarpOp::compute(14_100)],
+        };
+        let mut healthy = small_cluster();
+        let base = GpuSim::run(&mut healthy, &k, &mut NoPaging).unwrap();
+        let mut faulty = small_cluster();
+        let spec = FaultSpec { seed: 5, straggler: 2.0, ..FaultSpec::quiet() };
+        let sched = FaultSchedule::derive(&spec, 2);
+        let slow: Vec<usize> = (0..2).filter(|&g| sched.compute_scale(g) > 1.0).collect();
+        assert_eq!(slow.len(), 1);
+        faulty.install_faults(sched);
+        let s = GpuSim::run(&mut faulty, &k, &mut NoPaging).unwrap();
+        for pe in 0..2 {
+            if slow.contains(&pe) {
+                assert_eq!(s.per_gpu[pe].finish_ns, 2 * base.per_gpu[pe].finish_ns);
+            } else {
+                assert_eq!(s.per_gpu[pe].finish_ns, base.per_gpu[pe].finish_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_gets_are_retried_and_slow_the_kernel() {
+        use mgg_fault::{FaultSchedule, FaultSpec};
+        let ops = vec![
+            WarpOp::RemoteGet { peer: 1, bytes: 1_024, nbi: true },
+            WarpOp::compute(500),
+            WarpOp::WaitRemote,
+        ];
+        let k = Uniform {
+            launch: KernelLaunch { blocks: 16, warps_per_block: 8, smem_per_block: 0 },
+            ops,
+        };
+        let mut healthy = small_cluster();
+        let base = GpuSim::run(&mut healthy, &k, &mut NoPaging).unwrap();
+        let mut faulty = small_cluster();
+        let spec = FaultSpec { seed: 9, drop_rate: 0.3, ..FaultSpec::quiet() };
+        faulty.install_faults(FaultSchedule::derive(&spec, 2));
+        let s = GpuSim::run(&mut faulty, &k, &mut NoPaging).unwrap();
+        assert!(
+            s.recovery.retried_gets > 0 || s.recovery.dropped_completions > 0,
+            "a 30% drop rate over 256 GETs must hit something"
+        );
+        assert!(s.recovery.recovery_latency_ns > 0);
+        assert!(
+            s.makespan_ns() > base.makespan_ns(),
+            "recovery must cost time: {} vs {}",
+            s.makespan_ns(),
+            base.makespan_ns()
+        );
+        // Determinism under faults.
+        let mut again = small_cluster();
+        again.install_faults(FaultSchedule::derive(&spec, 2));
+        assert_eq!(s, GpuSim::run(&mut again, &k, &mut NoPaging).unwrap());
+    }
+
+    #[test]
+    fn degraded_link_window_shows_up_in_recovery_stats() {
+        use mgg_fault::{FaultSchedule, LinkFaultWindow};
+        let ops = vec![WarpOp::RemoteGet { peer: 1, bytes: 8_192, nbi: false }];
+        let k = Uniform {
+            launch: KernelLaunch { blocks: 8, warps_per_block: 4, smem_per_block: 0 },
+            ops,
+        };
+        let mut healthy = small_cluster();
+        let base = GpuSim::run(&mut healthy, &k, &mut NoPaging).unwrap();
+        let mut faulty = small_cluster();
+        faulty.install_faults(FaultSchedule::link_outage(
+            2,
+            1,
+            LinkFaultWindow { start_ns: 0, end_ns: u64::MAX, bw_multiplier: 0.25, jitter_ns: 5 },
+        ));
+        let s = GpuSim::run(&mut faulty, &k, &mut NoPaging).unwrap();
+        assert!(s.recovery.degraded_transfers > 0);
+        assert!(s.makespan_ns() > base.makespan_ns());
     }
 
     #[test]

@@ -112,12 +112,34 @@ pub struct GpuKernelStats {
     pub blocks: u64,
 }
 
+/// Fault-recovery events observed while simulating one kernel. All-zero —
+/// the `Default` — on a fault-free run, so adding this to [`KernelStats`]
+/// does not perturb equality comparisons between healthy runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// One-sided GETs that were transiently dropped and re-issued.
+    pub retried_gets: u64,
+    /// Non-blocking completions that were lost and recovered by timeout.
+    pub dropped_completions: u64,
+    /// Channel transfers that started inside a link-degradation window.
+    pub degraded_transfers: u64,
+    /// Times the engine re-planned placement around an impaired GPU.
+    pub replans: u64,
+    /// Times the engine recommended falling back to the UVM path.
+    pub uvm_fallbacks: u64,
+    /// Extra nanoseconds attributable to recovery (retry backoff + wasted
+    /// first attempts, completion timeouts, re-planned re-runs).
+    pub recovery_latency_ns: u64,
+}
+
 /// Result of simulating one multi-GPU kernel.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct KernelStats {
     pub per_gpu: Vec<GpuKernelStats>,
     /// Channel traffic during the kernel.
     pub traffic: TrafficStats,
+    /// Fault-recovery events (all zero on a healthy run).
+    pub recovery: RecoveryStats,
     /// SM count and warp slots used for the derived metrics below.
     pub num_sms: u32,
     pub warp_slots_per_sm: u32,
@@ -211,6 +233,7 @@ mod tests {
                 blocks: 1,
             }],
             traffic: TrafficStats::default(),
+            recovery: RecoveryStats::default(),
             num_sms: 108,
             warp_slots_per_sm: 64,
         };

@@ -41,7 +41,9 @@ pub use channel::BandwidthChannel;
 pub use cluster::{Cluster, Interconnect, NoPaging, PageAccessOutcome, PageHandler};
 pub use engine::{EventQueue, MultiServerQueue};
 pub use gpu::GpuSim;
-pub use kernel::{GpuKernelStats, KernelLaunch, KernelProgram, KernelStats, LaunchError};
+pub use kernel::{
+    GpuKernelStats, KernelLaunch, KernelProgram, KernelStats, LaunchError, RecoveryStats,
+};
 pub use metrics::{ChannelStats, TrafficStats};
 pub use spec::{ClusterSpec, GpuSpec, LinkSpec, Topology};
 pub use time::{cycles_to_ns, ns_to_ms, SimTime, NS_PER_US, US};

@@ -35,7 +35,7 @@ fn main() {
         let cell = RefCell::new(&mut engine);
         Tuner::new(|cfg: &MggConfig| {
             let mut e = cell.borrow_mut();
-            e.set_config(*cfg);
+            e.set_config(*cfg).expect("search configs are valid");
             e.simulate_aggregation_ns(dim).unwrap_or(u64::MAX)
         })
         .with_feasibility(move |cfg| model.feasible(cfg))

@@ -1,0 +1,241 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote`, which are unavailable
+//! offline) supporting exactly the shapes this workspace derives on:
+//! non-generic named-field structs and unit-variant enums.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive input.
+enum Shape {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum whose variants all carry no data.
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Skips attributes (`#[...]`, `#![...]`) starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '!') {
+                    i += 1;
+                }
+                // The bracketed attribute body.
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other}")),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected type name, found {other}")),
+    };
+    i += 1;
+    // Find the body (skipping generics, which the shim does not support in
+    // generated impls — none of the workspace's derived types are generic).
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!("cannot derive for generic type `{name}`"))
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("no body found for `{name}`")),
+        }
+    };
+    let body: Vec<TokenTree> = body.stream().into_iter().collect();
+    match kind.as_str() {
+        "struct" => {
+            let mut fields = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                j = skip_vis(&body, skip_attrs(&body, j));
+                if j >= body.len() {
+                    break;
+                }
+                let field = match &body[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => return Err(format!("expected field name, found {other}")),
+                };
+                j += 1;
+                match &body[j] {
+                    TokenTree::Punct(p) if p.as_char() == ':' => j += 1,
+                    _ => return Err(format!("tuple structs are unsupported (`{name}`)")),
+                }
+                fields.push(field);
+                // Skip the type: consume until a comma at angle-bracket depth 0.
+                let mut depth = 0i32;
+                while j < body.len() {
+                    match &body[j] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            j += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            Ok(Shape::Struct { name, fields })
+        }
+        "enum" => {
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                j = skip_attrs(&body, j);
+                if j >= body.len() {
+                    break;
+                }
+                let variant = match &body[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => return Err(format!("expected variant name, found {other}")),
+                };
+                j += 1;
+                if let Some(TokenTree::Group(_)) = body.get(j) {
+                    return Err(format!(
+                        "enum `{name}` has data-carrying variant `{variant}`, unsupported by the serde shim"
+                    ));
+                }
+                // Skip a discriminant (`= expr`) if present, then the comma.
+                while j < body.len() {
+                    if matches!(&body[j], TokenTree::Punct(p) if p.as_char() == ',') {
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+                variants.push(variant);
+            }
+            Ok(Shape::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match shape {
+        Shape::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec::Vec::from([{}]))\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    };
+    out.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match shape {
+        Shape::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get({f:?})\
+                         .ok_or_else(|| ::serde::Error::missing_field({f:?}))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {},\n\
+                                 other => ::std::result::Result::Err(::serde::Error::unknown_variant(other, {name:?})),\n\
+                             }},\n\
+                             other => ::std::result::Result::Err(::serde::Error::type_mismatch(\"string\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    out.parse().unwrap()
+}

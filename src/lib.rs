@@ -14,6 +14,7 @@
 //! | module | crate | role |
 //! |---|---|---|
 //! | [`sim`] | `mgg-sim` | multi-GPU platform simulator (SMs, warps, HBM/NVLink/NVSwitch/PCIe) |
+//! | [`fault`] | `mgg-fault` | deterministic seed-derived fault schedules (link degradation, stragglers, dropped one-sided ops) |
 //! | [`graph`] | `mgg-graph` | CSR graphs, generators, Table-3 dataset stand-ins, partitioning |
 //! | [`shmem`] | `mgg-shmem` | NVSHMEM-like symmetric heap (PGAS) |
 //! | [`uvm`] | `mgg-uvm` | unified-virtual-memory substrate (page faults, migration) |
@@ -54,6 +55,7 @@
 pub use mgg_baselines as baselines;
 pub use mgg_collective as collective;
 pub use mgg_core as core;
+pub use mgg_fault as fault;
 pub use mgg_gnn as gnn;
 pub use mgg_graph as graph;
 pub use mgg_shmem as shmem;

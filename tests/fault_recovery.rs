@@ -1,0 +1,123 @@
+//! Fault-injection invariants and the pinned recovery golden.
+//!
+//! * With every fault class disabled (a zero-rate spec), installing the
+//!   fault layer must be undetectable: timing statistics and functional
+//!   outputs are bit-identical to an engine with no fault layer at all.
+//! * Identical `(seed, spec)` pairs must derive identical schedules.
+//! * A fixed scenario — one NVLink degraded to half bandwidth over a fixed
+//!   window — must reproduce the locked recovery counters, so any change
+//!   to the recovery path is a conscious re-lock, not drift.
+
+use proptest::prelude::*;
+
+use mgg::core::{MggConfig, MggEngine, RecoveryAction};
+use mgg::fault::{FaultSchedule, FaultSpec, LinkFaultWindow};
+use mgg::gnn::reference::AggregateMode;
+use mgg::gnn::Matrix;
+use mgg::graph::generators::rmat::{rmat, RmatConfig};
+use mgg::sim::ClusterSpec;
+
+fn engine(gpus: usize) -> MggEngine {
+    let g = rmat(&RmatConfig::graph500(9, 5_000, 29));
+    MggEngine::new(&g, ClusterSpec::dgx_a100(gpus), MggConfig::default_fixed(), AggregateMode::Sum)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A zero-rate spec (any seed, all knobs at their quiet values) must
+    /// leave both planes bit-identical to the fault-free engine.
+    #[test]
+    fn zero_rate_spec_is_bit_identical(seed in 0u64..u64::MAX, gpus in 2usize..6, dim in 8usize..64) {
+        let mut plain = engine(gpus);
+        let mut quiet = engine(gpus);
+        quiet
+            .install_faults(FaultSpec { seed, ..Default::default() })
+            .expect("quiet spec is valid");
+
+        let a = plain.simulate_aggregation(dim).unwrap();
+        let b = quiet.simulate_aggregation(dim).unwrap();
+        prop_assert_eq!(&a, &b, "KernelStats must not change under a zero-rate spec");
+
+        let g = rmat(&RmatConfig::graph500(9, 5_000, 29));
+        let x = Matrix::glorot(g.num_nodes(), dim, 3);
+        let want = plain.aggregate_values(&x);
+        let (got, stats) = quiet.aggregate_values_resilient(&x).unwrap();
+        prop_assert_eq!(got.data(), want.data(), "values must not change");
+        prop_assert_eq!(stats.retries, 0);
+        prop_assert_eq!(stats.timed_out_completions, 0);
+    }
+
+    /// Schedule derivation is a pure function of `(seed, spec, num_gpus)`.
+    #[test]
+    fn identical_specs_derive_identical_schedules(
+        seed in 0u64..u64::MAX,
+        degrade in 0.05f64..1.0,
+        straggler in 1.0f64..4.0,
+        drop in 0.0f64..0.5,
+        gpus in 1usize..9,
+    ) {
+        let spec = FaultSpec { seed, link_degrade: degrade, straggler, drop_rate: drop };
+        let a = FaultSchedule::derive(&spec, gpus);
+        let b = FaultSchedule::derive(&spec, gpus);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Locked counters for the fixed link-outage scenario. Re-lock only for a
+/// deliberate change to the fault or recovery model
+/// (`UPDATE_GOLDEN=1 cargo test --test fault_recovery -- --nocapture`
+/// prints the measured values).
+const GOLDEN_GPUS: usize = 4;
+const GOLDEN_DIM: usize = 64;
+const GOLDEN_WINDOW: LinkFaultWindow =
+    LinkFaultWindow { start_ns: 1_000, end_ns: 20_000, bw_multiplier: 0.5, jitter_ns: 0 };
+const GOLDEN_DEGRADED_TRANSFERS: u64 = 1_542;
+const GOLDEN_RECOVERY_LATENCY_NS: u64 = 7_424;
+
+#[test]
+fn golden_link_outage_recovery() {
+    let mut e = engine(GOLDEN_GPUS);
+    e.install_fault_schedule(FaultSchedule::link_outage(GOLDEN_GPUS, 1, GOLDEN_WINDOW));
+    assert_eq!(e.recovery_action(), RecoveryAction::Rebalance);
+
+    let stats = e.simulate_aggregation(GOLDEN_DIM).unwrap();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        println!(
+            "GOLDEN_DEGRADED_TRANSFERS: u64 = {};\nGOLDEN_RECOVERY_LATENCY_NS: u64 = {};",
+            stats.recovery.degraded_transfers, stats.recovery.recovery_latency_ns
+        );
+        return;
+    }
+    assert_eq!(stats.recovery.replans, 1, "one re-plan around the degraded link");
+    assert_eq!(stats.recovery.uvm_fallbacks, 0, "half bandwidth is not UVM-fallback territory");
+    assert_eq!(stats.recovery.retried_gets, 0, "link outages drop no GETs");
+    assert_eq!(stats.recovery.degraded_transfers, GOLDEN_DEGRADED_TRANSFERS);
+    assert_eq!(stats.recovery.recovery_latency_ns, GOLDEN_RECOVERY_LATENCY_NS);
+
+    // The same scenario replays identically.
+    let mut e2 = engine(GOLDEN_GPUS);
+    e2.install_fault_schedule(FaultSchedule::link_outage(GOLDEN_GPUS, 1, GOLDEN_WINDOW));
+    let stats2 = e2.simulate_aggregation(GOLDEN_DIM).unwrap();
+    assert_eq!(stats, stats2);
+}
+
+#[test]
+fn injected_drops_recover_and_match_reference() {
+    let g = rmat(&RmatConfig::graph500(9, 5_000, 29));
+    let mut e = MggEngine::new(
+        &g,
+        ClusterSpec::dgx_a100(4),
+        MggConfig::default_fixed(),
+        AggregateMode::GcnNorm,
+    );
+    e.install_faults(FaultSpec { seed: 11, drop_rate: 0.1, ..Default::default() }).unwrap();
+    let stats = e.simulate_aggregation(32).unwrap();
+    assert!(stats.recovery.retried_gets > 0, "10% drop rate must retry some GETs");
+
+    let x = Matrix::glorot(g.num_nodes(), 32, 5);
+    let (got, rstats) = e.aggregate_values_resilient(&x).unwrap();
+    assert!(rstats.recovered_gets > 0);
+    let want = mgg::gnn::reference::aggregate(&g, &x, AggregateMode::GcnNorm);
+    assert!(got.max_abs_diff(&want) < 1e-3, "recovered outputs must match the CPU reference");
+}

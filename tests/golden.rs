@@ -61,10 +61,13 @@ fn golden_engine_timings() {
     let direct_128 = direct.simulate_aggregation_ns(128);
 
     check(&[
-        Golden { name: "mgg_dim16_ns", got: mgg_16, want: 15_227 },
-        Golden { name: "mgg_dim128_ns", got: mgg_128, want: 17_053 },
-        Golden { name: "uvm_dim128_ns", got: uvm_128, want: 79_199 },
-        Golden { name: "direct_dim128_ns", got: direct_128, want: 365_104 },
+        // Locked against the in-tree `shims/rand` xoshiro256++ stream; the
+        // graph generator's random inputs (and hence these timings) change
+        // whenever that stream does.
+        Golden { name: "mgg_dim16_ns", got: mgg_16, want: 15_146 },
+        Golden { name: "mgg_dim128_ns", got: mgg_128, want: 16_931 },
+        Golden { name: "uvm_dim128_ns", got: uvm_128, want: 79_443 },
+        Golden { name: "direct_dim128_ns", got: direct_128, want: 308_511 },
     ]);
 }
 

@@ -17,7 +17,7 @@ fn tune(gpus: usize, dim: usize) -> (mgg::core::TuneResult, MggEngine) {
         let cell = RefCell::new(&mut engine);
         Tuner::new(|cfg: &MggConfig| {
             let mut e = cell.borrow_mut();
-            e.set_config(*cfg);
+            e.set_config(*cfg).expect("search configs are valid");
             e.simulate_aggregation_ns(dim).unwrap_or(u64::MAX)
         })
         .with_feasibility(move |cfg| cfg.ps >= 1 && model.feasible(cfg))
@@ -66,7 +66,7 @@ fn tuner_is_deterministic() {
 #[test]
 fn applied_configuration_reproduces_tuned_latency() {
     let (result, mut engine) = tune(8, 16);
-    engine.set_config(result.best);
+    engine.set_config(result.best).expect("search configs are valid");
     let replay = engine.simulate_aggregation_ns(16).unwrap();
     assert_eq!(replay, result.best_latency_ns);
 }
