@@ -17,7 +17,10 @@ use mgg_gnn::reference::{aggregate, AggregateMode};
 use mgg_gnn::Matrix;
 use mgg_graph::partition::neighbor::{partition_rows, NeighborPartition, PartitionKind};
 use mgg_graph::{CsrGraph, NodeSplit};
-use mgg_sim::{Cluster, ClusterSpec, GpuSim, KernelLaunch, KernelProgram, KernelStats, WarpOp};
+use mgg_sim::{
+    Cluster, ClusterSpec, GpuSim, KernelLaunch, KernelProgram, KernelStats, TraceEvent, WarpOp,
+};
+use mgg_telemetry::{PipelineMetrics, Telemetry};
 use mgg_uvm::{UvmConfig, UvmSpace, UvmStats};
 
 use mgg_core::kernel::aggregation_cycles;
@@ -48,6 +51,10 @@ pub struct UvmGnnEngine {
     pub last_stats: Option<KernelStats>,
     /// UVM fault statistics of the most recent simulated kernel.
     pub last_uvm_stats: Option<UvmStats>,
+    /// Warp trace of the most recent run, when tracing was requested or
+    /// telemetry is enabled.
+    pub last_trace: Option<Vec<TraceEvent>>,
+    telemetry: Telemetry,
 }
 
 struct UvmKernel<'a> {
@@ -88,19 +95,72 @@ impl UvmGnnEngine {
             mode,
             last_stats: None,
             last_uvm_stats: None,
+            last_trace: None,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry handle; subsequent runs record `launch` and
+    /// `aggregate` phase spans, the warp trace, and derived pipeline
+    /// metrics into it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Simulates one cold aggregation pass at dimension `dim`.
     pub fn simulate_aggregation(&mut self, dim: usize) -> KernelStats {
-        self.cluster.reset();
-        self.uvm.reset();
-        let kernel = UvmKernel { workload: &self.workload, dim };
-        let stats = GpuSim::run(&mut self.cluster, &kernel, &mut self.uvm)
-            .expect("UVM kernel launch is valid");
+        self.simulate_aggregation_impl(dim, false).0
+    }
+
+    /// Like [`UvmGnnEngine::simulate_aggregation`], returning the warp
+    /// trace as well. Tracing never changes the statistics.
+    pub fn simulate_aggregation_traced(
+        &mut self,
+        dim: usize,
+    ) -> (KernelStats, Vec<TraceEvent>) {
+        let (stats, trace) = self.simulate_aggregation_impl(dim, true);
+        (stats, trace.expect("trace requested"))
+    }
+
+    fn simulate_aggregation_impl(
+        &mut self,
+        dim: usize,
+        want_trace: bool,
+    ) -> (KernelStats, Option<Vec<TraceEvent>>) {
+        let tel = self.telemetry.clone();
+        let want_trace = want_trace || tel.is_enabled();
+        let (stats, trace) = {
+            let _launch = tel.span("launch");
+            self.cluster.reset();
+            self.uvm.reset();
+            let kernel = UvmKernel { workload: &self.workload, dim };
+            drop(_launch);
+            let _agg = tel.span("aggregate");
+            if want_trace {
+                let (stats, events) =
+                    GpuSim::run_traced(&mut self.cluster, &kernel, &mut self.uvm)
+                        .expect("UVM kernel launch is valid");
+                (stats, Some(events))
+            } else {
+                let stats = GpuSim::run(&mut self.cluster, &kernel, &mut self.uvm)
+                    .expect("UVM kernel launch is valid");
+                (stats, None)
+            }
+        };
+        if tel.is_enabled() {
+            let events = trace.as_deref().unwrap_or(&[]);
+            tel.counter_add("engine.kernels", 1);
+            tel.add_trace_events(events);
+            tel.set_pipeline(PipelineMetrics::derive(&stats, events));
+        }
         self.last_stats = Some(stats.clone());
         self.last_uvm_stats = Some(self.uvm.stats().clone());
-        stats
+        self.last_trace = trace.clone();
+        (stats, trace)
     }
 
     /// Simulated end-to-end duration (kernel + launch overhead).
@@ -217,6 +277,29 @@ mod tests {
         let (vals, _) = e.aggregate(&x);
         let want = aggregate(&g, &x, AggregateMode::GcnNorm);
         assert!(vals.max_abs_diff(&want) < 1e-6);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_reports_blocking_overlap() {
+        let g = graph();
+        let mut e = UvmGnnEngine::new(&g, ClusterSpec::dgx_a100(2), AggregateMode::Sum);
+        let plain = e.simulate_aggregation(32);
+        let (traced, events) = e.simulate_aggregation_traced(32);
+        assert_eq!(plain, traced, "tracing must not change stats");
+        assert!(!events.is_empty());
+        assert_eq!(e.last_trace.as_ref().unwrap().len(), events.len());
+
+        let tel = Telemetry::enabled();
+        e.set_telemetry(tel.clone());
+        let with_tel = e.simulate_aggregation(32);
+        assert_eq!(plain, with_tel, "telemetry must not change stats");
+        let snap = tel.snapshot();
+        let pipeline = snap.pipeline.expect("pipeline metrics derived");
+        // UVM page faults block the warp, so nothing hides the migrations.
+        assert_eq!(pipeline.overlap_efficiency, 0.0);
+        assert!(pipeline.comm_ns > 0, "paging traffic must be visible");
+        assert!(snap.spans.iter().any(|s| s.name == "launch"));
+        assert!(snap.spans.iter().any(|s| s.name == "aggregate"));
     }
 
     #[test]

@@ -167,6 +167,23 @@ pub fn summarize(dir: &Path) -> Vec<SummaryLine> {
         }),
     );
     push(
+        "ext_fault",
+        "recovery absorbs faults with bounded overhead",
+        load(dir, "ext_fault").and_then(|v| {
+            let combined = rows(&v).iter().find(|r| {
+                r.get("class").and_then(|c| c.as_str()) == Some("combined")
+            })?;
+            Some(format!(
+                "combined: {:.1}% overhead, {} retries, {} timeouts, {} replans, {:.3} ms recovery",
+                f(combined, &["overhead_pct"])?,
+                f(combined, &["retried_gets"])? as u64,
+                f(combined, &["timed_out_completions"])? as u64,
+                f(combined, &["replans"])? as u64,
+                f(combined, &["recovery_latency_ms"])?
+            ))
+        }),
+    );
+    push(
         "ext_putget",
         "GET beats the PUT design (§3.3)",
         load(dir, "ext_putget")
@@ -217,6 +234,28 @@ mod tests {
         let lines = vec![SummaryLine { id: "fig8", paper: "3.16x", measured: "3.06x".into() }];
         let md = to_markdown(&lines);
         assert!(md.contains("| fig8 | 3.16x | 3.06x |"));
+    }
+
+    #[test]
+    fn summarize_surfaces_recovery_counters() {
+        let dir = std::env::temp_dir().join(format!("mgg-summary-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("ext_fault.json"),
+            r#"{"gpus":4,"seed":42,"dataset":"rdd","rows":[
+                {"class":"none","overhead_pct":0.0,"retried_gets":0,
+                 "timed_out_completions":0,"replans":0,"recovery_latency_ms":0.0},
+                {"class":"combined","overhead_pct":37.5,"retried_gets":120,
+                 "timed_out_completions":4,"replans":1,"recovery_latency_ms":0.25}
+            ]}"#,
+        )
+        .unwrap();
+        let lines = summarize(&dir);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].id, "ext_fault");
+        assert!(lines[0].measured.contains("120 retries"), "{}", lines[0].measured);
+        assert!(lines[0].measured.contains("1 replans"), "{}", lines[0].measured);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -24,6 +24,7 @@ use mgg_graph::generators::rmat::{rmat, RmatConfig};
 use mgg_graph::partition::{locality, multilevel, reorder};
 use mgg_graph::{io, CsrGraph, NodeSplit};
 use mgg_sim::ClusterSpec;
+use mgg_telemetry::Telemetry;
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +41,17 @@ pub enum Command {
         tune: bool,
         platform: Platform,
         fault: Option<FaultSpec>,
+        trace_out: Option<PathBuf>,
+        metrics_out: Option<PathBuf>,
+    },
+    Profile {
+        graph: PathBuf,
+        gpus: usize,
+        dim: usize,
+        engine: Engine,
+        platform: Platform,
+        trace_out: Option<PathBuf>,
+        metrics_out: Option<PathBuf>,
     },
     Train { communities: usize, size: usize, epochs: usize, gpus: usize },
 }
@@ -113,6 +125,25 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let graph_path = |positional: &[String]| -> Result<PathBuf, String> {
         positional.first().map(PathBuf::from).ok_or_else(|| "missing graph file".to_string())
     };
+    let get_engine = |flags: &std::collections::HashMap<String, String>| -> Result<Engine, String> {
+        match flags.get("engine").map(|s| s.as_str()).unwrap_or("mgg") {
+            "mgg" => Ok(Engine::Mgg),
+            "uvm" => Ok(Engine::Uvm),
+            "direct" => Ok(Engine::Direct),
+            "dgcl" => Ok(Engine::Dgcl),
+            "replicated" => Ok(Engine::Replicated),
+            other => Err(format!("unknown engine '{other}'")),
+        }
+    };
+    let get_platform =
+        |flags: &std::collections::HashMap<String, String>| -> Result<Platform, String> {
+            match flags.get("platform").map(|s| s.as_str()).unwrap_or("a100") {
+                "a100" => Ok(Platform::A100),
+                "v100" => Ok(Platform::V100),
+                "pcie" => Ok(Platform::Pcie),
+                other => Err(format!("unknown platform '{other}'")),
+            }
+        };
 
     match cmd.as_str() {
         "generate" => {
@@ -154,20 +185,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             gpus: get_usize("gpus", 8)?,
         }),
         "simulate" => {
-            let engine = match flags.get("engine").map(|s| s.as_str()).unwrap_or("mgg") {
-                "mgg" => Engine::Mgg,
-                "uvm" => Engine::Uvm,
-                "direct" => Engine::Direct,
-                "dgcl" => Engine::Dgcl,
-                "replicated" => Engine::Replicated,
-                other => return Err(format!("unknown engine '{other}'")),
-            };
-            let platform = match flags.get("platform").map(|s| s.as_str()).unwrap_or("a100") {
-                "a100" => Platform::A100,
-                "v100" => Platform::V100,
-                "pcie" => Platform::Pcie,
-                other => return Err(format!("unknown platform '{other}'")),
-            };
+            let engine = get_engine(&flags)?;
+            let platform = get_platform(&flags)?;
             let get_f64 = |k: &str, default: f64| -> Result<f64, String> {
                 flags
                     .get(k)
@@ -196,8 +215,19 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 tune: switches.contains("tune"),
                 platform,
                 fault,
+                trace_out: flags.get("trace-out").map(PathBuf::from),
+                metrics_out: flags.get("metrics-out").map(PathBuf::from),
             })
         }
+        "profile" => Ok(Command::Profile {
+            graph: graph_path(&positional)?,
+            gpus: get_usize("gpus", 8)?,
+            dim: get_usize("dim", 64)?,
+            engine: get_engine(&flags)?,
+            platform: get_platform(&flags)?,
+            trace_out: flags.get("trace-out").map(PathBuf::from),
+            metrics_out: flags.get("metrics-out").map(PathBuf::from),
+        }),
         other => Err(format!("unknown command '{other}'")),
     }
 }
@@ -306,14 +336,28 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
         Command::Train { communities, size, epochs, gpus } => {
             run_train(*communities, *size, *epochs, *gpus)
         }
-        Command::Simulate { graph, gpus, dim, engine, tune, platform, fault } => {
+        Command::Simulate { graph, gpus, dim, engine, tune, platform, fault, trace_out, metrics_out } => {
             let g = load_graph(graph)?;
             let spec = platform.spec(*gpus);
             let mode = AggregateMode::Sum;
+            let want_telemetry = trace_out.is_some() || metrics_out.is_some();
+            if want_telemetry && !matches!(engine, Engine::Mgg | Engine::Uvm) {
+                return Err(
+                    "--trace-out/--metrics-out are only supported with --engine mgg or uvm".into()
+                );
+            }
+            let tel =
+                if want_telemetry { Telemetry::enabled() } else { Telemetry::disabled() };
             let (label, ns, extra) = match engine {
                 Engine::Mgg => {
-                    let mut e = MggEngine::try_new(&g, spec.clone(), MggConfig::default_fixed(), mode)
-                        .map_err(|e| e.to_string())?;
+                    let mut e = MggEngine::try_new_with_telemetry(
+                        &g,
+                        spec.clone(),
+                        MggConfig::default_fixed(),
+                        mode,
+                        tel.clone(),
+                    )
+                    .map_err(|e| e.to_string())?;
                     let mut note = String::new();
                     if let Some(fs) = fault {
                         e.install_faults(*fs).map_err(|e| e.to_string())?;
@@ -375,6 +419,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 }
                 Engine::Uvm => {
                     let mut e = UvmGnnEngine::new(&g, spec, mode);
+                    e.set_telemetry(tel.clone());
                     if let Some(fs) = fault {
                         e.cluster.install_faults(FaultSchedule::derive(fs, *gpus));
                     }
@@ -400,12 +445,68 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     ("replicated", e.simulate_aggregation_ns(*dim), String::new())
                 }
             };
+            let exports = write_telemetry_outputs(&tel, trace_out, metrics_out)?;
             Ok(format!(
-                "{label} aggregation of dim {dim} on {gpus} GPUs: {:.3} ms (simulated)\n{extra}",
+                "{label} aggregation of dim {dim} on {gpus} GPUs: {:.3} ms (simulated)\n{extra}{exports}",
                 ns as f64 / 1e6
             ))
         }
+        Command::Profile { graph, gpus, dim, engine, platform, trace_out, metrics_out } => {
+            let g = load_graph(graph)?;
+            let spec = platform.spec(*gpus);
+            let mode = AggregateMode::Sum;
+            let tel = Telemetry::enabled();
+            let (label, ns) = match engine {
+                Engine::Mgg => {
+                    let mut e = MggEngine::try_new_with_telemetry(
+                        &g,
+                        spec.clone(),
+                        MggConfig::default_fixed(),
+                        mode,
+                        tel.clone(),
+                    )
+                    .map_err(|e| e.to_string())?;
+                    let stats = e.simulate_aggregation(*dim).map_err(|e| e.to_string())?;
+                    ("MGG", stats.makespan_ns() + spec.kernel_launch_ns)
+                }
+                Engine::Uvm => {
+                    let mut e = UvmGnnEngine::new(&g, spec, mode);
+                    e.set_telemetry(tel.clone());
+                    ("UVM", e.simulate_aggregation_ns(*dim))
+                }
+                _ => {
+                    return Err("profile supports --engine mgg or uvm".into());
+                }
+            };
+            let exports = write_telemetry_outputs(&tel, trace_out, metrics_out)?;
+            Ok(format!(
+                "{label} aggregation of dim {dim} on {gpus} GPUs: {:.3} ms (simulated)\n\n{}{exports}",
+                ns as f64 / 1e6,
+                tel.snapshot().render_text()
+            ))
+        }
     }
+}
+
+/// Writes the Chrome-trace and metrics-snapshot files a command asked for;
+/// returns the lines to append to its output.
+fn write_telemetry_outputs(
+    tel: &Telemetry,
+    trace_out: &Option<PathBuf>,
+    metrics_out: &Option<PathBuf>,
+) -> Result<String, String> {
+    let mut out = String::new();
+    if let Some(path) = trace_out {
+        std::fs::write(path, tel.chrome_trace())
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push_str(&format!("wrote Chrome trace to {}\n", path.display()));
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, tel.snapshot().to_json())
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push_str(&format!("wrote metrics snapshot to {}\n", path.display()));
+    }
+    Ok(out)
 }
 
 /// Runs the `train` demo: a GCN trained through the MGG engine on a
@@ -470,6 +571,9 @@ pub fn usage() -> &'static str {
                    [--tune] [--platform a100|v100|pcie]
                    [--fault-seed N] [--fault-link-degrade F] [--fault-straggler F]
                    [--fault-drop-rate F]
+                   [--trace-out <file>] [--metrics-out <file>]   (mgg/uvm engines)
+  mgg-cli profile <graph> [--gpus N] [--dim D] [--engine mgg|uvm]
+                  [--platform a100|v100|pcie] [--trace-out <file>] [--metrics-out <file>]
   mgg-cli train [--communities K] [--size NODES_PER_COMMUNITY] [--epochs E] [--gpus N]
 
 graph files: .txt = edge list, anything else = binary CSR\n"
@@ -520,6 +624,8 @@ mod tests {
                 tune: false,
                 platform: Platform::A100,
                 fault: None,
+                trace_out: None,
+                metrics_out: None,
             }
         );
     }
@@ -642,6 +748,115 @@ mod tests {
             .unwrap();
             assert!(out.contains("simulated"), "{engine}: {out}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_profile_and_trace_flags() {
+        let cmd = parse(&args(
+            "profile g.csr --gpus 4 --dim 32 --engine uvm --trace-out t.json --metrics-out m.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Profile {
+                graph: PathBuf::from("g.csr"),
+                gpus: 4,
+                dim: 32,
+                engine: Engine::Uvm,
+                platform: Platform::A100,
+                trace_out: Some(PathBuf::from("t.json")),
+                metrics_out: Some(PathBuf::from("m.json")),
+            }
+        );
+        match parse(&args("simulate g.csr --trace-out t.json")).unwrap() {
+            Command::Simulate { trace_out, metrics_out, .. } => {
+                assert_eq!(trace_out, Some(PathBuf::from("t.json")));
+                assert_eq!(metrics_out, None);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_exports_valid_trace_and_metrics() {
+        let dir = std::env::temp_dir().join(format!("mgg-cli-prof-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("g.csr");
+        let p = p.to_str().unwrap().to_string();
+        execute(&parse(&args(&format!("generate --rmat 8,2000 -o {p}"))).unwrap()).unwrap();
+
+        let trace = dir.join("t.json");
+        let metrics = dir.join("m.json");
+        let out = execute(
+            &parse(&args(&format!(
+                "simulate {p} --gpus 2 --dim 16 --engine mgg --trace-out {} --metrics-out {}",
+                trace.display(),
+                metrics.display()
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("wrote Chrome trace"), "{out}");
+        assert!(out.contains("wrote metrics snapshot"), "{out}");
+
+        // The Chrome trace must parse and hold at least one event per GPU.
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let events = doc.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents");
+        assert!(!events.is_empty());
+        for gpu in 0..2u64 {
+            let pid = 1 + gpu;
+            assert!(
+                events.iter().any(|e| {
+                    e.get("pid").and_then(|p| p.as_u64()) == Some(pid)
+                        && e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                }),
+                "no events for gpu {gpu}"
+            );
+        }
+
+        // The metrics snapshot must parse and expose the pipeline section.
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        let pipeline = doc.get("pipeline").expect("pipeline section");
+        assert!(pipeline.get("overlap_efficiency").and_then(|v| v.as_f64()).is_some());
+
+        // Unsupported engines reject the flags instead of writing nothing.
+        let err = execute(
+            &parse(&args(&format!(
+                "simulate {p} --gpus 2 --dim 16 --engine dgcl --trace-out {}",
+                trace.display()
+            )))
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("only supported"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_prints_phase_breakdown() {
+        let dir = std::env::temp_dir().join(format!("mgg-cli-prof2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("g.csr");
+        let p = p.to_str().unwrap().to_string();
+        execute(&parse(&args(&format!("generate --rmat 8,2000 -o {p}"))).unwrap()).unwrap();
+
+        let out = execute(
+            &parse(&args(&format!("profile {p} --gpus 2 --dim 16 --engine mgg"))).unwrap(),
+        )
+        .unwrap();
+        for phase in ["partition", "plan", "launch", "aggregate", "barrier"] {
+            assert!(out.contains(phase), "missing phase {phase} in:\n{out}");
+        }
+        assert!(out.contains("overlap"), "{out}");
+
+        let err = execute(
+            &parse(&args(&format!("profile {p} --engine dgcl"))).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("profile supports"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -11,7 +11,8 @@ use mgg_gnn::reference::AggregateMode;
 use mgg_gnn::Matrix;
 use mgg_graph::{CsrGraph, NodeSplit};
 use mgg_shmem::resilience::{ResilienceStats, ResilientRegion};
-use mgg_sim::{Cluster, ClusterSpec, GpuSim, KernelStats, NoPaging, SimTime};
+use mgg_sim::{Cluster, ClusterSpec, GpuSim, KernelStats, NoPaging, SimTime, TraceEvent};
+use mgg_telemetry::{PipelineMetrics, Telemetry};
 
 use crate::config::MggConfig;
 use crate::error::MggError;
@@ -57,6 +58,11 @@ pub struct MggEngine {
     replanned: bool,
     /// Statistics of the most recent simulated kernel.
     pub last_stats: Option<KernelStats>,
+    /// Warp trace of the most recent simulated kernel, when it was traced.
+    pub last_trace: Option<Vec<TraceEvent>>,
+    /// Telemetry sink for engine phases and counters (disabled by default,
+    /// in which case every recording call is a no-op).
+    telemetry: Telemetry,
 }
 
 impl MggEngine {
@@ -81,6 +87,37 @@ impl MggEngine {
     ) -> Result<Self, MggError> {
         let placement = HybridPlacement::plan(graph, spec.num_gpus);
         Self::with_placement(graph, spec, placement, config, mode)
+    }
+
+    /// [`MggEngine::try_new`] with a telemetry sink attached from the
+    /// start, so the `partition` and `plan` phases are recorded too.
+    pub fn try_new_with_telemetry(
+        graph: &CsrGraph,
+        spec: ClusterSpec,
+        config: MggConfig,
+        mode: AggregateMode,
+        telemetry: Telemetry,
+    ) -> Result<Self, MggError> {
+        let placement = {
+            let _span = telemetry.span("partition");
+            HybridPlacement::plan(graph, spec.num_gpus)
+        };
+        let mut engine = {
+            let _span = telemetry.span("plan");
+            Self::with_placement(graph, spec, placement, config, mode)?
+        };
+        engine.telemetry = telemetry;
+        Ok(engine)
+    }
+
+    /// Attaches (or replaces) the engine's telemetry sink.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The engine's telemetry handle (disabled unless one was attached).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Builds the engine with a caller-chosen node split (ablations).
@@ -121,6 +158,8 @@ impl MggEngine {
             graph: graph.clone(),
             replanned: false,
             last_stats: None,
+            last_trace: None,
+            telemetry: Telemetry::disabled(),
         })
     }
 
@@ -195,40 +234,98 @@ impl MggEngine {
     /// returned statistics are those of the recovered run, with the
     /// detection pass charged to `recovery.recovery_latency_ns`.
     pub fn simulate_aggregation(&mut self, dim: usize) -> Result<KernelStats, MggError> {
-        let mut stats = self.run_kernel(dim)?;
+        Ok(self.simulate_aggregation_impl(dim, false)?.0)
+    }
+
+    /// [`MggEngine::simulate_aggregation`] with the per-warp trace captured
+    /// end-to-end — including the recovery re-run, whose trace replaces the
+    /// detection pass's, matching the returned statistics.
+    pub fn simulate_aggregation_traced(
+        &mut self,
+        dim: usize,
+    ) -> Result<(KernelStats, Vec<TraceEvent>), MggError> {
+        let (stats, trace) = self.simulate_aggregation_impl(dim, true)?;
+        Ok((stats, trace.expect("trace was requested")))
+    }
+
+    fn simulate_aggregation_impl(
+        &mut self,
+        dim: usize,
+        want_trace: bool,
+    ) -> Result<(KernelStats, Option<Vec<TraceEvent>>), MggError> {
+        let tel = self.telemetry.clone();
+        // With telemetry attached, always capture the trace: the derived
+        // pipeline metrics need it, and tracing never changes the
+        // simulation outcome (the sim crate's tests pin that equivalence).
+        let want_trace = want_trace || tel.is_enabled();
+        let (mut stats, mut trace) = self.run_kernel(dim, want_trace)?;
         let action = self.recovery_action();
         if action != RecoveryAction::None && !self.replanned {
+            let _span = tel.span("recover");
             let sched = self.cluster.faults().expect("action implies faults").clone();
             let weights: Vec<f64> =
                 (0..sched.num_gpus()).map(|g| sched.health(g).max(0.05)).collect();
             let detection_ns = stats.makespan_ns();
             self.replan_weighted(&weights);
-            let mut recovered = self.run_kernel(dim)?;
+            let (mut recovered, recovered_trace) = self.run_kernel(dim, want_trace)?;
             recovered.recovery.replans += 1;
             if action == RecoveryAction::UvmFallback {
                 recovered.recovery.uvm_fallbacks += 1;
             }
             recovered.recovery.recovery_latency_ns += detection_ns;
+            tel.counter_add("engine.replans", 1);
+            tel.counter_add("engine.recovery_detection_ns", detection_ns);
             stats = recovered;
+            trace = recovered_trace;
+        }
+        {
+            // The inter-GPU barrier closing the aggregation: each GPU idles
+            // from its own finish until the global makespan.
+            let _span = tel.span("barrier");
+            let makespan = stats.makespan_ns();
+            let skew: u64 =
+                stats.per_gpu.iter().map(|g| makespan.saturating_sub(g.finish_ns)).sum();
+            tel.counter_add("engine.barrier_skew_ns", skew);
+        }
+        if tel.is_enabled() {
+            tel.counter_add("engine.kernels", 1);
+            let events = trace.as_deref().unwrap_or(&[]);
+            tel.add_trace_events(events);
+            tel.set_pipeline(PipelineMetrics::derive(&stats, events));
         }
         self.last_stats = Some(stats.clone());
-        Ok(stats)
+        self.last_trace = trace.clone();
+        Ok((stats, trace))
     }
 
     /// One raw kernel simulation on the current placement (no recovery).
-    fn run_kernel(&mut self, dim: usize) -> Result<KernelStats, MggError> {
-        let model = AnalyticalModel::new(self.cluster.spec.gpu.clone(), dim);
-        let kernel = MggKernel::build(
-            &self.placement,
-            &self.plans,
-            &self.config,
-            dim,
-            &model,
-            self.variant,
-            self.mapping,
-        );
+    fn run_kernel(
+        &mut self,
+        dim: usize,
+        want_trace: bool,
+    ) -> Result<(KernelStats, Option<Vec<TraceEvent>>), MggError> {
+        let tel = self.telemetry.clone();
+        let kernel = {
+            let _span = tel.span("launch");
+            let model = AnalyticalModel::new(self.cluster.spec.gpu.clone(), dim);
+            MggKernel::build(
+                &self.placement,
+                &self.plans,
+                &self.config,
+                dim,
+                &model,
+                self.variant,
+                self.mapping,
+            )
+        };
         self.cluster.reset();
-        Ok(GpuSim::run(&mut self.cluster, &kernel, &mut NoPaging)?)
+        let _span = tel.span("aggregate");
+        if want_trace {
+            let (stats, events) = GpuSim::run_traced(&mut self.cluster, &kernel, &mut NoPaging)?;
+            Ok((stats, Some(events)))
+        } else {
+            Ok((GpuSim::run(&mut self.cluster, &kernel, &mut NoPaging)?, None))
+        }
     }
 
     /// Rebuilds split, placement and work plans with per-GPU capacity
@@ -319,7 +416,8 @@ impl MggEngine {
     ) -> Result<(Matrix, ResilienceStats), MggError> {
         let dim = x.cols();
         let region = self.placement.place_embeddings(x);
-        let mut resilient = ResilientRegion::new(&region, self.cluster.faults());
+        let mut resilient = ResilientRegion::new(&region, self.cluster.faults())
+            .with_telemetry(self.telemetry.clone());
         let mut out = Matrix::zeros(x.rows(), dim);
         let mut fetched = vec![0.0f32; dim];
         for part in &self.placement.parts {
@@ -707,6 +805,89 @@ mod tests {
             .install_faults(mgg_fault::FaultSpec { drop_rate: 1.5, ..Default::default() })
             .unwrap_err();
         assert!(matches!(err, MggError::InvalidFaultSpec(_)));
+    }
+
+    #[test]
+    fn telemetry_does_not_change_kernel_stats() {
+        let g = graph();
+        let mut plain = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(4),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        let tel = Telemetry::enabled();
+        let mut instrumented = MggEngine::try_new_with_telemetry(
+            &g,
+            ClusterSpec::dgx_a100(4),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+            tel.clone(),
+        )
+        .unwrap();
+        let a = plain.simulate_aggregation(64).unwrap();
+        let b = instrumented.simulate_aggregation(64).unwrap();
+        assert_eq!(a, b, "telemetry must not perturb the simulation");
+
+        let snap = tel.snapshot();
+        let names: Vec<&str> = snap.spans.iter().map(|s| s.name.as_str()).collect();
+        for phase in ["partition", "plan", "launch", "aggregate", "barrier"] {
+            assert!(names.contains(&phase), "missing phase {phase}: {names:?}");
+        }
+        let p = snap.pipeline.expect("pipeline metrics recorded");
+        assert_eq!(p.makespan_ns, a.makespan_ns());
+        assert!(
+            p.overlap_efficiency > 0.0,
+            "the async pipeline must hide some remote-wire time"
+        );
+        assert!(!p.pair_traffic.is_empty());
+        assert!(!tel.trace_events().is_empty());
+    }
+
+    #[test]
+    fn traced_simulation_matches_untraced() {
+        let g = graph();
+        let mk = || {
+            MggEngine::new(
+                &g,
+                ClusterSpec::dgx_a100(4),
+                MggConfig::default_fixed(),
+                AggregateMode::Sum,
+            )
+        };
+        let plain = mk().simulate_aggregation(64).unwrap();
+        let mut traced_engine = mk();
+        let (traced, events) = traced_engine.simulate_aggregation_traced(64).unwrap();
+        assert_eq!(plain, traced);
+        assert!(!events.is_empty());
+        // Every GPU contributed events, and the engine kept the trace.
+        for g in 0..4u16 {
+            assert!(events.iter().any(|e| e.gpu == g), "gpu {g} missing from trace");
+        }
+        assert_eq!(traced_engine.last_trace.as_deref(), Some(&events[..]));
+    }
+
+    #[test]
+    fn recovery_is_recorded_as_a_phase() {
+        let g = graph();
+        let tel = Telemetry::enabled();
+        let mut e = MggEngine::try_new_with_telemetry(
+            &g,
+            ClusterSpec::dgx_a100(4),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+            tel.clone(),
+        )
+        .unwrap();
+        let spec = mgg_fault::FaultSpec { seed: 42, link_degrade: 0.5, ..Default::default() };
+        e.install_faults(spec).unwrap();
+        let stats = e.simulate_aggregation(64).unwrap();
+        assert_eq!(stats.recovery.replans, 1);
+        let snap = tel.snapshot();
+        assert!(snap.spans.iter().any(|s| s.name == "recover"));
+        assert_eq!(tel.counter_value("engine.replans"), 1);
+        let p = snap.pipeline.expect("pipeline recorded");
+        assert_eq!(p.recovery.replans, 1);
     }
 
     #[test]

@@ -26,6 +26,8 @@ pub mod collectives;
 pub mod region;
 pub mod resilience;
 
-pub use collectives::{barrier_all, sum_reduce_all};
+pub use collectives::{
+    barrier_all, barrier_all_telemetry, sum_reduce_all, sum_reduce_all_telemetry,
+};
 pub use region::SymmetricRegion;
 pub use resilience::{ResilienceStats, ResilientRegion, RetryPolicy, ShmemError};

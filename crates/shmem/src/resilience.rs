@@ -20,6 +20,7 @@
 use std::fmt;
 
 use mgg_fault::{FaultSchedule, COMPLETION_TIMEOUT_NS, RETRY_BACKOFF_NS};
+use mgg_telemetry::Telemetry;
 
 use crate::region::SymmetricRegion;
 
@@ -106,6 +107,7 @@ pub struct ResilientRegion<'a> {
     /// drop decision.
     outstanding: Vec<Vec<bool>>,
     stats: ResilienceStats,
+    telemetry: Telemetry,
 }
 
 impl<'a> ResilientRegion<'a> {
@@ -129,7 +131,15 @@ impl<'a> ResilientRegion<'a> {
             serial: vec![0; pes],
             outstanding: vec![Vec::new(); pes],
             stats: ResilienceStats::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink: per-request GET/retry/timeout accounting
+    /// flows into its counters (`shmem.*`) alongside the local stats.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Blocking resilient GET: copies row `(src_pe, src_row)` into `dst`,
@@ -143,6 +153,7 @@ impl<'a> ResilientRegion<'a> {
     ) -> Result<u32, ShmemError> {
         self.check_row(src_pe, src_row)?;
         self.stats.gets += 1;
+        self.telemetry.counter_add("shmem.gets", 1);
         let mut attempts = 0;
         while attempts < self.policy.max_attempts {
             let dropped = self.next_drop(issuing_pe).0;
@@ -156,7 +167,10 @@ impl<'a> ResilientRegion<'a> {
             }
             self.stats.retries += 1;
             self.stats.penalty_ns += self.policy.backoff_ns;
+            self.telemetry.counter_add("shmem.retries", 1);
+            self.telemetry.counter_add("shmem.penalty_ns", self.policy.backoff_ns);
         }
+        self.telemetry.counter_add("shmem.failed_gets", 1);
         Err(ShmemError::GetFailed { pe: src_pe, row: src_row, attempts })
     }
 
@@ -172,6 +186,7 @@ impl<'a> ResilientRegion<'a> {
     ) -> Result<(), ShmemError> {
         self.check_row(src_pe, src_row)?;
         self.stats.gets += 1;
+        self.telemetry.counter_add("shmem.gets", 1);
         let (dropped, completion_lost) = self.next_drop(issuing_pe);
         if dropped {
             // A dropped nbi GET is re-issued inline (one-sided ops have no
@@ -179,6 +194,8 @@ impl<'a> ResilientRegion<'a> {
             self.stats.retries += 1;
             self.stats.recovered_gets += 1;
             self.stats.penalty_ns += self.policy.backoff_ns;
+            self.telemetry.counter_add("shmem.retries", 1);
+            self.telemetry.counter_add("shmem.penalty_ns", self.policy.backoff_ns);
         }
         self.region.get(dst, src_pe, src_row);
         self.outstanding[issuing_pe].push(completion_lost);
@@ -193,6 +210,8 @@ impl<'a> ResilientRegion<'a> {
             if completion_lost {
                 self.stats.timed_out_completions += 1;
                 self.stats.penalty_ns += self.policy.timeout_ns;
+                self.telemetry.counter_add("shmem.timeouts", 1);
+                self.telemetry.counter_add("shmem.penalty_ns", self.policy.timeout_ns);
             }
         }
         Ok(())
@@ -306,6 +325,26 @@ mod tests {
         let s = res.stats();
         assert!(s.timed_out_completions > 0, "50% completion loss must time out");
         assert!(s.penalty_ns > 0);
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_stats() {
+        let r = region();
+        let spec = FaultSpec { seed: 123, drop_rate: 0.4, ..FaultSpec::quiet() };
+        let sched = FaultSchedule::derive(&spec, 2);
+        let tel = Telemetry::enabled();
+        let mut res = ResilientRegion::new(&r, Some(&sched)).with_telemetry(tel.clone());
+        let mut dst = [0.0f32; 4];
+        for i in 0..32 {
+            let _ = res.get(&mut dst, 0, 1, i % 2);
+            res.get_nbi(&mut dst, 0, 1, i % 2).unwrap();
+        }
+        res.quiet(0).unwrap();
+        let s = res.stats();
+        assert_eq!(tel.counter_value("shmem.gets"), s.gets);
+        assert_eq!(tel.counter_value("shmem.retries"), s.retries);
+        assert_eq!(tel.counter_value("shmem.timeouts"), s.timed_out_completions);
+        assert_eq!(tel.counter_value("shmem.penalty_ns"), s.penalty_ns);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use mgg_fault::FaultSchedule;
 
 use crate::channel::BandwidthChannel;
-use crate::metrics::{ChannelStats, TrafficStats};
+use crate::metrics::{ChannelStats, PairStats, TrafficStats};
 use crate::spec::{ClusterSpec, Topology};
 use crate::time::SimTime;
 
@@ -55,6 +55,11 @@ pub struct Interconnect {
     port_out: Vec<BandwidthChannel>,
     pair_links: HashMap<(u16, u16), BandwidthChannel>,
     host: BandwidthChannel,
+    /// Ordered-pair fabric traffic, flattened `from * n + to`. Bumped once
+    /// per transfer at the fabric entry points (not inside the cube-mesh
+    /// relay recursion), so a 2-hop route counts as one `(src, dst)` entry.
+    pair_bytes: Vec<u64>,
+    pair_requests: Vec<u64>,
 }
 
 impl Interconnect {
@@ -124,7 +129,16 @@ impl Interconnect {
             port_out,
             pair_links,
             host: BandwidthChannel::from_link(&spec.host_link),
+            pair_bytes: vec![0; n * n],
+            pair_requests: vec![0; n * n],
         }
+    }
+
+    /// Accounts one fabric transfer against its ordered endpoint pair.
+    fn note_pair(&mut self, from: usize, to: usize, bytes: u64) {
+        let n = self.hbm.len();
+        self.pair_bytes[from * n + to] += bytes;
+        self.pair_requests[from * n + to] += 1;
     }
 
     /// Number of GPUs wired up.
@@ -141,6 +155,7 @@ impl Interconnect {
     /// arrival time. Also charges the source GPU's HBM for the read-out.
     pub fn remote_transfer(&mut self, now: SimTime, from: usize, to: usize, bytes: u64) -> SimTime {
         debug_assert_ne!(from, to, "remote transfer to self");
+        self.note_pair(from, to, bytes);
         let src_ready = self.hbm[from].transfer(now, bytes);
         match self.topology {
             Topology::NvSwitch => {
@@ -189,6 +204,7 @@ impl Interconnect {
     /// [`Interconnect::remote_transfer`] but without charging source HBM
     /// (collectives pipeline the read-out behind the wire).
     pub fn bulk_link_transfer(&mut self, now: SimTime, from: usize, to: usize, bytes: u64) -> SimTime {
+        self.note_pair(from, to, bytes);
         match self.topology {
             Topology::NvSwitch => {
                 let t_out = self.port_out[from].transfer(now, bytes);
@@ -272,6 +288,24 @@ impl Interconnect {
                 }
             },
             host: ChannelStats::snapshot(&self.host),
+            pairs: {
+                let n = self.num_gpus();
+                let mut pairs = Vec::new();
+                for from in 0..n {
+                    for to in 0..n {
+                        let i = from * n + to;
+                        if self.pair_requests[i] > 0 {
+                            pairs.push(PairStats {
+                                src: from as u16,
+                                dst: to as u16,
+                                bytes: self.pair_bytes[i],
+                                requests: self.pair_requests[i],
+                            });
+                        }
+                    }
+                }
+                pairs
+            },
         }
     }
 
@@ -282,6 +316,8 @@ impl Interconnect {
         self.port_out.iter_mut().for_each(BandwidthChannel::reset);
         self.pair_links.values_mut().for_each(BandwidthChannel::reset);
         self.host.reset();
+        self.pair_bytes.iter_mut().for_each(|b| *b = 0);
+        self.pair_requests.iter_mut().for_each(|r| *r = 0);
     }
 }
 
@@ -420,6 +456,28 @@ mod tests {
         let t = ic.traffic();
         assert_eq!(t.remote_bytes(), 1_000);
         assert_eq!(t.remote_requests(), 1);
+        assert_eq!(t.pairs, vec![PairStats { src: 1, dst: 0, bytes: 1_000, requests: 1 }]);
+    }
+
+    #[test]
+    fn pair_traffic_is_attributed_to_ordered_endpoints() {
+        let spec = ClusterSpec::dgx_a100(4);
+        let mut ic = Interconnect::new(&spec);
+        let _ = ic.remote_transfer(0, 1, 0, 1_000);
+        let _ = ic.remote_transfer(0, 1, 0, 500);
+        let _ = ic.remote_transfer(0, 0, 1, 64);
+        let _ = ic.bulk_link_transfer(0, 2, 3, 256);
+        let t = ic.traffic();
+        assert_eq!(
+            t.pairs,
+            vec![
+                PairStats { src: 0, dst: 1, bytes: 64, requests: 1 },
+                PairStats { src: 1, dst: 0, bytes: 1_500, requests: 2 },
+                PairStats { src: 2, dst: 3, bytes: 256, requests: 1 },
+            ]
+        );
+        ic.reset();
+        assert!(ic.traffic().pairs.is_empty());
     }
 
     #[test]
@@ -487,6 +545,20 @@ mod cube_mesh_tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn relayed_transfer_counts_one_pair_entry() {
+        // A 2-hop cube-mesh route is still one logical transfer: the pair
+        // table must show (0, 7), not the relay legs.
+        let spec = ClusterSpec::dgx1_v100(8);
+        let mut ic = Interconnect::new(&spec);
+        let _ = ic.bulk_link_transfer(0, 0, 7, 1 << 10);
+        let t = ic.traffic();
+        assert_eq!(
+            t.pairs,
+            vec![crate::metrics::PairStats { src: 0, dst: 7, bytes: 1 << 10, requests: 1 }]
+        );
     }
 
     #[test]

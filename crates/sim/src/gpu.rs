@@ -323,6 +323,7 @@ fn issue(
             if let Some(t) = trace.as_deref_mut() {
                 t.push(TraceEvent {
                     gpu: pe as u16,
+                    sm: sm as u16,
                     warp: $w,
                     kind: $kind,
                     start: $start,

@@ -44,7 +44,7 @@ pub use gpu::GpuSim;
 pub use kernel::{
     GpuKernelStats, KernelLaunch, KernelProgram, KernelStats, LaunchError, RecoveryStats,
 };
-pub use metrics::{ChannelStats, TrafficStats};
+pub use metrics::{ChannelStats, PairStats, TrafficStats};
 pub use spec::{ClusterSpec, GpuSpec, LinkSpec, Topology};
 pub use time::{cycles_to_ns, ns_to_ms, SimTime, NS_PER_US, US};
 pub use trace::{render_warp_gantt, TraceEvent, TraceKind};

@@ -32,6 +32,15 @@ impl ChannelStats {
     }
 }
 
+/// Fabric traffic between one ordered `(source, destination)` GPU pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairStats {
+    pub src: u16,
+    pub dst: u16,
+    pub bytes: u64,
+    pub requests: u64,
+}
+
 /// Aggregate traffic snapshot across the cluster's resources.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TrafficStats {
@@ -43,6 +52,10 @@ pub struct TrafficStats {
     pub link_out: Vec<ChannelStats>,
     /// Shared host (PCIe) path traffic.
     pub host: ChannelStats,
+    /// Per-ordered-pair fabric traffic (nonzero pairs only, sorted by
+    /// `(src, dst)`). Counted once per transfer at the fabric entry point,
+    /// so cube-mesh relays do not double-count.
+    pub pairs: Vec<PairStats>,
 }
 
 impl TrafficStats {

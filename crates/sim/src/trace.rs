@@ -31,6 +31,8 @@ pub enum TraceKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct TraceEvent {
     pub gpu: u16,
+    /// SM the warp was resident on (a timeline track for exporters).
+    pub sm: u16,
     /// Global warp id (block * warps_per_block + warp).
     pub warp: u32,
     pub kind: TraceKind,
@@ -47,7 +49,11 @@ impl TraceEvent {
 
 /// Renders the spans of one warp as an ASCII Gantt chart with one lane
 /// per [`TraceKind`], `width` characters wide.
+///
+/// `width` is clamped to at least 2 columns; zero-duration spans still
+/// paint one cell so instantaneous events stay visible.
 pub fn render_warp_gantt(events: &[TraceEvent], gpu: u16, warp: u32, width: usize) -> String {
+    let width = width.max(2);
     let spans: Vec<&TraceEvent> =
         events.iter().filter(|e| e.gpu == gpu && e.warp == warp).collect();
     let Some(t_end) = spans.iter().map(|e| e.end).max() else {
@@ -71,7 +77,13 @@ pub fn render_warp_gantt(events: &[TraceEvent], gpu: u16, warp: u32, width: usiz
             any = true;
             let a = (((e.start - t_start) as f64 / range) * width as f64) as usize;
             let b = (((e.end - t_start) as f64 / range) * width as f64).ceil() as usize;
-            for c in row.iter_mut().take(b.min(width)).skip(a.min(width.saturating_sub(1))) {
+            // Clamp into the row and guarantee at least one painted cell,
+            // so zero-duration spans (a == b) and right-edge rounding both
+            // stay visible instead of rendering nothing or indexing past
+            // the end.
+            let a = a.min(width - 1);
+            let b = b.clamp(a + 1, width);
+            for c in row.iter_mut().take(b).skip(a) {
                 *c = ch;
             }
         }
@@ -96,7 +108,7 @@ mod tests {
     use super::*;
 
     fn ev(kind: TraceKind, start: u64, end: u64) -> TraceEvent {
-        TraceEvent { gpu: 0, warp: 0, kind, start, end }
+        TraceEvent { gpu: 0, sm: 0, warp: 0, kind, start, end }
     }
 
     #[test]
@@ -125,5 +137,55 @@ mod tests {
     fn gantt_handles_missing_warp() {
         let s = render_warp_gantt(&[], 0, 7, 20);
         assert!(s.contains("no events"));
+    }
+
+    #[test]
+    fn gantt_zero_duration_span_paints_a_cell() {
+        // A zero-length issue span amid a longer trace must still render.
+        let events = vec![
+            ev(TraceKind::Compute, 0, 100),
+            ev(TraceKind::RemoteIssue, 40, 40),
+        ];
+        let s = render_warp_gantt(&events, 0, 0, 20);
+        assert!(s.contains("get issue"));
+        assert!(s.contains('i'), "zero-duration span rendered nothing:\n{s}");
+    }
+
+    #[test]
+    fn gantt_all_zero_duration_trace_renders() {
+        // Degenerate trace where every span is instantaneous at t=0.
+        let events = vec![ev(TraceKind::Compute, 0, 0)];
+        let s = render_warp_gantt(&events, 0, 0, 30);
+        assert!(s.contains('#'));
+        assert!(s.contains("ns"));
+    }
+
+    #[test]
+    fn gantt_tiny_widths_do_not_panic() {
+        let events = vec![
+            ev(TraceKind::Compute, 0, 30),
+            ev(TraceKind::RemoteWire, 10, 50),
+        ];
+        for width in 0..4 {
+            let s = render_warp_gantt(&events, 0, 0, width);
+            assert!(s.contains('#'), "width {width} lost the compute lane:\n{s}");
+            assert!(s.contains('~'), "width {width} lost the wire lane:\n{s}");
+        }
+    }
+
+    #[test]
+    fn gantt_span_at_right_edge_stays_in_bounds() {
+        // A span ending exactly at t_end must not write past the row.
+        let events = vec![
+            ev(TraceKind::Compute, 0, 64),
+            ev(TraceKind::WaitRemote, 63, 64),
+        ];
+        let s = render_warp_gantt(&events, 0, 0, 7);
+        assert!(s.contains('.'));
+        for line in s.lines().filter(|l| l.contains('|')) {
+            let inner: usize =
+                line.split('|').nth(1).map(|seg| seg.chars().count()).unwrap_or(0);
+            assert!(inner <= 7, "row wider than requested: {line}");
+        }
     }
 }

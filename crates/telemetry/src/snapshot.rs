@@ -1,0 +1,228 @@
+//! Point-in-time copies of a recorder's contents, serializable to JSON and
+//! renderable as the `mgg-cli profile` text report.
+
+use crate::pipeline::PipelineMetrics;
+use serde::Serialize;
+
+/// One closed (or still-open, snapshotted-as-now) host phase span.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SpanSnapshot {
+    pub name: String,
+    /// Wall-clock ns since the recorder was created.
+    pub start_ns: u64,
+    pub end_ns: u64,
+    /// Nesting depth at open time (0 = top level).
+    pub depth: u32,
+}
+
+impl SpanSnapshot {
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CounterSnapshot {
+    pub name: String,
+    pub value: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GaugeSnapshot {
+    pub name: String,
+    pub value: f64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Everything a [`crate::Telemetry`] recorded, frozen at snapshot time.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MetricsSnapshot {
+    pub spans: Vec<SpanSnapshot>,
+    pub counters: Vec<CounterSnapshot>,
+    pub gauges: Vec<GaugeSnapshot>,
+    pub histograms: Vec<HistogramSnapshot>,
+    pub pipeline: Option<PipelineMetrics>,
+}
+
+impl MetricsSnapshot {
+    /// Pretty-printed JSON (the `--metrics-out` format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+    }
+
+    /// The human-readable profile report: per-phase breakdown, derived
+    /// pipeline metrics, counters, gauges, histograms.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== engine phases ==\n");
+        if self.spans.is_empty() {
+            out.push_str("(no spans recorded)\n");
+        }
+        let top_total: u64 =
+            self.spans.iter().filter(|s| s.depth == 0).map(SpanSnapshot::duration_ns).sum();
+        for s in &self.spans {
+            let ms = s.duration_ns() as f64 / 1e6;
+            let share = if top_total == 0 || s.depth != 0 {
+                String::new()
+            } else {
+                format!("  {:5.1}%", 100.0 * s.duration_ns() as f64 / top_total as f64)
+            };
+            out.push_str(&format!(
+                "{:indent$}{:24} {:>10.3} ms{}\n",
+                "",
+                s.name,
+                ms,
+                share,
+                indent = 2 * s.depth as usize
+            ));
+        }
+        if let Some(p) = &self.pipeline {
+            out.push_str("\n== pipeline ==\n");
+            out.push_str(&format!("makespan             {:>12} ns\n", p.makespan_ns));
+            out.push_str(&format!("achieved occupancy   {:>12.4}\n", p.achieved_occupancy));
+            out.push_str(&format!("sm utilization       {:>12.4}\n", p.sm_utilization));
+            out.push_str(&format!("overlap efficiency   {:>12.4}\n", p.overlap_efficiency));
+            out.push_str(&format!(
+                "comm hidden/total    {:>12} / {} ns\n",
+                p.hidden_comm_ns, p.comm_ns
+            ));
+            out.push_str(&format!("compute              {:>12} ns\n", p.compute_ns));
+            out.push_str(&format!("wait-remote          {:>12} ns\n", p.wait_ns));
+            out.push_str(&format!("barrier skew         {:>12} ns\n", p.barrier_skew_ns));
+            out.push_str(&format!(
+                "remote traffic       {:>12} B in {} requests\n",
+                p.remote_bytes, p.remote_requests
+            ));
+            if !p.pair_traffic.is_empty() {
+                out.push_str("per-pair traffic (src -> dst):\n");
+                for t in &p.pair_traffic {
+                    out.push_str(&format!(
+                        "  gpu{:<2} -> gpu{:<2} {:>12} B {:>8} reqs\n",
+                        t.src, t.dst, t.bytes, t.requests
+                    ));
+                }
+            }
+            let r = &p.recovery;
+            if *r != Default::default() {
+                out.push_str(&format!(
+                    "recovery: {} retried gets, {} dropped completions, {} degraded transfers, \
+                     {} replans, {} uvm fallbacks, {} ns latency\n",
+                    r.retried_gets,
+                    r.dropped_completions,
+                    r.degraded_transfers,
+                    r.replans,
+                    r.uvm_fallbacks,
+                    r.recovery_latency_ns
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n== counters ==\n");
+            for c in &self.counters {
+                out.push_str(&format!("{:32} {:>14}\n", c.name, c.value));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n== gauges ==\n");
+            for g in &self.gauges {
+                out.push_str(&format!("{:32} {:>14.4}\n", g.name, g.value));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n== histograms ==\n");
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "{:32} n={} mean={:.1} min={:.1} max={:.1}\n",
+                    h.name,
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_renders_and_serializes() {
+        let snap = MetricsSnapshot::default();
+        let text = snap.render_text();
+        assert!(text.contains("no spans recorded"));
+        let json = snap.to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(v.get("spans").is_some());
+    }
+
+    #[test]
+    fn render_text_shows_phases_and_pipeline() {
+        let snap = MetricsSnapshot {
+            spans: vec![
+                SpanSnapshot { name: "aggregate".into(), start_ns: 0, end_ns: 2_000_000, depth: 0 },
+                SpanSnapshot { name: "launch".into(), start_ns: 0, end_ns: 500_000, depth: 1 },
+            ],
+            counters: vec![CounterSnapshot { name: "shmem.gets".into(), value: 42 }],
+            gauges: vec![],
+            histograms: vec![HistogramSnapshot {
+                name: "probe_ns".into(),
+                count: 2,
+                sum: 10.0,
+                min: 4.0,
+                max: 6.0,
+            }],
+            pipeline: Some(PipelineMetrics {
+                makespan_ns: 1234,
+                overlap_efficiency: 0.75,
+                ..Default::default()
+            }),
+        };
+        let text = snap.render_text();
+        assert!(text.contains("aggregate"));
+        assert!(text.contains("  launch"));
+        assert!(text.contains("overlap efficiency"));
+        assert!(text.contains("0.7500"));
+        assert!(text.contains("shmem.gets"));
+        assert!(text.contains("mean=5.0"));
+    }
+
+    #[test]
+    fn json_contains_pipeline_fields() {
+        let snap = MetricsSnapshot {
+            pipeline: Some(PipelineMetrics {
+                overlap_efficiency: 0.5,
+                remote_bytes: 100,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let v: serde_json::Value = serde_json::from_str(&snap.to_json()).unwrap();
+        let p = v.get("pipeline").unwrap();
+        assert_eq!(p.get("overlap_efficiency").and_then(|x| x.as_f64()), Some(0.5));
+        assert_eq!(p.get("remote_bytes").and_then(|x| x.as_u64()), Some(100));
+        assert!(p.get("recovery").is_some());
+        assert!(p.get("pair_traffic").is_some());
+    }
+}

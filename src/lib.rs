@@ -21,6 +21,7 @@
 //! | [`collective`] | `mgg-collective` | NCCL-like host-initiated collectives |
 //! | [`gnn`] | `mgg-gnn` | tensors, GCN/GIN models, reference aggregation, training |
 //! | [`core`] | `mgg-core` | **the MGG system**: workload management, placement, pipelined kernel, model, tuner |
+//! | [`telemetry`] | `mgg-telemetry` | spans/counters/histograms, derived pipeline metrics, Chrome-trace export |
 //! | [`baselines`] | `mgg-baselines` | UVM / direct-NVSHMEM / DGCL / NCCL-ring comparison engines |
 //!
 //! # Quickstart
@@ -60,4 +61,5 @@ pub use mgg_gnn as gnn;
 pub use mgg_graph as graph;
 pub use mgg_shmem as shmem;
 pub use mgg_sim as sim;
+pub use mgg_telemetry as telemetry;
 pub use mgg_uvm as uvm;
