@@ -2,6 +2,7 @@
 
 pub mod common;
 pub mod ext;
+pub mod failover;
 pub mod fault;
 pub mod fig10;
 pub mod fig2;

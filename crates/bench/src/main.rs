@@ -12,14 +12,15 @@
 use std::path::PathBuf;
 
 use mgg_bench::experiments::{
-    ext, fault, fig10, fig2, fig3, fig7, fig8, fig9, occupancy, tab1, tab2, tab3, tab4, tab5,
+    ext, failover, fault, fig10, fig2, fig3, fig7, fig8, fig9, occupancy, tab1, tab2, tab3, tab4,
+    tab5,
 };
 use mgg_bench::report::{write_json, ExperimentReport};
 use mgg_bench::DEFAULT_SCALE;
 
 const ALL: &[&str] = &[
     "fig2", "fig3", "tab1", "tab2", "fig7", "fig8", "fig9a", "fig9b", "fig10", "occupancy",
-    "tab3", "tab4", "tab5", "ext_reorder", "ext_replicated", "ext_fabric", "ext_train", "ext_cpu", "ext_putget", "ext_dims", "ext_scaling", "ext_fault", "microcal",
+    "tab3", "tab4", "tab5", "ext_reorder", "ext_replicated", "ext_fabric", "ext_train", "ext_cpu", "ext_putget", "ext_dims", "ext_scaling", "ext_fault", "ext_failover", "microcal",
 ];
 
 fn main() {
@@ -92,6 +93,7 @@ fn run_one(exp: &str, scale: f64, out: &std::path::Path) {
         "ext_dims" => emit(ext::run_dims(scale, 8), out),
         "ext_scaling" => emit(ext::run_scaling(scale), out),
         "ext_fault" => emit(fault::run(scale, 8), out),
+        "ext_failover" => emit(failover::run(scale), out),
         "microcal" => emit(mgg_bench::experiments::microcal::run(), out),
         other => unreachable!("validated experiment '{other}'"),
     }

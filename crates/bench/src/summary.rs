@@ -184,6 +184,25 @@ pub fn summarize(dir: &Path) -> Vec<SummaryLine> {
         }),
     );
     push(
+        "ext_failover",
+        "permanent faults: detect, recover, resume bit-exact",
+        load(dir, "ext_failover").and_then(|v| {
+            let gpu_fail = rows(&v).iter().find(|r| {
+                r.get("scenario").and_then(|c| c.as_str()) == Some("gpu-fail")
+            })?;
+            let exact = rows(&v)
+                .iter()
+                .all(|r| r.get("bit_exact").and_then(|b| b.as_bool()).unwrap_or(false));
+            Some(format!(
+                "gpu-fail: detect {:.3} ms, recover {:.3} ms, {:+.1}% steady-state, {}",
+                f(gpu_fail, &["detection_ms"])?,
+                f(gpu_fail, &["recovery_latency_ms"])?,
+                f(gpu_fail, &["post_recovery_overhead_pct"])?,
+                if exact { "all scenarios bit-exact" } else { "BIT-EXACTNESS LOST" }
+            ))
+        }),
+    );
+    push(
         "ext_putget",
         "GET beats the PUT design (§3.3)",
         load(dir, "ext_putget")
@@ -255,6 +274,29 @@ mod tests {
         assert_eq!(lines[0].id, "ext_fault");
         assert!(lines[0].measured.contains("120 retries"), "{}", lines[0].measured);
         assert!(lines[0].measured.contains("1 replans"), "{}", lines[0].measured);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn summarize_surfaces_failover_latency() {
+        let dir =
+            std::env::temp_dir().join(format!("mgg-summary-failover-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("ext_failover.json"),
+            r#"{"gpus":4,"dim":64,"rows":[
+                {"scenario":"gpu-fail","detection_ms":0.004,"recovery_latency_ms":0.467,
+                 "post_recovery_overhead_pct":12.5,"bit_exact":true},
+                {"scenario":"link-down","detection_ms":0.0,"recovery_latency_ms":0.0,
+                 "post_recovery_overhead_pct":3.0,"bit_exact":true}
+            ]}"#,
+        )
+        .unwrap();
+        let lines = summarize(&dir);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].id, "ext_failover");
+        assert!(lines[0].measured.contains("detect 0.004 ms"), "{}", lines[0].measured);
+        assert!(lines[0].measured.contains("all scenarios bit-exact"), "{}", lines[0].measured);
         std::fs::remove_dir_all(&dir).ok();
     }
 

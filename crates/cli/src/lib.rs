@@ -17,7 +17,7 @@ use std::path::{Path, PathBuf};
 
 use mgg_baselines::{DgclEngine, DirectNvshmemEngine, UvmGnnEngine};
 use mgg_core::{AnalyticalModel, MggConfig, MggEngine, RecoveryAction, ReplicatedEngine, Tuner};
-use mgg_fault::{FaultSchedule, FaultSpec};
+use mgg_fault::{FaultSchedule, FaultSpec, PermanentFault};
 use mgg_gnn::reference::AggregateMode;
 use mgg_graph::datasets::DatasetSpec;
 use mgg_graph::generators::rmat::{rmat, RmatConfig};
@@ -41,6 +41,8 @@ pub enum Command {
         tune: bool,
         platform: Platform,
         fault: Option<FaultSpec>,
+        /// Pinned permanent failures (`--fault-gpu-fail`, `--fault-link-down`).
+        permanent: Vec<PermanentFault>,
         trace_out: Option<PathBuf>,
         metrics_out: Option<PathBuf>,
     },
@@ -89,6 +91,64 @@ impl Platform {
             Platform::Pcie => ClusterSpec::pcie_box(gpus),
         }
     }
+}
+
+/// Parses a duration with an `ms`/`us`/`ns` suffix (bare numbers are
+/// nanoseconds) into nanoseconds.
+fn parse_time_ns(s: &str) -> Result<u64, String> {
+    let (num, mult) = if let Some(v) = s.strip_suffix("ms") {
+        (v, 1_000_000)
+    } else if let Some(v) = s.strip_suffix("us") {
+        (v, 1_000)
+    } else if let Some(v) = s.strip_suffix("ns") {
+        (v, 1)
+    } else {
+        (s, 1)
+    };
+    num.trim()
+        .parse::<u64>()
+        .map(|n| n * mult)
+        .map_err(|_| format!("bad time '{s}' (use e.g. 2ms, 500us or 1500)"))
+}
+
+/// Parses `--fault-gpu-fail GPU@TIME[,GPU@TIME...]` (e.g. `3@2ms`).
+fn parse_gpu_fail(spec: &str, gpus: usize) -> Result<Vec<PermanentFault>, String> {
+    spec.split(',')
+        .map(|entry| {
+            let (gpu, at) = entry
+                .split_once('@')
+                .ok_or_else(|| format!("--fault-gpu-fail expects GPU@TIME, got '{entry}'"))?;
+            let gpu: usize =
+                gpu.trim().parse().map_err(|_| format!("bad GPU index '{gpu}'"))?;
+            if gpu >= gpus {
+                return Err(format!("GPU {gpu} out of range for {gpus} GPUs"));
+            }
+            Ok(PermanentFault::GpuFailure { gpu, at_ns: parse_time_ns(at)? })
+        })
+        .collect()
+}
+
+/// Parses `--fault-link-down A-B@TIME[,A-B@TIME...]` (e.g. `0-1@500us`).
+fn parse_link_down(spec: &str, gpus: usize) -> Result<Vec<PermanentFault>, String> {
+    spec.split(',')
+        .map(|entry| {
+            let (pair, at) = entry
+                .split_once('@')
+                .ok_or_else(|| format!("--fault-link-down expects A-B@TIME, got '{entry}'"))?;
+            let (a, b) = pair
+                .split_once('-')
+                .ok_or_else(|| format!("bad link pair '{pair}' (expected A-B)"))?;
+            let src: usize = a.trim().parse().map_err(|_| format!("bad GPU index '{a}'"))?;
+            let dst: usize = b.trim().parse().map_err(|_| format!("bad GPU index '{b}'"))?;
+            if src >= gpus || dst >= gpus {
+                return Err(format!("link {src}-{dst} out of range for {gpus} GPUs"));
+            }
+            if src == dst {
+                return Err(format!("link {src}-{dst} needs two distinct GPUs"));
+            }
+            Ok(PermanentFault::LinkDown { src, dst, at_ns: parse_time_ns(at)? })
+        })
+        .collect()
 }
 
 /// Parses an argument vector (without the binary name).
@@ -201,20 +261,30 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     link_degrade: get_f64("fault-link-degrade", 1.0)?,
                     straggler: get_f64("fault-straggler", 1.0)?,
                     drop_rate: get_f64("fault-drop-rate", 0.0)?,
+                    ..FaultSpec::quiet()
                 };
                 spec.validate()?;
                 Some(spec)
             } else {
                 None
             };
+            let gpus = get_usize("gpus", 8)?;
+            let mut permanent = Vec::new();
+            if let Some(spec) = flags.get("fault-gpu-fail") {
+                permanent.extend(parse_gpu_fail(spec, gpus)?);
+            }
+            if let Some(spec) = flags.get("fault-link-down") {
+                permanent.extend(parse_link_down(spec, gpus)?);
+            }
             Ok(Command::Simulate {
                 graph: graph_path(&positional)?,
-                gpus: get_usize("gpus", 8)?,
+                gpus,
                 dim: get_usize("dim", 64)?,
                 engine,
                 tune: switches.contains("tune"),
                 platform,
                 fault,
+                permanent,
                 trace_out: flags.get("trace-out").map(PathBuf::from),
                 metrics_out: flags.get("metrics-out").map(PathBuf::from),
             })
@@ -336,7 +406,24 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
         Command::Train { communities, size, epochs, gpus } => {
             run_train(*communities, *size, *epochs, *gpus)
         }
-        Command::Simulate { graph, gpus, dim, engine, tune, platform, fault, trace_out, metrics_out } => {
+        Command::Simulate {
+            graph,
+            gpus,
+            dim,
+            engine,
+            tune,
+            platform,
+            fault,
+            permanent,
+            trace_out,
+            metrics_out,
+        } => {
+            if !permanent.is_empty() && !matches!(engine, Engine::Mgg) {
+                return Err(
+                    "--fault-gpu-fail/--fault-link-down are only supported with --engine mgg"
+                        .into(),
+                );
+            }
             let g = load_graph(graph)?;
             let spec = platform.spec(*gpus);
             let mode = AggregateMode::Sum;
@@ -359,18 +446,32 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     )
                     .map_err(|e| e.to_string())?;
                     let mut note = String::new();
-                    if let Some(fs) = fault {
-                        e.install_faults(*fs).map_err(|e| e.to_string())?;
+                    if fault.is_some() || !permanent.is_empty() {
+                        let mut sched = match fault {
+                            Some(fs) => {
+                                fs.validate()?;
+                                FaultSchedule::derive(fs, *gpus)
+                            }
+                            None => FaultSchedule::quiet(*gpus),
+                        };
+                        for f in permanent {
+                            sched = sched.with_permanent(*f);
+                        }
+                        e.install_fault_schedule(sched);
                         let action = match e.recovery_action() {
                             RecoveryAction::None => "absorb via retries",
                             RecoveryAction::Rebalance => "re-balance placement",
                             RecoveryAction::UvmFallback => {
                                 "re-balance placement; UVM fallback recommended"
                             }
+                            RecoveryAction::Reroute => "relay traffic around the dead link",
+                            RecoveryAction::Evacuate => {
+                                "evacuate the dead GPU's shard onto survivors"
+                            }
                         };
+                        let seed = fault.as_ref().map(|fs| fs.seed).unwrap_or(0);
                         note.push_str(&format!(
-                            "faults installed (seed {}): recovery plan: {action}\n",
-                            fs.seed
+                            "faults installed (seed {seed}): recovery plan: {action}\n",
                         ));
                     }
                     if *tune {
@@ -404,7 +505,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                         stats.traffic.remote_bytes() as f64 / (1 << 20) as f64,
                         stats.traffic.remote_requests()
                     ));
-                    if fault.is_some() {
+                    if fault.is_some() || !permanent.is_empty() {
                         let r = stats.recovery;
                         note.push_str(&format!(
                             "recovery: {} retried gets, {} timed-out completions, {} degraded transfers, {} replans, recovery latency {:.3} ms\n",
@@ -414,6 +515,16 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                             r.replans,
                             r.recovery_latency_ns as f64 / 1e6
                         ));
+                        if !permanent.is_empty() {
+                            note.push_str(&format!(
+                                "failover: {} evacuations, {} rerouted transfers, {} host-staged transfers, {} dead-peer gets, {} halted warps\n",
+                                r.evacuations,
+                                r.rerouted_transfers,
+                                r.host_staged_transfers,
+                                r.dead_peer_gets,
+                                r.halted_warps
+                            ));
+                        }
                     }
                     ("MGG", ns, note)
                 }
@@ -571,6 +682,8 @@ pub fn usage() -> &'static str {
                    [--tune] [--platform a100|v100|pcie]
                    [--fault-seed N] [--fault-link-degrade F] [--fault-straggler F]
                    [--fault-drop-rate F]
+                   [--fault-gpu-fail GPU@TIME[,..]] [--fault-link-down A-B@TIME[,..]]
+                   (TIME takes an ns/us/ms suffix, e.g. --fault-gpu-fail 3@2ms)
                    [--trace-out <file>] [--metrics-out <file>]   (mgg/uvm engines)
   mgg-cli profile <graph> [--gpus N] [--dim D] [--engine mgg|uvm]
                   [--platform a100|v100|pcie] [--trace-out <file>] [--metrics-out <file>]
@@ -624,10 +737,45 @@ mod tests {
                 tune: false,
                 platform: Platform::A100,
                 fault: None,
+                permanent: vec![],
                 trace_out: None,
                 metrics_out: None,
             }
         );
+    }
+
+    #[test]
+    fn parse_permanent_fault_flags() {
+        let cmd = parse(&args(
+            "simulate g.csr --gpus 4 --fault-gpu-fail 3@2ms --fault-link-down 0-1@500us",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Simulate { permanent, .. } => {
+                assert_eq!(
+                    permanent,
+                    vec![
+                        PermanentFault::GpuFailure { gpu: 3, at_ns: 2_000_000 },
+                        PermanentFault::LinkDown { src: 0, dst: 1, at_ns: 500_000 },
+                    ]
+                );
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_permanent_fault_flags_are_rejected() {
+        let err = parse(&args("simulate g.csr --gpus 4 --fault-gpu-fail 9@2ms")).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = parse(&args("simulate g.csr --fault-gpu-fail 3")).unwrap_err();
+        assert!(err.contains("GPU@TIME"), "{err}");
+        let err = parse(&args("simulate g.csr --fault-link-down 1-1@2ms")).unwrap_err();
+        assert!(err.contains("distinct"), "{err}");
+        let err = parse(&args("simulate g.csr --fault-link-down 0@2ms")).unwrap_err();
+        assert!(err.contains("expected A-B"), "{err}");
+        let err = parse(&args("simulate g.csr --fault-gpu-fail 3@2lightyears")).unwrap_err();
+        assert!(err.contains("time"), "{err}");
     }
 
     #[test]
@@ -887,6 +1035,37 @@ mod tests {
         )
         .unwrap();
         assert!(out.contains("simulated"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_under_permanent_faults_reports_failover() {
+        let dir = std::env::temp_dir().join(format!("mgg-cli-perm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.csr");
+        let p = path.to_str().unwrap();
+        execute(&parse(&args(&format!("generate --rmat 8,2000 -o {p}"))).unwrap()).unwrap();
+
+        let out = execute(
+            &parse(&args(&format!(
+                "simulate {p} --gpus 4 --dim 16 --fault-gpu-fail 3@2ms"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("evacuate the dead GPU's shard"), "{out}");
+        assert!(out.contains("failover:"), "{out}");
+        assert!(out.contains("evacuations"), "{out}");
+
+        // Permanent faults are an MGG-engine feature; baselines reject them.
+        let err = execute(
+            &parse(&args(&format!(
+                "simulate {p} --gpus 4 --dim 16 --engine uvm --fault-gpu-fail 3@2ms"
+            )))
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("--engine mgg"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

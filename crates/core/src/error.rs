@@ -21,6 +21,10 @@ pub enum MggError {
     Launch(LaunchError),
     /// A resilient one-sided operation exhausted its recovery budget.
     Shmem(ShmemError),
+    /// The installed failures exceed what elastic failover can absorb
+    /// (e.g. no surviving GPU, or a corrupt checkpoint): the run cannot
+    /// produce a correct answer and says so instead of hanging.
+    Unrecoverable(String),
 }
 
 impl fmt::Display for MggError {
@@ -30,6 +34,7 @@ impl fmt::Display for MggError {
             MggError::InvalidFaultSpec(msg) => write!(f, "invalid fault spec: {msg}"),
             MggError::Launch(e) => write!(f, "kernel launch rejected: {e}"),
             MggError::Shmem(e) => write!(f, "communication failure: {e}"),
+            MggError::Unrecoverable(msg) => write!(f, "unrecoverable failure: {msg}"),
         }
     }
 }
@@ -68,6 +73,8 @@ mod tests {
         assert!(e.to_string().contains("launch rejected"));
         let e: MggError = ShmemError::GetFailed { pe: 2, row: 5, attempts: 4 }.into();
         assert!(e.to_string().contains("communication failure"));
+        let e = MggError::Unrecoverable("all GPUs dead".into());
+        assert!(e.to_string().contains("unrecoverable"));
     }
 
     #[test]

@@ -5,10 +5,13 @@
 //! functional outputs match the CPU reference (up to floating-point
 //! reassociation) while timing comes from the discrete-event simulation.
 
+use mgg_failover::checkpoint::Checkpoint;
+use mgg_failover::{plan_route, ClusterView, HealthMonitor, Route};
 use mgg_fault::{FaultSchedule, FaultSpec};
 use mgg_gnn::models::Aggregator;
 use mgg_gnn::reference::AggregateMode;
 use mgg_gnn::Matrix;
+use mgg_graph::partition::locality::{LocalRef, RemoteRef};
 use mgg_graph::{CsrGraph, NodeSplit};
 use mgg_shmem::resilience::{ResilienceStats, ResilientRegion};
 use mgg_sim::{Cluster, ClusterSpec, GpuSim, KernelStats, NoPaging, SimTime, TraceEvent};
@@ -30,6 +33,10 @@ const REPLAN_HEALTH_THRESHOLD: f64 = 0.9;
 /// recommends abandoning peer-to-peer access for the UVM path.
 const UVM_FALLBACK_HEALTH_THRESHOLD: f64 = 0.25;
 
+/// Device-memory fraction kept free for activations and scratch when
+/// deciding whether survivors can absorb an evacuated shard.
+const EVACUATION_HEADROOM: f64 = 0.5;
+
 /// What the engine decided to do about an installed fault scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecoveryAction {
@@ -37,8 +44,61 @@ pub enum RecoveryAction {
     None,
     /// Re-balance the impaired GPUs' share of the workload.
     Rebalance,
-    /// Degradation is severe: re-balance, and recommend the UVM path.
+    /// Degradation is severe: re-balance, and fall back to the UVM path.
     UvmFallback,
+    /// A link died but both endpoints survive: relay traffic around it.
+    Reroute,
+    /// A GPU died: evacuate its shard onto the survivors.
+    Evacuate,
+}
+
+/// What [`MggEngine::recover`] actually executed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// The degradation step the engine took (the final rung when the
+    /// ladder escalated, e.g. an evacuation that overflowed into UVM).
+    pub action: RecoveryAction,
+    /// The health monitor's cluster view at the detection horizon.
+    pub view: ClusterView,
+    /// Relay routes installed around dead links.
+    pub routes_installed: usize,
+    /// Dead GPUs whose shards were evacuated onto survivors.
+    pub evacuated_gpus: usize,
+    /// Simulated time from the first failure to full detection.
+    pub detection_ns: u64,
+}
+
+/// A neighbor reference from either virtual CSR, tagged by origin.
+#[derive(Clone, Copy)]
+enum Neighbor<'a> {
+    Local(&'a LocalRef),
+    Remote(&'a RemoteRef),
+}
+
+/// Merges a row's local and remote adjacency by originating edge id,
+/// reconstructing the input graph's CSR neighbor order (each virtual CSR
+/// keeps its entries in ascending edge order, so this is a two-pointer
+/// merge). Aggregating in this order makes functional outputs bit-identical
+/// across *any* node split — the invariant elastic failover leans on when
+/// it evacuates a dead GPU's shard: the recovered placement reproduces the
+/// fault-free run's floats exactly.
+fn merge_by_edge<'a>(
+    local: &'a [LocalRef],
+    remote: &'a [RemoteRef],
+    mut f: impl FnMut(Neighbor<'a>),
+) {
+    let (mut i, mut j) = (0, 0);
+    while i < local.len() && j < remote.len() {
+        if local[i].edge < remote[j].edge {
+            f(Neighbor::Local(&local[i]));
+            i += 1;
+        } else {
+            f(Neighbor::Remote(&remote[j]));
+            j += 1;
+        }
+    }
+    local[i..].iter().for_each(|lr| f(Neighbor::Local(lr)));
+    remote[j..].iter().for_each(|rr| f(Neighbor::Remote(rr)));
 }
 
 /// The MGG multi-GPU aggregation engine.
@@ -56,6 +116,11 @@ pub struct MggEngine {
     graph: CsrGraph,
     /// True once placement has been re-planned around the current faults.
     replanned: bool,
+    /// Checkpoint restores executed since the last simulation, merged into
+    /// the next run's recovery stats (one-shot).
+    checkpoint_restores: u64,
+    /// Analytic host-link cost of those restores, in nanoseconds.
+    pending_restore_ns: u64,
     /// Statistics of the most recent simulated kernel.
     pub last_stats: Option<KernelStats>,
     /// Warp trace of the most recent simulated kernel, when it was traced.
@@ -157,6 +222,8 @@ impl MggEngine {
             norm,
             graph: graph.clone(),
             replanned: false,
+            checkpoint_restores: 0,
+            pending_restore_ns: 0,
             last_stats: None,
             last_trace: None,
             telemetry: Telemetry::disabled(),
@@ -210,6 +277,12 @@ impl MggEngine {
     /// What graceful degradation the installed faults call for.
     pub fn recovery_action(&self) -> RecoveryAction {
         let Some(sched) = self.cluster.faults() else { return RecoveryAction::None };
+        if !sched.dead_gpus().is_empty() {
+            return RecoveryAction::Evacuate;
+        }
+        if sched.has_permanent() {
+            return RecoveryAction::Reroute;
+        }
         let min_health = (0..sched.num_gpus())
             .map(|g| sched.health(g))
             .fold(1.0_f64, f64::min);
@@ -220,6 +293,143 @@ impl MggEngine {
         } else {
             RecoveryAction::None
         }
+    }
+
+    /// Executes recovery for the installed fault scenario at embedding
+    /// dimension `dim` (the dimension decides whether survivors can hold an
+    /// evacuated shard). Walks the degradation ladder for real:
+    ///
+    /// 1. dead links between surviving GPUs get relay routes installed on
+    ///    the interconnect (shortest surviving path; host staging when the
+    ///    fabric is partitioned);
+    /// 2. dead GPUs' shards are evacuated by re-splitting the graph over
+    ///    the survivors, weighted by their health;
+    /// 3. when the survivors cannot hold the evacuated embeddings, the
+    ///    whole job degrades to UVM (every fabric transfer host-staged).
+    ///
+    /// Returns what was done, or [`MggError::Unrecoverable`] when no GPU
+    /// survives. Idempotent for a given installed schedule.
+    pub fn recover(&mut self, dim: usize) -> Result<RecoveryReport, MggError> {
+        let num_gpus = self.cluster.num_gpus();
+        let Some(sched) = self.cluster.faults().cloned() else {
+            let view = HealthMonitor::with_defaults(num_gpus)
+                .observe(&FaultSchedule::quiet(num_gpus), 0);
+            return Ok(RecoveryReport {
+                action: RecoveryAction::None,
+                view,
+                routes_installed: 0,
+                evacuated_gpus: 0,
+                detection_ns: 0,
+            });
+        };
+        let monitor = HealthMonitor::with_defaults(num_gpus);
+        if !sched.has_permanent() {
+            // Transient-only impairment: the health-weighted rebalance is
+            // the whole recovery.
+            let action = self.recovery_action();
+            if action != RecoveryAction::None {
+                let weights: Vec<f64> =
+                    (0..num_gpus).map(|g| sched.health(g).max(0.05)).collect();
+                self.replan_weighted(&weights);
+            }
+            return Ok(RecoveryReport {
+                action,
+                view: monitor.observe(&sched, 0),
+                routes_installed: 0,
+                evacuated_gpus: 0,
+                detection_ns: 0,
+            });
+        }
+        let detection_ns = monitor.detection_horizon_ns(&sched).unwrap_or(0);
+        let view = monitor.observe(&sched, detection_ns);
+        if view.survivors().is_empty() {
+            return Err(MggError::Unrecoverable(format!(
+                "all {num_gpus} GPUs are dead; nowhere to evacuate their shards"
+            )));
+        }
+        // Rung 1: relay routes around dead links whose endpoints survive.
+        let mut routes_installed = 0;
+        for a in 0..num_gpus {
+            for b in a + 1..num_gpus {
+                if view.is_dead(a) || view.is_dead(b) || view.link_usable(a, b) {
+                    continue;
+                }
+                if let Some(Route::Relay(hops)) = plan_route(&view, a, b) {
+                    self.cluster.ic.install_route(
+                        a,
+                        b,
+                        hops.iter().map(|&h| h as u16).collect(),
+                    );
+                    routes_installed += 1;
+                }
+                // HostStaged needs no wiring: the interconnect falls back
+                // to the host channel by itself when no route is installed.
+            }
+        }
+        // Rung 2: evacuate dead GPUs' shards onto the survivors.
+        let evacuated_gpus =
+            view.dead.iter().filter(|&&g| self.placement.split.part_nodes(g) > 0).count();
+        let mut action =
+            if view.dead.is_empty() { RecoveryAction::Reroute } else { RecoveryAction::Evacuate };
+        if view.dead.is_empty() {
+            self.replanned = true;
+        } else {
+            let weights: Vec<f64> = (0..num_gpus)
+                .map(|g| if view.is_dead(g) { 0.0 } else { sched.health(g).max(0.05) })
+                .collect();
+            self.replan_weighted(&weights);
+            // Rung 3: survivors over capacity — degrade to UVM for real.
+            if self.placement.check_memory(dim, &self.cluster.spec.gpu, EVACUATION_HEADROOM).is_err()
+            {
+                self.cluster.ic.set_uvm_degraded(true);
+                action = RecoveryAction::UvmFallback;
+            }
+        }
+        self.telemetry.counter_add("engine.routes_installed", routes_installed as u64);
+        self.telemetry.counter_add("engine.evacuations", evacuated_gpus as u64);
+        Ok(RecoveryReport { action, view, routes_installed, evacuated_gpus, detection_ns })
+    }
+
+    /// Captures an epoch-boundary checkpoint: the node split in effect plus
+    /// the aggregated features, checksummed for corruption detection.
+    pub fn checkpoint(&self, epoch: u64, features: &Matrix) -> Checkpoint {
+        Checkpoint::new(
+            epoch,
+            features.cols(),
+            self.placement.split.bounds().to_vec(),
+            features.data().to_vec(),
+        )
+    }
+
+    /// Restores partition state and features from `ckpt`, so a run
+    /// interrupted mid-epoch resumes from the last epoch boundary. The
+    /// restore's host-link transfer cost is charged to the next
+    /// simulation's `recovery.recovery_latency_ns`.
+    pub fn resume(&mut self, ckpt: &Checkpoint) -> Result<Matrix, MggError> {
+        if !ckpt.is_valid() {
+            return Err(MggError::Unrecoverable(format!(
+                "checkpoint for epoch {} failed checksum validation",
+                ckpt.epoch
+            )));
+        }
+        if ckpt.dim == 0 || !ckpt.features.len().is_multiple_of(ckpt.dim) {
+            return Err(MggError::Unrecoverable(format!(
+                "checkpoint for epoch {} has inconsistent shape",
+                ckpt.epoch
+            )));
+        }
+        let split = NodeSplit::from_bounds(ckpt.bounds.clone());
+        self.placement = HybridPlacement::from_split(&self.graph, split);
+        self.plans = build_plans(&self.placement, self.config.ps);
+        self.checkpoint_restores += 1;
+        // Reloading the features from host storage costs one host-link
+        // transfer of the checkpoint payload.
+        let bytes = (ckpt.features.len() * 4) as u64;
+        let host = &self.cluster.spec.host_link;
+        self.pending_restore_ns += host.latency_ns
+            + host.request_overhead_ns
+            + (bytes as f64 / host.bw_gbps).ceil() as u64;
+        Ok(Matrix::from_vec(ckpt.features.len() / ckpt.dim, ckpt.dim, ckpt.features.clone()))
     }
 
     /// Simulates one aggregation pass at embedding dimension `dim` and
@@ -260,7 +470,34 @@ impl MggEngine {
         let want_trace = want_trace || tel.is_enabled();
         let (mut stats, mut trace) = self.run_kernel(dim, want_trace)?;
         let action = self.recovery_action();
-        if action != RecoveryAction::None && !self.replanned {
+        let permanent = self.cluster.faults().is_some_and(FaultSchedule::has_permanent);
+        if permanent && !self.replanned {
+            // Permanent GPU/link failures: the first run is the detection
+            // pass (it halts at the failure), then the engine executes
+            // recovery — reroute, evacuate, possibly degrade to UVM — and
+            // re-runs on the recovered configuration.
+            let _span = tel.span("recover");
+            let report = self.recover(dim)?;
+            let (mut recovered, recovered_trace) = self.run_kernel(dim, want_trace)?;
+            if report.evacuated_gpus > 0 || report.action == RecoveryAction::UvmFallback {
+                recovered.recovery.replans += 1;
+            }
+            recovered.recovery.evacuations += report.evacuated_gpus as u64;
+            if report.action == RecoveryAction::UvmFallback {
+                recovered.recovery.uvm_fallbacks += 1;
+            }
+            // The failure's blast radius, observed by the detection pass.
+            recovered.recovery.halted_warps += stats.recovery.halted_warps;
+            recovered.recovery.dead_peer_gets += stats.recovery.dead_peer_gets;
+            // Detection → resume latency: the aborted pass overlaps the
+            // monitor's detection horizon; the longer of the two dominates.
+            let detection_ns = stats.makespan_ns().max(report.detection_ns);
+            recovered.recovery.recovery_latency_ns += detection_ns;
+            tel.counter_add("engine.replans", u64::from(recovered.recovery.replans > 0));
+            tel.counter_add("engine.recovery_detection_ns", detection_ns);
+            stats = recovered;
+            trace = recovered_trace;
+        } else if action != RecoveryAction::None && !self.replanned {
             let _span = tel.span("recover");
             let sched = self.cluster.faults().expect("action implies faults").clone();
             let weights: Vec<f64> =
@@ -277,6 +514,15 @@ impl MggEngine {
             tel.counter_add("engine.recovery_detection_ns", detection_ns);
             stats = recovered;
             trace = recovered_trace;
+        }
+        if self.checkpoint_restores > 0 {
+            // One-shot: resumed-from-checkpoint work is attributed to the
+            // first simulation after the restore.
+            stats.recovery.checkpoint_restores += self.checkpoint_restores;
+            stats.recovery.recovery_latency_ns += self.pending_restore_ns;
+            tel.counter_add("engine.checkpoint_restores", self.checkpoint_restores);
+            self.checkpoint_restores = 0;
+            self.pending_restore_ns = 0;
         }
         {
             // The inter-GPU barrier closing the aggregation: each GPU idles
@@ -357,25 +603,28 @@ impl MggEngine {
             for r in 0..part.local.num_rows() as u32 {
                 let v = base + r as usize;
                 let out_row_start = v * dim;
-                // Local neighbor partition aggregation (device memory).
-                for lr in part.local.row(r) {
-                    let w = self.weight(v, base + lr.local as usize);
-                    let src = region.row(part.pe, lr.local);
-                    let dst = &mut out.data_mut()[out_row_start..out_row_start + dim];
+                // Local (device memory) and remote (symmetric heap)
+                // neighbors, summed in the input graph's edge order.
+                let dst = &mut out.data_mut()[out_row_start..out_row_start + dim];
+                merge_by_edge(part.local.row(r), part.remote.row(r), |nb| {
+                    let (w, src) = match nb {
+                        Neighbor::Local(lr) => (
+                            self.weight(v, base + lr.local as usize),
+                            region.row(part.pe, lr.local),
+                        ),
+                        Neighbor::Remote(rr) => {
+                            let owner_base =
+                                self.placement.split.range(rr.owner as usize).start;
+                            (
+                                self.weight(v, (owner_base + rr.local) as usize),
+                                region.row(rr.owner as usize, rr.local),
+                            )
+                        }
+                    };
                     for (d, &s) in dst.iter_mut().zip(src) {
                         *d += w * s;
                     }
-                }
-                // Remote neighbor partition aggregation (symmetric heap).
-                for rr in part.remote.row(r) {
-                    let owner_base = self.placement.split.range(rr.owner as usize).start;
-                    let w = self.weight(v, (owner_base + rr.local) as usize);
-                    let src = region.row(rr.owner as usize, rr.local);
-                    let dst = &mut out.data_mut()[out_row_start..out_row_start + dim];
-                    for (d, &s) in dst.iter_mut().zip(src) {
-                        *d += w * s;
-                    }
-                }
+                });
                 // Mode-specific fixups.
                 match self.mode {
                     AggregateMode::GcnNorm => {
@@ -425,21 +674,32 @@ impl MggEngine {
             for r in 0..part.local.num_rows() as u32 {
                 let v = base + r as usize;
                 let out_row_start = v * dim;
-                for lr in part.local.row(r) {
-                    let w = self.weight(v, base + lr.local as usize);
-                    let src = region.row(part.pe, lr.local);
-                    let dst = &mut out.data_mut()[out_row_start..out_row_start + dim];
-                    for (d, &s) in dst.iter_mut().zip(src) {
-                        *d += w * s;
-                    }
-                }
-                for rr in part.remote.row(r) {
-                    let owner_base = self.placement.split.range(rr.owner as usize).start;
-                    let w = self.weight(v, (owner_base + rr.local) as usize);
-                    resilient.get_nbi(&mut fetched, part.pe, rr.owner as usize, rr.local)?;
-                    let dst = &mut out.data_mut()[out_row_start..out_row_start + dim];
-                    for (d, &s) in dst.iter_mut().zip(fetched.iter()) {
-                        *d += w * s;
+                // Same edge-order merge as `aggregate_values`; remote rows
+                // go through the resilience plane (fallible), so the merged
+                // order is materialized instead of visited by closure.
+                let mut merged =
+                    Vec::with_capacity(part.local.row(r).len() + part.remote.row(r).len());
+                merge_by_edge(part.local.row(r), part.remote.row(r), |nb| merged.push(nb));
+                for nb in merged {
+                    match nb {
+                        Neighbor::Local(lr) => {
+                            let w = self.weight(v, base + lr.local as usize);
+                            let src = region.row(part.pe, lr.local);
+                            let dst = &mut out.data_mut()[out_row_start..out_row_start + dim];
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                *d += w * s;
+                            }
+                        }
+                        Neighbor::Remote(rr) => {
+                            let owner_base =
+                                self.placement.split.range(rr.owner as usize).start;
+                            let w = self.weight(v, (owner_base + rr.local) as usize);
+                            resilient.get_nbi(&mut fetched, part.pe, rr.owner as usize, rr.local)?;
+                            let dst = &mut out.data_mut()[out_row_start..out_row_start + dim];
+                            for (d, &s) in dst.iter_mut().zip(fetched.iter()) {
+                                *d += w * s;
+                            }
+                        }
                     }
                 }
                 resilient.quiet(part.pe)?;
@@ -492,22 +752,20 @@ impl MggEngine {
             for r in 0..part.local.num_rows() as u32 {
                 let v = base + r as usize;
                 let out_row_start = v * dim;
-                for lr in part.local.row(r) {
-                    let weight = w[lr.edge as usize];
-                    let src = region.row(part.pe, lr.local);
-                    let dst = &mut out.data_mut()[out_row_start..out_row_start + dim];
+                let dst = &mut out.data_mut()[out_row_start..out_row_start + dim];
+                merge_by_edge(part.local.row(r), part.remote.row(r), |nb| {
+                    let (weight, src) = match nb {
+                        Neighbor::Local(lr) => {
+                            (w[lr.edge as usize], region.row(part.pe, lr.local))
+                        }
+                        Neighbor::Remote(rr) => {
+                            (w[rr.edge as usize], region.row(rr.owner as usize, rr.local))
+                        }
+                    };
                     for (d, &s) in dst.iter_mut().zip(src) {
                         *d += weight * s;
                     }
-                }
-                for rr in part.remote.row(r) {
-                    let weight = w[rr.edge as usize];
-                    let src = region.row(rr.owner as usize, rr.local);
-                    let dst = &mut out.data_mut()[out_row_start..out_row_start + dim];
-                    for (d, &s) in dst.iter_mut().zip(src) {
-                        *d += weight * s;
-                    }
-                }
+                });
             }
         }
         out
@@ -539,15 +797,19 @@ impl mgg_gnn::gat::GatBackend for MggEngine {
                 let mut entries: Vec<(u32, f32)> = Vec::with_capacity(
                     part.local.row(r).len() + part.remote.row(r).len(),
                 );
-                for lr in part.local.row(r) {
-                    let u = base + lr.local as usize;
-                    entries.push((lr.edge, leaky(s_dst[v] + s_src[u])));
-                }
-                for rr in part.remote.row(r) {
-                    let u = (self.placement.split.range(rr.owner as usize).start
-                        + rr.local) as usize;
-                    entries.push((rr.edge, leaky(s_dst[v] + s_src[u])));
-                }
+                // Edge-order merge keeps the softmax reduction order (and
+                // so the weights, bitwise) independent of the node split.
+                merge_by_edge(part.local.row(r), part.remote.row(r), |nb| match nb {
+                    Neighbor::Local(lr) => {
+                        let u = base + lr.local as usize;
+                        entries.push((lr.edge, leaky(s_dst[v] + s_src[u])));
+                    }
+                    Neighbor::Remote(rr) => {
+                        let u = (self.placement.split.range(rr.owner as usize).start
+                            + rr.local) as usize;
+                        entries.push((rr.edge, leaky(s_dst[v] + s_src[u])));
+                    }
+                });
                 if entries.is_empty() {
                     continue;
                 }
@@ -888,6 +1150,157 @@ mod tests {
         assert_eq!(tel.counter_value("engine.replans"), 1);
         let p = snap.pipeline.expect("pipeline recorded");
         assert_eq!(p.recovery.replans, 1);
+    }
+
+    #[test]
+    fn values_are_bit_identical_across_splits() {
+        // The edge-order merge makes aggregation split-invariant *bitwise*,
+        // not just within tolerance — the guarantee evacuation relies on.
+        let g = graph();
+        let x = features(g.num_nodes(), 8);
+        let base = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(1),
+            MggConfig::default_fixed(),
+            AggregateMode::GcnNorm,
+        )
+        .aggregate_values(&x);
+        for gpus in [2, 3, 4, 8] {
+            let engine = MggEngine::new(
+                &g,
+                ClusterSpec::dgx_a100(gpus),
+                MggConfig::default_fixed(),
+                AggregateMode::GcnNorm,
+            );
+            let got = engine.aggregate_values(&x);
+            assert_eq!(got.data(), base.data(), "split over {gpus} GPUs changed bits");
+        }
+    }
+
+    #[test]
+    fn dead_gpu_is_evacuated_and_values_survive_bit_exact() {
+        let g = graph();
+        let x = features(g.num_nodes(), 16);
+        let mut e = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(4),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        let healthy = e.aggregate_values(&x);
+        e.install_fault_schedule(FaultSchedule::gpu_failure(4, 2, 2_000));
+        assert_eq!(e.recovery_action(), RecoveryAction::Evacuate);
+        let stats = e.simulate_aggregation(32).unwrap();
+        assert_eq!(stats.recovery.evacuations, 1);
+        assert_eq!(stats.recovery.replans, 1);
+        assert!(stats.recovery.recovery_latency_ns >= 2_000, "detection must be charged");
+        // The dead GPU owns nothing after evacuation.
+        assert_eq!(e.placement.split.part_nodes(2), 0);
+        // The recovered placement reproduces the healthy floats exactly.
+        let recovered = e.aggregate_values(&x);
+        assert_eq!(recovered.data(), healthy.data());
+        // Second simulation runs on the recovered placement: no re-recovery.
+        let again = e.simulate_aggregation(32).unwrap();
+        assert_eq!(again.recovery.evacuations, 0);
+        assert_eq!(again.recovery.replans, 0);
+    }
+
+    #[test]
+    fn dead_link_gets_a_relay_route() {
+        let g = graph();
+        let mut e = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(4),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        e.install_fault_schedule(FaultSchedule::link_down(4, 0, 1, 500));
+        assert_eq!(e.recovery_action(), RecoveryAction::Reroute);
+        let report = e.recover(32).unwrap();
+        assert_eq!(report.action, RecoveryAction::Reroute);
+        assert_eq!(report.routes_installed, 1);
+        assert_eq!(report.evacuated_gpus, 0);
+        let stats = e.simulate_aggregation(32).unwrap();
+        assert!(
+            stats.recovery.rerouted_transfers > 0,
+            "traffic between the pair must relay around the dead link"
+        );
+        assert_eq!(stats.recovery.evacuations, 0);
+    }
+
+    #[test]
+    fn overflowing_evacuation_degrades_to_uvm() {
+        let g = graph();
+        let mut spec = ClusterSpec::dgx_a100(4);
+        // Device memory too small for three survivors to absorb the
+        // evacuated shard under the headroom rule.
+        spec.gpu.dram_bytes = 32 * 1024;
+        let mut e = MggEngine::new(&g, spec, MggConfig::default_fixed(), AggregateMode::Sum);
+        e.install_fault_schedule(FaultSchedule::gpu_failure(4, 1, 1_000));
+        let stats = e.simulate_aggregation(32).unwrap();
+        assert_eq!(stats.recovery.uvm_fallbacks, 1);
+        assert!(e.cluster.ic.uvm_degraded(), "the interconnect must actually degrade");
+        assert!(
+            stats.recovery.host_staged_transfers > 0,
+            "degraded mode stages every fabric transfer through the host"
+        );
+    }
+
+    #[test]
+    fn losing_every_gpu_is_unrecoverable_not_a_hang() {
+        let g = graph();
+        let mut e = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(2),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        let sched = FaultSchedule::gpu_failure(2, 0, 1_000).with_permanent(
+            mgg_fault::PermanentFault::GpuFailure { gpu: 1, at_ns: 1_500 },
+        );
+        e.install_fault_schedule(sched);
+        match e.simulate_aggregation(32) {
+            Err(MggError::Unrecoverable(msg)) => {
+                assert!(msg.contains("dead"), "{msg}");
+            }
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_restores_placement_and_features() {
+        let g = graph();
+        let x = features(g.num_nodes(), 8);
+        let mut e = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(4),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        let agg = e.aggregate_values(&x);
+        let ckpt = e.checkpoint(3, &agg);
+        assert!(ckpt.is_valid());
+
+        // A corrupted checkpoint is a typed error, not silent wrong data.
+        let mut bad = ckpt.clone();
+        bad.features[0] += 1.0;
+        assert!(matches!(e.resume(&bad), Err(MggError::Unrecoverable(_))));
+
+        // Fail GPU 0, recover (placement changes), then resume from the
+        // checkpoint: the pre-failure placement and features come back.
+        e.install_fault_schedule(FaultSchedule::gpu_failure(4, 0, 1_000));
+        e.simulate_aggregation(8).unwrap();
+        assert_eq!(e.placement.split.part_nodes(0), 0);
+        e.clear_faults();
+        let restored = e.resume(&ckpt).unwrap();
+        assert_eq!(restored.data(), agg.data());
+        assert!(e.placement.split.part_nodes(0) > 0, "bounds restored from checkpoint");
+        let stats = e.simulate_aggregation(8).unwrap();
+        assert_eq!(stats.recovery.checkpoint_restores, 1);
+        assert!(stats.recovery.recovery_latency_ns > 0, "restore transfer must be charged");
+        // One-shot: the next run is clean.
+        let again = e.simulate_aggregation(8).unwrap();
+        assert_eq!(again.recovery.checkpoint_restores, 0);
     }
 
     #[test]

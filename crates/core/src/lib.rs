@@ -48,7 +48,7 @@ pub mod workload;
 
 pub use config::MggConfig;
 pub use error::MggError;
-pub use executor::{MggEngine, RecoveryAction};
+pub use executor::{MggEngine, RecoveryAction, RecoveryReport};
 pub use kernel::{KernelVariant, MggKernel};
 pub use model::AnalyticalModel;
 pub use replicated::ReplicatedEngine;

@@ -30,6 +30,16 @@ pub const RETRY_BACKOFF_NS: u64 = 500;
 /// deadline on a lost completion flag.
 pub const COMPLETION_TIMEOUT_NS: u64 = 2_000;
 
+/// Period of the failover health monitor's simulated heartbeat probes, in
+/// nanoseconds. Each GPU is probed over the fabric once per period.
+pub const HEARTBEAT_PERIOD_NS: u64 = 1_000;
+
+/// Deadline after which an operation targeting a permanently dead peer is
+/// abandoned instead of retried, in nanoseconds. Bounds the detection cost
+/// of any single GET: a dead PE surfaces as an error within this budget,
+/// never as a hang.
+pub const PEER_DEATH_TIMEOUT_NS: u64 = 5_000;
+
 /// User-facing fault knobs. All default to the "quiet" values, under which
 /// the derived schedule injects nothing and the simulation is bit-identical
 /// to a run without any fault layer installed.
@@ -46,11 +56,24 @@ pub struct FaultSpec {
     /// Probability that a one-sided GET (or its completion signal) is
     /// transiently dropped, in `[0, 1)`. `0.0` disables drops.
     pub drop_rate: f64,
+    /// Number of GPUs that fail permanently at a seed-derived instant
+    /// (clamped to the cluster size at derivation). `0` disables.
+    pub gpu_failures: u32,
+    /// Number of links that go down permanently at a seed-derived instant
+    /// (clamped to the number of unordered pairs). `0` disables.
+    pub link_failures: u32,
 }
 
 impl Default for FaultSpec {
     fn default() -> Self {
-        FaultSpec { seed: 0, link_degrade: 1.0, straggler: 1.0, drop_rate: 0.0 }
+        FaultSpec {
+            seed: 0,
+            link_degrade: 1.0,
+            straggler: 1.0,
+            drop_rate: 0.0,
+            gpu_failures: 0,
+            link_failures: 0,
+        }
     }
 }
 
@@ -62,7 +85,11 @@ impl FaultSpec {
 
     /// True when no fault class is enabled.
     pub fn is_quiet(&self) -> bool {
-        self.link_degrade >= 1.0 && self.straggler <= 1.0 && self.drop_rate <= 0.0
+        self.link_degrade >= 1.0
+            && self.straggler <= 1.0
+            && self.drop_rate <= 0.0
+            && self.gpu_failures == 0
+            && self.link_failures == 0
     }
 
     /// Checks the knobs are inside their documented domains.
@@ -97,12 +124,86 @@ pub struct LinkFaultWindow {
     pub jitter_ns: u64,
 }
 
+/// A failure with no recovery window: the component stays down for the
+/// rest of the run. Unlike [`LinkFaultWindow`] degradation (which ends),
+/// permanent faults can only be handled by re-routing, evacuating the
+/// dead GPU's shard, or degrading to the UVM path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PermanentFault {
+    /// GPU `gpu` dies at `at_ns`: its warps halt, its memory becomes
+    /// unreachable, and operations targeting it fail after a bounded
+    /// detection timeout.
+    GpuFailure { gpu: usize, at_ns: u64 },
+    /// The (unordered) link between `src` and `dst` goes down at `at_ns`;
+    /// traffic between the pair must be re-routed or host-staged.
+    LinkDown { src: usize, dst: usize, at_ns: u64 },
+}
+
+// Manual impls: the in-tree serde shim derives only named-field structs and
+// unit-variant enums, so the data-carrying variants use a tagged object.
+impl Serialize for PermanentFault {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        match *self {
+            PermanentFault::GpuFailure { gpu, at_ns } => Value::Object(vec![
+                ("kind".into(), Value::Str("gpu_failure".into())),
+                ("gpu".into(), Value::UInt(gpu as u64)),
+                ("at_ns".into(), Value::UInt(at_ns)),
+            ]),
+            PermanentFault::LinkDown { src, dst, at_ns } => Value::Object(vec![
+                ("kind".into(), Value::Str("link_down".into())),
+                ("src".into(), Value::UInt(src as u64)),
+                ("dst".into(), Value::UInt(dst as u64)),
+                ("at_ns".into(), Value::UInt(at_ns)),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for PermanentFault {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .and_then(serde::Value::as_u64)
+                .ok_or_else(|| serde::Error::missing_field(name))
+        };
+        let kind = v
+            .get("kind")
+            .and_then(serde::Value::as_str)
+            .ok_or_else(|| serde::Error::missing_field("kind"))?;
+        match kind {
+            "gpu_failure" => Ok(PermanentFault::GpuFailure {
+                gpu: field("gpu")? as usize,
+                at_ns: field("at_ns")?,
+            }),
+            "link_down" => Ok(PermanentFault::LinkDown {
+                src: field("src")? as usize,
+                dst: field("dst")? as usize,
+                at_ns: field("at_ns")?,
+            }),
+            other => Err(serde::Error::unknown_variant(other, "PermanentFault")),
+        }
+    }
+}
+
+impl PermanentFault {
+    /// The instant the component fails, in simulated nanoseconds.
+    pub fn at_ns(&self) -> u64 {
+        match *self {
+            PermanentFault::GpuFailure { at_ns, .. } => at_ns,
+            PermanentFault::LinkDown { at_ns, .. } => at_ns,
+        }
+    }
+}
+
 // Distinct stream constants decorrelate the schedule's sub-decisions, so
 // turning one knob never shifts another knob's draws.
 const STREAM_LINK: u64 = 0x6c69_6e6b_6465_6772; // "linkdegr"
 const STREAM_STRAGGLER: u64 = 0x7374_7261_6767_6c65; // "straggle"
 const STREAM_DROP_GET: u64 = 0x6472_6f70_5f67_6574; // "drop_get"
 const STREAM_DROP_NBI: u64 = 0x6472_6f70_5f6e_6269; // "drop_nbi"
+const STREAM_GPU_FAIL: u64 = 0x6770_755f_6661_696c; // "gpu_fail"
+const STREAM_LINK_FAIL: u64 = 0x6c69_6e6b_6661_696c; // "linkfail"
 
 /// SplitMix64 step: advances `state` and returns the next draw.
 fn splitmix64(state: &mut u64) -> u64 {
@@ -142,6 +243,8 @@ pub struct FaultSchedule {
     link_windows: Vec<Vec<LinkFaultWindow>>,
     /// Per-GPU compute slowdown (1.0 for non-stragglers).
     compute_scale: Vec<f64>,
+    /// Permanent GPU and link failures (empty for recoverable scenarios).
+    permanent: Vec<PermanentFault>,
 }
 
 impl FaultSchedule {
@@ -186,6 +289,24 @@ impl FaultSchedule {
                 sched.compute_scale[gpu] = spec.straggler;
             }
         }
+        if spec.gpu_failures > 0 {
+            let mut st = spec.seed ^ STREAM_GPU_FAIL;
+            let k = (spec.gpu_failures as usize).min(num_gpus);
+            for gpu in pick_distinct(&mut st, num_gpus, k) {
+                let at_ns = 1_000 + below(&mut st, 14_336);
+                sched.permanent.push(PermanentFault::GpuFailure { gpu, at_ns });
+            }
+        }
+        if spec.link_failures > 0 && num_gpus >= 2 {
+            let mut st = spec.seed ^ STREAM_LINK_FAIL;
+            let pairs = num_gpus * (num_gpus - 1) / 2;
+            let k = (spec.link_failures as usize).min(pairs);
+            for idx in pick_distinct(&mut st, pairs, k) {
+                let (src, dst) = unordered_pair(idx, num_gpus);
+                let at_ns = 500 + below(&mut st, 14_336);
+                sched.permanent.push(PermanentFault::LinkDown { src, dst, at_ns });
+            }
+        }
         sched
     }
 
@@ -200,6 +321,7 @@ impl FaultSchedule {
             spec,
             link_windows: vec![Vec::new(); num_gpus],
             compute_scale: vec![1.0; num_gpus],
+            permanent: Vec::new(),
         }
     }
 
@@ -219,6 +341,47 @@ impl FaultSchedule {
         sched
     }
 
+    /// Builds a pinned scenario: one GPU fails permanently at `at_ns`,
+    /// nothing else. Used by failover goldens and the CLI's
+    /// `--fault-gpu-fail` flag.
+    pub fn gpu_failure(num_gpus: usize, gpu: usize, at_ns: u64) -> Self {
+        assert!(gpu < num_gpus, "GPU {gpu} out of range for {num_gpus} GPUs");
+        let mut spec = FaultSpec::quiet();
+        spec.gpu_failures = 1;
+        let mut sched = Self::quiet_for(spec, num_gpus);
+        sched.permanent.push(PermanentFault::GpuFailure { gpu, at_ns });
+        sched
+    }
+
+    /// Builds a pinned scenario: the `(src, dst)` link goes down
+    /// permanently at `at_ns`, nothing else.
+    pub fn link_down(num_gpus: usize, src: usize, dst: usize, at_ns: u64) -> Self {
+        assert!(src < num_gpus && dst < num_gpus && src != dst, "bad link ({src}, {dst})");
+        let mut spec = FaultSpec::quiet();
+        spec.link_failures = 1;
+        let mut sched = Self::quiet_for(spec, num_gpus);
+        sched.permanent.push(PermanentFault::LinkDown { src, dst, at_ns });
+        sched
+    }
+
+    /// Appends a permanent fault to the schedule (chainable; used by the
+    /// CLI to combine pinned failures with seed-derived transients).
+    pub fn with_permanent(mut self, fault: PermanentFault) -> Self {
+        match fault {
+            PermanentFault::GpuFailure { gpu, .. } => {
+                assert!(gpu < self.num_gpus(), "GPU {gpu} out of range");
+            }
+            PermanentFault::LinkDown { src, dst, .. } => {
+                assert!(
+                    src < self.num_gpus() && dst < self.num_gpus() && src != dst,
+                    "bad link ({src}, {dst})"
+                );
+            }
+        }
+        self.permanent.push(fault);
+        self
+    }
+
     /// The spec this schedule was derived from.
     pub fn spec(&self) -> &FaultSpec {
         &self.spec
@@ -234,6 +397,67 @@ impl FaultSchedule {
         self.spec.drop_rate <= 0.0
             && self.link_windows.iter().all(Vec::is_empty)
             && self.compute_scale.iter().all(|&s| s == 1.0)
+            && self.permanent.is_empty()
+    }
+
+    /// All permanent faults of this schedule, in derivation order.
+    pub fn permanent(&self) -> &[PermanentFault] {
+        &self.permanent
+    }
+
+    /// True when the schedule contains any permanent GPU or link failure.
+    pub fn has_permanent(&self) -> bool {
+        !self.permanent.is_empty()
+    }
+
+    /// When `gpu` dies permanently, if ever (earliest failure wins).
+    pub fn gpu_dead_at(&self, gpu: usize) -> Option<u64> {
+        self.permanent
+            .iter()
+            .filter_map(|f| match *f {
+                PermanentFault::GpuFailure { gpu: g, at_ns } if g == gpu => Some(at_ns),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// When the unordered link `(a, b)` goes down permanently, if ever.
+    /// A link also counts as down once either endpoint GPU has died.
+    pub fn link_dead_at(&self, a: usize, b: usize) -> Option<u64> {
+        self.permanent
+            .iter()
+            .filter_map(|f| match *f {
+                PermanentFault::LinkDown { src, dst, at_ns }
+                    if (src, dst) == (a, b) || (src, dst) == (b, a) =>
+                {
+                    Some(at_ns)
+                }
+                PermanentFault::GpuFailure { gpu, at_ns } if gpu == a || gpu == b => {
+                    Some(at_ns)
+                }
+                _ => None,
+            })
+            .min()
+    }
+
+    /// GPUs that die permanently at some point, in ascending order.
+    pub fn dead_gpus(&self) -> Vec<usize> {
+        let mut dead: Vec<usize> = self
+            .permanent
+            .iter()
+            .filter_map(|f| match *f {
+                PermanentFault::GpuFailure { gpu, .. } => Some(gpu),
+                _ => None,
+            })
+            .collect();
+        dead.sort_unstable();
+        dead.dedup();
+        dead
+    }
+
+    /// The earliest permanent failure instant, if any.
+    pub fn first_failure_ns(&self) -> Option<u64> {
+        self.permanent.iter().map(PermanentFault::at_ns).min()
     }
 
     /// Link degradation windows of `gpu` (empty when healthy).
@@ -288,6 +512,21 @@ impl FaultSchedule {
     }
 }
 
+/// Decodes pair index `idx` into the `idx`-th unordered pair `(a, b)` with
+/// `a < b` of `0..n` in lexicographic order: (0,1), (0,2), .., (1,2), ..
+fn unordered_pair(idx: usize, n: usize) -> (usize, usize) {
+    debug_assert!(n >= 2 && idx < n * (n - 1) / 2);
+    let mut remaining = idx;
+    for a in 0..n - 1 {
+        let row = n - 1 - a;
+        if remaining < row {
+            return (a, a + 1 + remaining);
+        }
+        remaining -= row;
+    }
+    unreachable!("pair index {idx} out of range for {n} GPUs")
+}
+
 /// Picks `k` distinct values from `0..n`, deterministically from `state`
 /// (partial Fisher-Yates).
 fn pick_distinct(state: &mut u64, n: usize, k: usize) -> Vec<usize> {
@@ -321,7 +560,13 @@ mod tests {
 
     #[test]
     fn same_seed_same_schedule() {
-        let spec = FaultSpec { seed: 42, link_degrade: 0.5, straggler: 2.0, drop_rate: 0.1 };
+        let spec = FaultSpec {
+            seed: 42,
+            link_degrade: 0.5,
+            straggler: 2.0,
+            drop_rate: 0.1,
+            ..FaultSpec::quiet()
+        };
         let a = FaultSchedule::derive(&spec, 8);
         let b = FaultSchedule::derive(&spec, 8);
         assert_eq!(a, b);
@@ -336,7 +581,7 @@ mod tests {
     fn different_seeds_differ() {
         let mk = |seed| {
             FaultSchedule::derive(
-                &FaultSpec { seed, link_degrade: 0.5, straggler: 1.0, drop_rate: 0.0 },
+                &FaultSpec { seed, link_degrade: 0.5, ..FaultSpec::quiet() },
                 8,
             )
         };
@@ -387,7 +632,12 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_knobs() {
-        let ok = FaultSpec { seed: 0, link_degrade: 0.5, straggler: 1.5, drop_rate: 0.1 };
+        let ok = FaultSpec {
+            link_degrade: 0.5,
+            straggler: 1.5,
+            drop_rate: 0.1,
+            ..FaultSpec::quiet()
+        };
         assert!(ok.validate().is_ok());
         assert!(FaultSpec { link_degrade: 0.0, ..ok }.validate().is_err());
         assert!(FaultSpec { link_degrade: 1.5, ..ok }.validate().is_err());
@@ -412,6 +662,89 @@ mod tests {
     }
 
     #[test]
+    fn gpu_failures_derive_deterministically() {
+        let spec = FaultSpec { seed: 5, gpu_failures: 2, ..FaultSpec::quiet() };
+        let a = FaultSchedule::derive(&spec, 8);
+        let b = FaultSchedule::derive(&spec, 8);
+        assert_eq!(a, b);
+        assert!(a.has_permanent());
+        assert!(!a.is_quiet());
+        assert_eq!(a.dead_gpus().len(), 2);
+        for &g in &a.dead_gpus() {
+            let at = a.gpu_dead_at(g).unwrap();
+            assert!(at >= 1_000, "failure instant {at} before warmup");
+        }
+        assert!(a.first_failure_ns().is_some());
+    }
+
+    #[test]
+    fn link_failures_derive_valid_pairs() {
+        let spec = FaultSpec { seed: 9, link_failures: 3, ..FaultSpec::quiet() };
+        let sched = FaultSchedule::derive(&spec, 4);
+        let links: Vec<_> = sched
+            .permanent()
+            .iter()
+            .filter_map(|f| match *f {
+                PermanentFault::LinkDown { src, dst, at_ns } => Some((src, dst, at_ns)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(links.len(), 3);
+        for &(src, dst, at_ns) in &links {
+            assert!(src < dst && dst < 4, "bad pair ({src}, {dst})");
+            assert!(at_ns >= 500);
+            assert_eq!(sched.link_dead_at(src, dst), Some(at_ns));
+            assert_eq!(sched.link_dead_at(dst, src), Some(at_ns));
+        }
+        // Distinct pairs.
+        let mut pairs: Vec<_> = links.iter().map(|&(s, d, _)| (s, d)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 3);
+        assert!(sched.dead_gpus().is_empty());
+    }
+
+    #[test]
+    fn pinned_gpu_failure_builder() {
+        let sched = FaultSchedule::gpu_failure(4, 2, 2_000);
+        assert_eq!(sched.gpu_dead_at(2), Some(2_000));
+        assert_eq!(sched.gpu_dead_at(0), None);
+        assert_eq!(sched.dead_gpus(), vec![2]);
+        // Links touching the dead GPU count as down from its death.
+        assert_eq!(sched.link_dead_at(2, 3), Some(2_000));
+        assert_eq!(sched.link_dead_at(0, 1), None);
+        assert!(!sched.is_quiet());
+        assert!(!sched.spec().is_quiet());
+    }
+
+    #[test]
+    fn pinned_link_down_builder() {
+        let sched = FaultSchedule::link_down(4, 0, 3, 1_500);
+        assert_eq!(sched.link_dead_at(0, 3), Some(1_500));
+        assert_eq!(sched.link_dead_at(3, 0), Some(1_500));
+        assert_eq!(sched.link_dead_at(0, 1), None);
+        assert!(sched.dead_gpus().is_empty());
+        assert_eq!(sched.first_failure_ns(), Some(1_500));
+    }
+
+    #[test]
+    fn with_permanent_chains() {
+        let sched = FaultSchedule::gpu_failure(4, 1, 2_000)
+            .with_permanent(PermanentFault::LinkDown { src: 2, dst: 3, at_ns: 3_000 });
+        assert_eq!(sched.permanent().len(), 2);
+        assert_eq!(sched.first_failure_ns(), Some(2_000));
+        assert_eq!(sched.link_dead_at(2, 3), Some(3_000));
+    }
+
+    #[test]
+    fn unordered_pair_enumerates_lexicographically() {
+        let expected = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        for (idx, &pair) in expected.iter().enumerate() {
+            assert_eq!(unordered_pair(idx, 4), pair);
+        }
+    }
+
+    #[test]
     fn pick_distinct_is_distinct_and_in_range() {
         let mut st = 99u64;
         let picked = pick_distinct(&mut st, 8, 3);
@@ -431,12 +764,16 @@ mod proptests {
     use super::*;
 
     fn arb_spec() -> impl Strategy<Value = FaultSpec> {
-        (0u64..1_000, 0.1f64..1.0, 1.0f64..4.0, 0.0f64..0.5).prop_map(
-            |(seed, link_degrade, straggler, drop_rate)| FaultSpec {
-                seed,
-                link_degrade,
-                straggler,
-                drop_rate,
+        (0u64..1_000, 0.1f64..1.0, 1.0f64..4.0, 0.0f64..0.5, 0u32..3, 0u32..3).prop_map(
+            |(seed, link_degrade, straggler, drop_rate, gpu_failures, link_failures)| {
+                FaultSpec {
+                    seed,
+                    link_degrade,
+                    straggler,
+                    drop_rate,
+                    gpu_failures,
+                    link_failures,
+                }
             },
         )
     }

@@ -104,11 +104,19 @@ impl NodeSplit {
     /// edge balancing; unequal weights let a caller shrink the share of an
     /// impaired GPU (degraded links, thermal throttling) — the re-planning
     /// primitive behind graceful degradation.
+    /// A weight of exactly `0.0` assigns an *empty* range: the failover
+    /// path evacuates a dead GPU's shard by re-splitting with its weight
+    /// zeroed, and the survivors absorb its nodes. At least one weight must
+    /// be positive.
     pub fn edge_balanced_weighted(graph: &CsrGraph, weights: &[f64]) -> NodeSplit {
         assert!(!weights.is_empty(), "need at least one GPU");
         assert!(
-            weights.iter().all(|&w| w > 0.0 && w.is_finite()),
-            "capacity weights must be positive and finite"
+            weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+            "capacity weights must be non-negative and finite"
+        );
+        assert!(
+            weights.iter().any(|&w| w > 0.0),
+            "at least one capacity weight must be positive"
         );
         let num_gpus = weights.len();
         let n = graph.num_nodes();
@@ -120,6 +128,11 @@ impl NodeSplit {
         let mut last_pos = 0usize;
         let mut cum_weight = 0.0;
         for &w in weights.iter().take(num_gpus - 1) {
+            if w == 0.0 {
+                // Evacuated GPU: empty range, no forward progress forced.
+                bounds.push(last_pos as NodeId);
+                continue;
+            }
             cum_weight += w;
             // Cumulative edge target of the first g+1 partitions; same
             // range-constrained binary search as `edge_balanced`.
@@ -139,6 +152,9 @@ impl NodeSplit {
             last_pos = split;
         }
         bounds.push(n as NodeId);
+        // Trailing zero weights need no special casing: the last positive
+        // weight's cumulative target is the full edge count, which drives
+        // every later bound to n — so those partitions come out empty too.
         NodeSplit { bounds }
     }
 
@@ -149,6 +165,24 @@ impl NodeSplit {
         for g in 0..=num_gpus {
             bounds.push(((num_nodes * g) / num_gpus) as NodeId);
         }
+        NodeSplit { bounds }
+    }
+
+    /// The raw bound vector (`num_parts() + 1` entries, monotone, first 0,
+    /// last `num_nodes`). Serialized into failover checkpoints.
+    pub fn bounds(&self) -> &[NodeId] {
+        &self.bounds
+    }
+
+    /// Rebuilds a split from a bound vector previously obtained via
+    /// [`NodeSplit::bounds`] (checkpoint restore).
+    pub fn from_bounds(bounds: Vec<NodeId>) -> NodeSplit {
+        assert!(bounds.len() >= 2, "need at least one partition");
+        assert_eq!(bounds[0], 0, "bounds must start at node 0");
+        assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]),
+            "bounds must be monotone"
+        );
         NodeSplit { bounds }
     }
 
@@ -309,9 +343,52 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "positive")]
-    fn weighted_split_rejects_zero_weight() {
+    fn weighted_split_rejects_all_zero_weights() {
         let g = ring(8);
-        let _ = NodeSplit::edge_balanced_weighted(&g, &[1.0, 0.0]);
+        let _ = NodeSplit::edge_balanced_weighted(&g, &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn weighted_split_rejects_negative_weight() {
+        let g = ring(8);
+        let _ = NodeSplit::edge_balanced_weighted(&g, &[1.0, -0.5]);
+    }
+
+    #[test]
+    fn zero_weight_evacuates_the_partition() {
+        let g = rmat(&RmatConfig::graph500(11, 20_000, 5));
+        // GPU 1 died: its weight is zeroed and survivors absorb its shard.
+        for dead in 0..4usize {
+            let mut w = [1.0; 4];
+            w[dead] = 0.0;
+            let s = NodeSplit::edge_balanced_weighted(&g, &w);
+            assert_eq!(s.part_nodes(dead), 0, "dead GPU {dead} still owns nodes");
+            let covered: usize = (0..4).map(|p| s.part_nodes(p)).sum();
+            assert_eq!(covered, g.num_nodes());
+            let parts = s.part_edges(&g);
+            assert_eq!(parts[dead], 0);
+            let survivor_max = parts.iter().max().copied().unwrap();
+            let ideal = g.num_edges() as f64 / 3.0;
+            assert!(
+                (survivor_max as f64) < ideal * 1.5,
+                "survivors unbalanced after evacuating {dead}: {parts:?}"
+            );
+            // owner() stays total over the full node range.
+            for v in [0u32, (g.num_nodes() / 2) as u32, (g.num_nodes() - 1) as u32] {
+                let o = s.owner(v);
+                assert_ne!(o, dead, "node {v} mapped to the dead GPU");
+                assert!(s.range(o).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_roundtrip_through_from_bounds() {
+        let g = rmat(&RmatConfig::graph500(10, 8_000, 3));
+        let s = NodeSplit::edge_balanced(&g, 4);
+        let restored = NodeSplit::from_bounds(s.bounds().to_vec());
+        assert_eq!(s, restored);
     }
 
     #[test]

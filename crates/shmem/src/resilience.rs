@@ -11,7 +11,11 @@
 //!   with a fixed backoff, then reported as [`ShmemError::GetFailed`];
 //! * outstanding `_nbi` operations are tracked per PE and settled by
 //!   [`ResilientRegion::quiet`], which detects lost completion signals by
-//!   timeout instead of hanging.
+//!   timeout instead of hanging;
+//! * a permanently failed PE surfaces as [`ShmemError::PeDead`] within the
+//!   bounded [`RetryPolicy::deadline_ns`] budget — total retry wall-time is
+//!   capped by the deadline, not just by the attempt count, so no GET can
+//!   wait on a dead peer forever.
 //!
 //! Everything is deterministic: the drop decisions come from the schedule's
 //! stateless hash, so the timing simulator in `mgg-sim` and this functional
@@ -19,7 +23,7 @@
 
 use std::fmt;
 
-use mgg_fault::{FaultSchedule, COMPLETION_TIMEOUT_NS, RETRY_BACKOFF_NS};
+use mgg_fault::{FaultSchedule, COMPLETION_TIMEOUT_NS, PEER_DEATH_TIMEOUT_NS, RETRY_BACKOFF_NS};
 use mgg_telemetry::Telemetry;
 
 use crate::region::SymmetricRegion;
@@ -33,6 +37,10 @@ pub enum ShmemError {
     RowOutOfBounds { pe: usize, row: u32, rows: usize },
     /// `quiet` found operations that could not be settled.
     IncompleteNbi { pe: usize, outstanding: u64 },
+    /// The target PE failed permanently; the operation was abandoned after
+    /// waiting out the bounded peer-death budget instead of retrying
+    /// forever.
+    PeDead { pe: usize, waited_ns: u64 },
 }
 
 impl fmt::Display for ShmemError {
@@ -46,6 +54,9 @@ impl fmt::Display for ShmemError {
             }
             ShmemError::IncompleteNbi { pe, outstanding } => {
                 write!(f, "{outstanding} non-blocking operations on PE {pe} never completed")
+            }
+            ShmemError::PeDead { pe, waited_ns } => {
+                write!(f, "PE {pe} is permanently dead (abandoned after {waited_ns} ns)")
             }
         }
     }
@@ -62,6 +73,11 @@ pub struct RetryPolicy {
     pub backoff_ns: u64,
     /// Deadline after which a lost `_nbi` completion is declared done.
     pub timeout_ns: u64,
+    /// Hard cap on the *total* simulated wall-time one GET may spend in
+    /// retry backoff. A permanently dead PE (or an attempt budget large
+    /// enough to act like one) surfaces as [`ShmemError::PeDead`] within
+    /// this budget instead of burning the whole attempt budget.
+    pub deadline_ns: u64,
 }
 
 impl Default for RetryPolicy {
@@ -70,6 +86,7 @@ impl Default for RetryPolicy {
             max_attempts: 4,
             backoff_ns: RETRY_BACKOFF_NS,
             timeout_ns: COMPLETION_TIMEOUT_NS,
+            deadline_ns: PEER_DEATH_TIMEOUT_NS,
         }
     }
 }
@@ -85,6 +102,9 @@ pub struct ResilienceStats {
     pub recovered_gets: u64,
     /// Lost `_nbi` completions settled by timeout in `quiet`.
     pub timed_out_completions: u64,
+    /// GETs abandoned with [`ShmemError::PeDead`] — either the target PE
+    /// had a permanent failure scheduled, or retries hit the deadline.
+    pub dead_peer_gets: u64,
     /// Simulated nanoseconds spent on backoff and timeouts.
     pub penalty_ns: u64,
 }
@@ -154,7 +174,11 @@ impl<'a> ResilientRegion<'a> {
         self.check_row(src_pe, src_row)?;
         self.stats.gets += 1;
         self.telemetry.counter_add("shmem.gets", 1);
+        if self.pe_dead(src_pe) {
+            return Err(self.abandon_dead(src_pe, self.policy.deadline_ns));
+        }
         let mut attempts = 0;
+        let mut waited_ns = 0u64;
         while attempts < self.policy.max_attempts {
             let dropped = self.next_drop(issuing_pe).0;
             attempts += 1;
@@ -169,6 +193,13 @@ impl<'a> ResilientRegion<'a> {
             self.stats.penalty_ns += self.policy.backoff_ns;
             self.telemetry.counter_add("shmem.retries", 1);
             self.telemetry.counter_add("shmem.penalty_ns", self.policy.backoff_ns);
+            waited_ns += self.policy.backoff_ns;
+            if waited_ns >= self.policy.deadline_ns {
+                // The attempt budget alone would keep retrying; past the
+                // wall-time deadline an unresponsive PE is declared dead
+                // rather than distinguished from an unlucky drop streak.
+                return Err(self.abandon_dead(src_pe, waited_ns));
+            }
         }
         self.telemetry.counter_add("shmem.failed_gets", 1);
         Err(ShmemError::GetFailed { pe: src_pe, row: src_row, attempts })
@@ -187,6 +218,9 @@ impl<'a> ResilientRegion<'a> {
         self.check_row(src_pe, src_row)?;
         self.stats.gets += 1;
         self.telemetry.counter_add("shmem.gets", 1);
+        if self.pe_dead(src_pe) {
+            return Err(self.abandon_dead(src_pe, self.policy.deadline_ns));
+        }
         let (dropped, completion_lost) = self.next_drop(issuing_pe);
         if dropped {
             // A dropped nbi GET is re-issued inline (one-sided ops have no
@@ -234,6 +268,24 @@ impl<'a> ResilientRegion<'a> {
         } else {
             Err(ShmemError::RowOutOfBounds { pe, row, rows })
         }
+    }
+
+    /// Whether `pe` has a permanent failure scheduled. The functional data
+    /// plane is timeless, so a PE that dies at *any* point of the run serves
+    /// no data here — the timing plane decides which in-flight operations
+    /// beat the failure; this plane guarantees none of them hangs.
+    fn pe_dead(&self, pe: usize) -> bool {
+        self.faults.is_some_and(|s| s.gpu_dead_at(pe).is_some())
+    }
+
+    /// Records the bounded abandonment of an operation on a dead PE and
+    /// builds the error for it.
+    fn abandon_dead(&mut self, pe: usize, waited_ns: u64) -> ShmemError {
+        self.stats.dead_peer_gets += 1;
+        self.stats.penalty_ns += waited_ns;
+        self.telemetry.counter_add("shmem.dead_peer_gets", 1);
+        self.telemetry.counter_add("shmem.penalty_ns", waited_ns);
+        ShmemError::PeDead { pe, waited_ns }
     }
 
     /// Advances `pe`'s serial counter and returns (get dropped, completion
@@ -328,6 +380,64 @@ mod tests {
     }
 
     #[test]
+    fn dead_pe_surfaces_within_the_deadline_budget() {
+        let r = region();
+        // PE 1 fails permanently mid-run; the data plane abandons every GET
+        // targeting it after exactly the peer-death budget — never a hang.
+        let sched = FaultSchedule::gpu_failure(2, 1, 2_000);
+        let mut res = ResilientRegion::new(&r, Some(&sched));
+        let mut dst = [0.0f32; 4];
+        assert_eq!(
+            res.get(&mut dst, 0, 1, 0),
+            Err(ShmemError::PeDead { pe: 1, waited_ns: PEER_DEATH_TIMEOUT_NS })
+        );
+        assert_eq!(
+            res.get_nbi(&mut dst, 0, 1, 0),
+            Err(ShmemError::PeDead { pe: 1, waited_ns: PEER_DEATH_TIMEOUT_NS })
+        );
+        assert_eq!(res.outstanding(0), 0, "an abandoned nbi GET must not await quiet");
+        let s = res.stats();
+        assert_eq!(s.dead_peer_gets, 2);
+        assert_eq!(s.penalty_ns, 2 * PEER_DEATH_TIMEOUT_NS);
+        // The surviving PE still serves data normally.
+        let attempts = res.get(&mut dst, 1, 0, 0).unwrap();
+        assert_eq!(attempts, 1);
+        assert_eq!(dst, [0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn retry_wall_time_is_capped_by_the_deadline() {
+        let r = region();
+        let spec = FaultSpec { seed: 7, drop_rate: 0.99, ..FaultSpec::quiet() };
+        let sched = FaultSchedule::derive(&spec, 2);
+        // A huge attempt budget that would act like an infinite loop on a
+        // dead peer: the wall-time deadline must cut it off first.
+        let policy = RetryPolicy {
+            max_attempts: 1_000,
+            backoff_ns: 500,
+            deadline_ns: 2_000,
+            ..RetryPolicy::default()
+        };
+        let mut res = ResilientRegion::with_policy(&r, Some(&sched), policy);
+        let mut dst = [0.0f32; 4];
+        let mut abandoned = false;
+        for _ in 0..32 {
+            if let Err(ShmemError::PeDead { pe, waited_ns }) = res.get(&mut dst, 0, 1, 0) {
+                assert_eq!(pe, 1);
+                assert!(
+                    waited_ns >= policy.deadline_ns
+                        && waited_ns < policy.deadline_ns + policy.backoff_ns,
+                    "abandonment must land on the first backoff past the deadline, \
+                     got {waited_ns}"
+                );
+                abandoned = true;
+                break;
+            }
+        }
+        assert!(abandoned, "a 99% drop rate must hit the wall-time deadline");
+    }
+
+    #[test]
     fn telemetry_counters_mirror_stats() {
         let r = region();
         let spec = FaultSpec { seed: 123, drop_rate: 0.4, ..FaultSpec::quiet() };
@@ -364,6 +474,8 @@ mod tests {
         assert!(e.to_string().contains("after 4 attempts"));
         let e = ShmemError::IncompleteNbi { pe: 0, outstanding: 7 };
         assert!(e.to_string().contains("7 non-blocking"));
+        let e = ShmemError::PeDead { pe: 2, waited_ns: 5_000 };
+        assert!(e.to_string().contains("permanently dead"));
     }
 }
 

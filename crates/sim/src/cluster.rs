@@ -60,6 +60,21 @@ pub struct Interconnect {
     /// relay recursion), so a 2-hop route counts as one `(src, dst)` entry.
     pair_bytes: Vec<u64>,
     pair_requests: Vec<u64>,
+    /// Permanent link failures: unordered pair -> instant the link died.
+    /// Transfers starting at or after that instant cannot use the pair.
+    link_down: HashMap<(u16, u16), SimTime>,
+    /// Engine-installed relay routes around dead links: unordered pair ->
+    /// intermediate hops (excluding the endpoints).
+    route_overrides: HashMap<(u16, u16), Vec<u16>>,
+    /// When set, *all* fabric traffic is staged through host memory: the
+    /// executed form of MGG->UVM degradation (embeddings live in host
+    /// memory; every remote access crosses PCIe).
+    uvm_degraded: bool,
+    /// Transfers that took a relay route around a dead link.
+    rerouted: u64,
+    /// Transfers staged through host memory (dead link with no surviving
+    /// route, or UVM degradation).
+    host_staged: u64,
 }
 
 impl Interconnect {
@@ -131,6 +146,11 @@ impl Interconnect {
             host: BandwidthChannel::from_link(&spec.host_link),
             pair_bytes: vec![0; n * n],
             pair_requests: vec![0; n * n],
+            link_down: HashMap::new(),
+            route_overrides: HashMap::new(),
+            uvm_degraded: false,
+            rerouted: 0,
+            host_staged: 0,
         }
     }
 
@@ -157,21 +177,70 @@ impl Interconnect {
         debug_assert_ne!(from, to, "remote transfer to self");
         self.note_pair(from, to, bytes);
         let src_ready = self.hbm[from].transfer(now, bytes);
+        self.fabric_transfer(src_ready, from, to, bytes)
+    }
+
+    /// Routes one fabric transfer, honoring permanent link failures: the
+    /// direct path when it survives, an engine-installed relay route
+    /// otherwise, host staging as the last resort. `uvm_degraded` forces
+    /// everything through the host path.
+    fn fabric_transfer(&mut self, now: SimTime, from: usize, to: usize, bytes: u64) -> SimTime {
+        if self.uvm_degraded {
+            self.host_staged += 1;
+            return self.host_stage(now, bytes);
+        }
+        let key = (from.min(to) as u16, from.max(to) as u16);
+        let down = matches!(self.link_down.get(&key), Some(&at) if now >= at);
+        if !down {
+            return self.direct_leg(now, from, to, bytes);
+        }
+        if let Some(hops) = self.route_overrides.get(&key).cloned() {
+            self.rerouted += 1;
+            // Relay legs in endpoint order: reverse the hop list when the
+            // transfer travels against the installed direction.
+            let ordered: Vec<usize> = if (from as u16) == key.0 {
+                hops.iter().map(|&h| h as usize).collect()
+            } else {
+                hops.iter().rev().map(|&h| h as usize).collect()
+            };
+            let mut t = now;
+            let mut cur = from;
+            for hop in ordered.into_iter().chain(std::iter::once(to)) {
+                t = self.direct_leg(t, cur, hop, bytes);
+                cur = hop;
+            }
+            return t;
+        }
+        // No surviving fabric route installed: stage through host memory
+        // (source flushes over PCIe, destination pulls over PCIe).
+        self.host_staged += 1;
+        self.host_stage(now, bytes)
+    }
+
+    /// One hop over the healthy fabric (the pre-failover transfer path).
+    fn direct_leg(&mut self, now: SimTime, from: usize, to: usize, bytes: u64) -> SimTime {
         match self.topology {
             Topology::NvSwitch => {
                 // Cut-through switching: occupancy contends on both the
                 // source egress and destination ingress ports in parallel,
                 // and the data pays the full link latency once (each port
                 // channel carries half of it).
-                let t_out = self.port_out[from].transfer(src_ready, bytes);
-                let t_in = self.port_in[to].transfer(src_ready, bytes);
+                let t_out = self.port_out[from].transfer(now, bytes);
+                let t_in = self.port_in[to].transfer(now, bytes);
                 let half_lat = self.port_in[to].latency_ns();
                 t_out.max(t_in) + half_lat
             }
             Topology::NvLinkPairs | Topology::HybridCubeMesh => {
-                self.pair_route(src_ready, from, to, bytes)
+                self.pair_route(now, from, to, bytes)
             }
         }
+    }
+
+    /// Host-memory staging: the payload crosses the shared PCIe channel
+    /// twice (down to host, back up to the destination), serialized.
+    fn host_stage(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let down = self.host.transfer(now, bytes);
+        self.host.transfer(down, bytes)
     }
 
     /// Sends over a direct pair link, or relays through the cube mesh's
@@ -205,23 +274,25 @@ impl Interconnect {
     /// (collectives pipeline the read-out behind the wire).
     pub fn bulk_link_transfer(&mut self, now: SimTime, from: usize, to: usize, bytes: u64) -> SimTime {
         self.note_pair(from, to, bytes);
-        match self.topology {
-            Topology::NvSwitch => {
-                let t_out = self.port_out[from].transfer(now, bytes);
-                let t_in = self.port_in[to].transfer(now, bytes);
-                let half_lat = self.port_in[to].latency_ns();
-                t_out.max(t_in) + half_lat
-            }
-            Topology::NvLinkPairs | Topology::HybridCubeMesh => {
-                self.pair_route(now, from, to, bytes)
-            }
-        }
+        self.fabric_transfer(now, from, to, bytes)
     }
 
     /// Wires a fault schedule's link-degradation windows onto the affected
     /// channels: on NVSwitch, a GPU's windows degrade its ingress and
     /// egress ports; on pair topologies, every link incident to the GPU.
+    /// Permanent link failures (including those implied by a GPU death)
+    /// are recorded so transfers after the failure instant re-route.
     pub fn install_faults(&mut self, sched: &FaultSchedule) {
+        if sched.has_permanent() {
+            let n = self.num_gpus();
+            for a in 0..n {
+                for b in a + 1..n {
+                    if let Some(at) = sched.link_dead_at(a, b) {
+                        self.link_down.insert((a as u16, b as u16), at);
+                    }
+                }
+            }
+        }
         for gpu in 0..self.num_gpus() {
             let windows = sched.link_windows(gpu);
             if windows.is_empty() {
@@ -243,13 +314,51 @@ impl Interconnect {
         }
     }
 
-    /// Removes all installed fault windows from every channel.
+    /// Removes all installed fault windows from every channel, plus any
+    /// permanent-failure state and recovery routing.
     pub fn clear_faults(&mut self) {
         self.hbm.iter_mut().for_each(BandwidthChannel::clear_faults);
         self.port_in.iter_mut().for_each(BandwidthChannel::clear_faults);
         self.port_out.iter_mut().for_each(BandwidthChannel::clear_faults);
         self.pair_links.values_mut().for_each(BandwidthChannel::clear_faults);
         self.host.clear_faults();
+        self.link_down.clear();
+        self.route_overrides.clear();
+        self.uvm_degraded = false;
+    }
+
+    /// Installs a relay route for the unordered `(a, b)` pair: transfers
+    /// between the pair travel via `hops` (in `a -> b` order, excluding the
+    /// endpoints) once the direct link is down. Replaces any prior route.
+    pub fn install_route(&mut self, a: usize, b: usize, hops: Vec<u16>) {
+        assert!(a != b && a < self.num_gpus() && b < self.num_gpus(), "bad pair ({a}, {b})");
+        self.route_overrides.insert((a.min(b) as u16, a.max(b) as u16), hops);
+    }
+
+    /// Removes all engine-installed relay routes.
+    pub fn clear_routes(&mut self) {
+        self.route_overrides.clear();
+    }
+
+    /// Forces (or lifts) UVM degradation: when on, every fabric transfer is
+    /// staged through host memory.
+    pub fn set_uvm_degraded(&mut self, degraded: bool) {
+        self.uvm_degraded = degraded;
+    }
+
+    /// Whether the interconnect is operating in degraded UVM mode.
+    pub fn uvm_degraded(&self) -> bool {
+        self.uvm_degraded
+    }
+
+    /// Transfers that took a relay route around a dead link since reset.
+    pub fn rerouted_transfers(&self) -> u64 {
+        self.rerouted
+    }
+
+    /// Transfers staged through host memory since reset.
+    pub fn host_staged_transfers(&self) -> u64 {
+        self.host_staged
     }
 
     /// Transfers that started inside a degradation window, summed over all
@@ -309,7 +418,9 @@ impl Interconnect {
         }
     }
 
-    /// Resets all queueing state and counters.
+    /// Resets all queueing state and counters. Fault wiring (degradation
+    /// windows, permanent failures, recovery routes) survives a reset,
+    /// mirroring the channels' behaviour.
     pub fn reset(&mut self) {
         self.hbm.iter_mut().for_each(BandwidthChannel::reset);
         self.port_in.iter_mut().for_each(BandwidthChannel::reset);
@@ -318,6 +429,8 @@ impl Interconnect {
         self.host.reset();
         self.pair_bytes.iter_mut().for_each(|b| *b = 0);
         self.pair_requests.iter_mut().for_each(|r| *r = 0);
+        self.rerouted = 0;
+        self.host_staged = 0;
     }
 }
 
@@ -478,6 +591,80 @@ mod tests {
         );
         ic.reset();
         assert!(ic.traffic().pairs.is_empty());
+    }
+
+    #[test]
+    fn dead_link_host_stages_without_a_route() {
+        let spec = ClusterSpec::dgx_a100(4);
+        let mut ic = Interconnect::new(&spec);
+        ic.install_faults(&FaultSchedule::link_down(4, 0, 1, 1_000));
+        // Before the failure instant: normal fabric path.
+        let before = ic.remote_transfer(0, 1, 0, 4_096);
+        assert_eq!(ic.host_staged_transfers(), 0);
+        // After: no route installed -> host staging, clearly slower.
+        let after = ic.remote_transfer(2_000, 1, 0, 4_096) - 2_000;
+        assert_eq!(ic.host_staged_transfers(), 1);
+        assert!(after > before, "host staging ({after}) must cost more than fabric ({before})");
+        // Unrelated pairs unaffected.
+        let _ = ic.remote_transfer(2_000, 2, 3, 4_096);
+        assert_eq!(ic.host_staged_transfers(), 1);
+    }
+
+    #[test]
+    fn installed_route_relays_around_dead_link() {
+        let spec = ClusterSpec::dgx_a100(4);
+        let mut ic = Interconnect::new(&spec);
+        ic.install_faults(&FaultSchedule::link_down(4, 0, 2, 0));
+        ic.install_route(0, 2, vec![1]);
+        let relayed = ic.remote_transfer(0, 0, 2, 4_096);
+        assert_eq!(ic.rerouted_transfers(), 1);
+        assert_eq!(ic.host_staged_transfers(), 0);
+        // The reverse direction uses the same route, reversed.
+        let _ = ic.remote_transfer(relayed, 2, 0, 4_096);
+        assert_eq!(ic.rerouted_transfers(), 2);
+        // Relay costs more than a healthy direct transfer.
+        let mut healthy = Interconnect::new(&spec);
+        let direct = healthy.remote_transfer(0, 0, 2, 4_096);
+        assert!(relayed > direct);
+    }
+
+    #[test]
+    fn uvm_degraded_forces_host_path() {
+        let spec = ClusterSpec::dgx_a100(4);
+        let mut ic = Interconnect::new(&spec);
+        ic.set_uvm_degraded(true);
+        assert!(ic.uvm_degraded());
+        let _ = ic.remote_transfer(0, 0, 1, 1_024);
+        let _ = ic.bulk_link_transfer(0, 2, 3, 1_024);
+        assert_eq!(ic.host_staged_transfers(), 2);
+        let t = ic.traffic();
+        assert!(t.host.bytes >= 4 * 1_024, "payload crosses PCIe twice per transfer");
+    }
+
+    #[test]
+    fn clear_faults_restores_direct_paths() {
+        let spec = ClusterSpec::dgx_a100(4);
+        let mut ic = Interconnect::new(&spec);
+        ic.install_faults(&FaultSchedule::link_down(4, 0, 1, 0));
+        ic.install_route(0, 1, vec![2]);
+        ic.set_uvm_degraded(true);
+        ic.clear_faults();
+        ic.reset();
+        assert!(!ic.uvm_degraded());
+        let _ = ic.remote_transfer(0, 0, 1, 1_024);
+        assert_eq!(ic.rerouted_transfers(), 0);
+        assert_eq!(ic.host_staged_transfers(), 0);
+    }
+
+    #[test]
+    fn gpu_death_downs_incident_links() {
+        let spec = ClusterSpec::dgx_a100(4);
+        let mut ic = Interconnect::new(&spec);
+        ic.install_faults(&FaultSchedule::gpu_failure(4, 3, 500));
+        let _ = ic.remote_transfer(1_000, 0, 3, 256);
+        assert_eq!(ic.host_staged_transfers(), 1);
+        let _ = ic.remote_transfer(1_000, 0, 1, 256);
+        assert_eq!(ic.host_staged_transfers(), 1);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use std::collections::VecDeque;
 
-use mgg_fault::{FaultSchedule, COMPLETION_TIMEOUT_NS, RETRY_BACKOFF_NS};
+use mgg_fault::{FaultSchedule, COMPLETION_TIMEOUT_NS, PEER_DEATH_TIMEOUT_NS, RETRY_BACKOFF_NS};
 
 use crate::cluster::{Cluster, PageHandler};
 use crate::engine::EventQueue;
@@ -97,6 +97,9 @@ struct GpuRt {
     sched_busy_ns: u64,
     warps_done: u64,
     blocks_done: u64,
+    /// Set once the GPU dies permanently; its events are ignored from then
+    /// on and no further blocks are admitted.
+    halted: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -114,6 +117,8 @@ struct FaultCtx {
     schedule: Option<FaultSchedule>,
     /// Per-GPU compute slowdown, 1.0 everywhere when healthy.
     compute_scale: Vec<f64>,
+    /// Per-GPU permanent death instant, `None` everywhere when healthy.
+    dead_at: Vec<Option<SimTime>>,
     /// Per-GPU count of one-sided GETs issued so far (the drop decision is
     /// a pure function of (pe, serial)).
     remote_serial: Vec<u64>,
@@ -127,12 +132,21 @@ impl FaultCtx {
         let compute_scale = (0..n)
             .map(|pe| schedule.as_ref().map_or(1.0, |s| s.compute_scale(pe)))
             .collect();
+        let dead_at = (0..n)
+            .map(|pe| schedule.as_ref().and_then(|s| s.gpu_dead_at(pe)))
+            .collect();
         FaultCtx {
             schedule,
             compute_scale,
+            dead_at,
             remote_serial: vec![0; n],
             recovery: RecoveryStats::default(),
         }
+    }
+
+    /// Whether `pe` is permanently dead at `now`.
+    fn is_dead(&self, pe: usize, now: SimTime) -> bool {
+        matches!(self.dead_at[pe], Some(d) if now >= d)
     }
 
     /// Drop decisions for the next GET issued by `pe`: whether the GET
@@ -204,6 +218,7 @@ impl GpuSim {
                 sched_busy_ns: 0,
                 warps_done: 0,
                 blocks_done: 0,
+                halted: false,
             });
         }
 
@@ -235,6 +250,16 @@ impl GpuSim {
         while let Some((now, ev)) = q.pop() {
             let pe = ev.gpu as usize;
             let sm = ev.sm as usize;
+            // Events of a permanently dead GPU are ignored: its first event
+            // at or past the death instant performs the one-time halt sweep,
+            // and the queue drains without re-arming anything on the GPU —
+            // termination is guaranteed.
+            if faults.is_dead(pe, now) {
+                if !gpus[pe].halted {
+                    halt_gpu(&mut gpus[pe], faults.dead_at[pe].expect("dead"), &mut faults.recovery);
+                }
+                continue;
+            }
             match ev.kind {
                 EvKind::SchedFree => {
                     gpus[pe].sms[sm].free_scheds += 1;
@@ -253,6 +278,8 @@ impl GpuSim {
         }
 
         faults.recovery.degraded_transfers = cluster.ic.degraded_requests();
+        faults.recovery.rerouted_transfers = cluster.ic.rerouted_transfers();
+        faults.recovery.host_staged_transfers = cluster.ic.host_staged_transfers();
         let mut stats = KernelStats {
             per_gpu: Vec::with_capacity(n),
             traffic: cluster.ic.traffic(),
@@ -277,6 +304,27 @@ impl GpuSim {
         }
         Ok(stats)
     }
+}
+
+/// One-time halt sweep of a permanently dead GPU: occupancy integrates up
+/// to the death instant, all resident state zeroes, no further blocks are
+/// admitted, and every live warp counts as halted. The caller discards the
+/// GPU's queued events from then on.
+fn halt_gpu(gpu: &mut GpuRt, death: SimTime, recovery: &mut RecoveryStats) {
+    for sm in &mut gpu.sms {
+        sm.touch(death);
+        recovery.halted_warps += sm.resident_warps as u64;
+        sm.resident_warps = 0;
+        sm.active_warps = 0;
+        sm.resident_blocks = 0;
+        sm.ready.clear();
+    }
+    for warp in &mut gpu.warps {
+        warp.ops = Vec::new();
+    }
+    gpu.next_block = gpu.launch.blocks;
+    gpu.finish_ns = gpu.finish_ns.max(death);
+    gpu.halted = true;
 }
 
 /// Admits the next pending block of `gpu` onto SM `sm` (if any remain).
@@ -318,6 +366,14 @@ fn issue(
     trace: &mut Option<&mut Vec<TraceEvent>>,
 ) {
     let overhead = cluster.ic.request_overhead_ns;
+    // A dead GPU issues nothing. This also catches death at the priming
+    // instant (before any event fires).
+    if faults.is_dead(pe, now) {
+        if !gpu.halted {
+            halt_gpu(gpu, faults.dead_at[pe].expect("dead"), &mut faults.recovery);
+        }
+        return;
+    }
     macro_rules! record {
         ($w:expr, $kind:expr, $start:expr, $end:expr) => {
             if let Some(t) = trace.as_deref_mut() {
@@ -414,6 +470,32 @@ fn issue(
                     let _ = cluster.ic.hbm_transfer(now, pe, bytes as u64);
                 }
                 WarpOp::RemoteGet { peer, bytes, nbi } => {
+                    if faults.is_dead(peer as usize, now) {
+                        // Dead target PE: no wire traffic; the operation
+                        // completes (as an error surfaced by the resilience
+                        // layer) after the bounded peer-death timeout —
+                        // never a hang.
+                        let done = now + overhead + PEER_DEATH_TIMEOUT_NS;
+                        faults.recovery.dead_peer_gets += 1;
+                        faults.recovery.recovery_latency_ns += PEER_DEATH_TIMEOUT_NS;
+                        if nbi {
+                            let warp = &mut gpu.warps[w as usize];
+                            warp.pending_remote = warp.pending_remote.max(done);
+                            gpu.sms[sm].free_scheds -= 1;
+                            gpu.sched_busy_ns += overhead.max(1);
+                            record!(w, TraceKind::RemoteIssue, now, now + overhead.max(1));
+                            q.push(
+                                now + overhead.max(1),
+                                Ev { gpu: pe as u16, sm: sm as u16, warp: w, kind: EvKind::SchedFree },
+                            );
+                        } else {
+                            record!(w, TraceKind::RemoteWire, now, done);
+                            q.push(done, Ev { gpu: pe as u16, sm: sm as u16, warp: w, kind: EvKind::Wake });
+                            gpu.sms[sm].touch(now);
+                            gpu.sms[sm].active_warps -= 1;
+                        }
+                        break;
+                    }
                     let (drop_get, drop_completion) = faults.next_get(pe, nbi);
                     // The first wire attempt always happens (and its
                     // occupancy is charged — the data was lost in flight,
@@ -457,8 +539,11 @@ fn issue(
                     break;
                 }
                 WarpOp::RemotePut { peer, bytes } => {
-                    // Posted one-sided put.
-                    let _ = cluster.ic.remote_transfer(now + overhead, pe, peer as usize, bytes as u64);
+                    // Posted one-sided put; a put to a dead PE is silently
+                    // absorbed (no wire charge, no completion to wait on).
+                    if !faults.is_dead(peer as usize, now) {
+                        let _ = cluster.ic.remote_transfer(now + overhead, pe, peer as usize, bytes as u64);
+                    }
                 }
                 WarpOp::WaitRemote => {
                     let pending = gpu.warps[w as usize].pending_remote;
@@ -788,6 +873,71 @@ mod tests {
         let s = GpuSim::run(&mut faulty, &k, &mut NoPaging).unwrap();
         assert!(s.recovery.degraded_transfers > 0);
         assert!(s.makespan_ns() > base.makespan_ns());
+    }
+
+    #[test]
+    fn dead_gpu_halts_and_the_run_terminates() {
+        use mgg_fault::FaultSchedule;
+        let ops = vec![
+            WarpOp::compute(5_000),
+            WarpOp::RemoteGet { peer: 1, bytes: 1_024, nbi: true },
+            WarpOp::compute(5_000),
+            WarpOp::WaitRemote,
+            WarpOp::compute(5_000),
+        ];
+        let k = Uniform {
+            launch: KernelLaunch { blocks: 8, warps_per_block: 4, smem_per_block: 0 },
+            ops,
+        };
+        let mut c = small_cluster();
+        c.install_faults(FaultSchedule::gpu_failure(2, 1, 2_000));
+        let s = GpuSim::run(&mut c, &k, &mut NoPaging).unwrap();
+        assert!(s.recovery.halted_warps > 0, "GPU 1's warps must halt");
+        // The dead GPU stops at its death instant.
+        assert_eq!(s.per_gpu[1].finish_ns, 2_000);
+        // The survivor still finishes, paying dead-peer timeouts for GETs
+        // issued after the death.
+        assert!(s.per_gpu[0].finish_ns > 2_000);
+        assert!(s.recovery.dead_peer_gets > 0);
+        // Determinism under permanent faults.
+        let mut again = small_cluster();
+        again.install_faults(FaultSchedule::gpu_failure(2, 1, 2_000));
+        assert_eq!(s, GpuSim::run(&mut again, &k, &mut NoPaging).unwrap());
+    }
+
+    #[test]
+    fn death_at_time_zero_halts_everything_on_that_gpu() {
+        use mgg_fault::FaultSchedule;
+        let k = Uniform {
+            launch: KernelLaunch { blocks: 4, warps_per_block: 4, smem_per_block: 0 },
+            ops: vec![WarpOp::compute(1_000)],
+        };
+        let mut c = small_cluster();
+        c.install_faults(FaultSchedule::gpu_failure(2, 0, 0));
+        let s = GpuSim::run(&mut c, &k, &mut NoPaging).unwrap();
+        assert_eq!(s.per_gpu[0].finish_ns, 0);
+        assert_eq!(s.per_gpu[0].warps, 0, "no warp may retire on a GPU dead at t=0");
+        assert!(s.recovery.halted_warps > 0);
+        assert_eq!(s.per_gpu[1].warps, 16);
+    }
+
+    #[test]
+    fn dead_peer_get_completes_by_the_bounded_timeout() {
+        use mgg_fault::FaultSchedule;
+        // A sync GET to a dead peer: completes at overhead + timeout.
+        let ops = vec![WarpOp::RemoteGet { peer: 1, bytes: 4_096, nbi: false }];
+        let k = Uniform {
+            launch: KernelLaunch { blocks: 1, warps_per_block: 1, smem_per_block: 0 },
+            ops,
+        };
+        let mut c = small_cluster();
+        let overhead = c.ic.request_overhead_ns;
+        c.install_faults(FaultSchedule::gpu_failure(2, 1, 0));
+        let s = GpuSim::run(&mut c, &k, &mut NoPaging).unwrap();
+        assert_eq!(s.per_gpu[0].finish_ns, overhead + PEER_DEATH_TIMEOUT_NS);
+        assert_eq!(s.recovery.dead_peer_gets, 1);
+        // No wire traffic flowed to or from the dead peer.
+        assert_eq!(s.traffic.remote_bytes(), 0);
     }
 
     #[test]

@@ -127,8 +127,24 @@ pub struct RecoveryStats {
     pub replans: u64,
     /// Times the engine recommended falling back to the UVM path.
     pub uvm_fallbacks: u64,
+    /// Warps halted mid-kernel because their GPU died permanently.
+    pub halted_warps: u64,
+    /// One-sided GETs abandoned because the target PE was dead (each
+    /// completes by the bounded peer-death timeout, never a hang).
+    pub dead_peer_gets: u64,
+    /// Fabric transfers that took an engine-installed relay route around
+    /// a dead link instead of the direct path.
+    pub rerouted_transfers: u64,
+    /// Fabric transfers staged through host memory because no fabric
+    /// route survived (or the engine degraded to UVM).
+    pub host_staged_transfers: u64,
+    /// Dead-GPU shards evacuated onto survivors by re-splitting.
+    pub evacuations: u64,
+    /// Times execution resumed from an epoch-boundary checkpoint.
+    pub checkpoint_restores: u64,
     /// Extra nanoseconds attributable to recovery (retry backoff + wasted
-    /// first attempts, completion timeouts, re-planned re-runs).
+    /// first attempts, completion timeouts, re-planned re-runs, failure
+    /// detection and checkpoint restore).
     pub recovery_latency_ns: u64,
 }
 

@@ -14,7 +14,8 @@
 //! | module | crate | role |
 //! |---|---|---|
 //! | [`sim`] | `mgg-sim` | multi-GPU platform simulator (SMs, warps, HBM/NVLink/NVSwitch/PCIe) |
-//! | [`fault`] | `mgg-fault` | deterministic seed-derived fault schedules (link degradation, stragglers, dropped one-sided ops) |
+//! | [`fault`] | `mgg-fault` | deterministic seed-derived fault schedules (link degradation, stragglers, dropped one-sided ops, permanent GPU/link failures) |
+//! | [`failover`] | `mgg-failover` | elastic failover: heartbeat health monitoring, route planning around dead links, checkpoint/resume |
 //! | [`graph`] | `mgg-graph` | CSR graphs, generators, Table-3 dataset stand-ins, partitioning |
 //! | [`shmem`] | `mgg-shmem` | NVSHMEM-like symmetric heap (PGAS) |
 //! | [`uvm`] | `mgg-uvm` | unified-virtual-memory substrate (page faults, migration) |
@@ -56,6 +57,7 @@
 pub use mgg_baselines as baselines;
 pub use mgg_collective as collective;
 pub use mgg_core as core;
+pub use mgg_failover as failover;
 pub use mgg_fault as fault;
 pub use mgg_gnn as gnn;
 pub use mgg_graph as graph;

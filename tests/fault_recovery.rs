@@ -10,8 +10,9 @@
 
 use proptest::prelude::*;
 
-use mgg::core::{MggConfig, MggEngine, RecoveryAction};
+use mgg::core::{MggConfig, MggEngine, MggError, RecoveryAction};
 use mgg::fault::{FaultSchedule, FaultSpec, LinkFaultWindow};
+use mgg::sim::RecoveryStats;
 use mgg::gnn::reference::AggregateMode;
 use mgg::gnn::Matrix;
 use mgg::graph::generators::rmat::{rmat, RmatConfig};
@@ -57,7 +58,13 @@ proptest! {
         drop in 0.0f64..0.5,
         gpus in 1usize..9,
     ) {
-        let spec = FaultSpec { seed, link_degrade: degrade, straggler, drop_rate: drop };
+        let spec = FaultSpec {
+            seed,
+            link_degrade: degrade,
+            straggler,
+            drop_rate: drop,
+            ..FaultSpec::quiet()
+        };
         let a = FaultSchedule::derive(&spec, gpus);
         let b = FaultSchedule::derive(&spec, gpus);
         prop_assert_eq!(a, b);
@@ -100,6 +107,183 @@ fn golden_link_outage_recovery() {
     e2.install_fault_schedule(FaultSchedule::link_outage(GOLDEN_GPUS, 1, GOLDEN_WINDOW));
     let stats2 = e2.simulate_aggregation(GOLDEN_DIM).unwrap();
     assert_eq!(stats, stats2);
+}
+
+/// Runs the chaos invariant for one fault spec: the run must either
+/// terminate with values bit-identical to the fault-free run (recovery
+/// succeeded) or return the typed `Unrecoverable` error — never hang,
+/// never silently corrupt. Returns the recovery counters when the run
+/// terminated normally.
+fn chaos_check(spec: &FaultSpec) -> Option<RecoveryStats> {
+    let g = rmat(&RmatConfig::graph500(9, 5_000, 29));
+    let x = Matrix::glorot(g.num_nodes(), 16, 3);
+    let healthy = MggEngine::new(
+        &g,
+        ClusterSpec::dgx_a100(4),
+        MggConfig::default_fixed(),
+        AggregateMode::Sum,
+    )
+    .aggregate_values(&x);
+    let mut chaotic = MggEngine::new(
+        &g,
+        ClusterSpec::dgx_a100(4),
+        MggConfig::default_fixed(),
+        AggregateMode::Sum,
+    );
+    chaotic.install_faults(*spec).expect("chaos spec is valid");
+    match chaotic.simulate_aggregation(16) {
+        Ok(stats) => {
+            let got = chaotic.aggregate_values(&x);
+            assert_eq!(
+                got.data(),
+                healthy.data(),
+                "silent corruption after recovery under {spec:?}"
+            );
+            let sched = chaotic.fault_schedule().expect("faults installed");
+            if !sched.dead_gpus().is_empty() {
+                assert!(
+                    stats.recovery.evacuations > 0 || stats.recovery.uvm_fallbacks > 0,
+                    "a dead GPU must be evacuated (or degraded to UVM) under {spec:?}"
+                );
+                for &dead in &sched.dead_gpus() {
+                    assert_eq!(
+                        chaotic.placement.split.part_nodes(dead),
+                        0,
+                        "dead GPU {dead} still owns nodes under {spec:?}"
+                    );
+                }
+            }
+            Some(stats.recovery)
+        }
+        Err(MggError::Unrecoverable(_)) => None,
+        Err(other) => panic!("expected recovery or Unrecoverable, got: {other} ({spec:?})"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Chaos invariant over derived permanent-fault schedules, optionally
+    /// mixed with transient drops: terminate bit-identical or report
+    /// `Unrecoverable` — no hangs, no silent wrong answers.
+    #[test]
+    fn chaos_permanent_faults_recover_or_report(
+        seed in 0u64..10_000,
+        gpu_failures in 0u32..3,
+        link_failures in 0u32..3,
+    ) {
+        let spec = FaultSpec {
+            seed,
+            gpu_failures,
+            link_failures,
+            ..FaultSpec::quiet()
+        };
+        chaos_check(&spec);
+    }
+}
+
+/// CI chaos-smoke entry point: exercises the chaos invariant for the seed
+/// in `CHAOS_SEED` (no-op when unset, so local `cargo test` is unaffected)
+/// and appends recovery counters to the JSON-lines file named by
+/// `CHAOS_METRICS` for the workflow's metrics artifact.
+#[test]
+fn chaos_seed_from_env() {
+    let Ok(seed) = std::env::var("CHAOS_SEED") else { return };
+    let seed: u64 = seed.parse().expect("CHAOS_SEED must be an unsigned integer");
+    let mut lines = Vec::new();
+    for (gpu_failures, link_failures) in [(1, 0), (0, 1), (1, 1), (2, 2)] {
+        let spec = FaultSpec { seed, gpu_failures, link_failures, ..FaultSpec::quiet() };
+        let recovery = chaos_check(&spec);
+        let (r, unrecoverable) = match &recovery {
+            Some(r) => (*r, false),
+            None => (RecoveryStats::default(), true),
+        };
+        lines.push(format!(
+            "{{\"seed\":{seed},\"gpu_failures\":{gpu_failures},\
+             \"link_failures\":{link_failures},\"unrecoverable\":{unrecoverable},\
+             \"evacuations\":{},\"rerouted_transfers\":{},\"host_staged_transfers\":{},\
+             \"dead_peer_gets\":{},\"halted_warps\":{},\"recovery_latency_ns\":{}}}",
+            r.evacuations,
+            r.rerouted_transfers,
+            r.host_staged_transfers,
+            r.dead_peer_gets,
+            r.halted_warps,
+            r.recovery_latency_ns,
+        ));
+    }
+    if let Ok(path) = std::env::var("CHAOS_METRICS") {
+        std::fs::write(&path, lines.join("\n") + "\n").expect("write chaos metrics");
+    }
+}
+
+/// Locked counters for the executed-failover scenarios. Same re-lock
+/// protocol as the link-outage golden above.
+const GOLDEN_EVAC_HALTED_WARPS: u64 = 84;
+const GOLDEN_EVAC_DEAD_PEER_GETS: u64 = 708;
+const GOLDEN_EVAC_RECOVERY_LATENCY_NS: u64 = 466_686;
+const GOLDEN_REROUTED_TRANSFERS: u64 = 806;
+const GOLDEN_UVM_HOST_STAGED: u64 = 4_832;
+
+#[test]
+fn golden_gpu_failure_evacuation() {
+    let mut e = engine(GOLDEN_GPUS);
+    e.install_fault_schedule(FaultSchedule::gpu_failure(GOLDEN_GPUS, 2, 2_000));
+    assert_eq!(e.recovery_action(), RecoveryAction::Evacuate);
+    let stats = e.simulate_aggregation(GOLDEN_DIM).unwrap();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        println!(
+            "GOLDEN_EVAC_HALTED_WARPS: u64 = {};\nGOLDEN_EVAC_DEAD_PEER_GETS: u64 = {};\
+             \nGOLDEN_EVAC_RECOVERY_LATENCY_NS: u64 = {};",
+            stats.recovery.halted_warps,
+            stats.recovery.dead_peer_gets,
+            stats.recovery.recovery_latency_ns
+        );
+        return;
+    }
+    assert_eq!(stats.recovery.evacuations, 1);
+    assert_eq!(stats.recovery.replans, 1);
+    assert_eq!(stats.recovery.halted_warps, GOLDEN_EVAC_HALTED_WARPS);
+    assert_eq!(stats.recovery.dead_peer_gets, GOLDEN_EVAC_DEAD_PEER_GETS);
+    assert_eq!(stats.recovery.recovery_latency_ns, GOLDEN_EVAC_RECOVERY_LATENCY_NS);
+    // The scenario replays identically.
+    let mut e2 = engine(GOLDEN_GPUS);
+    e2.install_fault_schedule(FaultSchedule::gpu_failure(GOLDEN_GPUS, 2, 2_000));
+    assert_eq!(e2.simulate_aggregation(GOLDEN_DIM).unwrap(), stats);
+}
+
+#[test]
+fn golden_link_down_reroute() {
+    let mut e = engine(GOLDEN_GPUS);
+    e.install_fault_schedule(FaultSchedule::link_down(GOLDEN_GPUS, 0, 1, 500));
+    assert_eq!(e.recovery_action(), RecoveryAction::Reroute);
+    let stats = e.simulate_aggregation(GOLDEN_DIM).unwrap();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        println!(
+            "GOLDEN_REROUTED_TRANSFERS: u64 = {};",
+            stats.recovery.rerouted_transfers
+        );
+        return;
+    }
+    assert_eq!(stats.recovery.evacuations, 0, "no GPU died");
+    assert_eq!(stats.recovery.rerouted_transfers, GOLDEN_REROUTED_TRANSFERS);
+    assert!(stats.recovery.rerouted_transfers > 0, "pair traffic must relay");
+}
+
+#[test]
+fn golden_uvm_degrade_on_overflow() {
+    let g = rmat(&RmatConfig::graph500(9, 5_000, 29));
+    let mut spec = ClusterSpec::dgx_a100(GOLDEN_GPUS);
+    spec.gpu.dram_bytes = 96 * 1024; // too small for 3 survivors at dim 64
+    let mut e = MggEngine::new(&g, spec, MggConfig::default_fixed(), AggregateMode::Sum);
+    e.install_fault_schedule(FaultSchedule::gpu_failure(GOLDEN_GPUS, 1, 1_000));
+    let stats = e.simulate_aggregation(GOLDEN_DIM).unwrap();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        println!("GOLDEN_UVM_HOST_STAGED: u64 = {};", stats.recovery.host_staged_transfers);
+        return;
+    }
+    assert_eq!(stats.recovery.uvm_fallbacks, 1);
+    assert_eq!(stats.recovery.host_staged_transfers, GOLDEN_UVM_HOST_STAGED);
+    assert!(stats.recovery.host_staged_transfers > 0);
 }
 
 #[test]
