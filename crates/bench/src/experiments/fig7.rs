@@ -35,24 +35,24 @@ pub fn run(scale: f64, gpus: usize) -> Fig7Report {
     // Measure at the GCN aggregation width (16), where remote latency —
     // the thing the async pipeline hides — dominates over wire bytes.
     let agg_dim = 16usize;
-    let rows: Vec<Fig7Row> = datasets(scale)
-        .into_iter()
-        .map(|d| {
-            let spec = ClusterSpec::dgx_a100(gpus);
-            let mut a = MggEngine::new(&d.graph, spec.clone(), cfg, AggregateMode::Sum);
-            a.variant = KernelVariant::AsyncPipelined;
-            let t_async = a.simulate_aggregation_ns(agg_dim).expect("valid launch");
-            let mut s = MggEngine::new(&d.graph, spec, cfg, AggregateMode::Sum);
-            s.variant = KernelVariant::SyncRemote;
-            let t_sync = s.simulate_aggregation_ns(agg_dim).expect("valid launch");
-            Fig7Row {
-                dataset: d.spec.name,
-                sync_ms: t_sync as f64 / 1e6,
-                async_ms: t_async as f64 / 1e6,
-                slowdown: t_sync as f64 / t_async.max(1) as f64,
-            }
-        })
-        .collect();
+    // Dataset cells are independent simulations; run them as parallel jobs
+    // on the deterministic worker pool (results merge in dataset order).
+    let ds = datasets(scale);
+    let rows: Vec<Fig7Row> = mgg_runtime::par_map(&ds, |d| {
+        let spec = ClusterSpec::dgx_a100(gpus);
+        let mut a = MggEngine::new(&d.graph, spec.clone(), cfg, AggregateMode::Sum);
+        a.variant = KernelVariant::AsyncPipelined;
+        let t_async = a.simulate_aggregation_ns(agg_dim).expect("valid launch");
+        let mut s = MggEngine::new(&d.graph, spec, cfg, AggregateMode::Sum);
+        s.variant = KernelVariant::SyncRemote;
+        let t_sync = s.simulate_aggregation_ns(agg_dim).expect("valid launch");
+        Fig7Row {
+            dataset: d.spec.name,
+            sync_ms: t_sync as f64 / 1e6,
+            async_ms: t_async as f64 / 1e6,
+            slowdown: t_sync as f64 / t_async.max(1) as f64,
+        }
+    });
     let geomean_slowdown = geomean(&rows.iter().map(|r| r.slowdown).collect::<Vec<_>>());
     Fig7Report { gpus, rows, geomean_slowdown }
 }

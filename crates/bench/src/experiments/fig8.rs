@@ -56,41 +56,47 @@ pub fn tuned_engine(
 
 /// Runs the full Figure-8 sweep.
 pub fn run(scale: f64) -> Fig8Report {
-    let mut rows = Vec::new();
-    for d in datasets(scale) {
+    // The dataset x GPU-count x model grid: every cell is an independent
+    // tuned-vs-UVM comparison, so the whole grid fans out as parallel jobs
+    // and merges in grid order (identical rows to the serial nested loop).
+    let ds = datasets(scale);
+    let mut cells: Vec<(usize, usize, ModelKind, &'static str)> = Vec::new();
+    for di in 0..ds.len() {
         for &gpus in &[4usize, 8] {
             for (kind, name) in [(ModelKind::Gcn, "GCN"), (ModelKind::Gin, "GIN")] {
-                let spec = ClusterSpec::dgx_a100(gpus);
-                let cost = DenseCostModel::a100(gpus);
-                let n = d.graph.num_nodes();
-                let mode = kind.aggregate_mode();
-                // Tune for the model's dominant aggregation dimension:
-                // GCN aggregates at the hidden width (transform-first),
-                // GIN's first layer aggregates the raw features.
-                let tune_dim = match kind {
-                    ModelKind::Gcn => kind.hidden_dim().min(d.spec.dim),
-                    ModelKind::Gin => d.spec.dim,
-                };
-
-                let mut mgg = tuned_engine(&d.graph, spec.clone(), mode, tune_dim);
-                let mgg_ns =
-                    model_time_ns(&mut mgg, kind, n, d.spec.dim, d.spec.classes, &cost);
-
-                let mut uvm = UvmGnnEngine::new(&d.graph, spec, mode);
-                let uvm_ns =
-                    model_time_ns(&mut uvm, kind, n, d.spec.dim, d.spec.classes, &cost);
-
-                rows.push(Fig8Row {
-                    dataset: d.spec.name,
-                    model: name,
-                    gpus,
-                    uvm_ms: uvm_ns as f64 / 1e6,
-                    mgg_ms: mgg_ns as f64 / 1e6,
-                    speedup: uvm_ns as f64 / mgg_ns.max(1) as f64,
-                });
+                cells.push((di, gpus, kind, name));
             }
         }
     }
+    let rows: Vec<Fig8Row> = mgg_runtime::par_map(&cells, |&(di, gpus, kind, name)| {
+        let d = &ds[di];
+        let spec = ClusterSpec::dgx_a100(gpus);
+        let cost = DenseCostModel::a100(gpus);
+        let n = d.graph.num_nodes();
+        let mode = kind.aggregate_mode();
+        // Tune for the model's dominant aggregation dimension:
+        // GCN aggregates at the hidden width (transform-first),
+        // GIN's first layer aggregates the raw features.
+        let tune_dim = match kind {
+            ModelKind::Gcn => kind.hidden_dim().min(d.spec.dim),
+            ModelKind::Gin => d.spec.dim,
+        };
+
+        let mut mgg = tuned_engine(&d.graph, spec.clone(), mode, tune_dim);
+        let mgg_ns = model_time_ns(&mut mgg, kind, n, d.spec.dim, d.spec.classes, &cost);
+
+        let mut uvm = UvmGnnEngine::new(&d.graph, spec, mode);
+        let uvm_ns = model_time_ns(&mut uvm, kind, n, d.spec.dim, d.spec.classes, &cost);
+
+        Fig8Row {
+            dataset: d.spec.name,
+            model: name,
+            gpus,
+            uvm_ms: uvm_ns as f64 / 1e6,
+            mgg_ms: mgg_ns as f64 / 1e6,
+            speedup: uvm_ns as f64 / mgg_ns.max(1) as f64,
+        }
+    });
     let geo = |model: &str| {
         geomean(
             &rows

@@ -1,0 +1,204 @@
+//! `ext_hostperf`: host-side performance of the simulator and the
+//! deterministic worker pool — the artifact behind the runtime overhaul.
+//!
+//! Two measurements:
+//!
+//! 1. **Sweep scaling.** Wall-clock of a dataset × dimension × GPU-count
+//!    simulation sweep at 1/2/4/8 threads, each run producing an FNV-1a
+//!    digest of every simulated latency. The pool merges job results in
+//!    input order, so the digest must be identical at every thread count;
+//!    `digests_match` makes that checkable in CI without wall-clock gating.
+//! 2. **Event-loop throughput.** Events/sec through the calendar queue
+//!    (deterministic push/pop stream), the simulator's single hottest path.
+//!
+//! Wall-clock numbers are hardware-dependent and reported for trend
+//! tracking only; correctness signals (digests) are the stable part.
+
+use mgg_core::{MggConfig, MggEngine};
+use mgg_gnn::reference::AggregateMode;
+use mgg_graph::datasets::Dataset;
+use mgg_sim::{ClusterSpec, EventQueue};
+use serde::Serialize;
+
+use crate::experiments::common::datasets;
+use crate::report::ExperimentReport;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct HostPerfRow {
+    pub threads: usize,
+    pub wall_ns: u64,
+    /// Wall-clock speedup over the 1-thread row (>= 1 when scaling works).
+    pub speedup: f64,
+    /// FNV-1a digest over every simulated latency, in sweep-cell order.
+    pub digest: String,
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct HostPerfReport {
+    pub sweep_cells: usize,
+    pub rows: Vec<HostPerfRow>,
+    /// True iff every thread count produced bit-identical sweep results.
+    pub digests_match: bool,
+    /// Calendar-queue throughput on the synthetic event stream.
+    pub event_loop_events_per_sec: f64,
+    pub event_loop_events: u64,
+}
+
+/// One sweep cell: dataset index × aggregation dim × GPU count.
+type Cell = (usize, usize, usize);
+
+fn fnv1a(values: &[u64]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// Runs the sweep once at `threads` workers, returning (wall_ns, latencies).
+/// Dataset construction happens outside so the wall-clock covers only the
+/// parallelizable simulation work.
+fn run_sweep(ds: &[Dataset], threads: usize, cells: &[Cell]) -> (u64, Vec<u64>) {
+    let start = std::time::Instant::now();
+    let lats = mgg_runtime::with_threads(threads, || {
+        mgg_runtime::par_map(cells, |&(di, dim, gpus)| {
+            let d = &ds[di];
+            let spec = ClusterSpec::dgx_a100(gpus);
+            let mut eng =
+                MggEngine::new(&d.graph, spec, MggConfig::default_fixed(), AggregateMode::Sum);
+            eng.simulate_aggregation_ns(dim).expect("valid launch")
+        })
+    });
+    (start.elapsed().as_nanos() as u64, lats)
+}
+
+/// Deterministic push/pop stream through the calendar queue, measuring raw
+/// event-loop throughput. Mirrors the simulator's access pattern: bursts of
+/// near-future events with occasional far-future stragglers.
+fn event_loop_throughput() -> (u64, f64) {
+    const N: u64 = 2_000_000;
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut next_rand = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut processed: u64 = 0;
+    let mut sink: u64 = 0;
+    let start = std::time::Instant::now();
+    // Seed a burst, then steady-state pop-2-push-1 until drained.
+    for i in 0..64 {
+        q.push(i, i);
+    }
+    while let Some((now, v)) = q.pop() {
+        sink = sink.wrapping_add(v);
+        processed += 1;
+        if processed < N {
+            let r = next_rand();
+            // 1/32 of events are far-future stragglers (bucket-lap path).
+            let delta = if r % 32 == 0 { 50_000 + r % 100_000 } else { 1 + r % 700 };
+            q.push(now + delta, r);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    (processed, processed as f64 / secs.max(1e-9))
+}
+
+/// Runs the host-performance benchmark.
+pub fn run(scale: f64) -> HostPerfReport {
+    let ds = datasets(scale);
+    let mut cells: Vec<Cell> = Vec::new();
+    for di in 0..ds.len() {
+        for dim in [16usize, 64] {
+            for gpus in [4usize, 8] {
+                cells.push((di, dim, gpus));
+            }
+        }
+    }
+
+    let mut rows: Vec<HostPerfRow> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let (wall_ns, lats) = run_sweep(&ds, threads, &cells);
+        rows.push(HostPerfRow {
+            threads,
+            wall_ns,
+            speedup: 0.0, // filled in below once the 1-thread row exists
+            digest: fnv1a(&lats),
+        });
+    }
+    let base = rows[0].wall_ns.max(1) as f64;
+    for r in &mut rows {
+        r.speedup = base / r.wall_ns.max(1) as f64;
+    }
+    let digests_match = rows.iter().all(|r| r.digest == rows[0].digest);
+
+    let (event_loop_events, event_loop_events_per_sec) = event_loop_throughput();
+
+    HostPerfReport {
+        sweep_cells: cells.len(),
+        rows,
+        digests_match,
+        event_loop_events_per_sec,
+        event_loop_events,
+    }
+}
+
+impl ExperimentReport for HostPerfReport {
+    fn id(&self) -> &'static str {
+        "ext_hostperf"
+    }
+
+    fn print(&self) {
+        println!("Host performance: sweep scaling + event-loop throughput");
+        println!("{:<8} {:>12} {:>9}  digest", "threads", "wall (ms)", "speedup");
+        for r in &self.rows {
+            println!(
+                "{:<8} {:>12.1} {:>8.2}x  {}",
+                r.threads,
+                r.wall_ns as f64 / 1e6,
+                r.speedup,
+                r.digest
+            );
+        }
+        println!(
+            "sweep: {} cells, digests {} across thread counts",
+            self.sweep_cells,
+            if self.digests_match { "IDENTICAL" } else { "DIVERGED" }
+        );
+        println!(
+            "event loop: {:.1}M events/sec over {} events (calendar queue)",
+            self.event_loop_events_per_sec / 1e6,
+            self.event_loop_events
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_digest_is_thread_count_invariant() {
+        let ds = datasets(0.05);
+        let cells: Vec<Cell> = vec![(0, 16, 4), (0, 16, 8), (1, 16, 4), (1, 16, 8)];
+        let (_, seq) = run_sweep(&ds, 1, &cells);
+        for threads in [2usize, 4, 7] {
+            let (_, par) = run_sweep(&ds, threads, &cells);
+            assert_eq!(seq, par, "sweep diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn event_loop_processes_full_stream() {
+        let (events, eps) = event_loop_throughput();
+        // 64 seed events plus one push per pop while under the N budget.
+        assert_eq!(events, 2_000_000 + 63);
+        assert!(eps > 0.0);
+    }
+}

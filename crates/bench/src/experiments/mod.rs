@@ -10,6 +10,7 @@ pub mod fig3;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod hostperf;
 pub mod microcal;
 pub mod occupancy;
 pub mod tab1;

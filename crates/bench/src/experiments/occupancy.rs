@@ -39,31 +39,31 @@ pub struct OccupancyReport {
 
 /// Compares the kernel metrics of MGG and UVM across datasets.
 pub fn run(scale: f64, gpus: usize) -> OccupancyReport {
-    let rows: Vec<OccupancyRow> = datasets(scale)
-        .into_iter()
-        .map(|d| {
-            let spec = ClusterSpec::dgx_a100(gpus);
-            let mut mgg = crate::experiments::fig8::tuned_engine(
-                &d.graph,
-                spec.clone(),
-                AggregateMode::Sum,
-                d.spec.dim,
-            );
-            let (mgg_stats, mgg_trace) =
-                mgg.simulate_aggregation_traced(d.spec.dim).expect("valid launch");
-            let mut uvm = UvmGnnEngine::new(&d.graph, spec, AggregateMode::Sum);
-            let (uvm_stats, uvm_trace) = uvm.simulate_aggregation_traced(d.spec.dim);
-            OccupancyRow {
-                dataset: d.spec.name,
-                mgg_occupancy: mgg_stats.achieved_occupancy(),
-                uvm_occupancy: uvm_stats.achieved_occupancy(),
-                mgg_sm_util: mgg_stats.sm_utilization(),
-                uvm_sm_util: uvm_stats.sm_utilization(),
-                mgg_overlap: overlap_efficiency(&mgg_trace),
-                uvm_overlap: overlap_efficiency(&uvm_trace),
-            }
-        })
-        .collect();
+    // Dataset cells are independent simulations; run them as parallel jobs
+    // on the deterministic worker pool (results merge in dataset order).
+    let ds = datasets(scale);
+    let rows: Vec<OccupancyRow> = mgg_runtime::par_map(&ds, |d| {
+        let spec = ClusterSpec::dgx_a100(gpus);
+        let mut mgg = crate::experiments::fig8::tuned_engine(
+            &d.graph,
+            spec.clone(),
+            AggregateMode::Sum,
+            d.spec.dim,
+        );
+        let (mgg_stats, mgg_trace) =
+            mgg.simulate_aggregation_traced(d.spec.dim).expect("valid launch");
+        let mut uvm = UvmGnnEngine::new(&d.graph, spec, AggregateMode::Sum);
+        let (uvm_stats, uvm_trace) = uvm.simulate_aggregation_traced(d.spec.dim);
+        OccupancyRow {
+            dataset: d.spec.name,
+            mgg_occupancy: mgg_stats.achieved_occupancy(),
+            uvm_occupancy: uvm_stats.achieved_occupancy(),
+            mgg_sm_util: mgg_stats.sm_utilization(),
+            uvm_sm_util: uvm_stats.sm_utilization(),
+            mgg_overlap: overlap_efficiency(&mgg_trace),
+            uvm_overlap: overlap_efficiency(&uvm_trace),
+        }
+    });
     let avg_occupancy_gain = rows
         .iter()
         .map(|r| r.mgg_occupancy - r.uvm_occupancy)

@@ -30,22 +30,21 @@ pub struct Tab1Report {
 
 /// Runs the aggregation comparison across all five datasets.
 pub fn run(scale: f64, gpus: usize) -> Tab1Report {
-    let rows: Vec<Tab1Row> = datasets(scale)
-        .into_iter()
-        .map(|d| {
-            let spec = ClusterSpec::dgx_a100(gpus);
-            let mut uvm = UvmGnnEngine::new(&d.graph, spec.clone(), AggregateMode::Sum);
-            let uvm_ns = uvm.simulate_aggregation_ns(d.spec.dim);
-            let mut direct = DirectNvshmemEngine::new(&d.graph, spec, AggregateMode::Sum);
-            let direct_ns = direct.simulate_aggregation_ns(d.spec.dim);
-            Tab1Row {
-                dataset: d.spec.name,
-                uvm_ms: uvm_ns as f64 / 1e6,
-                direct_ms: direct_ns as f64 / 1e6,
-                speedup: uvm_ns as f64 / direct_ns.max(1) as f64,
-            }
-        })
-        .collect();
+    // Independent per-dataset simulations: parallel jobs, dataset-order merge.
+    let ds = datasets(scale);
+    let rows: Vec<Tab1Row> = mgg_runtime::par_map(&ds, |d| {
+        let spec = ClusterSpec::dgx_a100(gpus);
+        let mut uvm = UvmGnnEngine::new(&d.graph, spec.clone(), AggregateMode::Sum);
+        let uvm_ns = uvm.simulate_aggregation_ns(d.spec.dim);
+        let mut direct = DirectNvshmemEngine::new(&d.graph, spec, AggregateMode::Sum);
+        let direct_ns = direct.simulate_aggregation_ns(d.spec.dim);
+        Tab1Row {
+            dataset: d.spec.name,
+            uvm_ms: uvm_ns as f64 / 1e6,
+            direct_ms: direct_ns as f64 / 1e6,
+            speedup: uvm_ns as f64 / direct_ns.max(1) as f64,
+        }
+    });
     let geomean_speedup = geomean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>());
     Tab1Report { gpus, rows, geomean_speedup }
 }

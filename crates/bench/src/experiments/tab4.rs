@@ -38,45 +38,45 @@ pub struct Tab4Report {
 /// Runs the Table-4 comparison (1-layer GCN, 16 hidden dims).
 pub fn run(scale: f64, gpus: usize) -> Tab4Report {
     let hidden = 16usize;
-    let rows: Vec<Tab4Row> = datasets(scale)
-        .into_iter()
-        .map(|d| {
-            let spec = ClusterSpec::dgx_a100(gpus);
-            let cost = DenseCostModel::a100(gpus);
-            let n = d.graph.num_nodes();
-            let dense = cost.gemm_ns(n, d.spec.dim, hidden);
-            // The GCN layer transforms to 16 dims first and aggregates the
-            // narrow embedding (see `Gcn::forward`); both systems do.
-            let agg_dim = hidden.min(d.spec.dim);
+    // Each dataset row is an independent simulation; fan the cells out on
+    // the deterministic worker pool (results merge in dataset order).
+    let ds = datasets(scale);
+    let rows: Vec<Tab4Row> = mgg_runtime::par_map(&ds, |d| {
+        let spec = ClusterSpec::dgx_a100(gpus);
+        let cost = DenseCostModel::a100(gpus);
+        let n = d.graph.num_nodes();
+        let dense = cost.gemm_ns(n, d.spec.dim, hidden);
+        // The GCN layer transforms to 16 dims first and aggregates the
+        // narrow embedding (see `Gcn::forward`); both systems do.
+        let agg_dim = hidden.min(d.spec.dim);
 
-            let (mut dgcl, prep) =
-                DgclEngine::new(&d.graph, spec.clone(), AggregateMode::GcnNorm);
-            let dgcl_ns = dgcl.simulate_aggregation_ns(agg_dim) + dense;
+        let (mut dgcl, prep) =
+            DgclEngine::new(&d.graph, spec.clone(), AggregateMode::GcnNorm);
+        let dgcl_ns = dgcl.simulate_aggregation_ns(agg_dim) + dense;
 
-            let mut mgg = crate::experiments::fig8::tuned_engine(
-                &d.graph,
-                spec,
-                AggregateMode::GcnNorm,
-                agg_dim,
-            );
-            let mgg_ns = mgg.simulate_aggregation_ns(agg_dim).expect("valid launch") + dense;
-            // MGG's preprocessing wall-clock includes tuning-time plan
-            // rebuilds in practice; the prep report's measurement covers
-            // the split pipeline, as in the paper.
-            let _ = MggConfig::default_fixed();
+        let mut mgg = crate::experiments::fig8::tuned_engine(
+            &d.graph,
+            spec,
+            AggregateMode::GcnNorm,
+            agg_dim,
+        );
+        let mgg_ns = mgg.simulate_aggregation_ns(agg_dim).expect("valid launch") + dense;
+        // MGG's preprocessing wall-clock includes tuning-time plan
+        // rebuilds in practice; the prep report's measurement covers
+        // the split pipeline, as in the paper.
+        let _ = MggConfig::default_fixed();
 
-            Tab4Row {
-                dataset: d.spec.name,
-                dgcl_prep_ms: prep.dgcl_wall_ns as f64 / 1e6,
-                mgg_prep_ms: prep.mgg_wall_ns as f64 / 1e6,
-                prep_speedup: prep.mgg_speedup(),
-                dgcl_gcn_ms: dgcl_ns as f64 / 1e6,
-                mgg_gcn_ms: mgg_ns as f64 / 1e6,
-                gcn_speedup: dgcl_ns as f64 / mgg_ns.max(1) as f64,
-                dgcl_edge_cut: prep.dgcl_edge_cut,
-            }
-        })
-        .collect();
+        Tab4Row {
+            dataset: d.spec.name,
+            dgcl_prep_ms: prep.dgcl_wall_ns as f64 / 1e6,
+            mgg_prep_ms: prep.mgg_wall_ns as f64 / 1e6,
+            prep_speedup: prep.mgg_speedup(),
+            dgcl_gcn_ms: dgcl_ns as f64 / 1e6,
+            mgg_gcn_ms: mgg_ns as f64 / 1e6,
+            gcn_speedup: dgcl_ns as f64 / mgg_ns.max(1) as f64,
+            dgcl_edge_cut: prep.dgcl_edge_cut,
+        }
+    });
     let geomean_gcn_speedup =
         geomean(&rows.iter().map(|r| r.gcn_speedup).collect::<Vec<_>>());
     let geomean_prep_speedup =

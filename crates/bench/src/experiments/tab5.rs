@@ -78,70 +78,69 @@ pub fn run(scale: f64, gpus: usize) -> Tab5Report {
             seed: 67,
         },
     ];
-    let rows = tasks
-        .iter()
-        .map(|t| {
-            let out = sbm(&SbmConfig {
-                block_sizes: vec![t.block_size; t.blocks],
-                avg_degree_in: t.avg_degree_in,
-                avg_degree_out: t.avg_degree_out,
-                seed: t.seed,
-            });
-            let x = label_features(&out.labels, t.blocks, t.dim, t.signal, t.seed + 1);
-            let n = out.graph.num_nodes();
-            let (tr, va, te) = split_masks(n, 0.3, 0.2, t.seed + 2);
+    // The two classification tasks (training + simulation) are independent;
+    // run them as parallel jobs on the deterministic worker pool.
+    let rows = mgg_runtime::par_map(&tasks, |t| {
+        let out = sbm(&SbmConfig {
+            block_sizes: vec![t.block_size; t.blocks],
+            avg_degree_in: t.avg_degree_in,
+            avg_degree_out: t.avg_degree_out,
+            seed: t.seed,
+        });
+        let x = label_features(&out.labels, t.blocks, t.dim, t.signal, t.seed + 1);
+        let n = out.graph.num_nodes();
+        let (tr, va, te) = split_masks(n, 0.3, 0.2, t.seed + 2);
 
-            let full = train_gcn(
-                &out.graph,
-                &x,
-                &out.labels,
-                t.blocks,
-                &tr,
-                &va,
-                &te,
-                &TrainConfig::paper(epochs, t.seed + 3),
-            );
-            let sampled = train_gcn(
-                &out.graph,
-                &x,
-                &out.labels,
-                t.blocks,
-                &tr,
-                &va,
-                &te,
-                &TrainConfig::paper_sampled(epochs, t.seed + 3, fanout),
-            );
+        let full = train_gcn(
+            &out.graph,
+            &x,
+            &out.labels,
+            t.blocks,
+            &tr,
+            &va,
+            &te,
+            &TrainConfig::paper(epochs, t.seed + 3),
+        );
+        let sampled = train_gcn(
+            &out.graph,
+            &x,
+            &out.labels,
+            t.blocks,
+            &tr,
+            &va,
+            &te,
+            &TrainConfig::paper_sampled(epochs, t.seed + 3, fanout),
+        );
 
-            // Latency ratio: simulated MGG aggregation on the full graph
-            // vs a representative sampled subgraph.
-            let spec = ClusterSpec::dgx_a100(gpus);
-            let mut full_engine = MggEngine::new(
-                &out.graph,
-                spec.clone(),
-                MggConfig::default_fixed(),
-                AggregateMode::GcnNorm,
-            );
-            let t_full =
-                full_engine.simulate_aggregation_ns(t.dim).expect("valid launch");
-            let sampled_graph =
-                sample_neighbors(&out.graph, &SamplingConfig { fanout, seed: t.seed + 4 });
-            let mut sampled_engine = MggEngine::new(
-                &sampled_graph,
-                spec,
-                MggConfig::default_fixed(),
-                AggregateMode::GcnNorm,
-            );
-            let t_sampled =
-                sampled_engine.simulate_aggregation_ns(t.dim).expect("valid launch");
+        // Latency ratio: simulated MGG aggregation on the full graph
+        // vs a representative sampled subgraph.
+        let spec = ClusterSpec::dgx_a100(gpus);
+        let mut full_engine = MggEngine::new(
+            &out.graph,
+            spec.clone(),
+            MggConfig::default_fixed(),
+            AggregateMode::GcnNorm,
+        );
+        let t_full =
+            full_engine.simulate_aggregation_ns(t.dim).expect("valid launch");
+        let sampled_graph =
+            sample_neighbors(&out.graph, &SamplingConfig { fanout, seed: t.seed + 4 });
+        let mut sampled_engine = MggEngine::new(
+            &sampled_graph,
+            spec,
+            MggConfig::default_fixed(),
+            AggregateMode::GcnNorm,
+        );
+        let t_sampled =
+            sampled_engine.simulate_aggregation_ns(t.dim).expect("valid launch");
 
-            Tab5Row {
-                dataset: t.name,
-                acc_sampled: sampled.test_accuracy,
-                acc_full: full.test_accuracy,
-                latency_ratio: t_full as f64 / t_sampled.max(1) as f64,
-            }
-        })
-        .collect();
+        Tab5Row {
+            dataset: t.name,
+            acc_sampled: sampled.test_accuracy,
+            acc_full: full.test_accuracy,
+            latency_ratio: t_full as f64 / t_sampled.max(1) as f64,
+        }
+    });
     Tab5Report { gpus, epochs, fanout, rows }
 }
 

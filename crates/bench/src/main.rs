@@ -6,21 +6,23 @@
 //! ```
 //!
 //! Experiments: fig2 fig3 fig7 fig8 fig9a fig9b fig10 occupancy tab1 tab2
-//! tab4 tab5. Reports print to stdout and persist as JSON under `--out`
-//! (default `bench-results/`).
+//! tab4 tab5 (plus `ext_*` extensions). Reports print to stdout and persist
+//! as JSON under `--out` (default `bench-results/`). `--threads N` sizes the
+//! deterministic worker pool (default: all cores; 1 = fully sequential —
+//! results are bit-identical either way).
 
 use std::path::PathBuf;
 
 use mgg_bench::experiments::{
-    ext, failover, fault, fig10, fig2, fig3, fig7, fig8, fig9, occupancy, tab1, tab2, tab3, tab4,
-    tab5,
+    ext, failover, fault, fig10, fig2, fig3, fig7, fig8, fig9, hostperf, occupancy, tab1, tab2,
+    tab3, tab4, tab5,
 };
 use mgg_bench::report::{write_json, ExperimentReport};
 use mgg_bench::DEFAULT_SCALE;
 
 const ALL: &[&str] = &[
     "fig2", "fig3", "tab1", "tab2", "fig7", "fig8", "fig9a", "fig9b", "fig10", "occupancy",
-    "tab3", "tab4", "tab5", "ext_reorder", "ext_replicated", "ext_fabric", "ext_train", "ext_cpu", "ext_putget", "ext_dims", "ext_scaling", "ext_fault", "ext_failover", "microcal",
+    "tab3", "tab4", "tab5", "ext_reorder", "ext_replicated", "ext_fabric", "ext_train", "ext_cpu", "ext_putget", "ext_dims", "ext_scaling", "ext_fault", "ext_failover", "ext_hostperf", "microcal",
 ];
 
 fn main() {
@@ -40,6 +42,15 @@ fn main() {
             }
             "--out" => {
                 out = PathBuf::from(it.next().unwrap_or_else(|| usage("missing value for --out")));
+            }
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| usage("missing value for --threads"));
+                let n: usize =
+                    v.parse().unwrap_or_else(|_| usage("--threads expects a positive integer"));
+                if n == 0 {
+                    usage("--threads must be >= 1 (1 = sequential)");
+                }
+                mgg_runtime::set_threads(n);
             }
             "all" => selected.extend(ALL.iter().map(|s| s.to_string())),
             "summary" => selected.push("summary".to_string()),
@@ -94,6 +105,7 @@ fn run_one(exp: &str, scale: f64, out: &std::path::Path) {
         "ext_scaling" => emit(ext::run_scaling(scale), out),
         "ext_fault" => emit(fault::run(scale, 8), out),
         "ext_failover" => emit(failover::run(scale), out),
+        "ext_hostperf" => emit(hostperf::run(scale), out),
         "microcal" => emit(mgg_bench::experiments::microcal::run(), out),
         other => unreachable!("validated experiment '{other}'"),
     }
@@ -110,8 +122,8 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}\n");
     }
-    eprintln!("usage: mgg-bench <experiment>... [--scale S] [--out DIR]");
-    eprintln!("       mgg-bench all [--scale S] [--out DIR]");
+    eprintln!("usage: mgg-bench <experiment>... [--scale S] [--out DIR] [--threads N]");
+    eprintln!("       mgg-bench all [--scale S] [--out DIR] [--threads N]");
     eprintln!("       mgg-bench summary [--out DIR]   # markdown digest of saved reports");
     eprintln!("experiments: {}", ALL.join(" "));
     std::process::exit(if msg.is_empty() { 0 } else { 2 });

@@ -45,6 +45,8 @@ pub enum Command {
         permanent: Vec<PermanentFault>,
         trace_out: Option<PathBuf>,
         metrics_out: Option<PathBuf>,
+        /// Worker-pool width (`--threads N`; None = all cores, 1 = sequential).
+        threads: Option<usize>,
     },
     Profile {
         graph: PathBuf,
@@ -54,6 +56,8 @@ pub enum Command {
         platform: Platform,
         trace_out: Option<PathBuf>,
         metrics_out: Option<PathBuf>,
+        /// Worker-pool width (`--threads N`; None = all cores, 1 = sequential).
+        threads: Option<usize>,
     },
     Train { communities: usize, size: usize, epochs: usize, gpus: usize },
 }
@@ -185,6 +189,20 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let graph_path = |positional: &[String]| -> Result<PathBuf, String> {
         positional.first().map(PathBuf::from).ok_or_else(|| "missing graph file".to_string())
     };
+    let get_threads =
+        |flags: &std::collections::HashMap<String, String>| -> Result<Option<usize>, String> {
+            match flags.get("threads") {
+                None => Ok(None),
+                Some(v) => {
+                    let n: usize =
+                        v.parse().map_err(|_| "--threads expects a positive integer")?;
+                    if n == 0 {
+                        return Err("--threads must be >= 1 (1 = sequential)".into());
+                    }
+                    Ok(Some(n))
+                }
+            }
+        };
     let get_engine = |flags: &std::collections::HashMap<String, String>| -> Result<Engine, String> {
         match flags.get("engine").map(|s| s.as_str()).unwrap_or("mgg") {
             "mgg" => Ok(Engine::Mgg),
@@ -287,6 +305,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 permanent,
                 trace_out: flags.get("trace-out").map(PathBuf::from),
                 metrics_out: flags.get("metrics-out").map(PathBuf::from),
+                threads: get_threads(&flags)?,
             })
         }
         "profile" => Ok(Command::Profile {
@@ -297,6 +316,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             platform: get_platform(&flags)?,
             trace_out: flags.get("trace-out").map(PathBuf::from),
             metrics_out: flags.get("metrics-out").map(PathBuf::from),
+            threads: get_threads(&flags)?,
         }),
         other => Err(format!("unknown command '{other}'")),
     }
@@ -417,7 +437,11 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             permanent,
             trace_out,
             metrics_out,
+            threads,
         } => {
+            if let Some(n) = threads {
+                mgg_runtime::set_threads(*n);
+            }
             if !permanent.is_empty() && !matches!(engine, Engine::Mgg) {
                 return Err(
                     "--fault-gpu-fail/--fault-link-down are only supported with --engine mgg"
@@ -562,7 +586,10 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 ns as f64 / 1e6
             ))
         }
-        Command::Profile { graph, gpus, dim, engine, platform, trace_out, metrics_out } => {
+        Command::Profile { graph, gpus, dim, engine, platform, trace_out, metrics_out, threads } => {
+            if let Some(n) = threads {
+                mgg_runtime::set_threads(*n);
+            }
             let g = load_graph(graph)?;
             let spec = platform.spec(*gpus);
             let mode = AggregateMode::Sum;
@@ -685,8 +712,10 @@ pub fn usage() -> &'static str {
                    [--fault-gpu-fail GPU@TIME[,..]] [--fault-link-down A-B@TIME[,..]]
                    (TIME takes an ns/us/ms suffix, e.g. --fault-gpu-fail 3@2ms)
                    [--trace-out <file>] [--metrics-out <file>]   (mgg/uvm engines)
+                   [--threads N]   (worker pool; default all cores, 1 = sequential)
   mgg-cli profile <graph> [--gpus N] [--dim D] [--engine mgg|uvm]
                   [--platform a100|v100|pcie] [--trace-out <file>] [--metrics-out <file>]
+                  [--threads N]
   mgg-cli train [--communities K] [--size NODES_PER_COMMUNITY] [--epochs E] [--gpus N]
 
 graph files: .txt = edge list, anything else = binary CSR\n"
@@ -740,8 +769,23 @@ mod tests {
                 permanent: vec![],
                 trace_out: None,
                 metrics_out: None,
+                threads: None,
             }
         );
+    }
+
+    #[test]
+    fn parse_threads_flag() {
+        match parse(&args("simulate g.csr --threads 4")).unwrap() {
+            Command::Simulate { threads, .. } => assert_eq!(threads, Some(4)),
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&args("profile g.csr --threads 1")).unwrap() {
+            Command::Profile { threads, .. } => assert_eq!(threads, Some(1)),
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&args("simulate g.csr --threads 0")).is_err());
+        assert!(parse(&args("simulate g.csr --threads x")).is_err());
     }
 
     #[test]
@@ -915,6 +959,7 @@ mod tests {
                 platform: Platform::A100,
                 trace_out: Some(PathBuf::from("t.json")),
                 metrics_out: Some(PathBuf::from("m.json")),
+                threads: None,
             }
         );
         match parse(&args("simulate g.csr --trace-out t.json")).unwrap() {

@@ -101,6 +101,26 @@ fn merge_by_edge<'a>(
     remote[j..].iter().for_each(|rr| f(Neighbor::Remote(rr)));
 }
 
+/// Splits a flat row-major output buffer into one mutable slice per
+/// partition (the partitions' node ranges tile `0..n` in order), so each
+/// part can be aggregated as an independent job with exclusive access to
+/// its own output rows.
+fn split_by_parts<'a>(
+    data: &'a mut [f32],
+    parts: &[mgg_graph::partition::locality::LocalityPartition],
+    dim: usize,
+) -> Vec<&'a mut [f32]> {
+    let mut slices = Vec::with_capacity(parts.len());
+    let mut rest = data;
+    for part in parts {
+        let (head, tail) = rest.split_at_mut(part.local.num_rows() * dim);
+        slices.push(head);
+        rest = tail;
+    }
+    debug_assert!(rest.is_empty(), "partitions must tile the output");
+    slices
+}
+
 /// The MGG multi-GPU aggregation engine.
 pub struct MggEngine {
     pub cluster: Cluster,
@@ -598,14 +618,22 @@ impl MggEngine {
         let dim = x.cols();
         let region = self.placement.place_embeddings(x);
         let mut out = Matrix::zeros(x.rows(), dim);
-        for part in &self.placement.parts {
+        // Each partition writes exactly its own contiguous node range, and
+        // the partitions tile the output, so per-part jobs run on the
+        // worker pool over disjoint output slices. Within a part the math
+        // is untouched, so the result is bit-identical to the serial loop
+        // at any thread count.
+        let slices = split_by_parts(out.data_mut(), &self.placement.parts, dim);
+        let region = &region;
+        mgg_runtime::par_slices_mut(slices, |pi, out_part| {
+            let part = &self.placement.parts[pi];
             let base = part.node_range.start as usize;
             for r in 0..part.local.num_rows() as u32 {
                 let v = base + r as usize;
-                let out_row_start = v * dim;
+                let row_start = r as usize * dim;
                 // Local (device memory) and remote (symmetric heap)
                 // neighbors, summed in the input graph's edge order.
-                let dst = &mut out.data_mut()[out_row_start..out_row_start + dim];
+                let dst = &mut out_part[row_start..row_start + dim];
                 merge_by_edge(part.local.row(r), part.remote.row(r), |nb| {
                     let (w, src) = match nb {
                         Neighbor::Local(lr) => (
@@ -630,9 +658,8 @@ impl MggEngine {
                     AggregateMode::GcnNorm => {
                         // Self-loop term of \hat{A}.
                         let w = self.norm[v] * self.norm[v];
-                        let src: Vec<f32> = x.row(v).to_vec();
-                        let dst = &mut out.data_mut()[out_row_start..out_row_start + dim];
-                        for (d, s) in dst.iter_mut().zip(src) {
+                        let dst = &mut out_part[row_start..row_start + dim];
+                        for (d, &s) in dst.iter_mut().zip(x.row(v)) {
                             *d += w * s;
                         }
                     }
@@ -640,7 +667,7 @@ impl MggEngine {
                         let deg = part.local.row(r).len() + part.remote.row(r).len();
                         if deg > 0 {
                             let inv = 1.0 / deg as f32;
-                            let dst = &mut out.data_mut()[out_row_start..out_row_start + dim];
+                            let dst = &mut out_part[row_start..row_start + dim];
                             for d in dst {
                                 *d *= inv;
                             }
@@ -649,7 +676,7 @@ impl MggEngine {
                     AggregateMode::Sum => {}
                 }
             }
-        }
+        });
         out
     }
 
@@ -747,12 +774,14 @@ impl MggEngine {
         let dim = x.cols();
         let region = self.placement.place_embeddings(x);
         let mut out = Matrix::zeros(x.rows(), dim);
-        for part in &self.placement.parts {
-            let base = part.node_range.start as usize;
+        // Same per-part parallel decomposition as `aggregate_values`.
+        let slices = split_by_parts(out.data_mut(), &self.placement.parts, dim);
+        let region = &region;
+        mgg_runtime::par_slices_mut(slices, |pi, out_part| {
+            let part = &self.placement.parts[pi];
             for r in 0..part.local.num_rows() as u32 {
-                let v = base + r as usize;
-                let out_row_start = v * dim;
-                let dst = &mut out.data_mut()[out_row_start..out_row_start + dim];
+                let row_start = r as usize * dim;
+                let dst = &mut out_part[row_start..row_start + dim];
                 merge_by_edge(part.local.row(r), part.remote.row(r), |nb| {
                     let (weight, src) = match nb {
                         Neighbor::Local(lr) => {
@@ -767,7 +796,7 @@ impl MggEngine {
                     }
                 });
             }
-        }
+        });
         out
     }
 }

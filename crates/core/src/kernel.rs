@@ -103,13 +103,22 @@ impl KernelProgram for MggKernel<'_> {
     }
 
     fn warp_ops(&self, pe: usize, block: u32, warp: u32) -> Vec<WarpOp> {
+        let mut ops = Vec::new();
+        self.warp_ops_into(pe, block, warp, &mut ops);
+        ops
+    }
+
+    // Hot-path form: the simulator hands in a recycled buffer, so trace
+    // generation for every admitted warp is allocation-free in steady
+    // state.
+    fn warp_ops_into(&self, pe: usize, block: u32, warp: u32, ops: &mut Vec<WarpOp>) {
+        ops.clear();
         let w = (block * self.wpb + warp) as usize;
         let Some(assignment) = self.assignments[pe].get(w) else {
-            return Vec::new(); // padding warp in the last block
+            return; // padding warp in the last block
         };
         let row_bytes = self.row_bytes();
         let remote_adj = self.placement.parts[pe].remote.adj();
-        let mut ops = Vec::new();
         for (lnp, rnp) in &assignment.pairs {
             match self.variant {
                 KernelVariant::AsyncPipelined => {
@@ -166,7 +175,6 @@ impl KernelProgram for MggKernel<'_> {
                 }
             }
         }
-        ops
     }
 }
 

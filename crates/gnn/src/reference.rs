@@ -328,8 +328,9 @@ mod edge_weighted_tests {
 }
 
 /// Multi-threaded [`aggregate`] for large graphs: output rows are
-/// partitioned across `threads` workers with disjoint output slices, so
-/// the result is bit-identical to the serial version.
+/// partitioned into disjoint slices processed on the [`mgg_runtime`]
+/// worker pool, so the result is bit-identical to the serial version at
+/// any thread count.
 pub fn aggregate_parallel(
     graph: &CsrGraph,
     x: &Matrix,
@@ -349,53 +350,45 @@ pub fn aggregate_parallel(
     };
     let mut out = Matrix::zeros(n, dim);
     let rows_per = n.div_ceil(threads);
-    {
-        let out_data = out.data_mut();
-        let chunks: Vec<&mut [f32]> = out_data.chunks_mut(rows_per * dim).collect();
-        std::thread::scope(|scope| {
-            for (t, chunk) in chunks.into_iter().enumerate() {
-                let norm = &norm;
-                scope.spawn(move || {
-                    let start = t * rows_per;
-                    for (r, dst) in chunk.chunks_mut(dim).enumerate() {
-                        let v = (start + r) as NodeId;
-                        let nbrs = graph.neighbors(v);
-                        match mode {
-                            AggregateMode::Sum => {
-                                for &u in nbrs {
-                                    for (d, &s) in dst.iter_mut().zip(x.row(u as usize)) {
-                                        *d += s;
-                                    }
-                                }
-                            }
-                            AggregateMode::Mean => {
-                                let inv =
-                                    if nbrs.is_empty() { 0.0 } else { 1.0 / nbrs.len() as f32 };
-                                for &u in nbrs {
-                                    for (d, &s) in dst.iter_mut().zip(x.row(u as usize)) {
-                                        *d += s * inv;
-                                    }
-                                }
-                            }
-                            AggregateMode::GcnNorm => {
-                                let nv = norm[v as usize];
-                                for &u in nbrs {
-                                    let w = nv * norm[u as usize];
-                                    for (d, &s) in dst.iter_mut().zip(x.row(u as usize)) {
-                                        *d += s * w;
-                                    }
-                                }
-                                let w = nv * nv;
-                                for (d, &s) in dst.iter_mut().zip(x.row(v as usize)) {
-                                    *d += s * w;
-                                }
+    mgg_runtime::with_threads(threads, || {
+        mgg_runtime::par_chunks_mut(out.data_mut(), rows_per * dim, |t, chunk| {
+            let start = t * rows_per;
+            for (r, dst) in chunk.chunks_mut(dim).enumerate() {
+                let v = (start + r) as NodeId;
+                let nbrs = graph.neighbors(v);
+                match mode {
+                    AggregateMode::Sum => {
+                        for &u in nbrs {
+                            for (d, &s) in dst.iter_mut().zip(x.row(u as usize)) {
+                                *d += s;
                             }
                         }
                     }
-                });
+                    AggregateMode::Mean => {
+                        let inv = if nbrs.is_empty() { 0.0 } else { 1.0 / nbrs.len() as f32 };
+                        for &u in nbrs {
+                            for (d, &s) in dst.iter_mut().zip(x.row(u as usize)) {
+                                *d += s * inv;
+                            }
+                        }
+                    }
+                    AggregateMode::GcnNorm => {
+                        let nv = norm[v as usize];
+                        for &u in nbrs {
+                            let w = nv * norm[u as usize];
+                            for (d, &s) in dst.iter_mut().zip(x.row(u as usize)) {
+                                *d += s * w;
+                            }
+                        }
+                        let w = nv * nv;
+                        for (d, &s) in dst.iter_mut().zip(x.row(v as usize)) {
+                            *d += s * w;
+                        }
+                    }
+                }
             }
-        });
-    }
+        })
+    });
     out
 }
 

@@ -1,0 +1,323 @@
+//! Deterministic parallel execution runtime for the MGG host stack.
+//!
+//! Every parallel surface in this workspace (bench sweep cells, functional
+//! aggregation, chaos seed matrices, speculative tuner probes) runs through
+//! this crate so there is exactly one place where the determinism contract
+//! is enforced:
+//!
+//! * **Ordered merge** — [`par_map`]/[`par_map_indexed`] write each job's
+//!   result into its input-index slot and return the slots in input order,
+//!   so the output `Vec` is bit-identical to a sequential `map` at *any*
+//!   thread count (including odd counts and oversubscription).
+//! * **Disjoint writes** — [`par_chunks_mut`]/[`par_slices_mut`] hand each
+//!   worker exclusive `&mut` windows of one buffer; the windows tile the
+//!   buffer, so there is no accumulation-order freedom to lose.
+//! * **No wall-clock, no RNG in jobs** — jobs must be pure functions of
+//!   their input index/item. The runtime provides no ambient randomness and
+//!   no timing information to jobs; anything time- or schedule-dependent
+//!   belongs on the caller's side of the join.
+//!
+//! Scheduling is work-stealing-lite: workers claim job indices one at a
+//! time from a shared atomic counter, which self-balances uneven job costs
+//! without per-worker deques. The claim order is nondeterministic; the
+//! merge order is not, which is all that matters for output bits.
+//!
+//! The pool is scoped (`std::thread::scope`), dependency-free and
+//! allocation-light: no threads outlive a call, and a 1-thread
+//! configuration (or a 1-item input) short-circuits to a plain sequential
+//! loop on the calling thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread-count setting: 0 = auto (`available_parallelism`).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override installed by [`with_threads`]; 0 = none.
+    static LOCAL_THREADS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Sets the process-wide worker count used by subsequent parallel calls.
+/// `0` restores the default (`std::thread::available_parallelism()`).
+/// `1` forces the fully sequential path.
+pub fn set_threads(n: usize) {
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The worker count parallel calls on this thread will use right now:
+/// the innermost [`with_threads`] override, else [`set_threads`], else
+/// `std::thread::available_parallelism()`.
+pub fn threads() -> usize {
+    let local = LOCAL_THREADS.with(|t| t.get());
+    if local > 0 {
+        return local;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` with the calling thread's worker count pinned to `n`
+/// (restored afterwards, panic-safe). Scoped and per-thread, so
+/// concurrently running tests cannot perturb each other's setting.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_THREADS.with(|t| t.set(self.0));
+        }
+    }
+    let _restore = LOCAL_THREADS.with(|t| {
+        let prev = t.get();
+        t.set(n);
+        Restore(prev)
+    });
+    f()
+}
+
+/// Shared result buffer: each slot is written exactly once, by whichever
+/// worker claimed its index. Disjointness is guaranteed by the atomic
+/// claim counter; the scope join publishes the writes.
+struct Slots<T> {
+    ptr: *mut Option<T>,
+}
+unsafe impl<T: Send> Send for Slots<T> {}
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    /// # Safety
+    /// `i` must be in bounds and claimed by exactly one worker.
+    unsafe fn write(&self, i: usize, value: T) {
+        unsafe { *self.ptr.add(i) = Some(value) };
+    }
+}
+
+/// Maps `f` over `0..n` in parallel; results come back in index order,
+/// bit-identical to `(0..n).map(f).collect()` at any thread count.
+pub fn par_map_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = threads().min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let shared = Slots { ptr: slots.as_mut_ptr() };
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                // SAFETY: `i` < n and fetch_add hands each index to one
+                // worker only.
+                unsafe { shared.write(i, value) };
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every claimed slot is written")).collect()
+}
+
+/// Maps `f` over `items` in parallel; results merge in input order
+/// (bit-identical to `items.iter().map(f).collect()`).
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Runs `f(slice_index, slice)` over a set of disjoint mutable slices in
+/// parallel. The slices must come from one buffer (e.g. via
+/// `split_at_mut`/`chunks_mut`); each is visited exactly once.
+pub fn par_slices_mut<T, F>(slices: Vec<&mut [T]>, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = slices.len();
+    let workers = threads().min(n);
+    if workers <= 1 {
+        for (i, s) in slices.into_iter().enumerate() {
+            f(i, s);
+        }
+        return;
+    }
+    // Decompose the exclusive borrows into raw windows so idle workers can
+    // claim them through a shared reference; the atomic counter keeps the
+    // windows exclusive.
+    struct Windows<T> {
+        parts: Vec<(*mut T, usize)>,
+    }
+    unsafe impl<T: Send> Send for Windows<T> {}
+    unsafe impl<T: Send> Sync for Windows<T> {}
+    let windows = Windows {
+        parts: slices.into_iter().map(|s| (s.as_mut_ptr(), s.len())).collect(),
+    };
+    // Capture the struct (not its field) so the `Sync` impl applies.
+    let windows = &windows;
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let (ptr, len) = windows.parts[i];
+                // SAFETY: window `i` is claimed by exactly one worker and
+                // the source slices were disjoint exclusive borrows that
+                // outlive the scope.
+                let slice = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+                f(i, slice);
+            });
+        }
+    });
+}
+
+/// Runs `f(chunk_index, chunk)` over `chunk_len`-sized windows of `data`
+/// in parallel (last window may be shorter). Equivalent to a sequential
+/// `chunks_mut` loop for any thread count.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    let chunk_len = chunk_len.max(1);
+    par_slices_mut(data.chunks_mut(chunk_len).collect(), f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_merges_in_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let want: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for t in [1, 2, 4, 7, 16] {
+            let got = with_threads(t, || par_map(&items, |&x| x * x + 1));
+            assert_eq!(got, want, "{t} threads");
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_handles_degenerate_sizes() {
+        for n in [0usize, 1, 2] {
+            for t in [1, 3, 8] {
+                let got = with_threads(t, || par_map_indexed(n, |i| i * 3));
+                assert_eq!(got, (0..n).map(|i| i * 3).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn float_results_are_bit_identical_across_thread_counts() {
+        // Each job does its own order-sensitive float reduction; the merge
+        // preserves job boundaries, so bits match exactly.
+        let job = |i: usize| -> f64 {
+            let mut acc = 0.0f64;
+            for k in 0..100 {
+                acc += 1.0 / (1.0 + (i * 100 + k) as f64);
+            }
+            acc
+        };
+        let seq: Vec<u64> = (0..31).map(|i| job(i).to_bits()).collect();
+        for t in [2, 4, 7] {
+            let par: Vec<u64> = with_threads(t, || par_map_indexed(31, job))
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            assert_eq!(par, seq, "{t} threads");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_tiles_the_buffer() {
+        let mut seq = vec![0u32; 103];
+        for (i, c) in seq.chunks_mut(10).enumerate() {
+            for (j, v) in c.iter_mut().enumerate() {
+                *v = (i * 1000 + j) as u32;
+            }
+        }
+        for t in [1, 2, 4, 7] {
+            let mut par = vec![0u32; 103];
+            with_threads(t, || {
+                par_chunks_mut(&mut par, 10, |i, c| {
+                    for (j, v) in c.iter_mut().enumerate() {
+                        *v = (i * 1000 + j) as u32;
+                    }
+                })
+            });
+            assert_eq!(par, seq, "{t} threads");
+        }
+    }
+
+    #[test]
+    fn par_slices_mut_visits_every_slice_once() {
+        let mut data = [0u8; 64];
+        let (a, rest) = data.split_at_mut(5);
+        let (b, c) = rest.split_at_mut(40);
+        with_threads(4, || {
+            par_slices_mut(vec![a, b, c], |i, s| {
+                for v in s.iter_mut() {
+                    *v += 1 + i as u8;
+                }
+            })
+        });
+        assert!(data[..5].iter().all(|&v| v == 1));
+        assert!(data[5..45].iter().all(|&v| v == 2));
+        assert!(data[45..].iter().all(|&v| v == 3));
+    }
+
+    #[test]
+    fn with_threads_is_scoped_and_restores() {
+        set_threads(0);
+        let outer = threads();
+        let inner = with_threads(5, threads);
+        assert_eq!(inner, 5);
+        assert_eq!(threads(), outer);
+        // Nested overrides unwind correctly.
+        let (a, b) = with_threads(3, || (threads(), with_threads(2, threads)));
+        assert_eq!((a, b), (3, 2));
+    }
+
+    #[test]
+    fn set_threads_one_forces_sequential_path() {
+        // A job observing its own thread id: with 1 worker everything runs
+        // on the caller.
+        let caller = std::thread::current().id();
+        let ids = with_threads(1, || par_map_indexed(8, |_| std::thread::current().id()));
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn uneven_job_costs_still_merge_in_order() {
+        // Front-loaded work: early indices are much slower, so claim order
+        // diverges wildly from completion order.
+        let job = |i: usize| -> usize {
+            let spins = if i < 4 { 200_000 } else { 10 };
+            let mut acc = i;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (acc & 0xff) ^ i
+        };
+        let want: Vec<usize> = (0..64).map(job).collect();
+        let got = with_threads(7, || par_map_indexed(64, job));
+        assert_eq!(got, want);
+    }
+}

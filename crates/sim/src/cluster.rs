@@ -1,7 +1,5 @@
 //! The simulated multi-GPU platform: channels, interconnect and paging hook.
 
-use std::collections::HashMap;
-
 use mgg_fault::FaultSchedule;
 
 use crate::channel::BandwidthChannel;
@@ -53,19 +51,23 @@ pub struct Interconnect {
     hbm: Vec<BandwidthChannel>,
     port_in: Vec<BandwidthChannel>,
     port_out: Vec<BandwidthChannel>,
-    pair_links: HashMap<(u16, u16), BandwidthChannel>,
+    /// Per-unordered-pair link channels, flattened `lo * n + hi` (only
+    /// `lo < hi` slots populated). Dense so the fabric hot path indexes
+    /// instead of hashing; `None` marks pairs without a direct link.
+    pair_links: Vec<Option<BandwidthChannel>>,
     host: BandwidthChannel,
     /// Ordered-pair fabric traffic, flattened `from * n + to`. Bumped once
     /// per transfer at the fabric entry points (not inside the cube-mesh
     /// relay recursion), so a 2-hop route counts as one `(src, dst)` entry.
     pair_bytes: Vec<u64>,
     pair_requests: Vec<u64>,
-    /// Permanent link failures: unordered pair -> instant the link died.
-    /// Transfers starting at or after that instant cannot use the pair.
-    link_down: HashMap<(u16, u16), SimTime>,
-    /// Engine-installed relay routes around dead links: unordered pair ->
-    /// intermediate hops (excluding the endpoints).
-    route_overrides: HashMap<(u16, u16), Vec<u16>>,
+    /// Permanent link failures, flattened `lo * n + hi`: the instant the
+    /// link died. Transfers starting at or after that instant cannot use
+    /// the pair.
+    link_down: Vec<Option<SimTime>>,
+    /// Engine-installed relay routes around dead links, flattened
+    /// `lo * n + hi`: intermediate hops (excluding the endpoints).
+    route_overrides: Vec<Option<Vec<u16>>>,
     /// When set, *all* fabric traffic is staged through host memory: the
     /// executed form of MGG->UVM degradation (embeddings live in host
     /// memory; every remote access crosses PCIe).
@@ -102,35 +104,31 @@ impl Interconnect {
         let port_req = PACKET_OVERHEAD_BYTES / spec.link.bw_gbps;
         let mk_port =
             || BandwidthChannel::new(spec.link.bw_gbps, half_lat).with_request_cost(port_req);
+        let mk_link = || {
+            BandwidthChannel::new(spec.link.bw_gbps, spec.link.latency_ns)
+                .with_request_cost(port_req)
+        };
         let (port_in, port_out, pair_links) = match spec.topology {
             Topology::NvSwitch => {
                 let pin = (0..n).map(|_| mk_port()).collect();
                 let pout = (0..n).map(|_| mk_port()).collect();
-                (pin, pout, HashMap::new())
+                (pin, pout, vec![None; n * n])
             }
             Topology::NvLinkPairs => {
-                let mut links = HashMap::new();
-                for a in 0..n as u16 {
-                    for b in (a + 1)..n as u16 {
-                        links.insert(
-                            (a, b),
-                            BandwidthChannel::new(spec.link.bw_gbps, spec.link.latency_ns)
-                                .with_request_cost(port_req),
-                        );
+                let mut links: Vec<Option<BandwidthChannel>> = vec![None; n * n];
+                for a in 0..n {
+                    for b in (a + 1)..n {
+                        links[a * n + b] = Some(mk_link());
                     }
                 }
                 (Vec::new(), Vec::new(), links)
             }
             Topology::HybridCubeMesh => {
                 assert!(n <= 8, "the cube mesh wires 8 GPUs");
-                let mut links = HashMap::new();
+                let mut links: Vec<Option<BandwidthChannel>> = vec![None; n * n];
                 for &(a, b) in CUBE_MESH_LINKS.iter() {
                     if (a as usize) < n && (b as usize) < n {
-                        links.insert(
-                            (a, b),
-                            BandwidthChannel::new(spec.link.bw_gbps, spec.link.latency_ns)
-                                .with_request_cost(port_req),
-                        );
+                        links[a as usize * n + b as usize] = Some(mk_link());
                     }
                 }
                 (Vec::new(), Vec::new(), links)
@@ -146,8 +144,8 @@ impl Interconnect {
             host: BandwidthChannel::from_link(&spec.host_link),
             pair_bytes: vec![0; n * n],
             pair_requests: vec![0; n * n],
-            link_down: HashMap::new(),
-            route_overrides: HashMap::new(),
+            link_down: vec![None; n * n],
+            route_overrides: vec![None; n * n],
             uvm_degraded: false,
             rerouted: 0,
             host_staged: 0,
@@ -159,6 +157,13 @@ impl Interconnect {
         let n = self.hbm.len();
         self.pair_bytes[from * n + to] += bytes;
         self.pair_requests[from * n + to] += 1;
+    }
+
+    /// Flattened index of the unordered pair `(a, b)` in the dense
+    /// `lo * n + hi` tables.
+    #[inline]
+    fn pair_idx(&self, a: usize, b: usize) -> usize {
+        a.min(b) * self.hbm.len() + a.max(b)
     }
 
     /// Number of GPUs wired up.
@@ -189,16 +194,16 @@ impl Interconnect {
             self.host_staged += 1;
             return self.host_stage(now, bytes);
         }
-        let key = (from.min(to) as u16, from.max(to) as u16);
-        let down = matches!(self.link_down.get(&key), Some(&at) if now >= at);
+        let idx = self.pair_idx(from, to);
+        let down = matches!(self.link_down[idx], Some(at) if now >= at);
         if !down {
             return self.direct_leg(now, from, to, bytes);
         }
-        if let Some(hops) = self.route_overrides.get(&key).cloned() {
+        if let Some(hops) = self.route_overrides[idx].clone() {
             self.rerouted += 1;
             // Relay legs in endpoint order: reverse the hop list when the
             // transfer travels against the installed direction.
-            let ordered: Vec<usize> = if (from as u16) == key.0 {
+            let ordered: Vec<usize> = if from < to {
                 hops.iter().map(|&h| h as usize).collect()
             } else {
                 hops.iter().rev().map(|&h| h as usize).collect()
@@ -246,13 +251,9 @@ impl Interconnect {
     /// Sends over a direct pair link, or relays through the cube mesh's
     /// 2-hop route when no direct link exists.
     fn pair_route(&mut self, now: SimTime, from: usize, to: usize, bytes: u64) -> SimTime {
-        let key = (from.min(to) as u16, from.max(to) as u16);
-        if self.pair_links.contains_key(&key) {
-            return self
-                .pair_links
-                .get_mut(&key)
-                .expect("checked above")
-                .transfer(now, bytes);
+        let idx = self.pair_idx(from, to);
+        if let Some(link) = self.pair_links[idx].as_mut() {
+            return link.transfer(now, bytes);
         }
         debug_assert_eq!(
             self.topology,
@@ -283,17 +284,17 @@ impl Interconnect {
     /// Permanent link failures (including those implied by a GPU death)
     /// are recorded so transfers after the failure instant re-route.
     pub fn install_faults(&mut self, sched: &FaultSchedule) {
+        let n = self.num_gpus();
         if sched.has_permanent() {
-            let n = self.num_gpus();
             for a in 0..n {
                 for b in a + 1..n {
                     if let Some(at) = sched.link_dead_at(a, b) {
-                        self.link_down.insert((a as u16, b as u16), at);
+                        self.link_down[a * n + b] = Some(at);
                     }
                 }
             }
         }
-        for gpu in 0..self.num_gpus() {
+        for gpu in 0..n {
             let windows = sched.link_windows(gpu);
             if windows.is_empty() {
                 continue;
@@ -304,9 +305,11 @@ impl Interconnect {
                     self.port_out[gpu].install_faults(windows);
                 }
                 Topology::NvLinkPairs | Topology::HybridCubeMesh => {
-                    for ((a, b), ch) in self.pair_links.iter_mut() {
-                        if *a as usize == gpu || *b as usize == gpu {
-                            ch.install_faults(windows);
+                    for (i, ch) in self.pair_links.iter_mut().enumerate() {
+                        if let Some(ch) = ch {
+                            if i / n == gpu || i % n == gpu {
+                                ch.install_faults(windows);
+                            }
                         }
                     }
                 }
@@ -320,10 +323,10 @@ impl Interconnect {
         self.hbm.iter_mut().for_each(BandwidthChannel::clear_faults);
         self.port_in.iter_mut().for_each(BandwidthChannel::clear_faults);
         self.port_out.iter_mut().for_each(BandwidthChannel::clear_faults);
-        self.pair_links.values_mut().for_each(BandwidthChannel::clear_faults);
+        self.pair_links.iter_mut().flatten().for_each(BandwidthChannel::clear_faults);
         self.host.clear_faults();
-        self.link_down.clear();
-        self.route_overrides.clear();
+        self.link_down.iter_mut().for_each(|d| *d = None);
+        self.route_overrides.iter_mut().for_each(|r| *r = None);
         self.uvm_degraded = false;
     }
 
@@ -332,12 +335,13 @@ impl Interconnect {
     /// endpoints) once the direct link is down. Replaces any prior route.
     pub fn install_route(&mut self, a: usize, b: usize, hops: Vec<u16>) {
         assert!(a != b && a < self.num_gpus() && b < self.num_gpus(), "bad pair ({a}, {b})");
-        self.route_overrides.insert((a.min(b) as u16, a.max(b) as u16), hops);
+        let idx = self.pair_idx(a, b);
+        self.route_overrides[idx] = Some(hops);
     }
 
     /// Removes all engine-installed relay routes.
     pub fn clear_routes(&mut self) {
-        self.route_overrides.clear();
+        self.route_overrides.iter_mut().for_each(|r| *r = None);
     }
 
     /// Forces (or lifts) UVM degradation: when on, every fabric transfer is
@@ -367,7 +371,7 @@ impl Interconnect {
         self.hbm.iter().map(BandwidthChannel::degraded_requests).sum::<u64>()
             + self.port_in.iter().map(BandwidthChannel::degraded_requests).sum::<u64>()
             + self.port_out.iter().map(BandwidthChannel::degraded_requests).sum::<u64>()
-            + self.pair_links.values().map(BandwidthChannel::degraded_requests).sum::<u64>()
+            + self.pair_links.iter().flatten().map(BandwidthChannel::degraded_requests).sum::<u64>()
             + self.host.degraded_requests()
     }
 
@@ -380,12 +384,15 @@ impl Interconnect {
                 Topology::NvLinkPairs | Topology::HybridCubeMesh => {
                     // Attribute each pair link to its lower-numbered end for
                     // reporting purposes.
-                    let mut v = vec![ChannelStats::default(); self.num_gpus()];
-                    for ((a, _), ch) in &self.pair_links {
-                        let s = ChannelStats::snapshot(ch);
-                        v[*a as usize].bytes += s.bytes;
-                        v[*a as usize].requests += s.requests;
-                        v[*a as usize].busy_ns += s.busy_ns;
+                    let n = self.num_gpus();
+                    let mut v = vec![ChannelStats::default(); n];
+                    for (i, ch) in self.pair_links.iter().enumerate() {
+                        if let Some(ch) = ch {
+                            let s = ChannelStats::snapshot(ch);
+                            v[i / n].bytes += s.bytes;
+                            v[i / n].requests += s.requests;
+                            v[i / n].busy_ns += s.busy_ns;
+                        }
                     }
                     v
                 }
@@ -425,7 +432,7 @@ impl Interconnect {
         self.hbm.iter_mut().for_each(BandwidthChannel::reset);
         self.port_in.iter_mut().for_each(BandwidthChannel::reset);
         self.port_out.iter_mut().for_each(BandwidthChannel::reset);
-        self.pair_links.values_mut().for_each(BandwidthChannel::reset);
+        self.pair_links.iter_mut().flatten().for_each(BandwidthChannel::reset);
         self.host.reset();
         self.pair_bytes.iter_mut().for_each(|b| *b = 0);
         self.pair_requests.iter_mut().for_each(|r| *r = 0);

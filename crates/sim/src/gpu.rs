@@ -100,6 +100,9 @@ struct GpuRt {
     /// Set once the GPU dies permanently; its events are ignored from then
     /// on and no further blocks are admitted.
     halted: bool,
+    /// Retired warps' trace buffers, recycled into newly admitted warps so
+    /// steady-state block admission does not allocate.
+    scratch: Vec<Vec<WarpOp>>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -219,6 +222,7 @@ impl GpuSim {
                 warps_done: 0,
                 blocks_done: 0,
                 halted: false,
+                scratch: Vec::new(),
             });
         }
 
@@ -342,7 +346,8 @@ fn admit_block(pe: usize, sm: usize, gpu: &mut GpuRt, program: &dyn KernelProgra
     gpu.sms[sm].resident_warps += wpb;
     gpu.sms[sm].active_warps += wpb;
     for w in 0..wpb {
-        let ops = program.warp_ops(pe, block_id, w);
+        let mut ops = gpu.scratch.pop().unwrap_or_default();
+        program.warp_ops_into(pe, block_id, w, &mut ops);
         let idx = gpu.warps.len() as u32;
         gpu.warps.push(WarpRt { ops, pc: 0, pending_remote: 0, block_slot });
         gpu.sms[sm].ready.push_back(idx);
@@ -408,10 +413,13 @@ fn issue(
                 warp.ops.get(warp.pc).copied()
             };
             let Some(op) = next_op else {
-                // Warp retires.
+                // Warp retires; its trace buffer goes back to the free
+                // list for the next admitted block.
                 let block_slot = {
                     let warp = &mut gpu.warps[w as usize];
-                    warp.ops = Vec::new();
+                    let mut ops = std::mem::take(&mut warp.ops);
+                    ops.clear();
+                    gpu.scratch.push(ops);
                     warp.block_slot as usize
                 };
                 gpu.warps_done += 1;

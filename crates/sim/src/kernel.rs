@@ -88,6 +88,17 @@ pub trait KernelProgram {
     /// Operation trace of warp `warp` (0-based within the block) of block
     /// `block` on GPU `pe`. Called once, when the block becomes resident.
     fn warp_ops(&self, pe: usize, block: u32, warp: u32) -> Vec<WarpOp>;
+
+    /// Writes the operation trace of `(pe, block, warp)` into `out`
+    /// (cleared first), reusing `out`'s allocation. The simulator calls
+    /// this on its block-admission hot path with recycled buffers so
+    /// per-warp trace generation does not allocate; the default forwards
+    /// to [`KernelProgram::warp_ops`]. Implementations overriding it must
+    /// produce exactly the same trace as `warp_ops`.
+    fn warp_ops_into(&self, pe: usize, block: u32, warp: u32, out: &mut Vec<WarpOp>) {
+        out.clear();
+        out.extend(self.warp_ops(pe, block, warp));
+    }
 }
 
 /// Per-GPU result of simulating one kernel.

@@ -184,6 +184,55 @@ impl Telemetry {
         let snap = self.snapshot();
         chrome_trace_json(&snap.spans, &self.trace_events())
     }
+
+    /// A fresh shard for one parallel job: enabled iff `self` is, but
+    /// backed by its *own* recorder, so concurrent jobs never interleave
+    /// writes. Merge shards back with [`Telemetry::merge_child`] in the
+    /// jobs' input order; metrics then come out bit-identical to the jobs
+    /// having recorded sequentially, at any thread count.
+    pub fn fork(&self) -> Telemetry {
+        if self.is_enabled() {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        }
+    }
+
+    /// Folds a shard's recordings into this handle, preserving sequential
+    /// semantics when children are merged in input order: counters add,
+    /// gauges take the child's value (last write wins), histograms replay
+    /// the child's samples one by one (keeping f64 sums bit-identical),
+    /// and trace events append. Child spans append as recorded; their
+    /// timestamps stay in the child's wall-clock epoch, so spans are
+    /// timing-diagnostic only — never part of determinism comparisons.
+    pub fn merge_child(&self, child: &Telemetry) {
+        let Some(child_rec) = child.lock() else { return };
+        let Some(mut r) = self.lock() else { return };
+        for (name, &value) in &child_rec.counters {
+            *r.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, &value) in &child_rec.gauges {
+            r.gauges.insert(name.clone(), value);
+        }
+        for (name, h) in &child_rec.histograms {
+            let dst = r.histograms.entry(name.clone()).or_default();
+            for &sample in &h.samples {
+                dst.record(sample);
+            }
+        }
+        r.trace_events.extend_from_slice(&child_rec.trace_events);
+        for s in &child_rec.spans {
+            r.spans.push(SpanRecord {
+                name: s.name.clone(),
+                start_ns: s.start_ns,
+                end_ns: s.end_ns,
+                depth: s.depth,
+            });
+        }
+        if child_rec.pipeline.is_some() {
+            r.pipeline = child_rec.pipeline.clone();
+        }
+    }
 }
 
 /// RAII span handle; dropping it closes the span.
@@ -210,12 +259,18 @@ struct SpanRecord {
 }
 
 /// Min/max/sum/count summary of a stream of observations.
+///
+/// Raw samples are retained so a shard merge can *replay* them through
+/// [`Histogram::record`] in shard order: f64 summation is order-dependent,
+/// and replay is what keeps a merged `sum` bit-identical to the sequential
+/// recording order (adding pre-summed shard totals would not be).
 #[derive(Default)]
 struct Histogram {
     count: u64,
     sum: f64,
     min: f64,
     max: f64,
+    samples: Vec<f64>,
 }
 
 impl Histogram {
@@ -229,6 +284,7 @@ impl Histogram {
         }
         self.count += 1;
         self.sum += value;
+        self.samples.push(value);
     }
 }
 
@@ -354,6 +410,64 @@ mod tests {
         t.counter_add("mid", 1);
         let names: Vec<_> = t.snapshot().counters.into_iter().map(|c| c.name).collect();
         assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn fork_of_disabled_is_disabled_and_merge_is_noop() {
+        let t = Telemetry::disabled();
+        let shard = t.fork();
+        assert!(!shard.is_enabled());
+        shard.counter_add("x", 1);
+        t.merge_child(&shard);
+        assert_eq!(t.counter_value("x"), 0);
+    }
+
+    #[test]
+    fn ordered_shard_merge_matches_sequential_bitwise() {
+        // Per-job observations whose f64 sum is order-sensitive.
+        let obs = |job: usize| -> Vec<f64> {
+            (0..8).map(|k| 1.0 / (1.0 + (job * 8 + k) as f64)).collect()
+        };
+        // Sequential baseline: jobs record in input order on one handle.
+        let seq = Telemetry::enabled();
+        for job in 0..16 {
+            for v in obs(job) {
+                seq.histogram_record("lat", v);
+            }
+            seq.counter_add("jobs", 1);
+            seq.gauge_set("last_job", job as f64);
+        }
+        // Parallel: concurrent shards recorded in arbitrary completion
+        // order, merged back in input order.
+        for threads in [1usize, 2, 4, 7] {
+            let par = Telemetry::enabled();
+            let shards: Vec<Telemetry> = mgg_runtime::with_threads(threads, || {
+                mgg_runtime::par_map_indexed(16, |job| {
+                    let shard = par.fork();
+                    for v in obs(job) {
+                        shard.histogram_record("lat", v);
+                    }
+                    shard.counter_add("jobs", 1);
+                    shard.gauge_set("last_job", job as f64);
+                    shard
+                })
+            });
+            for shard in &shards {
+                par.merge_child(shard);
+            }
+            let (s, p) = (seq.snapshot(), par.snapshot());
+            assert_eq!(p.counters, s.counters, "{threads} threads");
+            assert_eq!(p.gauges.len(), s.gauges.len());
+            assert_eq!(p.gauges[0].value.to_bits(), s.gauges[0].value.to_bits());
+            assert_eq!(p.histograms.len(), s.histograms.len());
+            let (hs, hp) = (&s.histograms[0], &p.histograms[0]);
+            assert_eq!(hp.count, hs.count);
+            // Bit-identical, not approximately equal: the merge replays
+            // samples in order instead of adding shard subtotals.
+            assert_eq!(hp.sum.to_bits(), hs.sum.to_bits(), "{threads} threads");
+            assert_eq!(hp.min.to_bits(), hs.min.to_bits());
+            assert_eq!(hp.max.to_bits(), hs.max.to_bits());
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`fault`] | `mgg-fault` | deterministic seed-derived fault schedules (link degradation, stragglers, dropped one-sided ops, permanent GPU/link failures) |
 //! | [`failover`] | `mgg-failover` | elastic failover: heartbeat health monitoring, route planning around dead links, checkpoint/resume |
 //! | [`graph`] | `mgg-graph` | CSR graphs, generators, Table-3 dataset stand-ins, partitioning |
+//! | [`runtime`] | `mgg-runtime` | deterministic parallel runtime (ordered-merge `par_map`, disjoint-slice workers) |
 //! | [`shmem`] | `mgg-shmem` | NVSHMEM-like symmetric heap (PGAS) |
 //! | [`uvm`] | `mgg-uvm` | unified-virtual-memory substrate (page faults, migration) |
 //! | [`collective`] | `mgg-collective` | NCCL-like host-initiated collectives |
@@ -61,6 +62,7 @@ pub use mgg_failover as failover;
 pub use mgg_fault as fault;
 pub use mgg_gnn as gnn;
 pub use mgg_graph as graph;
+pub use mgg_runtime as runtime;
 pub use mgg_shmem as shmem;
 pub use mgg_sim as sim;
 pub use mgg_telemetry as telemetry;

@@ -1,0 +1,154 @@
+//! Parallel execution is an implementation detail: every result produced
+//! through the `mgg-runtime` worker pool must be bit-identical to the
+//! sequential run at any thread count. These tests pin that contract
+//! across the pool itself, the engine's aggregation path, the speculative
+//! tuner, and a chaos seed matrix — deliberately including an odd worker
+//! count (7) to catch stride/chunking assumptions.
+
+use proptest::prelude::*;
+
+use mgg::core::{MggConfig, MggEngine, Tuner};
+use mgg::fault::FaultSpec;
+use mgg::gnn::reference::AggregateMode;
+use mgg::gnn::Matrix;
+use mgg::graph::generators::rmat::{rmat, RmatConfig};
+use mgg::runtime::{par_map, par_map_indexed, with_threads};
+use mgg::sim::ClusterSpec;
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 7];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `par_map` over arbitrary inputs matches the sequential map exactly,
+    /// in content and order, at every worker count.
+    #[test]
+    fn par_map_matches_sequential(xs in proptest::collection::vec(0u64..u64::MAX, 0..200)) {
+        let f = |&x: &u64| x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17) ^ x;
+        let seq: Vec<u64> = with_threads(1, || par_map(&xs, f));
+        prop_assert_eq!(&seq, &xs.iter().map(f).collect::<Vec<_>>());
+        for t in THREAD_COUNTS {
+            let par = with_threads(t, || par_map(&xs, f));
+            prop_assert_eq!(&seq, &par, "par_map diverged at {} threads", t);
+        }
+    }
+
+    /// Same for the index-driven entry point, including f64 results whose
+    /// bit patterns must survive the merge untouched.
+    #[test]
+    fn par_map_indexed_is_bitwise_stable(n in 0usize..150, seed in 0u64..u64::MAX) {
+        let f = |i: usize| ((i as u64).wrapping_add(seed) as f64).sqrt().to_bits();
+        let seq = with_threads(1, || par_map_indexed(n, f));
+        for t in THREAD_COUNTS {
+            let par = with_threads(t, || par_map_indexed(n, f));
+            prop_assert_eq!(&seq, &par);
+        }
+    }
+}
+
+fn test_engine() -> (mgg::graph::CsrGraph, Matrix) {
+    let g = rmat(&RmatConfig::graph500(9, 6_000, 31));
+    let x = Matrix::glorot(g.num_nodes(), 32, 5);
+    (g, x)
+}
+
+/// Engine aggregation — the per-partition fan-out inside
+/// `MggEngine::aggregate_values` — produces bit-identical floats at every
+/// thread count, for every aggregation mode.
+#[test]
+fn engine_aggregation_is_bit_identical_across_threads() {
+    let (g, x) = test_engine();
+    for mode in [AggregateMode::Sum, AggregateMode::Mean, AggregateMode::GcnNorm] {
+        let engine =
+            MggEngine::new(&g, ClusterSpec::dgx_a100(4), MggConfig::default_fixed(), mode);
+        let seq = with_threads(1, || engine.aggregate_values(&x));
+        for t in THREAD_COUNTS {
+            let par = with_threads(t, || engine.aggregate_values(&x));
+            let same = seq
+                .data()
+                .iter()
+                .zip(par.data())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "aggregation diverged at {t} threads ({mode:?})");
+        }
+    }
+}
+
+/// Simulated kernel statistics are a pure function of the workload, not of
+/// the host pool width.
+#[test]
+fn kernel_stats_are_thread_count_invariant() {
+    let (g, _) = test_engine();
+    let run = || {
+        let mut e = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(4),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        e.simulate_aggregation(32).expect("valid launch")
+    };
+    let seq = with_threads(1, run);
+    for t in THREAD_COUNTS {
+        let par = with_threads(t, run);
+        assert_eq!(seq, par, "KernelStats diverged at {t} threads");
+    }
+}
+
+/// The speculative tuner commits probes in the exact order of the
+/// sequential hill-climb, so the result — best config, best latency, and
+/// the full probe trace — is identical.
+#[test]
+fn speculative_tuning_matches_sequential_search() {
+    // A latency surface with distinct optima per knob; deliberately not
+    // monotone so the climb's stop/retreat rules all see traffic.
+    let surface = |cfg: &MggConfig| -> u64 {
+        let ps = cfg.ps as i64;
+        let dist = cfg.dist as i64;
+        let wpb = cfg.wpb as i64;
+        (10_000 + (ps - 8).pow(2) * 90 + (dist - 4).pow(2) * 55 + (wpb - 2).pow(2) * 35) as u64
+    };
+    let sequential = Tuner::new(surface).run();
+    for t in [1usize, 2, 4, 7] {
+        let speculative = with_threads(t, || Tuner::new(surface).with_speculation().run());
+        assert_eq!(sequential.best, speculative.best, "best config diverged at {t} threads");
+        assert_eq!(sequential.best_latency_ns, speculative.best_latency_ns);
+        assert_eq!(
+            sequential.trace, speculative.trace,
+            "probe trace diverged at {t} threads"
+        );
+    }
+}
+
+/// A chaos seed matrix fanned out on the pool reports exactly what the
+/// sequential sweep reports, seed by seed.
+#[test]
+fn chaos_seed_matrix_is_parallel_safe() {
+    let (g, _) = test_engine();
+    let seeds: Vec<u64> = (0..12).collect();
+    let outcome = |&seed: &u64| {
+        let mut e = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(4),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        e.install_faults(FaultSpec {
+            seed,
+            link_degrade: 0.6,
+            straggler: 1.4,
+            ..FaultSpec::quiet()
+        })
+        .expect("valid spec");
+        match e.simulate_aggregation(16) {
+            Ok(stats) => Ok((stats.makespan_ns(), stats.recovery)),
+            Err(err) => Err(err.to_string()),
+        }
+    };
+    let seq: Vec<_> = with_threads(1, || par_map(&seeds, outcome));
+    assert_eq!(seq, seeds.iter().map(outcome).collect::<Vec<_>>());
+    for t in THREAD_COUNTS {
+        let par = with_threads(t, || par_map(&seeds, outcome));
+        assert_eq!(seq, par, "chaos outcomes diverged at {t} threads");
+    }
+}
