@@ -1,5 +1,6 @@
 //! One module per paper artifact.
 
+pub mod cache;
 pub mod common;
 pub mod ext;
 pub mod failover;

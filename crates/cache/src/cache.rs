@@ -1,0 +1,398 @@
+//! The capacity-bounded deterministic embedding cache.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::{CacheKey, CachePolicy, CacheStats};
+
+/// Result of one [`EmbedCache::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookup {
+    /// Whether the key was already resident.
+    pub hit: bool,
+    /// Storage slot of the key after the access (`None` when the cache has
+    /// zero capacity and nothing was admitted). Slots are stable while a
+    /// key stays resident, so callers can keep row payloads in a parallel
+    /// slot-indexed table.
+    pub slot: Option<usize>,
+    /// Key displaced to admit this one, if the access evicted.
+    pub evicted: Option<CacheKey>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: u64,
+    /// Primary eviction priority: last-use tick (LRU) or use frequency
+    /// (LFU). Smaller evicts first.
+    p1: u64,
+    /// Tie-breaker: last-use tick under LFU, unused (0) under LRU.
+    p2: u64,
+    occupied: bool,
+}
+
+/// A deterministic, capacity-bounded cache of remote-row keys.
+///
+/// Replacement uses a lazily-invalidated min-heap over `(priority,
+/// tie-break, slot)` triples: every access pushes the key's new priority
+/// and eviction pops until the top matches a slot's current priority. The
+/// logical clock (`tick`) makes every priority tuple unique, so pop order —
+/// and therefore eviction order — is a total order independent of hash-map
+/// iteration: the same access stream always evicts the same keys.
+///
+/// The cache stores *keys only*; callers that need payloads (e.g. the
+/// functional `CachedRegion` in `mgg-shmem`) keep them in a table indexed
+/// by [`Lookup::slot`].
+#[derive(Debug)]
+pub struct EmbedCache {
+    policy: CachePolicy,
+    capacity: usize,
+    map: HashMap<u64, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl EmbedCache {
+    /// An empty cache holding at most `capacity_rows` keys.
+    pub fn new(capacity_rows: usize, policy: CachePolicy) -> Self {
+        EmbedCache {
+            policy,
+            capacity: capacity_rows,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            heap: BinaryHeap::new(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Maximum resident keys.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Currently resident keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured replacement policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Whether `key` is resident (no side effects, no stats).
+    pub fn contains(&self, key: CacheKey) -> bool {
+        self.map.contains_key(&key.pack())
+    }
+
+    /// Slot of `key` if resident, without touching priorities or counters
+    /// (callers that already accounted the access use this to re-find the
+    /// payload slot, e.g. coalesced duplicates of an earlier hit).
+    pub fn peek(&self, key: CacheKey) -> Option<usize> {
+        self.map.get(&key.pack()).copied()
+    }
+
+    /// Looks up `key`, admitting it on a miss (evicting if full). Updates
+    /// the hit/miss/eviction counters.
+    pub fn access(&mut self, key: CacheKey) -> Lookup {
+        let packed = key.pack();
+        self.tick += 1;
+        if let Some(&slot) = self.map.get(&packed) {
+            self.stats.hits += 1;
+            let (p1, p2) = self.bump(slot);
+            self.heap.push(Reverse((p1, p2, slot)));
+            self.maybe_compact();
+            return Lookup { hit: true, slot: Some(slot), evicted: None };
+        }
+        self.stats.misses += 1;
+        if self.capacity == 0 {
+            return Lookup { hit: false, slot: None, evicted: None };
+        }
+        let mut evicted = None;
+        let slot = if self.map.len() < self.capacity {
+            match self.free.pop() {
+                Some(s) => s,
+                None => {
+                    self.slots.push(Slot { key: 0, p1: 0, p2: 0, occupied: false });
+                    self.slots.len() - 1
+                }
+            }
+        } else {
+            let victim = self.pop_victim();
+            let victim_key = self.slots[victim].key;
+            self.map.remove(&victim_key);
+            self.stats.evictions += 1;
+            evicted = Some(CacheKey::unpack(victim_key));
+            victim
+        };
+        let (p1, p2) = match self.policy {
+            CachePolicy::Lru => (self.tick, 0),
+            CachePolicy::Lfu => (1, self.tick),
+        };
+        self.slots[slot] = Slot { key: packed, p1, p2, occupied: true };
+        self.map.insert(packed, slot);
+        self.heap.push(Reverse((p1, p2, slot)));
+        self.maybe_compact();
+        Lookup { hit: false, slot: Some(slot), evicted }
+    }
+
+    /// Records `n` requests merged by the warp coalescer (kept here so one
+    /// struct carries the whole hit/miss/coalesce picture per GPU).
+    pub fn note_coalesced(&mut self, n: u64) {
+        self.stats.coalesced += n;
+    }
+
+    /// Drops every resident key. Counters survive — a flush invalidates
+    /// contents (e.g. after failover re-planning), it does not rewrite
+    /// history.
+    pub fn flush(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.heap.clear();
+    }
+
+    /// Counters accumulated since construction (or the last
+    /// [`EmbedCache::reset_stats`]).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zeroes the counters without touching resident keys.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Refreshes `slot`'s eviction priority after a hit.
+    fn bump(&mut self, slot: usize) -> (u64, u64) {
+        let s = &mut self.slots[slot];
+        match self.policy {
+            CachePolicy::Lru => {
+                s.p1 = self.tick;
+                s.p2 = 0;
+            }
+            CachePolicy::Lfu => {
+                s.p1 += 1;
+                s.p2 = self.tick;
+            }
+        }
+        (s.p1, s.p2)
+    }
+
+    /// Pops heap entries until one matches a slot's *current* priority —
+    /// that slot is the deterministic victim.
+    fn pop_victim(&mut self) -> usize {
+        while let Some(Reverse((p1, p2, slot))) = self.heap.pop() {
+            let s = &self.slots[slot];
+            if s.occupied && s.p1 == p1 && s.p2 == p2 {
+                return slot;
+            }
+            // Stale entry (priority bumped since the push, or slot
+            // recycled) — skip.
+        }
+        unreachable!("eviction requested on a cache with no live heap entries");
+    }
+
+    /// Rebuilds the heap from live slots when stale entries dominate,
+    /// bounding memory by the capacity rather than the access count.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() > 4 * self.capacity + 64 {
+            self.heap.clear();
+            for (i, s) in self.slots.iter().enumerate() {
+                if s.occupied {
+                    self.heap.push(Reverse((s.p1, s.p2, i)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(pe: u16, row: u32) -> CacheKey {
+        CacheKey { pe, row }
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let mut c = EmbedCache::new(2, CachePolicy::Lru);
+        c.access(k(0, 1));
+        c.access(k(0, 2));
+        c.access(k(0, 1)); // 1 is now more recent than 2
+        let out = c.access(k(0, 3)); // evicts 2
+        assert_eq!(out.evicted, Some(k(0, 2)));
+        assert!(c.contains(k(0, 1)));
+        assert!(!c.contains(k(0, 2)));
+        assert!(c.contains(k(0, 3)));
+    }
+
+    #[test]
+    fn lfu_keeps_the_hot_key() {
+        let mut c = EmbedCache::new(2, CachePolicy::Lfu);
+        c.access(k(0, 1));
+        c.access(k(0, 1));
+        c.access(k(0, 1)); // freq 3
+        c.access(k(0, 2)); // freq 1
+        let out = c.access(k(0, 3)); // evicts 2 (lowest freq)
+        assert_eq!(out.evicted, Some(k(0, 2)));
+        assert!(c.contains(k(0, 1)));
+    }
+
+    #[test]
+    fn lfu_ties_break_by_recency() {
+        let mut c = EmbedCache::new(2, CachePolicy::Lfu);
+        c.access(k(0, 1)); // freq 1, older
+        c.access(k(0, 2)); // freq 1, newer
+        let out = c.access(k(0, 3));
+        assert_eq!(out.evicted, Some(k(0, 1)), "equal-frequency ties evict the older key");
+    }
+
+    #[test]
+    fn zero_capacity_never_admits() {
+        let mut c = EmbedCache::new(0, CachePolicy::Lru);
+        for _ in 0..4 {
+            let out = c.access(k(1, 9));
+            assert!(!out.hit);
+            assert_eq!(out.slot, None);
+            assert_eq!(out.evicted, None);
+        }
+        assert_eq!(c.stats().misses, 4);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn slots_are_stable_while_resident() {
+        let mut c = EmbedCache::new(4, CachePolicy::Lru);
+        let s1 = c.access(k(0, 1)).slot;
+        c.access(k(0, 2));
+        c.access(k(0, 3));
+        assert_eq!(c.access(k(0, 1)).slot, s1, "hits must return the original slot");
+    }
+
+    #[test]
+    fn flush_clears_contents_but_keeps_stats() {
+        let mut c = EmbedCache::new(4, CachePolicy::Lru);
+        c.access(k(0, 1));
+        c.access(k(0, 1));
+        c.flush();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hits, 1);
+        assert!(!c.access(k(0, 1)).hit, "flushed keys must re-miss");
+    }
+
+    #[test]
+    fn heap_compaction_is_transparent() {
+        // Far more accesses than 4*capacity so compaction triggers; the
+        // replacement decisions must match a fresh replay.
+        let stream: Vec<CacheKey> = (0..10_000u32).map(|i| k(0, i * 7919 % 37)).collect();
+        let run = || {
+            let mut c = EmbedCache::new(8, CachePolicy::Lfu);
+            let mut evictions = Vec::new();
+            for &key in &stream {
+                if let Some(e) = c.access(key).evicted {
+                    evictions.push(e);
+                }
+            }
+            (c.stats(), evictions)
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    /// Reference model: naive O(n) scan over a vec of (key, p1, p2).
+    fn reference(stream: &[(u16, u32)], capacity: usize, policy: CachePolicy) -> CacheStats {
+        let mut resident: Vec<(u64, u64, u64)> = Vec::new(); // (key, p1, p2)
+        let mut tick = 0u64;
+        let mut stats = CacheStats::default();
+        for &(pe, row) in stream {
+            let key = CacheKey { pe, row }.pack();
+            tick += 1;
+            if let Some(e) = resident.iter_mut().find(|e| e.0 == key) {
+                stats.hits += 1;
+                match policy {
+                    CachePolicy::Lru => e.1 = tick,
+                    CachePolicy::Lfu => {
+                        e.1 += 1;
+                        e.2 = tick;
+                    }
+                }
+                continue;
+            }
+            stats.misses += 1;
+            if capacity == 0 {
+                continue;
+            }
+            if resident.len() == capacity {
+                let victim = (0..resident.len())
+                    .min_by_key(|&i| (resident[i].1, resident[i].2))
+                    .unwrap();
+                resident.swap_remove(victim);
+                stats.evictions += 1;
+            }
+            match policy {
+                CachePolicy::Lru => resident.push((key, tick, 0)),
+                CachePolicy::Lfu => resident.push((key, 1, tick)),
+            }
+        }
+        stats
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The lazy-heap implementation must agree with the naive reference
+        /// model on every counter, for both policies and any stream.
+        #[test]
+        fn matches_reference_model(
+            stream in proptest::collection::vec((0u16..3, 0u32..24), 0..400),
+            capacity in 0usize..12,
+            lfu in proptest::bool::ANY,
+        ) {
+            let policy = if lfu { CachePolicy::Lfu } else { CachePolicy::Lru };
+            let mut c = EmbedCache::new(capacity, policy);
+            for &(pe, row) in &stream {
+                c.access(CacheKey { pe, row });
+            }
+            prop_assert_eq!(c.stats(), reference(&stream, capacity, policy));
+            prop_assert!(c.len() <= capacity);
+        }
+
+        /// LRU is a stack algorithm: growing the cache never loses hits.
+        #[test]
+        fn lru_hit_rate_is_monotone_in_capacity(
+            stream in proptest::collection::vec((0u16..2, 0u32..32), 1..300),
+        ) {
+            let mut prev_hits = 0u64;
+            for capacity in [0usize, 1, 2, 4, 8, 16, 32] {
+                let mut c = EmbedCache::new(capacity, CachePolicy::Lru);
+                for &(pe, row) in &stream {
+                    c.access(CacheKey { pe, row });
+                }
+                let hits = c.stats().hits;
+                prop_assert!(
+                    hits >= prev_hits,
+                    "capacity {} lost hits: {} < {}", capacity, hits, prev_hits
+                );
+                prev_hits = hits;
+            }
+        }
+    }
+}

@@ -16,7 +16,10 @@
 use std::path::{Path, PathBuf};
 
 use mgg_baselines::{DgclEngine, DirectNvshmemEngine, UvmGnnEngine};
-use mgg_core::{AnalyticalModel, MggConfig, MggEngine, RecoveryAction, ReplicatedEngine, Tuner};
+use mgg_core::{
+    AnalyticalModel, CacheConfig, CachePolicy, MggConfig, MggEngine, RecoveryAction,
+    ReplicatedEngine, Tuner,
+};
 use mgg_fault::{FaultSchedule, FaultSpec, PermanentFault};
 use mgg_gnn::reference::AggregateMode;
 use mgg_graph::datasets::DatasetSpec;
@@ -47,6 +50,9 @@ pub enum Command {
         metrics_out: Option<PathBuf>,
         /// Worker-pool width (`--threads N`; None = all cores, 1 = sequential).
         threads: Option<usize>,
+        /// Remote-embedding cache (`--cache-mb N [--cache-policy lru|lfu]`;
+        /// None = caching disabled).
+        cache: Option<CacheConfig>,
     },
     Profile {
         graph: PathBuf,
@@ -294,6 +300,24 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             if let Some(spec) = flags.get("fault-link-down") {
                 permanent.extend(parse_link_down(spec, gpus)?);
             }
+            let cache = match flags.get("cache-mb") {
+                Some(v) => {
+                    let mb = v
+                        .parse::<u32>()
+                        .ok()
+                        .filter(|&m| m > 0)
+                        .ok_or("--cache-mb expects a positive integer (MiB per GPU)")?;
+                    let policy = match flags.get("cache-policy") {
+                        Some(p) => p.parse::<CachePolicy>()?,
+                        None => CachePolicy::Lru,
+                    };
+                    Some(CacheConfig::from_mb(mb).with_policy(policy))
+                }
+                None if flags.contains_key("cache-policy") => {
+                    return Err("--cache-policy requires --cache-mb".into());
+                }
+                None => None,
+            };
             Ok(Command::Simulate {
                 graph: graph_path(&positional)?,
                 gpus,
@@ -306,6 +330,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 trace_out: flags.get("trace-out").map(PathBuf::from),
                 metrics_out: flags.get("metrics-out").map(PathBuf::from),
                 threads: get_threads(&flags)?,
+                cache,
             })
         }
         "profile" => Ok(Command::Profile {
@@ -438,6 +463,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             trace_out,
             metrics_out,
             threads,
+            cache,
         } => {
             if let Some(n) = threads {
                 mgg_runtime::set_threads(*n);
@@ -447,6 +473,9 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     "--fault-gpu-fail/--fault-link-down are only supported with --engine mgg"
                         .into(),
                 );
+            }
+            if cache.is_some() && !matches!(engine, Engine::Mgg) {
+                return Err("--cache-mb is only supported with --engine mgg".into());
             }
             let g = load_graph(graph)?;
             let spec = platform.spec(*gpus);
@@ -469,6 +498,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                         tel.clone(),
                     )
                     .map_err(|e| e.to_string())?;
+                    e.set_cache(*cache);
                     let mut note = String::new();
                     if fault.is_some() || !permanent.is_empty() {
                         let mut sched = match fault {
@@ -529,6 +559,19 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                         stats.traffic.remote_bytes() as f64 / (1 << 20) as f64,
                         stats.traffic.remote_requests()
                     ));
+                    if let Some(cfg) = cache {
+                        let c = stats.cache;
+                        note.push_str(&format!(
+                            "cache ({} MiB/GPU, {}): {} hits, {} misses, {} coalesced, {} evictions, hit rate {:.1}%\n",
+                            cfg.capacity_bytes / (1024 * 1024),
+                            cfg.policy,
+                            c.hits,
+                            c.misses,
+                            c.coalesced,
+                            c.evictions,
+                            100.0 * c.hit_rate()
+                        ));
+                    }
                     if fault.is_some() || !permanent.is_empty() {
                         let r = stats.recovery;
                         note.push_str(&format!(
@@ -713,6 +756,7 @@ pub fn usage() -> &'static str {
                    (TIME takes an ns/us/ms suffix, e.g. --fault-gpu-fail 3@2ms)
                    [--trace-out <file>] [--metrics-out <file>]   (mgg/uvm engines)
                    [--threads N]   (worker pool; default all cores, 1 = sequential)
+                   [--cache-mb N] [--cache-policy lru|lfu]   (remote-embedding cache, mgg engine)
   mgg-cli profile <graph> [--gpus N] [--dim D] [--engine mgg|uvm]
                   [--platform a100|v100|pcie] [--trace-out <file>] [--metrics-out <file>]
                   [--threads N]
@@ -770,8 +814,29 @@ mod tests {
                 trace_out: None,
                 metrics_out: None,
                 threads: None,
+                cache: None,
             }
         );
+    }
+
+    #[test]
+    fn parse_cache_flags() {
+        match parse(&args("simulate g.csr --cache-mb 16")).unwrap() {
+            Command::Simulate { cache, .. } => {
+                assert_eq!(cache, Some(CacheConfig::from_mb(16)));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&args("simulate g.csr --cache-mb 4 --cache-policy lfu")).unwrap() {
+            Command::Simulate { cache, .. } => {
+                assert_eq!(cache, Some(CacheConfig::from_mb(4).with_policy(CachePolicy::Lfu)));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&args("simulate g.csr --cache-mb 0")).is_err());
+        assert!(parse(&args("simulate g.csr --cache-mb lots")).is_err());
+        assert!(parse(&args("simulate g.csr --cache-mb 4 --cache-policy random")).is_err());
+        assert!(parse(&args("simulate g.csr --cache-policy lru")).is_err());
     }
 
     #[test]
@@ -940,6 +1005,40 @@ mod tests {
             .unwrap();
             assert!(out.contains("simulated"), "{engine}: {out}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_with_cache_reports_hits() {
+        let dir = std::env::temp_dir().join(format!("mgg-cli-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.csr");
+        let p = path.to_str().unwrap();
+        execute(&parse(&args(&format!("generate --rmat 9,8000 -o {p}"))).unwrap()).unwrap();
+
+        let out = execute(
+            &parse(&args(&format!(
+                "simulate {p} --gpus 4 --dim 16 --cache-mb 16 --cache-policy lru"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("cache (16 MiB/GPU, lru):"), "{out}");
+        let hits: u64 = out
+            .split("): ")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .expect("hit count in output");
+        assert!(hits > 0, "expected cache hits, got: {out}");
+
+        // The cache flag is an MGG-engine feature; other engines must reject it.
+        let err = execute(
+            &parse(&args(&format!("simulate {p} --gpus 4 --dim 16 --engine uvm --cache-mb 16")))
+                .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("--engine mgg"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

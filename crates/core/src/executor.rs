@@ -5,6 +5,7 @@
 //! functional outputs match the CPU reference (up to floating-point
 //! reassociation) while timing comes from the discrete-event simulation.
 
+use mgg_cache::{CacheConfig, CacheStats, EmbedCache};
 use mgg_failover::checkpoint::Checkpoint;
 use mgg_failover::{plan_route, ClusterView, HealthMonitor, Route};
 use mgg_fault::{FaultSchedule, FaultSpec};
@@ -13,6 +14,7 @@ use mgg_gnn::reference::AggregateMode;
 use mgg_gnn::Matrix;
 use mgg_graph::partition::locality::{LocalRef, RemoteRef};
 use mgg_graph::{CsrGraph, NodeSplit};
+use mgg_shmem::cached::CachedRegion;
 use mgg_shmem::resilience::{ResilienceStats, ResilientRegion};
 use mgg_sim::{Cluster, ClusterSpec, GpuSim, KernelStats, NoPaging, SimTime, TraceEvent};
 use mgg_telemetry::{PipelineMetrics, Telemetry};
@@ -123,11 +125,16 @@ fn split_by_parts<'a>(
 
 /// The MGG multi-GPU aggregation engine.
 pub struct MggEngine {
+    /// The simulated multi-GPU platform the engine launches on.
     pub cluster: Cluster,
+    /// Hybrid data placement: symmetric-heap embeddings + private topology.
     pub placement: HybridPlacement,
+    /// Per-GPU decomposed workloads (LNP/RNP lists).
     pub plans: Vec<WorkPlan>,
     config: MggConfig,
+    /// Which kernel pipeline to lower (async Figure-7(b) or sync 7(a)).
     pub variant: KernelVariant,
+    /// Warp mapping mode (interleaved or separated, the Figure-9b ablation).
     pub mapping: MappingMode,
     mode: AggregateMode,
     /// Global GCN normalization coefficients (empty for other modes).
@@ -136,6 +143,17 @@ pub struct MggEngine {
     graph: CsrGraph,
     /// True once placement has been re-planned around the current faults.
     replanned: bool,
+    /// Remote-embedding cache configuration. `None` — the default —
+    /// disables caching entirely; the kernel then lowers to traces
+    /// byte-identical to pre-cache builds (pinned by the golden tests).
+    cache_cfg: Option<CacheConfig>,
+    /// Per-GPU timing-plane embedding caches. Residency persists across
+    /// kernels (that is the point: layer `k+1` hits on rows layer `k`
+    /// fetched) until an invalidation hook flushes them.
+    caches: Vec<EmbedCache>,
+    /// Embedding dimension the caches were sized for; capacity is counted
+    /// in rows, so a dimension change rebuilds them.
+    cache_dim: usize,
     /// Checkpoint restores executed since the last simulation, merged into
     /// the next run's recovery stats (one-shot).
     checkpoint_restores: u64,
@@ -242,6 +260,9 @@ impl MggEngine {
             norm,
             graph: graph.clone(),
             replanned: false,
+            cache_cfg: None,
+            caches: Vec::new(),
+            cache_dim: 0,
             checkpoint_restores: 0,
             pending_restore_ns: 0,
             last_stats: None,
@@ -260,9 +281,67 @@ impl MggEngine {
         config.validate().map_err(MggError::InvalidConfig)?;
         if config.ps != self.config.ps {
             self.plans = build_plans(&self.placement, config.ps);
+            // The warp layout (and so the cache access stream) changed;
+            // start the next run from a cold cache so results depend only
+            // on the new configuration, not on tuning history.
+            self.flush_cache();
         }
         self.config = config;
         Ok(())
+    }
+
+    /// Enables (`Some`) or disables (`None`) the per-GPU remote-embedding
+    /// cache for subsequent simulations. Enabling or re-configuring always
+    /// starts cold. Caching changes *timing only*: functional outputs are
+    /// bit-identical either way (see
+    /// [`MggEngine::aggregate_values_cached`]), and with `None` the lowered
+    /// traces are byte-identical to an engine that never had a cache.
+    pub fn set_cache(&mut self, cfg: Option<CacheConfig>) {
+        self.cache_cfg = cfg;
+        self.caches = Vec::new();
+        self.cache_dim = 0;
+    }
+
+    /// The active cache configuration, if caching is enabled.
+    pub fn cache_config(&self) -> Option<CacheConfig> {
+        self.cache_cfg
+    }
+
+    /// Drops all cached rows (counters survive). This is the invalidation
+    /// hook of the recovery ladder: any event that re-plans placement or
+    /// changes fault state re-maps `(PE, row)` addresses, so the engine
+    /// calls this from [`MggEngine::recover`], [`MggEngine::resume`],
+    /// fault installation and re-planning. Callers embedding the engine in
+    /// a larger system can also invalidate explicitly (e.g. when
+    /// embeddings are updated between epochs).
+    pub fn flush_cache(&mut self) {
+        for c in &mut self.caches {
+            c.flush();
+        }
+    }
+
+    /// Cumulative cache counters summed over all GPUs since the caches
+    /// were (re)built — across kernels, unlike the per-run
+    /// `KernelStats::cache` figure. All zero when caching is disabled.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut acc = CacheStats::default();
+        for c in &self.caches {
+            acc.merge(&c.stats());
+        }
+        acc
+    }
+
+    /// (Re)builds the per-GPU caches when the embedding dimension or GPU
+    /// count changed since they were last sized.
+    fn ensure_caches(&mut self, dim: usize) {
+        let Some(cfg) = self.cache_cfg else { return };
+        let gpus = self.placement.num_gpus();
+        if self.cache_dim == dim && self.caches.len() == gpus {
+            return;
+        }
+        let rows = cfg.capacity_rows((dim * 4) as u32);
+        self.caches = (0..gpus).map(|_| EmbedCache::new(rows, cfg.policy)).collect();
+        self.cache_dim = dim;
     }
 
     /// Derives a deterministic fault scenario from `spec` and installs it
@@ -274,6 +353,7 @@ impl MggEngine {
         let sched = FaultSchedule::derive(&spec, self.cluster.num_gpus());
         self.cluster.install_faults(sched);
         self.replanned = false;
+        self.flush_cache();
         Ok(())
     }
 
@@ -281,12 +361,14 @@ impl MggEngine {
     pub fn install_fault_schedule(&mut self, sched: FaultSchedule) {
         self.cluster.install_faults(sched);
         self.replanned = false;
+        self.flush_cache();
     }
 
     /// Removes any installed fault scenario.
     pub fn clear_faults(&mut self) {
         self.cluster.clear_faults();
         self.replanned = false;
+        self.flush_cache();
     }
 
     /// The installed fault schedule, if any.
@@ -330,6 +412,10 @@ impl MggEngine {
     /// Returns what was done, or [`MggError::Unrecoverable`] when no GPU
     /// survives. Idempotent for a given installed schedule.
     pub fn recover(&mut self, dim: usize) -> Result<RecoveryReport, MggError> {
+        // Every recovery rung may change routes or addressing; resident
+        // cache rows are suspect from here on. (Re-planning flushes again,
+        // but the reroute-only rung would otherwise keep stale rows.)
+        self.flush_cache();
         let num_gpus = self.cluster.num_gpus();
         let Some(sched) = self.cluster.faults().cloned() else {
             let view = HealthMonitor::with_defaults(num_gpus)
@@ -441,6 +527,8 @@ impl MggEngine {
         let split = NodeSplit::from_bounds(ckpt.bounds.clone());
         self.placement = HybridPlacement::from_split(&self.graph, split);
         self.plans = build_plans(&self.placement, self.config.ps);
+        // The restored split re-maps (PE, row) addresses.
+        self.flush_cache();
         self.checkpoint_restores += 1;
         // Reloading the features from host storage costs one host-link
         // transfer of the checkpoint payload.
@@ -571,27 +659,53 @@ impl MggEngine {
         want_trace: bool,
     ) -> Result<(KernelStats, Option<Vec<TraceEvent>>), MggError> {
         let tel = self.telemetry.clone();
+        self.ensure_caches(dim);
         let kernel = {
             let _span = tel.span("launch");
             let model = AnalyticalModel::new(self.cluster.spec.gpu.clone(), dim);
-            MggKernel::build(
-                &self.placement,
-                &self.plans,
-                &self.config,
-                dim,
-                &model,
-                self.variant,
-                self.mapping,
-            )
+            if self.cache_cfg.is_some() {
+                MggKernel::build_cached(
+                    &self.placement,
+                    &self.plans,
+                    &self.config,
+                    dim,
+                    &model,
+                    self.variant,
+                    self.mapping,
+                    &mut self.caches,
+                )
+            } else {
+                MggKernel::build(
+                    &self.placement,
+                    &self.plans,
+                    &self.config,
+                    dim,
+                    &model,
+                    self.variant,
+                    self.mapping,
+                )
+            }
         };
         self.cluster.reset();
         let _span = tel.span("aggregate");
-        if want_trace {
+        let (mut stats, events) = if want_trace {
             let (stats, events) = GpuSim::run_traced(&mut self.cluster, &kernel, &mut NoPaging)?;
-            Ok((stats, Some(events)))
+            (stats, Some(events))
         } else {
-            Ok((GpuSim::run(&mut self.cluster, &kernel, &mut NoPaging)?, None))
+            (GpuSim::run(&mut self.cluster, &kernel, &mut NoPaging)?, None)
+        };
+        if self.cache_cfg.is_some() {
+            // The builder planned the cache outcomes; attribute them to
+            // this run (the simulator only priced the resulting ops).
+            let cs = kernel.cache_stats();
+            stats.cache = cs;
+            tel.counter_add("cache.hits", cs.hits);
+            tel.counter_add("cache.misses", cs.misses);
+            tel.counter_add("cache.coalesced", cs.coalesced);
+            tel.counter_add("cache.evictions", cs.evictions);
+            tel.gauge_set("cache.hit_rate", cs.hit_rate());
         }
+        Ok((stats, events))
     }
 
     /// Rebuilds split, placement and work plans with per-GPU capacity
@@ -602,6 +716,9 @@ impl MggEngine {
         self.placement = HybridPlacement::from_split(&self.graph, split);
         self.plans = build_plans(&self.placement, self.config.ps);
         self.replanned = true;
+        // Re-splitting re-maps every (PE, row) address: resident cache
+        // entries now name the wrong rows. Invalidate.
+        self.flush_cache();
     }
 
     /// Simulated end-to-end duration of one aggregation (kernel makespan
@@ -754,6 +871,100 @@ impl MggEngine {
             }
         }
         Ok((out, resilient.stats()))
+    }
+
+    /// Functional aggregation through the caching read path: remote rows
+    /// go through a [`CachedRegion`] in front of the symmetric heap, so
+    /// repeated references are served from the per-GPU cache (and
+    /// duplicate in-flight requests coalesce) instead of re-crossing the
+    /// fabric. Values are **bit-identical** to
+    /// [`MggEngine::aggregate_values`] at any thread count — the cache
+    /// stores exact copies of current rows and the merge order is
+    /// untouched — which the `cache_consistency` property tests pin.
+    ///
+    /// Uses the engine's cache configuration; when caching is disabled the
+    /// fetches are uncached and the returned counters are all zero. The
+    /// returned stats are this call's own (the functional plane does not
+    /// share residency with the timing-plane caches).
+    pub fn aggregate_values_cached(&self, x: &Matrix) -> Result<(Matrix, CacheStats), MggError> {
+        let dim = x.cols();
+        let cfg = self
+            .cache_cfg
+            .unwrap_or(CacheConfig { capacity_bytes: 0, policy: mgg_cache::CachePolicy::Lru });
+        let region = self.placement.place_embeddings(x);
+        let region = &region;
+        let faults = self.cluster.faults();
+        let parts = &self.placement.parts;
+        // One job per partition, each with its own issuing-PE cache over
+        // the shared region; parts are merged back in index order, so the
+        // output layout matches `aggregate_values` exactly.
+        let results = mgg_runtime::par_map_indexed(parts.len(), |pi| {
+            let part = &parts[pi];
+            let mut cached = CachedRegion::new(region, faults, cfg, dim);
+            let mut out_part = vec![0.0f32; part.local.num_rows() * dim];
+            let mut fetched = vec![0.0f32; dim];
+            let base = part.node_range.start as usize;
+            for r in 0..part.local.num_rows() as u32 {
+                let v = base + r as usize;
+                let row_start = r as usize * dim;
+                cached.begin_batch(part.pe);
+                let mut merged =
+                    Vec::with_capacity(part.local.row(r).len() + part.remote.row(r).len());
+                merge_by_edge(part.local.row(r), part.remote.row(r), |nb| merged.push(nb));
+                for nb in merged {
+                    match nb {
+                        Neighbor::Local(lr) => {
+                            let w = self.weight(v, base + lr.local as usize);
+                            let src = region.row(part.pe, lr.local);
+                            let dst = &mut out_part[row_start..row_start + dim];
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                *d += w * s;
+                            }
+                        }
+                        Neighbor::Remote(rr) => {
+                            let owner_base =
+                                self.placement.split.range(rr.owner as usize).start;
+                            let w = self.weight(v, (owner_base + rr.local) as usize);
+                            cached.get_nbi(&mut fetched, part.pe, rr.owner as usize, rr.local)?;
+                            let dst = &mut out_part[row_start..row_start + dim];
+                            for (d, &s) in dst.iter_mut().zip(fetched.iter()) {
+                                *d += w * s;
+                            }
+                        }
+                    }
+                }
+                cached.quiet(part.pe)?;
+                match self.mode {
+                    AggregateMode::GcnNorm => {
+                        let w = self.norm[v] * self.norm[v];
+                        let dst = &mut out_part[row_start..row_start + dim];
+                        for (d, &s) in dst.iter_mut().zip(x.row(v)) {
+                            *d += w * s;
+                        }
+                    }
+                    AggregateMode::Mean => {
+                        let deg = part.local.row(r).len() + part.remote.row(r).len();
+                        if deg > 0 {
+                            let inv = 1.0 / deg as f32;
+                            let dst = &mut out_part[row_start..row_start + dim];
+                            for d in dst {
+                                *d *= inv;
+                            }
+                        }
+                    }
+                    AggregateMode::Sum => {}
+                }
+            }
+            Ok::<_, mgg_shmem::ShmemError>((out_part, cached.stats()))
+        });
+        let mut out = Vec::with_capacity(x.rows() * dim);
+        let mut stats = CacheStats::default();
+        for res in results {
+            let (part_out, s) = res?;
+            out.extend_from_slice(&part_out);
+            stats.merge(&s);
+        }
+        Ok((Matrix::from_vec(x.rows(), dim, out), stats))
     }
 
     #[inline]
@@ -1347,6 +1558,119 @@ mod tests {
         let want = aggregate(&g, &x, AggregateMode::GcnNorm);
         assert!(vals.max_abs_diff(&want) < 1e-3);
     }
+
+    #[test]
+    fn cached_values_are_bit_identical_to_uncached() {
+        let g = graph();
+        let x = features(g.num_nodes(), 16);
+        for mode in [AggregateMode::Sum, AggregateMode::Mean, AggregateMode::GcnNorm] {
+            let mut engine =
+                MggEngine::new(&g, ClusterSpec::dgx_a100(4), MggConfig::default_fixed(), mode);
+            engine.set_cache(Some(CacheConfig::from_mb(4)));
+            let want = engine.aggregate_values(&x);
+            let (got, stats) = engine.aggregate_values_cached(&x).unwrap();
+            assert_eq!(got.data(), want.data(), "mode {mode:?} must be bit-identical");
+            assert!(stats.hits > 0, "the reuse pattern must produce hits");
+        }
+    }
+
+    #[test]
+    fn cache_makes_the_simulated_kernel_faster() {
+        let g = graph();
+        let mk = |cache: Option<CacheConfig>| {
+            let mut e = MggEngine::new(
+                &g,
+                ClusterSpec::dgx_a100(4),
+                MggConfig::default_fixed(),
+                AggregateMode::Sum,
+            );
+            e.set_cache(cache);
+            let stats = e.simulate_aggregation(64).unwrap();
+            (stats.makespan_ns(), stats.cache, stats.traffic.remote_bytes())
+        };
+        let (base_ns, base_cache, base_bytes) = mk(None);
+        let (cached_ns, cached_cache, cached_bytes) = mk(Some(CacheConfig::from_mb(16)));
+        assert_eq!(base_cache, mgg_cache::CacheStats::default());
+        assert!(cached_cache.hits > 0, "expected hits: {cached_cache:?}");
+        assert!(
+            cached_bytes < base_bytes,
+            "hits must come off the fabric ({cached_bytes} vs {base_bytes})"
+        );
+        assert!(
+            cached_ns < base_ns,
+            "cache must shorten the kernel ({cached_ns} vs {base_ns})"
+        );
+    }
+
+    #[test]
+    fn cache_residency_persists_across_layers() {
+        let g = graph();
+        let mut e = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(4),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        e.set_cache(Some(CacheConfig::from_mb(64)));
+        let first = e.simulate_aggregation(64).unwrap().cache;
+        let second = e.simulate_aggregation(64).unwrap().cache;
+        assert!(
+            second.misses < first.misses,
+            "layer 2 must reuse layer 1's residency ({second:?} vs {first:?})"
+        );
+        assert!(second.hit_rate() > first.hit_rate());
+    }
+
+    #[test]
+    fn cache_simulation_is_deterministic() {
+        let g = graph();
+        let run = || {
+            let mut e = MggEngine::new(
+                &g,
+                ClusterSpec::dgx_a100(4),
+                MggConfig::default_fixed(),
+                AggregateMode::Sum,
+            );
+            e.set_cache(Some(CacheConfig::from_mb(8)));
+            let a = e.simulate_aggregation(64).unwrap();
+            let b = e.simulate_aggregation(64).unwrap();
+            (a.makespan_ns(), a.cache, b.makespan_ns(), b.cache)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn replanning_flushes_the_cache() {
+        let g = graph();
+        let mut e = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(4),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        e.set_cache(Some(CacheConfig::from_mb(64)));
+        e.simulate_aggregation(64).unwrap();
+        assert!(e.cache_stats().misses > 0);
+        // A degraded GPU triggers the health-weighted replan, which
+        // re-maps (PE, row) addresses: the next run must start cold, i.e.
+        // its misses include all first-touches again.
+        let warm_misses = e.simulate_aggregation(64).unwrap().cache.misses;
+        e.install_faults(mgg_fault::FaultSpec {
+            seed: 42,
+            link_degrade: 0.5,
+            ..Default::default()
+        })
+        .unwrap();
+        let after_replan = e.simulate_aggregation(64).unwrap().cache;
+        assert!(
+            after_replan.misses > warm_misses,
+            "cold restart expected after replan ({after_replan:?} vs warm {warm_misses})"
+        );
+        // Values stay exact through all of it.
+        let x = features(g.num_nodes(), 16);
+        let (got, _) = e.aggregate_values_cached(&x).unwrap();
+        assert_eq!(got.data(), e.aggregate_values(&x).data());
+    }
 }
 
 #[cfg(test)]
@@ -1415,4 +1739,5 @@ mod gat_tests {
             .fold(0.0f32, f32::max);
         assert!(diff < 1e-5, "max weight diff {diff}");
     }
+
 }

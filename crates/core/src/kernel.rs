@@ -15,6 +15,7 @@
 //! [`KernelVariant::SyncRemote`] is Figure 7(a): blocking GETs, no
 //! overlap — kept for the intra-warp pipelining ablation.
 
+use mgg_cache::{CacheKey, CacheStats, EmbedCache, WarpCoalescer};
 use mgg_sim::{KernelLaunch, KernelProgram, WarpOp};
 
 use crate::config::MggConfig;
@@ -46,6 +47,26 @@ pub fn aggregation_cycles(len: u32, dim: usize) -> u32 {
     len * chunks * CYCLES_PER_DIM_CHUNK + PARTITION_OVERHEAD_CYCLES
 }
 
+/// Precomputed cache outcome for one warp's (LNP, RNP) pair: which remote
+/// references must still cross the fabric, and how many were served from
+/// the local embedding cache or merged into an in-flight request.
+///
+/// The cache is consulted once, at [`MggKernel::build_cached`] time, in a
+/// fixed deterministic order (PE-major, then warp, then pair, then
+/// adjacency order). `warp_ops_into` only replays the plan, which keeps
+/// the `KernelProgram` contract — identical trace on every call — intact
+/// even though the cache itself is stateful.
+#[derive(Debug, Clone, Default)]
+struct PairCachePlan {
+    /// Owner PE of each remote reference that missed, in adjacency order.
+    miss_peers: Vec<u16>,
+    /// Remote references served from the resident cache (no fabric).
+    hits: u32,
+    /// Duplicate references merged into an earlier request of the same
+    /// warp-scope batch window.
+    coalesced: u32,
+}
+
 /// A fully-lowered MGG kernel, ready for the simulator.
 pub struct MggKernel<'a> {
     placement: &'a HybridPlacement,
@@ -55,6 +76,13 @@ pub struct MggKernel<'a> {
     dim: usize,
     wpb: u32,
     variant: KernelVariant,
+    /// Per PE, per warp, per pair cache outcomes; `None` when the kernel
+    /// was built without a cache (the default path — traces are then
+    /// byte-identical to pre-cache builds).
+    cache_plans: Option<Vec<Vec<Vec<PairCachePlan>>>>,
+    /// Cache counters accumulated while planning this kernel (delta over
+    /// the caches' state before the build).
+    cache_stats: CacheStats,
 }
 
 impl<'a> MggKernel<'a> {
@@ -84,12 +112,105 @@ impl<'a> MggKernel<'a> {
                 launch
             })
             .collect();
-        MggKernel { placement, assignments, launches, dim, wpb: cfg.wpb, variant }
+        MggKernel {
+            placement,
+            assignments,
+            launches,
+            dim,
+            wpb: cfg.wpb,
+            variant,
+            cache_plans: None,
+            cache_stats: CacheStats::default(),
+        }
+    }
+
+    /// Like [`MggKernel::build`], but runs every remote reference through
+    /// the per-GPU embedding `caches` (one per PE, mutated in place so
+    /// residency persists across kernels) and records the hit / miss /
+    /// coalesce outcome per warp pair.
+    ///
+    /// In the [`KernelVariant::AsyncPipelined`] variant each warp pair is
+    /// one warp-scope non-blocking batch window: duplicate `(pe, row)`
+    /// references inside the window coalesce onto the first request and
+    /// never touch the cache or fabric. The blocking
+    /// [`KernelVariant::SyncRemote`] variant has no in-flight window, so
+    /// every reference consults the cache (a duplicate is simply a hit
+    /// after the first fill).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_cached(
+        placement: &'a HybridPlacement,
+        plans: &[WorkPlan],
+        cfg: &MggConfig,
+        dim: usize,
+        model: &AnalyticalModel,
+        variant: KernelVariant,
+        mapping: MappingMode,
+        caches: &mut [EmbedCache],
+    ) -> Self {
+        let mut kernel = Self::build(placement, plans, cfg, dim, model, variant, mapping);
+        assert_eq!(caches.len(), placement.num_gpus(), "one cache per GPU");
+        let before: Vec<CacheStats> = caches.iter().map(|c| c.stats()).collect();
+        let mut coalescer = WarpCoalescer::new();
+        let mut cache_plans = Vec::with_capacity(kernel.assignments.len());
+        for (pe, warps) in kernel.assignments.iter().enumerate() {
+            let cache = &mut caches[pe];
+            let remote_adj = placement.parts[pe].remote.adj();
+            let mut pe_plans = Vec::with_capacity(warps.len());
+            for assignment in warps {
+                let mut warp_plans = Vec::with_capacity(assignment.pairs.len());
+                for (_, rnp) in &assignment.pairs {
+                    let mut plan = PairCachePlan::default();
+                    if let Some(r) = rnp {
+                        coalescer.begin();
+                        let refs =
+                            &remote_adj[r.start as usize..(r.start + r.len as u64) as usize];
+                        for rr in refs {
+                            let key = CacheKey { pe: rr.owner, row: rr.local };
+                            if variant == KernelVariant::AsyncPipelined
+                                && !coalescer.admit(key)
+                            {
+                                // Duplicate inside this warp's batch
+                                // window: rides the in-flight request (or
+                                // re-reads the already-resident row).
+                                plan.coalesced += 1;
+                                cache.note_coalesced(1);
+                                continue;
+                            }
+                            if cache.access(key).hit {
+                                plan.hits += 1;
+                            } else {
+                                plan.miss_peers.push(rr.owner);
+                            }
+                        }
+                    }
+                    warp_plans.push(plan);
+                }
+                pe_plans.push(warp_plans);
+            }
+            pe_plans.shrink_to_fit();
+            cache_plans.push(pe_plans);
+        }
+        kernel.cache_stats = caches
+            .iter()
+            .zip(&before)
+            .map(|(c, b)| c.stats().delta_since(*b))
+            .fold(CacheStats::default(), |mut acc, d| {
+                acc.merge(&d);
+                acc
+            });
+        kernel.cache_plans = Some(cache_plans);
+        kernel
     }
 
     /// Total warps across all GPUs.
     pub fn total_warps(&self) -> usize {
         self.assignments.iter().map(|a| a.len()).sum()
+    }
+
+    /// Cache counters accumulated while planning this kernel: zero for
+    /// uncached builds, otherwise the per-run delta summed over all PEs.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache_stats
     }
 
     fn row_bytes(&self) -> u32 {
@@ -119,18 +240,37 @@ impl KernelProgram for MggKernel<'_> {
         };
         let row_bytes = self.row_bytes();
         let remote_adj = self.placement.parts[pe].remote.adj();
-        for (lnp, rnp) in &assignment.pairs {
+        let cache_plans = self.cache_plans.as_ref().map(|p| &p[pe][w]);
+        for (pair, (lnp, rnp)) in assignment.pairs.iter().enumerate() {
+            let plan = cache_plans.map(|p| &p[pair]);
             match self.variant {
                 KernelVariant::AsyncPipelined => {
                     // (1) Launch non-blocking gets for the remote rows.
+                    // With a cache plan only the misses hit the fabric;
+                    // hits become one batched HBM read below, coalesced
+                    // duplicates cost nothing.
                     if let Some(r) = rnp {
-                        for rr in &remote_adj[r.start as usize..(r.start + r.len as u64) as usize]
-                        {
-                            ops.push(WarpOp::RemoteGet {
-                                peer: rr.owner,
-                                bytes: row_bytes,
-                                nbi: true,
-                            });
+                        match plan {
+                            Some(p) => {
+                                for &peer in &p.miss_peers {
+                                    ops.push(WarpOp::RemoteGet {
+                                        peer,
+                                        bytes: row_bytes,
+                                        nbi: true,
+                                    });
+                                }
+                            }
+                            None => {
+                                for rr in &remote_adj
+                                    [r.start as usize..(r.start + r.len as u64) as usize]
+                                {
+                                    ops.push(WarpOp::RemoteGet {
+                                        peer: rr.owner,
+                                        bytes: row_bytes,
+                                        nbi: true,
+                                    });
+                                }
+                            }
                         }
                     }
                     // (2) Aggregate the local partition while data flies.
@@ -143,10 +283,25 @@ impl KernelProgram for MggKernel<'_> {
                     }
                     // (3) Join the gets, aggregate the landed rows.
                     if let Some(r) = rnp {
+                        if let Some(p) = plan {
+                            if p.hits > 0 {
+                                // Cached rows read from local HBM while the
+                                // misses are still in flight.
+                                ops.push(WarpOp::CacheHit { bytes: p.hits * row_bytes });
+                            }
+                        }
                         ops.push(WarpOp::WaitRemote);
                         ops.push(WarpOp::Compute {
                             cycles: aggregation_cycles(r.len, self.dim),
                         });
+                        if let Some(p) = plan {
+                            let misses = p.miss_peers.len() as u32;
+                            if misses > 0 {
+                                // Landed rows admitted to the cache: a
+                                // posted HBM write, off the critical path.
+                                ops.push(WarpOp::CacheFill { bytes: misses * row_bytes });
+                            }
+                        }
                         ops.push(WarpOp::GlobalWrite { bytes: row_bytes });
                     }
                 }
@@ -159,17 +314,40 @@ impl KernelProgram for MggKernel<'_> {
                         ops.push(WarpOp::GlobalWrite { bytes: row_bytes });
                     }
                     if let Some(r) = rnp {
-                        for rr in &remote_adj[r.start as usize..(r.start + r.len as u64) as usize]
-                        {
-                            ops.push(WarpOp::RemoteGet {
-                                peer: rr.owner,
-                                bytes: row_bytes,
-                                nbi: false,
-                            });
+                        match plan {
+                            Some(p) => {
+                                if p.hits > 0 {
+                                    ops.push(WarpOp::CacheHit { bytes: p.hits * row_bytes });
+                                }
+                                for &peer in &p.miss_peers {
+                                    ops.push(WarpOp::RemoteGet {
+                                        peer,
+                                        bytes: row_bytes,
+                                        nbi: false,
+                                    });
+                                }
+                            }
+                            None => {
+                                for rr in &remote_adj
+                                    [r.start as usize..(r.start + r.len as u64) as usize]
+                                {
+                                    ops.push(WarpOp::RemoteGet {
+                                        peer: rr.owner,
+                                        bytes: row_bytes,
+                                        nbi: false,
+                                    });
+                                }
+                            }
                         }
                         ops.push(WarpOp::Compute {
                             cycles: aggregation_cycles(r.len, self.dim),
                         });
+                        if let Some(p) = plan {
+                            let misses = p.miss_peers.len() as u32;
+                            if misses > 0 {
+                                ops.push(WarpOp::CacheFill { bytes: misses * row_bytes });
+                            }
+                        }
                         ops.push(WarpOp::GlobalWrite { bytes: row_bytes });
                     }
                 }

@@ -34,6 +34,42 @@
 //!   [`mgg_gnn::Aggregator`] so GCN/GIN forward passes run on MGG, with
 //!   functional outputs equal to the CPU reference and simulated timing
 //!   from `mgg-sim`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mgg_core::{CacheConfig, MggConfig, MggEngine};
+//! use mgg_gnn::reference::AggregateMode;
+//! use mgg_gnn::Matrix;
+//! use mgg_graph::generators::rmat::{rmat, RmatConfig};
+//! use mgg_sim::ClusterSpec;
+//!
+//! let graph = rmat(&RmatConfig::graph500(8, 2_000, 42));
+//! let x = Matrix::glorot(graph.num_nodes(), 16, 7);
+//!
+//! // MGG on a simulated 4-GPU DGX-A100 slice.
+//! let mut engine = MggEngine::new(
+//!     &graph,
+//!     ClusterSpec::dgx_a100(4),
+//!     MggConfig::default_fixed(),
+//!     AggregateMode::Sum,
+//! );
+//! let values = engine.aggregate_values(&x); // real f32 numbers
+//! assert_eq!(values.rows(), graph.num_nodes());
+//!
+//! let nanos = engine.simulate_aggregation_ns(16)?; // simulated time
+//! assert!(nanos > 0);
+//!
+//! // Opt into the remote-embedding cache: bit-identical values, fewer
+//! // fabric round-trips.
+//! engine.set_cache(Some(CacheConfig::from_mb(16)));
+//! let (cached, stats) = engine.aggregate_values_cached(&x)?;
+//! assert_eq!(cached.data(), values.data());
+//! assert!(stats.hits + stats.misses > 0);
+//! # Ok::<(), mgg_core::MggError>(())
+//! ```
+
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod error;
@@ -48,6 +84,7 @@ pub mod workload;
 
 pub use config::MggConfig;
 pub use error::MggError;
+pub use mgg_cache::{CacheConfig, CachePolicy, CacheStats};
 pub use executor::{MggEngine, RecoveryAction, RecoveryReport};
 pub use kernel::{KernelVariant, MggKernel};
 pub use model::AnalyticalModel;

@@ -20,6 +20,7 @@ use crate::workload::WorkPlan;
 /// partition (either may be absent near the tail).
 #[derive(Debug, Clone, Default)]
 pub struct WarpAssignment {
+    /// The warp's (local, remote) partition pairs, in issue order.
     pub pairs: Vec<(Option<NeighborPartition>, Option<NeighborPartition>)>,
 }
 

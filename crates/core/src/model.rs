@@ -30,6 +30,7 @@ const FLOAT_S: u64 = 4;
 /// The §4 model, bound to a GPU spec and an embedding dimension.
 #[derive(Debug, Clone)]
 pub struct AnalyticalModel {
+    /// The GPU the model prices constraints against.
     pub spec: GpuSpec,
     /// Node embedding dimension `D`.
     pub dim: usize,
@@ -38,10 +39,15 @@ pub struct AnalyticalModel {
 /// Model outputs for one configuration and workload.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct ModelEstimate {
+    /// Workload per warp (Equation 1).
     pub wpw: u64,
+    /// Shared memory per block (Equation 2).
     pub smem_bytes: u64,
+    /// Total warps the configuration launches.
     pub num_warps: u64,
+    /// Total thread blocks (Equation 3).
     pub num_blocks: u64,
+    /// Resident blocks per SM the configuration implies.
     pub blocks_per_sm: f64,
 }
 

@@ -35,6 +35,7 @@ const WPB: u32 = 4;
 /// Edge-sharded, output-replicated execution (NeuGraph-style under MGG's
 /// substrates).
 pub struct ReplicatedEngine {
+    /// The simulated multi-GPU platform the engine launches on.
     pub cluster: Cluster,
     graph: CsrGraph,
     /// Per GPU: the rows (by destination node) this GPU aggregates, as

@@ -24,14 +24,18 @@ use crate::config::MggConfig;
 /// One tuner probe.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct TuneStep {
+    /// The probed configuration.
     pub config: MggConfig,
+    /// Simulated latency the probe measured.
     pub latency_ns: u64,
 }
 
 /// Result of a tuning run.
 #[derive(Debug, Clone, Serialize)]
 pub struct TuneResult {
+    /// The winning configuration.
     pub best: MggConfig,
+    /// Its simulated latency.
     pub best_latency_ns: u64,
     /// Every evaluation, in order (the "configuration lookup table").
     pub trace: Vec<TuneStep>,
@@ -77,6 +81,8 @@ impl TuneResult {
 /// Evaluates a candidate set concurrently on the worker pool.
 type BatchEval<F> = fn(&F, &[MggConfig]) -> Vec<u64>;
 
+/// The §4 cross-iteration optimizer: greedy `ps → dist → wpb` coordinate
+/// search with the "retreat ps" rule and top-3 stopping criterion.
 pub struct Tuner<F> {
     eval: F,
     table: HashMap<MggConfig, u64>,

@@ -12,6 +12,7 @@ use crate::placement::HybridPlacement;
 /// One GPU's decomposed aggregation workload.
 #[derive(Debug, Clone)]
 pub struct WorkPlan {
+    /// The GPU (PE) this plan belongs to.
     pub pe: usize,
     /// Local neighbor partitions (low-latency device-memory aggregation).
     pub lnps: Vec<NeighborPartition>,

@@ -32,15 +32,39 @@ use crate::region::SymmetricRegion;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShmemError {
     /// A GET kept being dropped past the retry budget.
-    GetFailed { pe: usize, row: u32, attempts: u32 },
+    GetFailed {
+        /// Source PE the GET targeted.
+        pe: usize,
+        /// Row within the source PE's region.
+        row: u32,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
     /// A row address outside the region.
-    RowOutOfBounds { pe: usize, row: u32, rows: usize },
+    RowOutOfBounds {
+        /// PE that was addressed.
+        pe: usize,
+        /// Requested row.
+        row: u32,
+        /// Rows the PE actually holds.
+        rows: usize,
+    },
     /// `quiet` found operations that could not be settled.
-    IncompleteNbi { pe: usize, outstanding: u64 },
+    IncompleteNbi {
+        /// Issuing PE whose batch failed to drain.
+        pe: usize,
+        /// Operations still outstanding at the deadline.
+        outstanding: u64,
+    },
     /// The target PE failed permanently; the operation was abandoned after
     /// waiting out the bounded peer-death budget instead of retrying
     /// forever.
-    PeDead { pe: usize, waited_ns: u64 },
+    PeDead {
+        /// The dead PE.
+        pe: usize,
+        /// Simulated time spent waiting before abandoning.
+        waited_ns: u64,
+    },
 }
 
 impl fmt::Display for ShmemError {
@@ -115,6 +139,28 @@ pub struct ResilienceStats {
 /// With no schedule (or a quiet one) every operation degenerates to the
 /// plain region call — same data, zero stats — so wrapping is free for
 /// healthy runs.
+///
+/// ```
+/// use mgg_fault::{FaultSchedule, FaultSpec};
+/// use mgg_shmem::{ResilientRegion, SymmetricRegion};
+///
+/// // Two PEs, four rows each, two floats per row; one row of payload.
+/// let mut region = SymmetricRegion::zeros(&[4, 4], 2);
+/// region.put(&[1.0, 2.0], 1, 3);
+///
+/// // A lossy fabric: 20% of one-sided GETs are transiently dropped.
+/// let spec = FaultSpec { seed: 7, drop_rate: 0.2, ..FaultSpec::quiet() };
+/// let schedule = FaultSchedule::derive(&spec, 2);
+/// let mut resilient = ResilientRegion::new(&region, Some(&schedule));
+///
+/// // The GET retries dropped attempts transparently; data is always exact.
+/// let mut dst = [0.0f32; 2];
+/// let attempts = resilient.get(&mut dst, 0, 1, 3)?;
+/// assert_eq!(dst, [1.0, 2.0]);
+/// assert!(attempts >= 1);
+/// assert_eq!(resilient.stats().gets, 1);
+/// # Ok::<(), mgg_shmem::ShmemError>(())
+/// ```
 #[derive(Debug)]
 pub struct ResilientRegion<'a> {
     region: &'a SymmetricRegion,

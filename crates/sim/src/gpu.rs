@@ -288,6 +288,7 @@ impl GpuSim {
             per_gpu: Vec::with_capacity(n),
             traffic: cluster.ic.traffic(),
             recovery: faults.recovery,
+            cache: mgg_cache::CacheStats::default(),
             num_sms: spec.num_sms,
             warp_slots_per_sm: spec.warp_slots_per_sm,
         };
@@ -475,6 +476,22 @@ fn issue(
                 }
                 WarpOp::GlobalWrite { bytes } => {
                     // Posted: charge the channel, keep executing.
+                    let _ = cluster.ic.hbm_transfer(now, pe, bytes as u64);
+                }
+                WarpOp::CacheHit { bytes } => {
+                    // A cached remote row: blocking local HBM read instead
+                    // of a fabric round trip.
+                    let done = cluster.ic.hbm_transfer(now, pe, bytes as u64);
+                    record!(w, TraceKind::CacheHit, now, done);
+                    q.push(done, Ev { gpu: pe as u16, sm: sm as u16, warp: w, kind: EvKind::Wake });
+                    gpu.sms[sm].touch(now);
+                    gpu.sms[sm].active_warps -= 1;
+                    break;
+                }
+                WarpOp::CacheFill { bytes } => {
+                    // Filling the cache with landed rows (and writing over
+                    // evicted ones) is posted HBM traffic: the eviction
+                    // bandwidth is charged, the warp does not stall.
                     let _ = cluster.ic.hbm_transfer(now, pe, bytes as u64);
                 }
                 WarpOp::RemoteGet { peer, bytes, nbi } => {
@@ -946,6 +963,69 @@ mod tests {
         assert_eq!(s.recovery.dead_peer_gets, 1);
         // No wire traffic flowed to or from the dead peer.
         assert_eq!(s.traffic.remote_bytes(), 0);
+    }
+
+    #[test]
+    fn cache_hit_is_cheaper_than_the_fabric() {
+        // The same bytes as a blocking HBM read vs a blocking remote GET:
+        // the hit must be strictly faster (no request overhead, higher
+        // bandwidth) and must leave the fabric untouched.
+        let bytes = 64 * 512;
+        let mk = |ops: Vec<WarpOp>| Uniform {
+            launch: KernelLaunch { blocks: 1, warps_per_block: 1, smem_per_block: 0 },
+            ops,
+        };
+        let mut c = small_cluster();
+        let hit = GpuSim::run(&mut c, &mk(vec![WarpOp::CacheHit { bytes }]), &mut NoPaging)
+            .unwrap();
+        assert_eq!(hit.traffic.remote_bytes(), 0, "a hit must not touch the fabric");
+        let mut c2 = small_cluster();
+        let miss = GpuSim::run(
+            &mut c2,
+            &mk(vec![WarpOp::RemoteGet { peer: 1, bytes, nbi: false }]),
+            &mut NoPaging,
+        )
+        .unwrap();
+        assert!(
+            hit.makespan_ns() < miss.makespan_ns(),
+            "hit ({}) must beat remote miss ({})",
+            hit.makespan_ns(),
+            miss.makespan_ns()
+        );
+    }
+
+    #[test]
+    fn cache_fill_is_posted() {
+        // A fill charges the HBM channel but must not stall the warp: a
+        // compute op after the fill starts immediately.
+        let mk = |ops: Vec<WarpOp>| Uniform {
+            launch: KernelLaunch { blocks: 1, warps_per_block: 1, smem_per_block: 0 },
+            ops,
+        };
+        let mut c = small_cluster();
+        let plain = GpuSim::run(&mut c, &mk(vec![WarpOp::compute(1_410)]), &mut NoPaging)
+            .unwrap()
+            .makespan_ns();
+        let mut c2 = small_cluster();
+        let filled = GpuSim::run(
+            &mut c2,
+            &mk(vec![WarpOp::CacheFill { bytes: 1 << 20 }, WarpOp::compute(1_410)]),
+            &mut NoPaging,
+        )
+        .unwrap()
+        .makespan_ns();
+        assert_eq!(plain, filled, "a posted fill must not delay the warp");
+    }
+
+    #[test]
+    fn cache_hit_is_traced() {
+        let k = Uniform {
+            launch: KernelLaunch { blocks: 1, warps_per_block: 1, smem_per_block: 0 },
+            ops: vec![WarpOp::CacheHit { bytes: 2_048 }, WarpOp::compute(100)],
+        };
+        let mut c = small_cluster();
+        let (_, events) = GpuSim::run_traced(&mut c, &k, &mut NoPaging).unwrap();
+        assert!(events.iter().any(|e| e.kind == TraceKind::CacheHit));
     }
 
     #[test]

@@ -167,6 +167,14 @@ pub struct KernelStats {
     pub traffic: TrafficStats,
     /// Fault-recovery events (all zero on a healthy run).
     pub recovery: RecoveryStats,
+    /// Embedding-cache hit/miss/coalesce/eviction counters, rolled up over
+    /// all GPUs. All zero — the `Default` — when caching is disabled, so
+    /// uncached runs keep their equality comparisons unperturbed (the
+    /// [`RecoveryStats`] pattern). Populated by the kernel builder, which
+    /// is the only layer that can attribute cache outcomes; the simulator
+    /// only prices the resulting [`crate::WarpOp::CacheHit`] /
+    /// [`crate::WarpOp::CacheFill`] operations.
+    pub cache: mgg_cache::CacheStats,
     /// SM count and warp slots used for the derived metrics below.
     pub num_sms: u32,
     pub warp_slots_per_sm: u32,
@@ -261,6 +269,7 @@ mod tests {
             }],
             traffic: TrafficStats::default(),
             recovery: RecoveryStats::default(),
+            cache: mgg_cache::CacheStats::default(),
             num_sms: 108,
             warp_slots_per_sm: 64,
         };

@@ -25,6 +25,9 @@ pub enum TraceKind {
     WaitRemote,
     /// A unified-memory page access (including any fault handling).
     PageAccess,
+    /// A remote-row request served from the local embedding cache (HBM
+    /// read, no fabric traffic).
+    CacheHit,
 }
 
 /// One recorded span.
@@ -68,6 +71,7 @@ pub fn render_warp_gantt(events: &[TraceEvent], gpu: u16, warp: u32, width: usiz
         (TraceKind::RemoteWire, "remote wire", '~'),
         (TraceKind::WaitRemote, "wait       ", '.'),
         (TraceKind::PageAccess, "page access", 'p'),
+        (TraceKind::CacheHit, "cache hit  ", 'c'),
     ];
     let mut out = String::new();
     for (kind, label, ch) in lanes {

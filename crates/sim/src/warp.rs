@@ -51,6 +51,20 @@ pub enum WarpOp {
     /// Blocks until every outstanding `nbi` transfer of this warp is done
     /// (mirrors `nvshmem_quiet` at warp scope).
     WaitRemote,
+    /// Reads `bytes` of remote rows that the embedding cache already holds
+    /// in local HBM — the request never touches the fabric. Timing-wise a
+    /// blocking HBM read (same channel as [`WarpOp::GlobalRead`]), kept as
+    /// a distinct op so traces attribute cache hits separately.
+    CacheHit {
+        bytes: u32,
+    },
+    /// Writes `bytes` of freshly landed remote rows into the local HBM
+    /// cache (fill after a miss, displacing evicted rows). Posted like
+    /// [`WarpOp::GlobalWrite`]: the eviction/fill bandwidth is charged to
+    /// the HBM channel but the warp does not stall on it.
+    CacheFill {
+        bytes: u32,
+    },
     /// Touches `bytes` at unified-memory `page`; if the page is not
     /// resident on this GPU a fault + migration is simulated by the
     /// installed [`crate::cluster::PageHandler`].
@@ -82,5 +96,7 @@ mod tests {
         assert!(WarpOp::GlobalRead { bytes: 4 }.is_memory());
         assert!(WarpOp::RemoteGet { peer: 1, bytes: 4, nbi: true }.is_memory());
         assert!(WarpOp::WaitRemote.is_memory());
+        assert!(WarpOp::CacheHit { bytes: 4 }.is_memory());
+        assert!(WarpOp::CacheFill { bytes: 4 }.is_memory());
     }
 }

@@ -84,6 +84,7 @@ fn kind_name(e: &TraceEvent) -> &'static str {
         RemoteWire => "RemoteWire",
         WaitRemote => "WaitRemote",
         PageAccess => "PageAccess",
+        CacheHit => "CacheHit",
     }
 }
 

@@ -117,7 +117,9 @@ fn overlap_breakdown(events: &[TraceEvent]) -> (u64, u64, u64, u64) {
             }
             TraceKind::RemoteWire | TraceKind::PageAccess => slot.1.push((e.start, e.end)),
             TraceKind::WaitRemote => wait_ns += e.end - e.start,
-            TraceKind::GlobalRead | TraceKind::RemoteIssue => {}
+            // Cache hits are local HBM reads, not fabric communication —
+            // grouped with GlobalRead for the overlap accounting.
+            TraceKind::GlobalRead | TraceKind::RemoteIssue | TraceKind::CacheHit => {}
         }
     }
     let mut comm_ns = 0u64;

@@ -1,0 +1,108 @@
+//! Property-based invariants of the remote-embedding cache (proptest).
+//!
+//! Two guarantees underwrite the cache's "free" status:
+//!
+//! 1. **Value transparency.** The cache sits on the *address/timing*
+//!    plane; data-plane aggregation through [`CachedRegion`] must be
+//!    bit-identical to the uncached path for any graph, feature seed,
+//!    GPU count and capacity — including capacities small enough to
+//!    evict mid-run and the degenerate zero-row cache.
+//! 2. **Stack property.** LRU is a stack algorithm: the resident set at
+//!    capacity `C` is a subset of the resident set at any capacity
+//!    `C' >= C` under the same access trace, so the hit count is
+//!    monotone non-decreasing in capacity and the total access count is
+//!    capacity-invariant.
+//!
+//! [`CachedRegion`]: mgg::shmem::CachedRegion
+
+use proptest::prelude::*;
+
+use mgg::core::{CacheConfig, CachePolicy, MggConfig, MggEngine};
+use mgg::gnn::reference::AggregateMode;
+use mgg::gnn::Matrix;
+use mgg::graph::{CsrGraph, GraphBuilder};
+use mgg::sim::ClusterSpec;
+
+/// Strategy: a small arbitrary directed graph as an edge list.
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..60).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..300).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (d, s) in edges {
+                b.add_edge(d, s);
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cached_aggregation_is_bit_identical_to_uncached(
+        g in arb_graph(),
+        gpus in 1usize..5,
+        dim in 1usize..8,
+        seed in 0u64..1000,
+        capacity_bytes in 0u64..8192,
+    ) {
+        let x = Matrix::glorot(g.num_nodes(), dim, seed);
+        let mut engine = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(gpus),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        let want = engine.aggregate_values(&x);
+        engine.set_cache(Some(CacheConfig {
+            capacity_bytes,
+            policy: CachePolicy::Lru,
+        }));
+        let (got, _) = engine.aggregate_values_cached(&x).unwrap();
+        // Exact equality, not a tolerance: hits replay the very bytes the
+        // fabric delivered, so no float may differ in even one bit.
+        prop_assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn lru_hit_count_is_monotone_in_capacity(
+        g in arb_graph(),
+        gpus in 2usize..5,
+        capacities in proptest::collection::vec(0u64..4096, 2..6),
+    ) {
+        prop_assume!(g.num_edges() > 0);
+        let dim = 8;
+        let mut engine = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(gpus),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        let mut capacities = capacities;
+        capacities.sort_unstable();
+        let mut prev_hits = 0u64;
+        let mut total_accesses: Option<u64> = None;
+        for capacity_bytes in capacities {
+            engine.set_cache(Some(CacheConfig {
+                capacity_bytes,
+                policy: CachePolicy::Lru,
+            }));
+            let stats = engine.simulate_aggregation(dim).unwrap();
+            let c = stats.cache;
+            prop_assert!(
+                c.hits >= prev_hits,
+                "hits fell from {} to {} when capacity grew to {} bytes",
+                prev_hits, c.hits, capacity_bytes
+            );
+            prev_hits = c.hits;
+            // The access trace is capacity-independent; only its
+            // hit/miss split moves.
+            let accesses = c.hits + c.misses;
+            if let Some(t) = total_accesses {
+                prop_assert_eq!(accesses, t);
+            }
+            total_accesses = Some(accesses);
+        }
+    }
+}
