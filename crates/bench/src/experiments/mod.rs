@@ -14,6 +14,7 @@ pub mod fig9;
 pub mod hostperf;
 pub mod microcal;
 pub mod occupancy;
+pub mod serve;
 pub mod tab1;
 pub mod tab2;
 pub mod tab3;

@@ -14,7 +14,7 @@
 use std::path::PathBuf;
 
 use mgg_bench::experiments::{
-    cache, ext, failover, fault, fig10, fig2, fig3, fig7, fig8, fig9, hostperf, occupancy, tab1, tab2,
+    cache, ext, failover, fault, fig10, fig2, fig3, fig7, fig8, fig9, hostperf, occupancy, serve, tab1, tab2,
     tab3, tab4, tab5,
 };
 use mgg_bench::report::{write_json, ExperimentReport};
@@ -22,7 +22,7 @@ use mgg_bench::DEFAULT_SCALE;
 
 const ALL: &[&str] = &[
     "fig2", "fig3", "tab1", "tab2", "fig7", "fig8", "fig9a", "fig9b", "fig10", "occupancy",
-    "tab3", "tab4", "tab5", "ext_reorder", "ext_replicated", "ext_fabric", "ext_train", "ext_cpu", "ext_putget", "ext_dims", "ext_scaling", "ext_fault", "ext_failover", "ext_hostperf", "ext_cache", "microcal",
+    "tab3", "tab4", "tab5", "ext_reorder", "ext_replicated", "ext_fabric", "ext_train", "ext_cpu", "ext_putget", "ext_dims", "ext_scaling", "ext_fault", "ext_failover", "ext_hostperf", "ext_cache", "ext_serve", "microcal",
 ];
 
 fn main() {
@@ -107,6 +107,7 @@ fn run_one(exp: &str, scale: f64, out: &std::path::Path) {
         "ext_failover" => emit(failover::run(scale), out),
         "ext_hostperf" => emit(hostperf::run(scale), out),
         "ext_cache" => emit(cache::run(scale, 8), out),
+        "ext_serve" => emit(serve::run(scale, 8), out),
         "microcal" => emit(mgg_bench::experiments::microcal::run(), out),
         other => unreachable!("validated experiment '{other}'"),
     }

@@ -19,6 +19,65 @@ pub struct Lookup {
     pub evicted: Option<CacheKey>,
 }
 
+/// Windowed eviction-thrash detector (see [`EmbedCache::with_thrash_guard`]).
+///
+/// Every [`EmbedCache::access`] advances a fixed-size logical window. At
+/// each window boundary the guard compares the window's evictions against
+/// its hits: when evictions dominate (`evictions > hits`), the working set
+/// does not fit and every admission is displacing a row that would itself
+/// have been reused — classic thrash. The guard then *freezes* the resident
+/// set for [`ThrashGuard::BYPASS_WINDOWS`] windows: misses are still
+/// counted and still fetched from the fabric, but nothing is admitted (and
+/// therefore no fill write is issued and nothing useful is evicted). After
+/// the freeze one full window of normal admission probes whether the access
+/// pattern has changed; sustained thrash re-enters bypass.
+///
+/// All state advances only on `access` calls, so guard decisions replay
+/// bit-identically for the same access stream — the same determinism
+/// contract the cache itself keeps.
+#[derive(Debug, Clone, Copy)]
+struct ThrashGuard {
+    /// Accesses observed in the current window.
+    accesses: u64,
+    /// Hits observed in the current window.
+    hits: u64,
+    /// Evictions performed in the current window.
+    evictions: u64,
+    /// Remaining bypass windows; `0` = admitting normally.
+    bypass_left: u32,
+}
+
+impl ThrashGuard {
+    /// Accesses per decision window.
+    const WINDOW: u64 = 1024;
+    /// Windows the resident set stays frozen after thrash is detected,
+    /// before one probe window of normal admission.
+    const BYPASS_WINDOWS: u32 = 4;
+
+    fn new() -> Self {
+        ThrashGuard { accesses: 0, hits: 0, evictions: 0, bypass_left: 0 }
+    }
+
+    fn bypassing(&self) -> bool {
+        self.bypass_left > 0
+    }
+
+    /// Rolls the window if full: decide the next window's mode and reset.
+    fn maybe_roll(&mut self) {
+        if self.accesses < Self::WINDOW {
+            return;
+        }
+        if self.bypass_left > 0 {
+            self.bypass_left -= 1;
+        } else if self.evictions > self.hits {
+            self.bypass_left = Self::BYPASS_WINDOWS;
+        }
+        self.accesses = 0;
+        self.hits = 0;
+        self.evictions = 0;
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Slot {
     key: u64,
@@ -52,10 +111,13 @@ pub struct EmbedCache {
     heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
     tick: u64,
     stats: CacheStats,
+    guard: Option<ThrashGuard>,
 }
 
 impl EmbedCache {
-    /// An empty cache holding at most `capacity_rows` keys.
+    /// An empty cache holding at most `capacity_rows` keys. Admits every
+    /// miss — the classical policy the reference-model property tests pin
+    /// (LRU here is a strict stack algorithm).
     pub fn new(capacity_rows: usize, policy: CachePolicy) -> Self {
         EmbedCache {
             policy,
@@ -66,7 +128,27 @@ impl EmbedCache {
             heap: BinaryHeap::new(),
             tick: 0,
             stats: CacheStats::default(),
+            guard: None,
         }
+    }
+
+    /// Like [`EmbedCache::new`], but with the eviction-thrash guard armed:
+    /// when a decision window's evictions exceed its hits, admission is
+    /// bypassed (misses still fetch, but fill nothing and evict nothing)
+    /// for a few windows before probing again. An undersized cache then
+    /// degrades to pass-through instead of paying fill-write bandwidth for
+    /// rows it immediately re-evicts. Guard decisions are a pure function
+    /// of the access stream, so determinism is preserved.
+    pub fn with_thrash_guard(capacity_rows: usize, policy: CachePolicy) -> Self {
+        let mut c = Self::new(capacity_rows, policy);
+        c.guard = Some(ThrashGuard::new());
+        c
+    }
+
+    /// True while the thrash guard is refusing admissions (always `false`
+    /// for caches built without the guard).
+    pub fn thrash_bypassing(&self) -> bool {
+        self.guard.is_some_and(|g| g.bypassing())
     }
 
     /// Maximum resident keys.
@@ -106,8 +188,15 @@ impl EmbedCache {
     pub fn access(&mut self, key: CacheKey) -> Lookup {
         let packed = key.pack();
         self.tick += 1;
+        if let Some(g) = &mut self.guard {
+            g.accesses += 1;
+        }
         if let Some(&slot) = self.map.get(&packed) {
             self.stats.hits += 1;
+            if let Some(g) = &mut self.guard {
+                g.hits += 1;
+                g.maybe_roll();
+            }
             let (p1, p2) = self.bump(slot);
             self.heap.push(Reverse((p1, p2, slot)));
             self.maybe_compact();
@@ -115,6 +204,15 @@ impl EmbedCache {
         }
         self.stats.misses += 1;
         if self.capacity == 0 {
+            if let Some(g) = &mut self.guard {
+                g.maybe_roll();
+            }
+            return Lookup { hit: false, slot: None, evicted: None };
+        }
+        if self.guard.is_some_and(|g| g.bypassing()) {
+            self.stats.bypassed += 1;
+            let g = self.guard.as_mut().expect("guard checked above");
+            g.maybe_roll();
             return Lookup { hit: false, slot: None, evicted: None };
         }
         let mut evicted = None;
@@ -131,6 +229,9 @@ impl EmbedCache {
             let victim_key = self.slots[victim].key;
             self.map.remove(&victim_key);
             self.stats.evictions += 1;
+            if let Some(g) = &mut self.guard {
+                g.evictions += 1;
+            }
             evicted = Some(CacheKey::unpack(victim_key));
             victim
         };
@@ -142,6 +243,9 @@ impl EmbedCache {
         self.map.insert(packed, slot);
         self.heap.push(Reverse((p1, p2, slot)));
         self.maybe_compact();
+        if let Some(g) = &mut self.guard {
+            g.maybe_roll();
+        }
         Lookup { hit: false, slot: Some(slot), evicted }
     }
 
@@ -149,6 +253,22 @@ impl EmbedCache {
     /// struct carries the whole hit/miss/coalesce picture per GPU).
     pub fn note_coalesced(&mut self, n: u64) {
         self.stats.coalesced += n;
+    }
+
+    /// Drops `key` if resident, recycling its slot. This is the undo hook
+    /// for a fetch that failed *after* admission: the miss was already
+    /// counted, but the payload never arrived, so the key must not be
+    /// served as a hit. Not counted as an eviction. Returns whether the
+    /// key was resident.
+    pub fn invalidate(&mut self, key: CacheKey) -> bool {
+        match self.map.remove(&key.pack()) {
+            Some(slot) => {
+                self.slots[slot].occupied = false;
+                self.free.push(slot);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Drops every resident key. Counters survive — a flush invalidates
@@ -159,6 +279,12 @@ impl EmbedCache {
         self.slots.clear();
         self.free.clear();
         self.heap.clear();
+        // The guard's window described a residency epoch that no longer
+        // exists; restart it (admitting) so post-flush behaviour depends
+        // only on the post-flush access stream.
+        if self.guard.is_some() {
+            self.guard = Some(ThrashGuard::new());
+        }
     }
 
     /// Counters accumulated since construction (or the last
@@ -293,6 +419,72 @@ mod tests {
     }
 
     #[test]
+    fn thrash_guard_freezes_admission_under_thrash() {
+        // Capacity 4 against a cyclic working set of 64 keys: pure thrash
+        // (every admission evicts, hits never happen). After the first
+        // decision window the guard must stop admitting.
+        let mut c = EmbedCache::with_thrash_guard(4, CachePolicy::Lru);
+        for i in 0..(ThrashGuard::WINDOW * 2) {
+            c.access(k(0, (i % 64) as u32));
+        }
+        assert!(c.thrash_bypassing(), "sustained thrash must trip the guard");
+        let s = c.stats();
+        assert!(s.bypassed > 0, "bypassed misses must be counted");
+        assert!(
+            s.evictions < ThrashGuard::WINDOW + 4,
+            "evictions must stop once the guard trips (got {})",
+            s.evictions
+        );
+        assert_eq!(s.hits + s.misses, ThrashGuard::WINDOW * 2);
+    }
+
+    #[test]
+    fn thrash_guard_leaves_fitting_workloads_alone() {
+        // Working set of 8 in a capacity-16 cache: no evictions, so the
+        // guard never engages and behaviour matches the unguarded cache.
+        let stream: Vec<CacheKey> = (0..4096u32).map(|i| k(0, i % 8)).collect();
+        let mut guarded = EmbedCache::with_thrash_guard(16, CachePolicy::Lru);
+        let mut plain = EmbedCache::new(16, CachePolicy::Lru);
+        for &key in &stream {
+            assert_eq!(guarded.access(key), plain.access(key));
+        }
+        assert!(!guarded.thrash_bypassing());
+        assert_eq!(guarded.stats(), plain.stats());
+        assert_eq!(guarded.stats().bypassed, 0);
+    }
+
+    #[test]
+    fn thrash_guard_probes_and_recovers_after_pattern_shift() {
+        let mut c = EmbedCache::with_thrash_guard(8, CachePolicy::Lru);
+        // Phase 1: thrash until the guard is bypassing.
+        for i in 0..(ThrashGuard::WINDOW * 2) {
+            c.access(k(0, (i % 100) as u32));
+        }
+        assert!(c.thrash_bypassing());
+        // Phase 2: the workload collapses to a set that fits. Once the
+        // freeze expires and a probe window admits it, hits must flow.
+        let before = c.stats().hits;
+        for i in 0..(ThrashGuard::WINDOW * (ThrashGuard::BYPASS_WINDOWS as u64 + 3)) {
+            c.access(k(1, (i % 4) as u32));
+        }
+        assert!(!c.thrash_bypassing(), "guard must re-admit after thrash subsides");
+        let gained = c.stats().hits - before;
+        assert!(gained > ThrashGuard::WINDOW, "post-recovery hits must flow (got {gained})");
+    }
+
+    #[test]
+    fn flush_resets_the_guard() {
+        let mut c = EmbedCache::with_thrash_guard(4, CachePolicy::Lru);
+        for i in 0..(ThrashGuard::WINDOW * 2) {
+            c.access(k(0, (i % 64) as u32));
+        }
+        assert!(c.thrash_bypassing());
+        c.flush();
+        assert!(!c.thrash_bypassing(), "flush must restart the guard in admit mode");
+        assert!(c.access(k(0, 1)).slot.is_some(), "post-flush misses must admit again");
+    }
+
+    #[test]
     fn heap_compaction_is_transparent() {
         // Far more accesses than 4*capacity so compaction triggers; the
         // replacement decisions must match a fresh replay.
@@ -373,6 +565,30 @@ mod proptests {
             }
             prop_assert_eq!(c.stats(), reference(&stream, capacity, policy));
             prop_assert!(c.len() <= capacity);
+        }
+
+        /// Guarded caches keep the counter identity `hits + misses` equal
+        /// to the stream length with `bypassed <= misses`, replay
+        /// deterministically, and never hold more than `capacity` keys.
+        #[test]
+        fn thrash_guard_invariants(
+            stream in proptest::collection::vec((0u16..3, 0u32..48), 0..3000),
+            capacity in 0usize..12,
+            lfu in proptest::bool::ANY,
+        ) {
+            let policy = if lfu { CachePolicy::Lfu } else { CachePolicy::Lru };
+            let run = || {
+                let mut c = EmbedCache::with_thrash_guard(capacity, policy);
+                for &(pe, row) in &stream {
+                    c.access(CacheKey { pe, row });
+                }
+                (c.stats(), c.len(), c.thrash_bypassing())
+            };
+            let (stats, len, _) = run();
+            prop_assert_eq!(run(), run(), "guard decisions must replay identically");
+            prop_assert_eq!(stats.hits + stats.misses, stream.len() as u64);
+            prop_assert!(stats.bypassed <= stats.misses);
+            prop_assert!(len <= capacity);
         }
 
         /// LRU is a stack algorithm: growing the cache never loses hits.

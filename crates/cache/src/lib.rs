@@ -162,6 +162,10 @@ pub struct CacheStats {
     pub coalesced: u64,
     /// Resident rows displaced to admit a missed row.
     pub evictions: u64,
+    /// Misses whose admission was skipped by the eviction-thrash guard
+    /// (counted in `misses` too; the row was fetched but not cached, so no
+    /// fill write was issued).
+    pub bypassed: u64,
 }
 
 impl CacheStats {
@@ -183,6 +187,7 @@ impl CacheStats {
         self.misses += other.misses;
         self.coalesced += other.coalesced;
         self.evictions += other.evictions;
+        self.bypassed += other.bypassed;
     }
 
     /// Counters accumulated since the `earlier` snapshot — the per-run
@@ -194,6 +199,7 @@ impl CacheStats {
             misses: self.misses.saturating_sub(earlier.misses),
             coalesced: self.coalesced.saturating_sub(earlier.coalesced),
             evictions: self.evictions.saturating_sub(earlier.evictions),
+            bypassed: self.bypassed.saturating_sub(earlier.bypassed),
         }
     }
 }

@@ -7,6 +7,7 @@
 //! mgg-cli partition graph.csr --gpus 8 [--multilevel]
 //! mgg-cli reorder graph.csr -o better.csr
 //! mgg-cli simulate graph.csr --gpus 8 --dim 64 --engine mgg [--tune] [--platform a100|v100|pcie]
+//! mgg-cli serve graph.csr --gpus 8 --arrival poisson --qps 2e7 --deadline-us 1000 --zipf 0.9
 //! mgg-cli train --communities 8 --size 150 --epochs 80 --gpus 8
 //! ```
 //!
@@ -26,8 +27,10 @@ use mgg_graph::datasets::DatasetSpec;
 use mgg_graph::generators::rmat::{rmat, RmatConfig};
 use mgg_graph::partition::{locality, multilevel, reorder};
 use mgg_graph::{io, CsrGraph, NodeSplit};
+use mgg_serve::{ArrivalKind, Calibration, ServeConfig, ServeSummary, Server, WorkloadSpec};
 use mgg_sim::ClusterSpec;
 use mgg_telemetry::Telemetry;
+use serde::Serialize;
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +69,31 @@ pub enum Command {
         threads: Option<usize>,
     },
     Train { communities: usize, size: usize, epochs: usize, gpus: usize },
+    Serve {
+        graph: PathBuf,
+        gpus: usize,
+        dim: usize,
+        platform: Platform,
+        /// Arrival process shape (`--arrival poisson|bursty[:PERIOD,DUTY%]|ramp[:FROM,TO]`).
+        arrival: ArrivalKind,
+        /// Offered load in queries/s (`--qps`; None = 1.5x calibrated saturation).
+        qps: Option<f64>,
+        /// Per-query latency budget (`--deadline-us`).
+        deadline_ns: u64,
+        /// Zipf skew of the query mix (`--zipf`).
+        zipf_s: f64,
+        /// Workload window (`--duration`, ns/us/ms suffix).
+        duration_ns: u64,
+        seed: u64,
+        batch_cap: usize,
+        queue_cap: usize,
+        fault: Option<FaultSpec>,
+        permanent: Vec<PermanentFault>,
+        threads: Option<usize>,
+        /// Machine-readable run report (`--json-out`).
+        json_out: Option<PathBuf>,
+        metrics_out: Option<PathBuf>,
+    },
 }
 
 /// Where `generate` gets its graph.
@@ -192,6 +220,31 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             .map(|v| v.parse::<usize>().map_err(|_| format!("--{k} expects an integer")))
             .unwrap_or(Ok(default))
     };
+    let get_f64 = |k: &str, default: f64| -> Result<f64, String> {
+        flags
+            .get(k)
+            .map(|v| v.parse::<f64>().map_err(|_| format!("--{k} expects a number")))
+            .unwrap_or(Ok(default))
+    };
+    let get_fault = |get_usize: &dyn Fn(&str, usize) -> Result<usize, String>,
+                     get_f64: &dyn Fn(&str, f64) -> Result<f64, String>|
+     -> Result<Option<FaultSpec>, String> {
+        let fault_flags =
+            ["fault-seed", "fault-link-degrade", "fault-straggler", "fault-drop-rate"];
+        if fault_flags.iter().any(|k| flags.contains_key(*k)) {
+            let spec = FaultSpec {
+                seed: get_usize("fault-seed", 0)? as u64,
+                link_degrade: get_f64("fault-link-degrade", 1.0)?,
+                straggler: get_f64("fault-straggler", 1.0)?,
+                drop_rate: get_f64("fault-drop-rate", 0.0)?,
+                ..FaultSpec::quiet()
+            };
+            spec.validate()?;
+            Ok(Some(spec))
+        } else {
+            Ok(None)
+        }
+    };
     let graph_path = |positional: &[String]| -> Result<PathBuf, String> {
         positional.first().map(PathBuf::from).ok_or_else(|| "missing graph file".to_string())
     };
@@ -271,27 +324,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "simulate" => {
             let engine = get_engine(&flags)?;
             let platform = get_platform(&flags)?;
-            let get_f64 = |k: &str, default: f64| -> Result<f64, String> {
-                flags
-                    .get(k)
-                    .map(|v| v.parse::<f64>().map_err(|_| format!("--{k} expects a number")))
-                    .unwrap_or(Ok(default))
-            };
-            let fault_flags =
-                ["fault-seed", "fault-link-degrade", "fault-straggler", "fault-drop-rate"];
-            let fault = if fault_flags.iter().any(|k| flags.contains_key(*k)) {
-                let spec = FaultSpec {
-                    seed: get_usize("fault-seed", 0)? as u64,
-                    link_degrade: get_f64("fault-link-degrade", 1.0)?,
-                    straggler: get_f64("fault-straggler", 1.0)?,
-                    drop_rate: get_f64("fault-drop-rate", 0.0)?,
-                    ..FaultSpec::quiet()
-                };
-                spec.validate()?;
-                Some(spec)
-            } else {
-                None
-            };
+            let fault = get_fault(&get_usize, &get_f64)?;
             let gpus = get_usize("gpus", 8)?;
             let mut permanent = Vec::new();
             if let Some(spec) = flags.get("fault-gpu-fail") {
@@ -331,6 +364,89 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 metrics_out: flags.get("metrics-out").map(PathBuf::from),
                 threads: get_threads(&flags)?,
                 cache,
+            })
+        }
+        "serve" => {
+            let gpus = get_usize("gpus", 8)?;
+            let fault = get_fault(&get_usize, &get_f64)?;
+            let mut permanent = Vec::new();
+            if let Some(spec) = flags.get("fault-gpu-fail") {
+                permanent.extend(parse_gpu_fail(spec, gpus)?);
+            }
+            if let Some(spec) = flags.get("fault-link-down") {
+                permanent.extend(parse_link_down(spec, gpus)?);
+            }
+            let arrival = match flags.get("arrival").map(|s| s.as_str()).unwrap_or("poisson") {
+                "poisson" => ArrivalKind::Poisson,
+                "bursty" => ArrivalKind::Bursty { period_ns: 400_000, duty_pct: 25 },
+                "ramp" => ArrivalKind::Ramp { from_mult: 0.2, to_mult: 2.0 },
+                s if s.starts_with("bursty:") => {
+                    let (p, d) = s["bursty:".len()..]
+                        .split_once(',')
+                        .ok_or("--arrival bursty takes PERIOD,DUTY%, e.g. bursty:400us,25")?;
+                    let duty_pct: u8 = d
+                        .trim()
+                        .trim_end_matches('%')
+                        .parse()
+                        .ok()
+                        .filter(|&d| d <= 100)
+                        .ok_or("bursty duty cycle must be 0..=100 (percent)")?;
+                    ArrivalKind::Bursty { period_ns: parse_time_ns(p)?, duty_pct }
+                }
+                s if s.starts_with("ramp:") => {
+                    let (a, b) = s["ramp:".len()..]
+                        .split_once(',')
+                        .ok_or("--arrival ramp takes FROM,TO multipliers, e.g. ramp:0.2,2.0")?;
+                    let parse = |v: &str| {
+                        v.trim()
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|m| *m >= 0.0)
+                            .ok_or_else(|| format!("bad ramp multiplier '{v}'"))
+                    };
+                    ArrivalKind::Ramp { from_mult: parse(a)?, to_mult: parse(b)? }
+                }
+                other => {
+                    return Err(format!(
+                        "unknown arrival shape '{other}' (poisson, bursty[:PERIOD,DUTY%] or ramp[:FROM,TO])"
+                    ));
+                }
+            };
+            let qps = match flags.get("qps") {
+                Some(v) => Some(
+                    v.parse::<f64>()
+                        .ok()
+                        .filter(|q| *q > 0.0)
+                        .ok_or("--qps expects a positive number (queries/s)")?,
+                ),
+                None => None,
+            };
+            let zipf_s = get_f64("zipf", 0.9)?;
+            if !(0.0..=10.0).contains(&zipf_s) {
+                return Err("--zipf expects a skew exponent in 0..=10".into());
+            }
+            let defaults = ServeConfig::default();
+            Ok(Command::Serve {
+                graph: graph_path(&positional)?,
+                gpus,
+                dim: get_usize("dim", 64)?,
+                platform: get_platform(&flags)?,
+                arrival,
+                qps,
+                deadline_ns: get_usize("deadline-us", 1_000)? as u64 * 1_000,
+                zipf_s,
+                duration_ns: flags
+                    .get("duration")
+                    .map(|v| parse_time_ns(v))
+                    .unwrap_or(Ok(2_000_000))?,
+                seed: get_usize("seed", 42)? as u64,
+                batch_cap: get_usize("batch-cap", defaults.batch_cap)?,
+                queue_cap: get_usize("queue-cap", defaults.queue_cap)?,
+                fault,
+                permanent,
+                threads: get_threads(&flags)?,
+                json_out: flags.get("json-out").map(PathBuf::from),
+                metrics_out: flags.get("metrics-out").map(PathBuf::from),
             })
         }
         "profile" => Ok(Command::Profile {
@@ -629,6 +745,117 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 ns as f64 / 1e6
             ))
         }
+        Command::Serve {
+            graph,
+            gpus,
+            dim,
+            platform,
+            arrival,
+            qps,
+            deadline_ns,
+            zipf_s,
+            duration_ns,
+            seed,
+            batch_cap,
+            queue_cap,
+            fault,
+            permanent,
+            threads,
+            json_out,
+            metrics_out,
+        } => {
+            if let Some(n) = threads {
+                mgg_runtime::set_threads(*n);
+            }
+            if *batch_cap == 0 || *queue_cap == 0 {
+                return Err("--batch-cap and --queue-cap must be >= 1".into());
+            }
+            let g = load_graph(graph)?;
+            let mut engine = MggEngine::new(
+                &g,
+                platform.spec(*gpus),
+                MggConfig::default_fixed(),
+                AggregateMode::Sum,
+            );
+            let cfg = ServeConfig { batch_cap: *batch_cap, queue_cap: *queue_cap, ..ServeConfig::default() };
+            let server = Server::new(&mut engine, *dim, cfg).map_err(|e| e.to_string())?;
+            let cal = server.calibration();
+            // Default to a 1.5x overload of the calibrated saturation rate,
+            // so a bare `mgg-cli serve graph.csr` demonstrates shedding.
+            let qps = qps.unwrap_or(cal.saturation_qps * 1.5);
+            let spec = WorkloadSpec {
+                seed: *seed,
+                arrival: *arrival,
+                qps,
+                duration_ns: *duration_ns,
+                deadline_ns: *deadline_ns,
+                zipf_s: *zipf_s,
+                num_nodes: g.num_nodes(),
+            };
+            let mut sched = match fault {
+                Some(fs) => FaultSchedule::derive(fs, *gpus),
+                None => FaultSchedule::quiet(*gpus),
+            };
+            for f in permanent {
+                sched = sched.with_permanent(*f);
+            }
+            let tel =
+                if metrics_out.is_some() { Telemetry::enabled() } else { Telemetry::disabled() };
+            let out = server.run(&spec, &sched, &tel);
+            let s = &out.summary;
+            let mut text = format!(
+                "served {} offered queries over {:.3} ms (simulated, {} arrivals, zipf {zipf_s}):\n\
+                 \x20 admitted {} | shed {} (queue {}, rate {}, infeasible {}, unavailable {})\n\
+                 \x20 offered {:.2} Mq/s, saturation {:.2} Mq/s, goodput {:.2} Mq/s\n\
+                 \x20 latency p50/p95/p99 {:.1}/{:.1}/{:.1} us, deadline violations {} (routing-attributable {})\n\
+                 \x20 {} batches (mean size {:.1}), rerouted {}, hedged {}, breaker transitions {}\n\
+                 \x20 decision digest {}\n",
+                s.offered,
+                *duration_ns as f64 / 1e6,
+                arrival.name(),
+                s.admitted,
+                s.shed_queue + s.shed_rate + s.shed_infeasible + s.shed_unavailable,
+                s.shed_queue,
+                s.shed_rate,
+                s.shed_infeasible,
+                s.shed_unavailable,
+                s.offered_qps / 1e6,
+                s.saturation_qps / 1e6,
+                s.goodput_qps / 1e6,
+                s.p50_ns as f64 / 1e3,
+                s.p95_ns as f64 / 1e3,
+                s.p99_ns as f64 / 1e3,
+                s.deadline_violations,
+                s.routing_violations,
+                s.batches,
+                s.mean_batch,
+                s.rerouted,
+                s.hedges,
+                out.transitions.len(),
+                s.digest,
+            );
+            if fault.is_some() || !permanent.is_empty() {
+                text.push_str(&format!(
+                    "  faults: impaired GPUs {:?}, dead GPUs {:?}\n",
+                    sched.impaired_gpus(),
+                    sched.dead_gpus()
+                ));
+            }
+            if let Some(path) = json_out {
+                let report = ServeJson {
+                    calibration: cal,
+                    config: cfg,
+                    summary: s.clone(),
+                    breaker_transitions: out.transitions.len() as u64,
+                };
+                let json = serde_json::to_string_pretty(&report)
+                    .map_err(|e| format!("serialize serve report: {e}"))?;
+                std::fs::write(path, json).map_err(|e| format!("{}: {e}", path.display()))?;
+                text.push_str(&format!("wrote serve report to {}\n", path.display()));
+            }
+            text.push_str(&write_telemetry_outputs(&tel, &None, metrics_out)?);
+            Ok(text)
+        }
         Command::Profile { graph, gpus, dim, engine, platform, trace_out, metrics_out, threads } => {
             if let Some(n) = threads {
                 mgg_runtime::set_threads(*n);
@@ -667,6 +894,15 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             ))
         }
     }
+}
+
+/// The `serve --json-out` report: calibration, tunables and run summary.
+#[derive(Debug, Clone, Serialize)]
+struct ServeJson {
+    calibration: Calibration,
+    config: ServeConfig,
+    summary: ServeSummary,
+    breaker_transitions: u64,
 }
 
 /// Writes the Chrome-trace and metrics-snapshot files a command asked for;
@@ -757,6 +993,15 @@ pub fn usage() -> &'static str {
                    [--trace-out <file>] [--metrics-out <file>]   (mgg/uvm engines)
                    [--threads N]   (worker pool; default all cores, 1 = sequential)
                    [--cache-mb N] [--cache-policy lru|lfu]   (remote-embedding cache, mgg engine)
+  mgg-cli serve <graph> [--gpus N] [--dim D] [--platform a100|v100|pcie]
+                [--arrival poisson|bursty[:PERIOD,DUTY%]|ramp[:FROM,TO]]
+                [--qps Q]   (offered queries/s; default 1.5x calibrated saturation)
+                [--deadline-us U] [--zipf S] [--duration TIME] [--seed N]
+                [--batch-cap N] [--queue-cap N] [--threads N]
+                [--fault-seed N] [--fault-straggler F] [--fault-link-degrade F]
+                [--fault-drop-rate F] [--fault-gpu-fail GPU@TIME[,..]]
+                [--fault-link-down A-B@TIME[,..]]
+                [--json-out <file>] [--metrics-out <file>]
   mgg-cli profile <graph> [--gpus N] [--dim D] [--engine mgg|uvm]
                   [--platform a100|v100|pcie] [--trace-out <file>] [--metrics-out <file>]
                   [--threads N]
@@ -1210,6 +1455,174 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("--engine mgg"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_serve_defaults() {
+        let cmd = parse(&args("serve g.csr")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                graph: PathBuf::from("g.csr"),
+                gpus: 8,
+                dim: 64,
+                platform: Platform::A100,
+                arrival: ArrivalKind::Poisson,
+                qps: None,
+                deadline_ns: 1_000_000,
+                zipf_s: 0.9,
+                duration_ns: 2_000_000,
+                seed: 42,
+                batch_cap: 32,
+                queue_cap: 2048,
+                fault: None,
+                permanent: vec![],
+                threads: None,
+                json_out: None,
+                metrics_out: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_serve_arrival_shapes() {
+        match parse(&args("serve g.csr --arrival bursty")).unwrap() {
+            Command::Serve { arrival, .. } => {
+                assert_eq!(arrival, ArrivalKind::Bursty { period_ns: 400_000, duty_pct: 25 });
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&args("serve g.csr --arrival bursty:1ms,40%")).unwrap() {
+            Command::Serve { arrival, .. } => {
+                assert_eq!(arrival, ArrivalKind::Bursty { period_ns: 1_000_000, duty_pct: 40 });
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&args("serve g.csr --arrival ramp:0.5,3.0")).unwrap() {
+            Command::Serve { arrival, .. } => {
+                assert_eq!(arrival, ArrivalKind::Ramp { from_mult: 0.5, to_mult: 3.0 });
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&args("serve g.csr --arrival sawtooth")).is_err());
+        assert!(parse(&args("serve g.csr --arrival bursty:1ms,150%")).is_err());
+        assert!(parse(&args("serve g.csr --arrival ramp:-1,2")).is_err());
+    }
+
+    #[test]
+    fn parse_serve_flags_and_validation() {
+        match parse(&args(
+            "serve g.csr --gpus 4 --qps 2000000 --deadline-us 500 --zipf 1.2 \
+             --duration 4ms --seed 9 --batch-cap 16 --queue-cap 64 --fault-straggler 4.0",
+        ))
+        .unwrap()
+        {
+            Command::Serve { gpus, qps, deadline_ns, zipf_s, duration_ns, seed, batch_cap, queue_cap, fault, .. } => {
+                assert_eq!(gpus, 4);
+                assert_eq!(qps, Some(2_000_000.0));
+                assert_eq!(deadline_ns, 500_000);
+                assert_eq!(zipf_s, 1.2);
+                assert_eq!(duration_ns, 4_000_000);
+                assert_eq!(seed, 9);
+                assert_eq!(batch_cap, 16);
+                assert_eq!(queue_cap, 64);
+                assert_eq!(fault.unwrap().straggler, 4.0);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&args("serve g.csr --qps 0")).is_err());
+        assert!(parse(&args("serve g.csr --qps lots")).is_err());
+        assert!(parse(&args("serve g.csr --zipf -1")).is_err());
+        assert!(parse(&args("serve")).is_err());
+        let err = execute(&Command::Serve {
+            graph: PathBuf::from("missing.csr"),
+            gpus: 4,
+            dim: 32,
+            platform: Platform::A100,
+            arrival: ArrivalKind::Poisson,
+            qps: None,
+            deadline_ns: 1_000_000,
+            zipf_s: 0.9,
+            duration_ns: 2_000_000,
+            seed: 1,
+            batch_cap: 0,
+            queue_cap: 256,
+            fault: None,
+            permanent: vec![],
+            threads: None,
+            json_out: None,
+            metrics_out: None,
+        })
+        .unwrap_err();
+        assert!(err.contains("--batch-cap"), "{err}");
+    }
+
+    #[test]
+    fn serve_overload_end_to_end_writes_json() {
+        let dir = std::env::temp_dir().join(format!("mgg-cli-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("g.csr");
+        let p = p.to_str().unwrap().to_string();
+        execute(&parse(&args(&format!("generate --rmat 9,8000 -o {p}"))).unwrap()).unwrap();
+
+        let json = dir.join("serve.json");
+        // Default load is 1.5x saturation: shedding must engage.
+        let out = execute(
+            &parse(&args(&format!(
+                "serve {p} --gpus 4 --dim 32 --seed 7 --json-out {}",
+                json.display()
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("admitted"), "{out}");
+        assert!(out.contains("decision digest"), "{out}");
+        assert!(out.contains("wrote serve report"), "{out}");
+
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        let summary = doc.get("summary").expect("summary section");
+        let shed = summary.get("shed_fraction").and_then(|v| v.as_f64()).unwrap();
+        assert!(shed > 0.0, "1.5x overload must shed");
+        assert_eq!(
+            summary.get("routing_violations").and_then(|v| v.as_u64()),
+            Some(0)
+        );
+        let cal = doc.get("calibration").expect("calibration section");
+        assert!(cal.get("saturation_qps").and_then(|v| v.as_f64()).unwrap() > 0.0);
+
+        // Degraded-GPU scenario: breaker transitions recorded, no routing
+        // violations, run completes.
+        let out = execute(
+            &parse(&args(&format!(
+                "serve {p} --gpus 4 --dim 32 --seed 7 --fault-seed 5 --fault-straggler 4.0"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("impaired GPUs"), "{out}");
+        assert!(out.contains("routing-attributable 0"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_is_deterministic_across_invocations() {
+        let dir = std::env::temp_dir().join(format!("mgg-cli-serve-det-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("g.csr");
+        let p = p.to_str().unwrap().to_string();
+        execute(&parse(&args(&format!("generate --rmat 8,2000 -o {p}"))).unwrap()).unwrap();
+        let run = |threads: usize| {
+            execute(
+                &parse(&args(&format!("serve {p} --gpus 2 --dim 16 --seed 3 --threads {threads}")))
+                    .unwrap(),
+            )
+            .unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a, b, "serve output must not depend on the thread count");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

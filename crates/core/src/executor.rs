@@ -340,7 +340,10 @@ impl MggEngine {
             return;
         }
         let rows = cfg.capacity_rows((dim * 4) as u32);
-        self.caches = (0..gpus).map(|_| EmbedCache::new(rows, cfg.policy)).collect();
+        // The thrash guard keeps undersized budgets from paying fill-write
+        // bandwidth for rows they immediately re-evict (never slower than
+        // uncached); right-sized budgets behave exactly as before.
+        self.caches = (0..gpus).map(|_| EmbedCache::with_thrash_guard(rows, cfg.policy)).collect();
         self.cache_dim = dim;
     }
 

@@ -60,6 +60,10 @@ pub fn aggregation_cycles(len: u32, dim: usize) -> u32 {
 struct PairCachePlan {
     /// Owner PE of each remote reference that missed, in adjacency order.
     miss_peers: Vec<u16>,
+    /// Misses actually admitted into the cache. Misses the eviction-thrash
+    /// guard bypassed still fetch over the fabric but fill nothing, so
+    /// only admitted misses cost a posted HBM fill write.
+    admitted: u32,
     /// Remote references served from the resident cache (no fabric).
     hits: u32,
     /// Duplicate references merged into an earlier request of the same
@@ -176,10 +180,14 @@ impl<'a> MggKernel<'a> {
                                 cache.note_coalesced(1);
                                 continue;
                             }
-                            if cache.access(key).hit {
+                            let look = cache.access(key);
+                            if look.hit {
                                 plan.hits += 1;
                             } else {
                                 plan.miss_peers.push(rr.owner);
+                                if look.slot.is_some() {
+                                    plan.admitted += 1;
+                                }
                             }
                         }
                     }
@@ -295,11 +303,11 @@ impl KernelProgram for MggKernel<'_> {
                             cycles: aggregation_cycles(r.len, self.dim),
                         });
                         if let Some(p) = plan {
-                            let misses = p.miss_peers.len() as u32;
-                            if misses > 0 {
+                            if p.admitted > 0 {
                                 // Landed rows admitted to the cache: a
                                 // posted HBM write, off the critical path.
-                                ops.push(WarpOp::CacheFill { bytes: misses * row_bytes });
+                                // Thrash-bypassed misses fill nothing.
+                                ops.push(WarpOp::CacheFill { bytes: p.admitted * row_bytes });
                             }
                         }
                         ops.push(WarpOp::GlobalWrite { bytes: row_bytes });
@@ -343,9 +351,8 @@ impl KernelProgram for MggKernel<'_> {
                             cycles: aggregation_cycles(r.len, self.dim),
                         });
                         if let Some(p) = plan {
-                            let misses = p.miss_peers.len() as u32;
-                            if misses > 0 {
-                                ops.push(WarpOp::CacheFill { bytes: misses * row_bytes });
+                            if p.admitted > 0 {
+                                ops.push(WarpOp::CacheFill { bytes: p.admitted * row_bytes });
                             }
                         }
                         ops.push(WarpOp::GlobalWrite { bytes: row_bytes });

@@ -1,0 +1,1022 @@
+//! The deterministic serving loop: admission control, deadline-aware
+//! batching, breaker-guarded routing, and hedged re-dispatch.
+//!
+//! The server runs in *simulated* time, like everything else in this
+//! workspace: query arrivals come from a seeded [`crate::workload`]
+//! stream, launch costs come from a calibration pass over the real
+//! [`MggEngine`] timing plane, and fault effects come from the installed
+//! [`FaultSchedule`]. Decisions are made by a single-threaded event loop
+//! in (time, sequence) order, so the full decision trace — admissions,
+//! sheds, batch compositions, breaker transitions, completions — is a
+//! pure function of `(engine topology, calibration, workload spec, fault
+//! schedule)` and replays bit-identically at any host thread count.
+//! Host-side parallelism is applied only *across* independent runs
+//! ([`Server::run_sweep`] via `mgg_runtime::par_map`), never inside the
+//! decision loop.
+
+use std::collections::BinaryHeap;
+
+use mgg_core::{MggEngine, MggError};
+use mgg_failover::HealthMonitor;
+use mgg_fault::FaultSchedule;
+use mgg_telemetry::{MetricsSnapshot, Telemetry};
+use serde::Serialize;
+
+use crate::breaker::{Breaker, BreakerTransition};
+use crate::workload::{generate, Query, WorkloadSpec};
+
+/// Why a query was refused at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded admission queue is full: the newest query is rejected
+    /// (deterministic reject-newest shed policy).
+    Overloaded {
+        /// Queries in the system when the rejection happened.
+        queued: usize,
+        /// The configured bound.
+        cap: usize,
+    },
+    /// The token-bucket rate limiter is empty: offered load exceeds the
+    /// calibrated sustainable rate.
+    RateLimited,
+    /// No dispatchable shard could complete the query inside its deadline
+    /// budget (admitting it would only manufacture a violation).
+    DeadlineInfeasible,
+    /// Every candidate shard's circuit breaker is open.
+    Unavailable,
+}
+
+impl ServeError {
+    /// Stable small code used in the decision digest and JSON.
+    fn code(&self) -> u8 {
+        match self {
+            ServeError::Overloaded { .. } => 1,
+            ServeError::RateLimited => 2,
+            ServeError::DeadlineInfeasible => 3,
+            ServeError::Unavailable => 4,
+        }
+    }
+
+    /// Counter-name suffix for telemetry.
+    fn name(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded { .. } => "queue",
+            ServeError::RateLimited => "rate",
+            ServeError::DeadlineInfeasible => "infeasible",
+            ServeError::Unavailable => "unavailable",
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { queued, cap } => {
+                write!(f, "admission queue full ({queued}/{cap}): query shed")
+            }
+            ServeError::RateLimited => write!(f, "token bucket empty: query shed"),
+            ServeError::DeadlineInfeasible => {
+                write!(f, "no shard can meet the deadline: query shed")
+            }
+            ServeError::Unavailable => write!(f, "all shard breakers open: query shed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Tunables of the serving loop. The defaults are sized for the DGX-class
+/// simulated clusters the bench suite uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ServeConfig {
+    /// Maximum queries grouped into one aggregation launch.
+    pub batch_cap: usize,
+    /// Bound on queries in the system (admitted, not yet completed);
+    /// arrivals beyond it are shed newest-first. Sized well above
+    /// `shards x batch_cap` so it binds on queueing backlog, not on
+    /// healthy in-flight work.
+    pub queue_cap: usize,
+    /// Slack margin subtracted when computing a batch's
+    /// latest-safe-close instant.
+    pub safety_ns: u64,
+    /// Longest a batch may stay open past its first member's arrival.
+    /// Deadline slack alone would hold sub-saturation batches until just
+    /// before their deadline to fill them; the linger cap bounds that
+    /// low-load latency tax.
+    pub linger_ns: u64,
+    /// Open-state dwell time of the per-shard circuit breakers.
+    pub breaker_cooldown_ns: u64,
+    /// Straggler compute-scale at which a shard's breaker trips.
+    pub breaker_trip_scale: f64,
+    /// Compute-scale at which dispatches to a still-closed straggler
+    /// shard are hedged on a healthy peer.
+    pub hedge_scale: f64,
+    /// Token-bucket burst, in queries.
+    pub token_burst: f64,
+    /// Token refill rate as a multiple of calibrated saturation
+    /// throughput (1.0 = admit exactly what the cluster sustains).
+    pub rate_mult: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            batch_cap: 32,
+            queue_cap: 2_048,
+            safety_ns: 2_000,
+            linger_ns: 50_000,
+            breaker_cooldown_ns: 200_000,
+            breaker_trip_scale: 1.5,
+            hedge_scale: 1.5,
+            token_burst: 64.0,
+            rate_mult: 1.0,
+        }
+    }
+}
+
+/// Launch-cost model measured from the engine's timing plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Calibration {
+    /// Host launch overhead per batch (from the cluster spec).
+    pub launch_ns: u64,
+    /// Amortised per-query aggregation cost on one shard, in ns (the
+    /// cluster-wide per-node cost scaled by the shard count, since one
+    /// shard owns `1/num_shards` of the cluster's throughput).
+    pub per_query_ns: f64,
+    /// Shards (= GPUs) serving queries.
+    pub num_shards: usize,
+    /// Sustainable cluster throughput at full healthy batches, in
+    /// queries per second.
+    pub saturation_qps: f64,
+}
+
+impl Calibration {
+    /// Service time of a batch of `units` query-units on a shard slowed
+    /// by `scale` (1.0 = healthy).
+    fn service_ns(&self, units: f64, scale: f64) -> u64 {
+        self.launch_ns + (units * self.per_query_ns * scale).ceil() as u64
+    }
+}
+
+/// Relay surcharge of a rerouted (or hedged) query, in query-units: the
+/// fallback shard must pull the home shard's rows over the fabric, which
+/// the calibration prices at about one extra query of work.
+const REROUTE_UNITS: f64 = 0.5;
+
+/// How a query left the system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// Admitted and dispatched.
+    Admitted,
+    /// Shed at admission.
+    Shed(ServeError),
+}
+
+/// Full per-query outcome (the decision trace the digest pins).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryRecord {
+    /// Workload query id.
+    pub id: u64,
+    /// Arrival instant (from the workload stream).
+    pub arrival_ns: u64,
+    /// Admission outcome.
+    pub decision: Decision,
+    /// Shard the query executed on (post-routing), if admitted.
+    pub shard: Option<u16>,
+    /// Completion instant, if admitted.
+    pub completion_ns: Option<u64>,
+    /// Whether completion beat the absolute deadline.
+    pub deadline_met: bool,
+    /// True when the query ran on a shard other than its home shard.
+    pub rerouted: bool,
+    /// True when the dispatch was hedged on a second shard.
+    pub hedged: bool,
+}
+
+/// Aggregate figures of one serving run (the JSON-facing summary).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServeSummary {
+    /// Queries offered by the workload.
+    pub offered: u64,
+    /// Queries admitted and executed.
+    pub admitted: u64,
+    /// Sheds by cause.
+    pub shed_queue: u64,
+    /// Token-bucket sheds.
+    pub shed_rate: u64,
+    /// Deadline-infeasible sheds.
+    pub shed_infeasible: u64,
+    /// All-breakers-open sheds.
+    pub shed_unavailable: u64,
+    /// Admitted queries that completed inside their deadline.
+    pub completed_in_deadline: u64,
+    /// Admitted queries that missed their deadline.
+    pub deadline_violations: u64,
+    /// Deadline misses among *rerouted* queries — violations attributable
+    /// to routing around an unhealthy shard. Must stay zero: the
+    /// feasibility check refuses reroutes that cannot make the budget.
+    pub routing_violations: u64,
+    /// Queries executed away from their home shard.
+    pub rerouted: u64,
+    /// Batches dispatched twice for straggler hedging.
+    pub hedges: u64,
+    /// Aggregation launches issued.
+    pub batches: u64,
+    /// Mean queries per launch.
+    pub mean_batch: f64,
+    /// Latency percentiles of admitted queries, ns.
+    pub p50_ns: u64,
+    /// 95th percentile latency, ns.
+    pub p95_ns: u64,
+    /// 99th percentile latency, ns.
+    pub p99_ns: u64,
+    /// In-deadline completions per second of workload window.
+    pub goodput_qps: f64,
+    /// Offered arrival rate over the window.
+    pub offered_qps: f64,
+    /// Calibrated sustainable throughput.
+    pub saturation_qps: f64,
+    /// Shed fraction of offered load.
+    pub shed_fraction: f64,
+    /// FNV-1a digest of the whole decision trace (queries, breaker
+    /// transitions) — the replay-identity fingerprint.
+    pub digest: String,
+}
+
+/// Everything one serving run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// Per-query decision trace, in query-id order.
+    pub records: Vec<QueryRecord>,
+    /// Breaker transitions, in event order.
+    pub transitions: Vec<BreakerTransition>,
+    /// Aggregate summary.
+    pub summary: ServeSummary,
+}
+
+/// The serving front-end: calibrated against one engine, then able to
+/// replay any number of workload/fault scenarios deterministically.
+#[derive(Debug, Clone)]
+pub struct Server {
+    cal: Calibration,
+    cfg: ServeConfig,
+    /// Node-split boundaries: shard of node `v` is the partition whose
+    /// `[bounds[s], bounds[s+1])` range contains `v`.
+    bounds: Vec<u32>,
+    monitor: HealthMonitor,
+}
+
+/// Per-shard mutable serving state.
+struct ShardState {
+    /// Open batch, in admission order.
+    pending: Vec<(Query, f64, bool)>, // (query, cost units, rerouted)
+    /// Arrival instant of the open batch's first member (linger anchor).
+    open_at: u64,
+    /// Scheduled close instant of the open batch (`u64::MAX` when empty).
+    close_at: u64,
+    /// Timer-event sequence the scheduled close belongs to (stale-timer
+    /// invalidation).
+    close_seq: u64,
+    /// Executor serialization: next batch starts no earlier than this.
+    busy_until: u64,
+    breaker: Breaker,
+}
+
+impl Server {
+    /// Calibrates a server against `engine`'s timing plane at embedding
+    /// dimension `dim`. Run this on the healthy engine: capacity is what
+    /// the *unfaulted* cluster sustains; scenarios then degrade from it.
+    pub fn new(engine: &mut MggEngine, dim: usize, cfg: ServeConfig) -> Result<Self, MggError> {
+        assert!(cfg.batch_cap > 0, "batch_cap must be positive");
+        assert!(cfg.queue_cap > 0, "queue_cap must be positive");
+        let launch_ns = engine.cluster.spec.kernel_launch_ns;
+        let full_ns = engine.simulate_aggregation_ns(dim)?;
+        let bounds: Vec<u32> = engine.placement.split.bounds().to_vec();
+        let num_shards = engine.placement.split.num_parts();
+        let num_nodes = *bounds.last().expect("non-empty split") as usize;
+        let per_node_cluster = (full_ns.saturating_sub(launch_ns)) as f64 / num_nodes.max(1) as f64;
+        let per_query_ns = (per_node_cluster * num_shards as f64).max(1.0);
+        let batch_units = cfg.batch_cap as f64;
+        let batch_ns = launch_ns as f64 + batch_units * per_query_ns;
+        let saturation_qps = num_shards as f64 * batch_units / batch_ns * 1e9;
+        Ok(Server {
+            cal: Calibration { launch_ns, per_query_ns, num_shards, saturation_qps },
+            cfg,
+            bounds,
+            monitor: HealthMonitor::with_defaults(num_shards),
+        })
+    }
+
+    /// The measured launch-cost model.
+    pub fn calibration(&self) -> Calibration {
+        self.cal
+    }
+
+    /// Home shard of `node`.
+    pub fn shard_of(&self, node: u32) -> usize {
+        debug_assert!(node < *self.bounds.last().unwrap());
+        self.bounds.partition_point(|&b| b <= node).saturating_sub(1).min(self.cal.num_shards - 1)
+    }
+
+    /// Runs the workload of `spec` against the fault scenario `sched`,
+    /// recording counters and latency histograms into `telemetry`.
+    pub fn run(&self, spec: &WorkloadSpec, sched: &FaultSchedule, telemetry: &Telemetry) -> ServeOutcome {
+        let queries = generate(spec);
+        self.run_queries(&queries, spec, sched, telemetry)
+    }
+
+    /// Runs several independent scenarios concurrently on the
+    /// deterministic worker pool; results merge in input order, so the
+    /// output is bit-identical to a sequential loop at any thread count.
+    pub fn run_sweep(
+        &self,
+        specs: &[(WorkloadSpec, FaultSchedule)],
+    ) -> Vec<ServeOutcome> {
+        mgg_runtime::par_map(specs, |(spec, sched)| {
+            self.run(spec, sched, &Telemetry::disabled())
+        })
+    }
+
+    fn run_queries(
+        &self,
+        queries: &[Query],
+        spec: &WorkloadSpec,
+        sched: &FaultSchedule,
+        telemetry: &Telemetry,
+    ) -> ServeOutcome {
+        let n_shards = self.cal.num_shards;
+        let mut shards: Vec<ShardState> = (0..n_shards)
+            .map(|s| ShardState {
+                pending: Vec::new(),
+                open_at: 0,
+                close_at: u64::MAX,
+                close_seq: 0,
+                busy_until: 0,
+                breaker: Breaker::new(s, self.cfg.breaker_cooldown_ns, self.cfg.breaker_trip_scale),
+            })
+            .collect();
+        let mut transitions: Vec<BreakerTransition> = Vec::new();
+        let mut records: Vec<QueryRecord> = Vec::with_capacity(queries.len());
+        // Timer heap of scheduled batch closes: Reverse((t, shard, seq)).
+        let mut timers: BinaryHeap<std::cmp::Reverse<(u64, usize, u64)>> = BinaryHeap::new();
+        let mut timer_seq = 0u64;
+        // Lazy in-system accounting: completions ordered by time.
+        let mut completions: BinaryHeap<std::cmp::Reverse<u64>> = BinaryHeap::new();
+        // Token bucket.
+        let mut tokens = self.cfg.token_burst;
+        let mut tokens_at = 0u64;
+        let refill_per_ns = self.cal.saturation_qps * self.cfg.rate_mult / 1e9;
+        let mut batches = 0u64;
+        let mut batched_queries = 0u64;
+        let mut hedges = 0u64;
+
+        let dispatch = |shards: &mut Vec<ShardState>,
+                            records: &mut Vec<QueryRecord>,
+                            completions: &mut BinaryHeap<std::cmp::Reverse<u64>>,
+                            transitions: &mut Vec<BreakerTransition>,
+                            batches: &mut u64,
+                            batched_queries: &mut u64,
+                            hedges: &mut u64,
+                            s: usize,
+                            now: u64| {
+            let batch: Vec<(Query, f64, bool)> = std::mem::take(&mut shards[s].pending);
+            shards[s].close_at = u64::MAX;
+            if batch.is_empty() {
+                return;
+            }
+            let units: f64 = batch.iter().map(|(_, u, _)| *u).sum();
+            let scale = sched.compute_scale(s);
+            let start = now.max(shards[s].busy_until);
+            let mut completion = start + self.cal.service_ns(units, scale);
+            shards[s].busy_until = completion;
+            let mut hedged = false;
+            // Hedged re-dispatch: a straggling-but-not-tripped shard gets
+            // its batch duplicated on the deterministically-chosen
+            // healthiest peer; the batch completes at the earlier finish.
+            if scale >= self.cfg.hedge_scale {
+                if let Some(peer) = self.hedge_peer(shards, sched, s, now, transitions) {
+                    let peer_units = units + batch.len() as f64 * REROUTE_UNITS;
+                    let peer_scale = sched.compute_scale(peer);
+                    let peer_start = now.max(shards[peer].busy_until);
+                    let peer_done = peer_start + self.cal.service_ns(peer_units, peer_scale);
+                    shards[peer].busy_until = peer_done;
+                    if peer_done < completion {
+                        completion = peer_done;
+                    }
+                    hedged = true;
+                    *hedges += 1;
+                }
+            }
+            *batches += 1;
+            *batched_queries += batch.len() as u64;
+            telemetry.histogram_record("serve.batch_size", batch.len() as f64);
+            for (q, _, rerouted) in &batch {
+                let met = completion <= q.deadline_ns;
+                telemetry
+                    .histogram_record("serve.latency_us", (completion - q.arrival_ns) as f64 / 1e3);
+                completions.push(std::cmp::Reverse(completion));
+                records.push(QueryRecord {
+                    id: q.id,
+                    arrival_ns: q.arrival_ns,
+                    decision: Decision::Admitted,
+                    shard: Some(s as u16),
+                    completion_ns: Some(completion),
+                    deadline_met: met,
+                    rerouted: *rerouted,
+                    hedged,
+                });
+            }
+        };
+
+        let mut qi = 0usize;
+        loop {
+            // Next event: earliest of (pending timer, next arrival).
+            let next_arrival = queries.get(qi).map(|q| q.arrival_ns);
+            let next_timer = timers.peek().map(|std::cmp::Reverse((t, s, seq))| (*t, *s, *seq));
+            let (now, is_timer) = match (next_timer, next_arrival) {
+                (None, None) => break,
+                (Some((t, ..)), None) => (t, true),
+                (None, Some(a)) => (a, false),
+                // Ties close batches before admitting new arrivals.
+                (Some((t, ..)), Some(a)) => {
+                    if t <= a {
+                        (t, true)
+                    } else {
+                        (a, false)
+                    }
+                }
+            };
+
+            if is_timer {
+                let std::cmp::Reverse((t, s, seq)) = timers.pop().expect("peeked");
+                // Stale timer: the batch it was set for already dispatched
+                // (full) or was superseded by a tighter close.
+                if shards[s].close_seq != seq || shards[s].close_at != t {
+                    continue;
+                }
+                dispatch(
+                    &mut shards,
+                    &mut records,
+                    &mut completions,
+                    &mut transitions,
+                    &mut batches,
+                    &mut batched_queries,
+                    &mut hedges,
+                    s,
+                    t,
+                );
+                continue;
+            }
+
+            let q = queries[qi];
+            qi += 1;
+            // Lazy queue drain: completed queries leave the system.
+            while completions.peek().is_some_and(|std::cmp::Reverse(t)| *t <= now) {
+                completions.pop();
+            }
+            // Refill the token bucket up to `now`.
+            tokens = (tokens + (now - tokens_at) as f64 * refill_per_ns).min(self.cfg.token_burst);
+            tokens_at = now;
+
+            let in_system =
+                completions.len() + shards.iter().map(|s| s.pending.len()).sum::<usize>();
+            let outcome = self.admit(
+                &mut shards,
+                sched,
+                &mut transitions,
+                &mut tokens,
+                in_system,
+                q,
+                now,
+            );
+            match outcome {
+                Ok((shard, units, rerouted)) => {
+                    telemetry.counter_add("serve.admitted", 1);
+                    let st = &mut shards[shard];
+                    if st.pending.is_empty() {
+                        st.open_at = now;
+                    }
+                    st.pending.push((q, units, rerouted));
+                    if st.pending.len() >= self.cfg.batch_cap {
+                        dispatch(
+                            &mut shards,
+                            &mut records,
+                            &mut completions,
+                            &mut transitions,
+                            &mut batches,
+                            &mut batched_queries,
+                            &mut hedges,
+                            shard,
+                            now,
+                        );
+                    } else {
+                        // Deadline-aware close: latest instant at which the
+                        // batch (at its current size) still makes every
+                        // member's deadline, with a safety margin.
+                        let scale = sched.compute_scale(shard);
+                        let st = &shards[shard];
+                        let units_now: f64 = st.pending.iter().map(|(_, u, _)| *u).sum();
+                        let service = self.cal.service_ns(units_now, scale);
+                        let mut close = u64::MAX;
+                        for (m, ..) in &st.pending {
+                            let latest = m
+                                .deadline_ns
+                                .saturating_sub(service + self.cfg.safety_ns);
+                            close = close.min(latest);
+                        }
+                        let close = close.min(st.open_at + self.cfg.linger_ns).max(now);
+                        timer_seq += 1;
+                        let st = &mut shards[shard];
+                        st.close_at = close;
+                        st.close_seq = timer_seq;
+                        timers.push(std::cmp::Reverse((close, shard, timer_seq)));
+                    }
+                }
+                Err(err) => {
+                    telemetry.counter_add(&format!("serve.shed.{}", err.name()), 1);
+                    records.push(QueryRecord {
+                        id: q.id,
+                        arrival_ns: q.arrival_ns,
+                        decision: Decision::Shed(err),
+                        shard: None,
+                        completion_ns: None,
+                        deadline_met: false,
+                        rerouted: false,
+                        hedged: false,
+                    });
+                }
+            }
+        }
+
+        // Drain still-open batches (workload window ended).
+        for s in 0..n_shards {
+            if !shards[s].pending.is_empty() {
+                let at = shards[s].close_at.min(spec.duration_ns);
+                dispatch(
+                    &mut shards,
+                    &mut records,
+                    &mut completions,
+                    &mut transitions,
+                    &mut batches,
+                    &mut batched_queries,
+                    &mut hedges,
+                    s,
+                    at,
+                );
+            }
+        }
+
+        records.sort_by_key(|r| r.id);
+        for t in &transitions {
+            telemetry.counter_add(&format!("serve.breaker.{}", t.to.name()), 1);
+        }
+        let summary = self.summarize(&records, &transitions, spec, batches, batched_queries, hedges);
+        ServeOutcome { records, transitions, summary }
+    }
+
+    /// Admission pipeline: token bucket → queue bound → breaker-guarded
+    /// routing → deadline feasibility. Returns the target shard, the
+    /// query's cost units, and whether it was rerouted.
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        &self,
+        shards: &mut [ShardState],
+        sched: &FaultSchedule,
+        transitions: &mut Vec<BreakerTransition>,
+        tokens: &mut f64,
+        in_system: usize,
+        q: Query,
+        now: u64,
+    ) -> Result<(usize, f64, bool), ServeError> {
+        if *tokens < 1.0 {
+            return Err(ServeError::RateLimited);
+        }
+        if in_system >= self.cfg.queue_cap {
+            return Err(ServeError::Overloaded { queued: in_system, cap: self.cfg.queue_cap });
+        }
+        // Route to the breaker-admitting shard with the earliest estimated
+        // completion. The home shard is costed at 1.0 query-units while
+        // peers carry the relay surcharge (every replica holds the full
+        // graph in the symmetric heap, so any healthy shard can serve a
+        // foreign node at that price), so locality wins whenever backlogs
+        // are comparable, a Zipf-hot shard's overflow spills onto idle
+        // peers, and a tripped breaker drops its shard out of the
+        // candidate scan entirely. Ties break toward the home-first scan
+        // order. (Permanent capacity loss beyond what rerouting absorbs
+        // falls back to the engine's recovery ladder — evacuation re-split
+        // or UVM degrade — outside the serving fast path.)
+        let home = self.shard_of(q.node);
+        let n = self.cal.num_shards;
+        let mut best: Option<(u64, usize, f64)> = None;
+        for step in 0..n {
+            let s = (home + step) % n;
+            if !shards[s].breaker.poll(&self.monitor, sched, now, transitions) {
+                continue;
+            }
+            let units = if step == 0 { 1.0 } else { 1.0 + REROUTE_UNITS };
+            let scale = sched.compute_scale(s);
+            let queued_units: f64 = shards[s].pending.iter().map(|(_, u, _)| *u).sum();
+            let est =
+                now.max(shards[s].busy_until) + self.cal.service_ns(queued_units + units, scale);
+            if best.is_none_or(|(b, ..)| est < b) {
+                best = Some((est, s, units));
+            }
+        }
+        let Some((earliest_done, shard, units)) = best else {
+            return Err(ServeError::Unavailable);
+        };
+        // Feasibility: joining the best shard's open batch must still make
+        // the deadline even if the batch closes immediately after this
+        // query.
+        if earliest_done + self.cfg.safety_ns > q.deadline_ns {
+            return Err(ServeError::DeadlineInfeasible);
+        }
+        *tokens -= 1.0;
+        Ok((shard, units, shard != home))
+    }
+
+    /// Healthiest breaker-closed peer for hedging, preferring lower load.
+    fn hedge_peer(
+        &self,
+        shards: &mut [ShardState],
+        sched: &FaultSchedule,
+        home: usize,
+        now: u64,
+        transitions: &mut Vec<BreakerTransition>,
+    ) -> Option<usize> {
+        let n = self.cal.num_shards;
+        let mut best: Option<(u64, usize)> = None;
+        for step in 1..n {
+            let s = (home + step) % n;
+            if sched.compute_scale(s) >= self.cfg.hedge_scale {
+                continue;
+            }
+            if !shards[s].breaker.poll(&self.monitor, sched, now, transitions) {
+                continue;
+            }
+            let key = (shards[s].busy_until, s);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, s)| s)
+    }
+
+    fn summarize(
+        &self,
+        records: &[QueryRecord],
+        transitions: &[BreakerTransition],
+        spec: &WorkloadSpec,
+        batches: u64,
+        batched_queries: u64,
+        hedges: u64,
+    ) -> ServeSummary {
+        let offered = records.len() as u64;
+        let mut admitted = 0u64;
+        let (mut shed_queue, mut shed_rate, mut shed_infeasible, mut shed_unavailable) =
+            (0u64, 0u64, 0u64, 0u64);
+        let mut in_deadline = 0u64;
+        let mut violations = 0u64;
+        let mut routing_violations = 0u64;
+        let mut rerouted = 0u64;
+        let mut latencies: Vec<u64> = Vec::new();
+        for r in records {
+            match r.decision {
+                Decision::Admitted => {
+                    admitted += 1;
+                    if r.deadline_met {
+                        in_deadline += 1;
+                    } else {
+                        violations += 1;
+                        if r.rerouted {
+                            routing_violations += 1;
+                        }
+                    }
+                    if r.rerouted {
+                        rerouted += 1;
+                    }
+                }
+                Decision::Shed(e) => match e {
+                    ServeError::Overloaded { .. } => shed_queue += 1,
+                    ServeError::RateLimited => shed_rate += 1,
+                    ServeError::DeadlineInfeasible => shed_infeasible += 1,
+                    ServeError::Unavailable => shed_unavailable += 1,
+                },
+            }
+        }
+        let window_s = spec.duration_ns as f64 / 1e9;
+        for r in records {
+            if let (Decision::Admitted, Some(c)) = (r.decision, r.completion_ns) {
+                latencies.push(c.saturating_sub(r.arrival_ns));
+            }
+        }
+        latencies.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if latencies.is_empty() {
+                return 0;
+            }
+            let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len()) - 1;
+            latencies[idx]
+        };
+        let digest = self.digest(records, transitions);
+        ServeSummary {
+            offered,
+            admitted,
+            shed_queue,
+            shed_rate,
+            shed_infeasible,
+            shed_unavailable,
+            completed_in_deadline: in_deadline,
+            deadline_violations: violations,
+            routing_violations,
+            rerouted,
+            hedges,
+            batches,
+            mean_batch: if batches == 0 { 0.0 } else { batched_queries as f64 / batches as f64 },
+            p50_ns: pct(0.50),
+            p95_ns: pct(0.95),
+            p99_ns: pct(0.99),
+            goodput_qps: in_deadline as f64 / window_s,
+            offered_qps: offered as f64 / window_s,
+            saturation_qps: self.cal.saturation_qps,
+            shed_fraction: if offered == 0 {
+                0.0
+            } else {
+                (shed_queue + shed_rate + shed_infeasible + shed_unavailable) as f64 / offered as f64
+            },
+            digest: format!("{:016x}", digest),
+        }
+    }
+
+    /// FNV-1a over the full decision trace: the run's replay fingerprint.
+    fn digest(&self, records: &[QueryRecord], transitions: &[BreakerTransition]) -> u64 {
+        let mut h = Fnv::new();
+        for r in records {
+            h.u64(r.id);
+            match r.decision {
+                Decision::Admitted => h.u8(0),
+                Decision::Shed(e) => h.u8(e.code()),
+            }
+            h.u64(r.shard.map_or(u64::MAX, |s| s as u64));
+            h.u64(r.completion_ns.unwrap_or(u64::MAX));
+            h.u8(u8::from(r.deadline_met) | (u8::from(r.rerouted) << 1) | (u8::from(r.hedged) << 2));
+        }
+        for t in transitions {
+            h.u64(t.at_ns);
+            h.u64(t.shard as u64);
+            h.u8(t.from.name().len() as u8);
+            h.u8(t.to.name().len() as u8);
+        }
+        h.finish()
+    }
+}
+
+/// Digest of the deterministic slice of a [`MetricsSnapshot`]: counters
+/// and histograms (spans are host wall-clock and excluded by design).
+pub fn snapshot_digest(snap: &MetricsSnapshot) -> u64 {
+    let mut h = Fnv::new();
+    let mut counters = snap.counters.clone();
+    counters.sort_by(|a, b| a.name.cmp(&b.name));
+    for c in &counters {
+        h.bytes(c.name.as_bytes());
+        h.u64(c.value);
+    }
+    let mut hists = snap.histograms.clone();
+    hists.sort_by(|a, b| a.name.cmp(&b.name));
+    for hist in &hists {
+        h.bytes(hist.name.as_bytes());
+        h.u64(hist.count);
+        h.u64(hist.sum.to_bits());
+        h.u64(hist.min.to_bits());
+        h.u64(hist.max.to_bits());
+    }
+    h.finish()
+}
+
+/// Minimal FNV-1a 64.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn u8(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.u8(b);
+        }
+    }
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.u8(b);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ArrivalKind;
+    use mgg_core::MggConfig;
+    use mgg_fault::FaultSpec;
+    use mgg_gnn::reference::AggregateMode;
+    use mgg_graph::generators::rmat::{rmat, RmatConfig};
+    use mgg_sim::ClusterSpec;
+
+    fn server(gpus: usize, cfg: ServeConfig) -> (Server, usize) {
+        let g = rmat(&RmatConfig::graph500(10, 10_000, 23));
+        let mut engine = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(gpus),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        let n = g.num_nodes();
+        (Server::new(&mut engine, 64, cfg).unwrap(), n)
+    }
+
+    fn spec_at(server: &Server, nodes: usize, mult: f64, seed: u64) -> WorkloadSpec {
+        WorkloadSpec::poisson(seed, server.calibration().saturation_qps * mult, nodes)
+    }
+
+    #[test]
+    fn calibration_is_sane() {
+        let (s, _) = server(4, ServeConfig::default());
+        let c = s.calibration();
+        assert_eq!(c.num_shards, 4);
+        assert!(c.per_query_ns >= 1.0);
+        assert!(c.saturation_qps > 0.0);
+        assert_eq!(c.launch_ns, ClusterSpec::dgx_a100(4).kernel_launch_ns);
+    }
+
+    #[test]
+    fn shard_of_covers_every_node() {
+        let (s, nodes) = server(4, ServeConfig::default());
+        for v in 0..nodes as u32 {
+            assert!(s.shard_of(v) < 4);
+        }
+        // Boundary nodes land in the owning range.
+        for g in 0..4 {
+            let lo = s.bounds[g];
+            if lo < s.bounds[g + 1] {
+                assert_eq!(s.shard_of(lo), g);
+            }
+        }
+    }
+
+    #[test]
+    fn underload_admits_everything_within_deadline() {
+        let (s, nodes) = server(4, ServeConfig::default());
+        let spec = spec_at(&s, nodes, 0.5, 11);
+        let out = s.run(&spec, &FaultSchedule::quiet(4), &Telemetry::disabled());
+        let sum = &out.summary;
+        assert!(sum.offered > 100, "need a real stream, got {}", sum.offered);
+        assert_eq!(sum.admitted, sum.offered, "no shedding under 0.5x load");
+        assert_eq!(sum.deadline_violations, 0, "all deadlines met at 0.5x load");
+        assert!(sum.p99_ns <= spec.deadline_ns);
+        assert!(sum.batches > 0 && sum.mean_batch >= 1.0);
+    }
+
+    #[test]
+    fn overload_sheds_and_sustains_goodput() {
+        let (s, nodes) = server(4, ServeConfig::default());
+        let spec = spec_at(&s, nodes, 2.0, 12);
+        let out = s.run(&spec, &FaultSchedule::quiet(4), &Telemetry::disabled());
+        let sum = &out.summary;
+        assert!(sum.shed_fraction > 0.0, "2x overload must shed");
+        assert!(
+            sum.goodput_qps >= 0.9 * sum.saturation_qps,
+            "goodput {} must stay >= 0.9x saturation {}",
+            sum.goodput_qps,
+            sum.saturation_qps
+        );
+        // Admitted queries still meet their deadlines: shedding, not
+        // queue collapse.
+        assert!(sum.p99_ns <= spec.deadline_ns, "p99 {} > deadline", sum.p99_ns);
+        assert_eq!(sum.routing_violations, 0);
+    }
+
+    #[test]
+    fn degraded_gpu_opens_breaker_and_reroutes_cleanly() {
+        let (s, nodes) = server(4, ServeConfig::default());
+        let fault = FaultSpec { seed: 5, straggler: 4.0, ..FaultSpec::default() };
+        let sched = FaultSchedule::derive(&fault, 4);
+        let impaired = sched.impaired_gpus();
+        assert!(!impaired.is_empty(), "straggler spec must impair a shard");
+        let spec = spec_at(&s, nodes, 1.0, 13);
+        let out = s.run(&spec, &sched, &Telemetry::disabled());
+        let sum = &out.summary;
+        assert!(
+            out.transitions
+                .iter()
+                .any(|t| impaired.contains(&t.shard) && t.to == crate::BreakerState::Open),
+            "breaker must open on the degraded shard"
+        );
+        assert!(sum.rerouted > 0, "queries owned by the degraded shard must reroute");
+        assert_eq!(
+            sum.routing_violations, 0,
+            "rerouting must never manufacture deadline violations"
+        );
+        // No admitted query may have executed on the impaired shard after
+        // its breaker opened (the trace proves route-around).
+        let first_open = out
+            .transitions
+            .iter()
+            .find(|t| impaired.contains(&t.shard) && t.to == crate::BreakerState::Open)
+            .map(|t| t.at_ns)
+            .unwrap();
+        for r in &out.records {
+            if let (Some(shard), Some(c)) = (r.shard, r.completion_ns) {
+                if impaired.contains(&(shard as usize)) {
+                    assert!(
+                        r.arrival_ns <= first_open || c < first_open,
+                        "query {} dispatched to open-breaker shard {}",
+                        r.id,
+                        shard
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn straggler_below_trip_threshold_gets_hedged() {
+        let cfg = ServeConfig {
+            breaker_trip_scale: 3.0, // tolerate the straggler...
+            hedge_scale: 1.5,        // ...but hedge its dispatches
+            ..ServeConfig::default()
+        };
+        let (s, nodes) = server(4, cfg);
+        let fault = FaultSpec { seed: 9, straggler: 2.0, ..FaultSpec::default() };
+        let sched = FaultSchedule::derive(&fault, 4);
+        assert!(!sched.impaired_gpus().is_empty());
+        let spec = spec_at(&s, nodes, 1.0, 14);
+        let out = s.run(&spec, &sched, &Telemetry::disabled());
+        assert!(out.summary.hedges > 0, "straggling shard's batches must be hedged");
+        assert!(out.records.iter().any(|r| r.hedged));
+    }
+
+    #[test]
+    fn runs_replay_bit_identically() {
+        let (s, nodes) = server(4, ServeConfig::default());
+        let spec = spec_at(&s, nodes, 1.5, 15);
+        let sched = FaultSchedule::derive(
+            &FaultSpec { seed: 2, straggler: 3.0, ..FaultSpec::default() },
+            4,
+        );
+        let a = s.run(&spec, &sched, &Telemetry::disabled());
+        let b = s.run(&spec, &sched, &Telemetry::disabled());
+        assert_eq!(a, b, "identical inputs must produce identical outcomes");
+        assert_eq!(a.summary.digest, b.summary.digest);
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let (s, nodes) = server(4, ServeConfig::default());
+        let scenarios: Vec<(WorkloadSpec, FaultSchedule)> = (0..6)
+            .map(|i| {
+                let mut spec = spec_at(&s, nodes, 0.8 + 0.3 * i as f64, 20 + i);
+                if i % 2 == 1 {
+                    spec.arrival = ArrivalKind::Bursty { period_ns: 400_000, duty_pct: 25 };
+                }
+                (spec, FaultSchedule::quiet(4))
+            })
+            .collect();
+        let seq = mgg_runtime::with_threads(1, || s.run_sweep(&scenarios));
+        let par = mgg_runtime::with_threads(4, || s.run_sweep(&scenarios));
+        assert_eq!(seq, par, "sweep must merge in input order at any thread count");
+    }
+
+    #[test]
+    fn telemetry_counters_match_summary_and_digest_ignores_spans() {
+        let (s, nodes) = server(4, ServeConfig::default());
+        let spec = spec_at(&s, nodes, 2.0, 16);
+        let tel = Telemetry::enabled();
+        let out = s.run(&spec, &FaultSchedule::quiet(4), &tel);
+        let snap = tel.snapshot();
+        assert_eq!(tel.counter_value("serve.admitted"), out.summary.admitted);
+        assert_eq!(tel.counter_value("serve.shed.rate"), out.summary.shed_rate);
+        let d1 = snapshot_digest(&snap);
+        // Span noise must not perturb the digest.
+        {
+            let _g = tel.span("wall-clock-noise");
+        }
+        let d2 = snapshot_digest(&tel.snapshot());
+        assert_eq!(d1, d2, "snapshot digest must cover only counters + histograms");
+    }
+
+    #[test]
+    fn typed_shed_errors_render() {
+        let e = ServeError::Overloaded { queued: 256, cap: 256 };
+        assert!(e.to_string().contains("queue full"));
+        assert_eq!(e.code(), 1);
+        assert_eq!(ServeError::RateLimited.name(), "rate");
+    }
+}
+

@@ -1,0 +1,342 @@
+//! Deterministic serving workloads: seeded arrival processes and
+//! Zipf-skewed query mixes.
+//!
+//! Every stochastic choice is drawn from one `StdRng` seeded from
+//! [`WorkloadSpec::seed`], so a spec fully determines the query stream —
+//! the reproducibility contract every overload and fault scenario in this
+//! crate builds on. Arrivals use time-rescaled exponential gaps, which
+//! keeps the non-homogeneous processes ([`ArrivalKind::Bursty`],
+//! [`ArrivalKind::Ramp`]) exact rather than binned.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of the arrival process. All shapes share the same mean offered
+/// rate ([`WorkloadSpec::qps`]); they differ in how it is spread over time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalKind {
+    /// Homogeneous Poisson arrivals (exponential inter-arrival gaps).
+    Poisson,
+    /// On/off square wave: the offered rate concentrates into the first
+    /// `duty_pct`% of every `period_ns` window (a burst of
+    /// `100 / duty_pct`× the mean rate), then goes quiet.
+    Bursty {
+        /// Burst cycle length in simulated nanoseconds.
+        period_ns: u64,
+        /// Percentage of the cycle that is "on", in `[1, 100]`.
+        duty_pct: u8,
+    },
+    /// Linear ramp of the instantaneous rate from `from_mult`× to
+    /// `to_mult`× the mean over the run (overload drills: ramp through
+    /// saturation and watch shedding engage).
+    Ramp {
+        /// Rate multiplier at t = 0.
+        from_mult: f64,
+        /// Rate multiplier at t = duration.
+        to_mult: f64,
+    },
+}
+
+impl ArrivalKind {
+    /// Instantaneous rate multiplier at `t_ns` into a run of
+    /// `duration_ns`. Integrates to ~1 over the run for every shape.
+    fn rate_mult(&self, t_ns: u64, duration_ns: u64) -> f64 {
+        match *self {
+            ArrivalKind::Poisson => 1.0,
+            ArrivalKind::Bursty { period_ns, duty_pct } => {
+                let duty = (duty_pct.clamp(1, 100)) as f64 / 100.0;
+                let phase = (t_ns % period_ns.max(1)) as f64 / period_ns.max(1) as f64;
+                if phase < duty {
+                    1.0 / duty
+                } else {
+                    0.0
+                }
+            }
+            ArrivalKind::Ramp { from_mult, to_mult } => {
+                let frac = if duration_ns == 0 {
+                    0.0
+                } else {
+                    t_ns as f64 / duration_ns as f64
+                };
+                from_mult + (to_mult - from_mult) * frac
+            }
+        }
+    }
+
+    /// Lower-case name used by CLI flags and JSON reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalKind::Poisson => "poisson",
+            ArrivalKind::Bursty { .. } => "bursty",
+            ArrivalKind::Ramp { .. } => "ramp",
+        }
+    }
+}
+
+/// Full description of one serving workload. Two equal specs always
+/// generate identical query streams.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Seed of every stochastic decision in the stream.
+    pub seed: u64,
+    /// Arrival process shape.
+    pub arrival: ArrivalKind,
+    /// Mean offered load in queries per second (simulated time).
+    pub qps: f64,
+    /// Length of the arrival window in simulated nanoseconds.
+    pub duration_ns: u64,
+    /// Per-query latency budget: a query arriving at `t` must complete by
+    /// `t + deadline_ns` to count toward goodput.
+    pub deadline_ns: u64,
+    /// Zipf exponent of the query-node popularity distribution. `0.0` is
+    /// uniform; GNN inference mixes are typically 0.6–1.1 (hub nodes are
+    /// queried far more often than leaves).
+    pub zipf_s: f64,
+    /// Number of distinct queryable nodes.
+    pub num_nodes: usize,
+}
+
+impl WorkloadSpec {
+    /// A 1 ms-deadline Poisson workload at `qps` over `num_nodes` nodes —
+    /// the base spec the CLI and bench sweeps mutate.
+    pub fn poisson(seed: u64, qps: f64, num_nodes: usize) -> Self {
+        WorkloadSpec {
+            seed,
+            arrival: ArrivalKind::Poisson,
+            qps,
+            duration_ns: 2_000_000,
+            deadline_ns: 1_000_000,
+            zipf_s: 0.9,
+            num_nodes,
+        }
+    }
+}
+
+/// One node-inference query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Query {
+    /// Dense id in arrival order (ties broken by generation order).
+    pub id: u64,
+    /// Arrival instant in simulated nanoseconds.
+    pub arrival_ns: u64,
+    /// Queried node.
+    pub node: u32,
+    /// Absolute completion deadline (`arrival_ns + deadline_ns`).
+    pub deadline_ns: u64,
+}
+
+/// Zipf sampler over `0..n` ranks, materialised as a cumulative weight
+/// table (exact inverse-CDF sampling via binary search). Rank `r` gets
+/// weight `1 / (r + 1)^s`.
+///
+/// Popularity ranks are spread over node ids by a fixed multiplicative
+/// permutation (`rank * p mod n`, `p` coprime with `n`), so the hottest
+/// nodes land on *different* owning shards instead of all clustering in
+/// shard 0's contiguous id range — without this, a skewed mix degenerates
+/// into a single-shard hotspot and says nothing about per-shard batching.
+struct ZipfSampler {
+    cum: Vec<f64>,
+    perm_mult: u64,
+    n: u64,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one node");
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for r in 0..n {
+            total += 1.0 / ((r + 1) as f64).powf(s);
+            cum.push(total);
+        }
+        // Knuth's multiplicative-hash constant, nudged until coprime with
+        // `n` so the rank -> node map is a bijection.
+        let mut p = 2_654_435_761u64 % n as u64;
+        if p == 0 {
+            p = 1;
+        }
+        while gcd(p, n as u64) != 1 {
+            p += 1;
+        }
+        ZipfSampler { cum, perm_mult: p, n: n as u64 }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> u32 {
+        let total = *self.cum.last().expect("non-empty");
+        let u: f64 = rng.random::<f64>() * total;
+        let rank = self.cum.partition_point(|&c| c < u).min(self.cum.len() - 1);
+        ((rank as u64 * self.perm_mult) % self.n) as u32
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Generates the full query stream of `spec`, sorted by arrival time.
+///
+/// Arrivals come from a time-rescaled exponential process: each gap is
+/// drawn at the instantaneous rate `qps * rate_mult(t)`, so bursty and
+/// ramp shapes modulate the true point process instead of quantising it
+/// into buckets. Zero-rate stretches (the "off" half of a bursty cycle)
+/// are skipped analytically.
+pub fn generate(spec: &WorkloadSpec) -> Vec<Query> {
+    assert!(spec.qps > 0.0, "offered load must be positive");
+    assert!(spec.num_nodes > 0, "workload needs nodes to query");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let zipf = ZipfSampler::new(spec.num_nodes, spec.zipf_s.max(0.0));
+    let mut queries = Vec::new();
+    let mut t = 0u64;
+    let base_rate_per_ns = spec.qps / 1e9;
+    loop {
+        // Skip forward while the instantaneous rate is zero (off phase).
+        let mut mult = spec.arrival.rate_mult(t, spec.duration_ns);
+        while mult <= 0.0 {
+            t = match spec.arrival {
+                ArrivalKind::Bursty { period_ns, .. } => {
+                    // Jump to the start of the next burst cycle.
+                    (t / period_ns.max(1) + 1) * period_ns.max(1)
+                }
+                _ => t + 1_000,
+            };
+            if t >= spec.duration_ns {
+                return queries;
+            }
+            mult = spec.arrival.rate_mult(t, spec.duration_ns);
+        }
+        let rate = base_rate_per_ns * mult;
+        let u: f64 = rng.random::<f64>();
+        // Exponential gap at the current instantaneous rate; the +1 floor
+        // keeps simulated time strictly advancing.
+        let gap = (-(1.0 - u).ln() / rate).ceil().max(1.0);
+        if gap > spec.duration_ns as f64 {
+            return queries;
+        }
+        t = t.saturating_add(gap as u64);
+        if t >= spec.duration_ns {
+            return queries;
+        }
+        let node = zipf.sample(&mut rng);
+        queries.push(Query {
+            id: queries.len() as u64,
+            arrival_ns: t,
+            node,
+            deadline_ns: t + spec.deadline_ns,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(arrival: ArrivalKind) -> WorkloadSpec {
+        WorkloadSpec {
+            seed: 7,
+            arrival,
+            qps: 2_000_000.0, // 2 queries/us over a 2 ms window -> ~4000
+            duration_ns: 2_000_000,
+            deadline_ns: 500_000,
+            zipf_s: 0.9,
+            num_nodes: 1024,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let spec = base(ArrivalKind::Poisson);
+        assert_eq!(generate(&spec), generate(&spec));
+        let mut other = spec;
+        other.seed = 8;
+        assert_ne!(generate(&spec), generate(&other), "different seeds must diverge");
+    }
+
+    #[test]
+    fn poisson_hits_the_offered_rate() {
+        let spec = base(ArrivalKind::Poisson);
+        let n = generate(&spec).len() as f64;
+        let expected = spec.qps * spec.duration_ns as f64 / 1e9;
+        assert!(
+            (n - expected).abs() / expected < 0.15,
+            "got {n} arrivals, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_deadlines_absolute() {
+        let spec = base(ArrivalKind::Poisson);
+        let qs = generate(&spec);
+        for w in qs.windows(2) {
+            assert!(w[0].arrival_ns <= w[1].arrival_ns);
+            assert!(w[0].id < w[1].id);
+        }
+        for q in &qs {
+            assert_eq!(q.deadline_ns, q.arrival_ns + spec.deadline_ns);
+            assert!((q.node as usize) < spec.num_nodes);
+        }
+    }
+
+    #[test]
+    fn bursty_concentrates_arrivals_into_the_duty_window() {
+        let spec = base(ArrivalKind::Bursty { period_ns: 500_000, duty_pct: 20 });
+        let qs = generate(&spec);
+        assert!(!qs.is_empty());
+        let in_burst = qs
+            .iter()
+            .filter(|q| (q.arrival_ns % 500_000) as f64 / 500_000.0 < 0.2)
+            .count();
+        assert!(
+            in_burst as f64 / qs.len() as f64 > 0.95,
+            "bursty arrivals must land in the on-phase ({in_burst}/{})",
+            qs.len()
+        );
+    }
+
+    #[test]
+    fn ramp_back_loads_the_window() {
+        let spec = base(ArrivalKind::Ramp { from_mult: 0.2, to_mult: 1.8 });
+        let qs = generate(&spec);
+        let half = spec.duration_ns / 2;
+        let early = qs.iter().filter(|q| q.arrival_ns < half).count();
+        let late = qs.len() - early;
+        assert!(late > early * 2, "ramp must back-load arrivals ({early} vs {late})");
+    }
+
+    #[test]
+    fn zipf_skews_toward_hot_nodes_and_spreads_them() {
+        let mut spec = base(ArrivalKind::Poisson);
+        spec.zipf_s = 1.1;
+        let qs = generate(&spec);
+        let mut counts = vec![0u64; spec.num_nodes];
+        for q in &qs {
+            counts[q.node as usize] += 1;
+        }
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top16: u64 = sorted[..16].iter().sum();
+        assert!(
+            top16 as f64 / qs.len() as f64 > 0.35,
+            "zipf 1.1 must concentrate load on hot nodes"
+        );
+        // The permutation must spread the hot ranks: the 4 hottest nodes
+        // cannot all sit in the lowest quarter of the id space.
+        let mut hot_ids: Vec<usize> = (0..spec.num_nodes).collect();
+        hot_ids.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
+        let low_quarter = hot_ids[..4].iter().filter(|&&i| i < spec.num_nodes / 4).count();
+        assert!(low_quarter < 4, "hot nodes must not cluster in one shard's range");
+    }
+
+    #[test]
+    fn zero_duty_and_zero_nodes_guard() {
+        let spec = base(ArrivalKind::Bursty { period_ns: 0, duty_pct: 0 });
+        // period 0 is clamped to 1; duty 0 is clamped to 1%. Must not hang
+        // or panic, and everything still lands inside the window.
+        let qs = generate(&spec);
+        assert!(qs.iter().all(|q| q.arrival_ns < spec.duration_ns));
+    }
+}

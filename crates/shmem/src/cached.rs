@@ -41,7 +41,9 @@ struct PeCache {
 impl PeCache {
     fn new(capacity_rows: usize, cfg: &CacheConfig) -> Self {
         PeCache {
-            cache: EmbedCache::new(capacity_rows, cfg.policy),
+            // Guarded: an undersized per-PE cache degrades to pass-through
+            // instead of thrashing (see `EmbedCache::with_thrash_guard`).
+            cache: EmbedCache::with_thrash_guard(capacity_rows, cfg.policy),
             rows: Vec::new(),
             coalescer: WarpCoalescer::new(),
             inflight: HashMap::new(),
@@ -117,7 +119,13 @@ impl<'a> CachedRegion<'a> {
             dst.copy_from_slice(&pc.rows[lookup.slot.expect("hit has a slot")]);
             return Ok(true);
         }
-        self.inner.get(dst, issuing_pe, src_pe, src_row)?;
+        if let Err(e) = self.inner.get(dst, issuing_pe, src_pe, src_row) {
+            // The miss admitted the key but its payload never arrived;
+            // drop it so a later request refetches instead of hitting on
+            // stale slot contents.
+            self.pes[issuing_pe].as_mut().expect("cache built above").cache.invalidate(key);
+            return Err(e);
+        }
         self.pes[issuing_pe].as_mut().expect("cache built above").store(lookup.slot, dst);
         Ok(false)
     }
@@ -154,7 +162,15 @@ impl<'a> CachedRegion<'a> {
             pc.inflight.insert(key.pack(), row);
             return Ok(());
         }
-        self.inner.get_nbi(dst, issuing_pe, src_pe, src_row)?;
+        if let Err(e) = self.inner.get_nbi(dst, issuing_pe, src_pe, src_row) {
+            // No landing buffer ever arrived: retract the key from the
+            // window (so duplicates refetch rather than coalescing onto
+            // nothing) and drop the admitted-but-empty cache entry.
+            let pc = self.pes[issuing_pe].as_mut().expect("cache built above");
+            pc.coalescer.retract(key);
+            pc.cache.invalidate(key);
+            return Err(e);
+        }
         let pc = self.pes[issuing_pe].as_mut().expect("cache built above");
         pc.store(lookup.slot, dst);
         pc.inflight.insert(key.pack(), dst.to_vec());
@@ -331,6 +347,54 @@ mod tests {
         c.flush();
         assert!(!c.get(&mut dst, 0, 1, 0).unwrap(), "cold after flush");
         assert_eq!(dst, r.row(1, 0));
+    }
+
+    #[test]
+    fn failed_blocking_fetch_leaves_the_key_refetchable() {
+        use mgg_fault::FaultSpec;
+        // A drop schedule dense enough that blocking misses routinely
+        // exhaust the retry budget. A failed miss admitted the key before
+        // the fetch; it must be dropped again (payload never arrived), so
+        // a retry re-misses and — when the fabric finally delivers —
+        // returns exact bytes instead of hitting on stale slot contents.
+        let r = region(2, 8, 4);
+        let spec = FaultSpec { seed: 1, drop_rate: 0.97, ..FaultSpec::quiet() };
+        let sched = FaultSchedule::derive(&spec, 2);
+        let mut c = CachedRegion::new(&r, Some(&sched), cfg_mb(1), 4);
+        let mut dst = vec![0.0f32; 4];
+        let (mut errs, mut oks) = (0u32, 0u32);
+        for _ in 0..6 {
+            for row in 0..8u32 {
+                match c.get(&mut dst, 0, 1, row) {
+                    Ok(_) => {
+                        assert_eq!(dst, r.row(1, row));
+                        oks += 1;
+                    }
+                    Err(_) => errs += 1,
+                }
+            }
+        }
+        assert!(errs > 0, "a 0.97 drop rate must exhaust the retry budget");
+        assert!(oks > 0, "some retries must eventually land");
+    }
+
+    #[test]
+    fn failed_nbi_fetch_does_not_poison_the_window() {
+        // An erroring non-blocking GET must retract the key from the
+        // batch window: with no landing buffer ever arriving, a duplicate
+        // request must take the fetch path again (and fail the same way)
+        // rather than panic reading a landing buffer that does not exist.
+        let r = region(2, 4, 4);
+        let mut c = CachedRegion::new(&r, None, cfg_mb(1), 4);
+        let mut dst = vec![0.0f32; 4];
+        c.begin_batch(0);
+        assert!(c.get_nbi(&mut dst, 0, 1, 99).is_err());
+        assert!(c.get_nbi(&mut dst, 0, 1, 99).is_err());
+        // The window itself still works for keys that do land.
+        c.get_nbi(&mut dst, 0, 1, 0).unwrap();
+        c.get_nbi(&mut dst, 0, 1, 0).unwrap();
+        assert_eq!(dst, r.row(1, 0));
+        c.quiet(0).unwrap();
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub use mgg_fault as fault;
 pub use mgg_gnn as gnn;
 pub use mgg_graph as graph;
 pub use mgg_runtime as runtime;
+pub use mgg_serve as serve;
 pub use mgg_shmem as shmem;
 pub use mgg_sim as sim;
 pub use mgg_telemetry as telemetry;

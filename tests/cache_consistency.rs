@@ -106,3 +106,124 @@ proptest! {
         }
     }
 }
+
+use mgg::fault::{FaultSchedule, FaultSpec};
+use mgg::shmem::{CachedRegion, SymmetricRegion};
+
+/// Strategy: a transient-only fault spec (drops, degraded links,
+/// stragglers — no permanent failures, so every GET eventually lands).
+fn arb_transient_faults() -> impl Strategy<Value = FaultSpec> {
+    (0u64..500, 0.0f64..0.5, 1.0f64..4.0, 0.3f64..1.0).prop_map(
+        |(seed, drop_rate, straggler, link_degrade)| FaultSpec {
+            seed,
+            drop_rate,
+            straggler,
+            link_degrade,
+            ..FaultSpec::quiet()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Chaos variant of value transparency: with a transient fault
+    // schedule installed (dropped completions, degraded links,
+    // stragglers), the cached data plane must still be bit-identical to
+    // the uncached one. Faults move *timing* (retries, stalls); a cached
+    // hit replays the bytes the fabric delivered, no matter how many
+    // retries delivered them.
+    #[test]
+    fn cached_aggregation_is_bit_identical_under_transient_faults(
+        g in arb_graph(),
+        gpus in 2usize..5,
+        dim in 1usize..8,
+        seed in 0u64..1000,
+        capacity_bytes in 0u64..8192,
+        fault in arb_transient_faults(),
+    ) {
+        let x = Matrix::glorot(g.num_nodes(), dim, seed);
+        let mut engine = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(gpus),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        engine.install_fault_schedule(FaultSchedule::derive(&fault, gpus));
+        let want = engine.aggregate_values(&x);
+        engine.set_cache(Some(CacheConfig {
+            capacity_bytes,
+            policy: CachePolicy::Lru,
+        }));
+        let (got, _) = engine.aggregate_values_cached(&x).unwrap();
+        prop_assert_eq!(got.data(), want.data());
+    }
+
+    // Landing-buffer invalidation: an arbitrary interleaving of cached
+    // GETs, non-blocking GETs, window closes and mid-window `flush`
+    // calls (the recovery/re-plan invalidation hook) must never lose an
+    // in-flight row — every read returns the backing region's bytes and
+    // no coalesced duplicate is left pointing at a cleared landing
+    // buffer.
+    #[test]
+    fn landing_buffer_invalidation_never_loses_inflight_rows(
+        ops in proptest::collection::vec(
+            (0usize..3, 0usize..3, 0u32..6, 0usize..8), 1..120),
+        capacity_bytes in 0u64..256,
+        fault in arb_transient_faults(),
+    ) {
+        let pes = 3usize;
+        let rows = 6usize;
+        let dim = 4usize;
+        // Distinct payload per (pe, row) so any mix-up is visible.
+        let matrix: Vec<f32> = (0..pes * rows * dim)
+            .map(|i| i as f32 + 0.5)
+            .collect();
+        let region = SymmetricRegion::scatter_rows(&matrix, &[rows; 3], dim);
+        let sched = FaultSchedule::derive(&fault, pes);
+        let cfg = CacheConfig { capacity_bytes, policy: CachePolicy::Lru };
+        let mut c = CachedRegion::new(&region, Some(&sched), cfg, dim);
+        for pe in 0..pes {
+            c.begin_batch(pe);
+        }
+        let mut dst = vec![0.0f32; dim];
+        for (pe, src_pe, row, kind) in ops {
+            match kind {
+                0..=3 => match c.get_nbi(&mut dst, pe, src_pe, row) {
+                    Ok(()) => prop_assert_eq!(&dst, region.row(src_pe, row)),
+                    // A dense drop schedule can exhaust the bounded retry
+                    // budget. The failed fetch must leave the window
+                    // coherent: an immediate duplicate re-issues its own
+                    // transaction (never coalesces onto a landing buffer
+                    // that never arrived) and is exact when it lands.
+                    Err(_) => {
+                        if c.get_nbi(&mut dst, pe, src_pe, row).is_ok() {
+                            prop_assert_eq!(&dst, region.row(src_pe, row));
+                        }
+                    }
+                },
+                4 | 5 => match c.get(&mut dst, pe, src_pe, row) {
+                    Ok(_) => prop_assert_eq!(&dst, region.row(src_pe, row)),
+                    // Same for the blocking path: the key must not be
+                    // left resident with a payload that never arrived, so
+                    // a retry that succeeds — hit or miss — is exact.
+                    Err(_) => {
+                        if c.get(&mut dst, pe, src_pe, row).is_ok() {
+                            prop_assert_eq!(&dst, region.row(src_pe, row));
+                        }
+                    }
+                },
+                6 => c.flush(),
+                _ => c.quiet(pe).unwrap(),
+            }
+        }
+        for pe in 0..pes {
+            c.quiet(pe).unwrap();
+        }
+        // Accounting stays coherent across invalidations: every access
+        // is classified exactly once.
+        let s = c.stats();
+        prop_assert!(s.bypassed <= s.misses);
+        prop_assert_eq!(s.hits + s.misses + s.coalesced > 0, true);
+    }
+}
