@@ -29,6 +29,7 @@ pub struct Fig2Report {
 pub fn run(scale: f64, gpus: usize) -> Fig2Report {
     // Both dataset cells are independent; parallel jobs, input-order merge.
     let specs = [DatasetSpec::rdd(), DatasetSpec::enwiki()];
+    let _lbl = mgg_runtime::profile::region_label("bench.fig2");
     let rows = mgg_runtime::par_map(&specs, |spec| {
         let d = spec.build(scale);
         let report = nccl_ring_study(&d.graph, ClusterSpec::dgx_a100(gpus), spec.dim);

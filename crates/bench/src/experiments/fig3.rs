@@ -35,6 +35,7 @@ pub fn run(scale: f64) -> Fig3Report {
     // GPU-count cells are independent simulations; parallel jobs with
     // input-order merge keep the report identical to the serial sweep.
     let gpu_counts = [2usize, 4, 8];
+    let _lbl = mgg_runtime::profile::region_label("bench.fig3");
     let mut rows: Vec<Fig3Row> = mgg_runtime::par_map(&gpu_counts, |&gpus| {
         let mut engine =
             UvmGnnEngine::new(&d.graph, ClusterSpec::dgx_a100(gpus), AggregateMode::Sum);

@@ -38,6 +38,7 @@ pub fn run(scale: f64, gpus: usize) -> Fig7Report {
     // Dataset cells are independent simulations; run them as parallel jobs
     // on the deterministic worker pool (results merge in dataset order).
     let ds = datasets(scale);
+    let _lbl = mgg_runtime::profile::region_label("bench.fig7");
     let rows: Vec<Fig7Row> = mgg_runtime::par_map(&ds, |d| {
         let spec = ClusterSpec::dgx_a100(gpus);
         let mut a = MggEngine::new(&d.graph, spec.clone(), cfg, AggregateMode::Sum);

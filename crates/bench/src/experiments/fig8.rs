@@ -68,6 +68,7 @@ pub fn run(scale: f64) -> Fig8Report {
             }
         }
     }
+    let _lbl = mgg_runtime::profile::region_label("bench.fig8");
     let rows: Vec<Fig8Row> = mgg_runtime::par_map(&cells, |&(di, gpus, kind, name)| {
         let d = &ds[di];
         let spec = ClusterSpec::dgx_a100(gpus);

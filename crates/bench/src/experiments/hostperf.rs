@@ -1,14 +1,23 @@
 //! `ext_hostperf`: host-side performance of the simulator and the
 //! deterministic worker pool — the artifact behind the runtime overhaul.
 //!
-//! Two measurements:
+//! Three measurements:
 //!
 //! 1. **Sweep scaling.** Wall-clock of a dataset × dimension × GPU-count
-//!    simulation sweep at 1/2/4/8 threads, each run producing an FNV-1a
-//!    digest of every simulated latency. The pool merges job results in
-//!    input order, so the digest must be identical at every thread count;
-//!    `digests_match` makes that checkable in CI without wall-clock gating.
-//! 2. **Event-loop throughput.** Events/sec through the calendar queue
+//!    simulation sweep at 1/2/4/8 threads (best of `RUNS_PER_THREADS`
+//!    timed runs), each run producing an FNV-1a digest of every simulated
+//!    latency. The pool merges job results in input order, so the digest
+//!    must be identical at every thread count; `digests_match` makes that
+//!    checkable in CI without wall-clock gating. The cell list is part of
+//!    the report so `perfdiff` comparisons are apples-to-apples.
+//! 2. **Overhead attribution.** One additional run per thread count under
+//!    `mgg_runtime::profile::collect`, breaking the worker-lane time into
+//!    task-exec / spawn / idle / ordered-merge-wait (plus telemetry
+//!    fork/merge and recorder-mutex contention) — the "where did the
+//!    speedup go" data for ROADMAP open item 1. The profiled run's digest
+//!    is reported separately and must equal the unprofiled one: profiling
+//!    is bit-identity-preserving by contract.
+//! 3. **Event-loop throughput.** Events/sec through the calendar queue
 //!    (deterministic push/pop stream), the simulator's single hottest path.
 //!
 //! Wall-clock numbers are hardware-dependent and reported for trend
@@ -17,27 +26,51 @@
 use mgg_core::{MggConfig, MggEngine};
 use mgg_gnn::reference::AggregateMode;
 use mgg_graph::datasets::Dataset;
+use mgg_runtime::profile::{OverheadBreakdown, RuntimeProfile};
 use mgg_sim::{ClusterSpec, EventQueue};
 use serde::Serialize;
 
 use crate::experiments::common::datasets;
 use crate::report::ExperimentReport;
 
+/// Timed (unprofiled) runs per thread count; the row reports the best.
+pub const RUNS_PER_THREADS: usize = 2;
+
+/// One sweep cell, named so baselines can be compared cell-for-cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepCell {
+    pub dataset: String,
+    pub dim: usize,
+    pub gpus: usize,
+}
+
 #[derive(Debug, Clone, Serialize)]
 pub struct HostPerfRow {
     pub threads: usize,
+    /// Timed runs taken at this thread count; `wall_ns` is their minimum.
+    pub runs: usize,
     pub wall_ns: u64,
     /// Wall-clock speedup over the 1-thread row (>= 1 when scaling works).
     pub speedup: f64,
     /// FNV-1a digest over every simulated latency, in sweep-cell order.
     pub digest: String,
+    /// Digest of the profiled run — must equal `digest` (profiling is
+    /// bit-identity-preserving).
+    pub digest_profiled: String,
+    /// Worker-lane attribution from the profiled run: where the non-exec
+    /// time went, per category.
+    pub overhead: OverheadBreakdown,
 }
 
 #[derive(Debug, Clone, Serialize)]
 pub struct HostPerfReport {
     pub sweep_cells: usize,
+    /// The exact cells swept, in job order.
+    pub cells: Vec<SweepCell>,
+    pub runs_per_thread_count: usize,
     pub rows: Vec<HostPerfRow>,
-    /// True iff every thread count produced bit-identical sweep results.
+    /// True iff every thread count produced bit-identical sweep results,
+    /// profiled runs included.
     pub digests_match: bool,
     /// Calendar-queue throughput on the synthetic event stream.
     pub event_loop_events_per_sec: f64,
@@ -64,6 +97,7 @@ fn fnv1a(values: &[u64]) -> String {
 fn run_sweep(ds: &[Dataset], threads: usize, cells: &[Cell]) -> (u64, Vec<u64>) {
     let start = std::time::Instant::now();
     let lats = mgg_runtime::with_threads(threads, || {
+        let _lbl = mgg_runtime::profile::region_label("bench.hostperf");
         mgg_runtime::par_map(cells, |&(di, dim, gpus)| {
             let d = &ds[di];
             let spec = ClusterSpec::dgx_a100(gpus);
@@ -73,6 +107,18 @@ fn run_sweep(ds: &[Dataset], threads: usize, cells: &[Cell]) -> (u64, Vec<u64>) 
         })
     });
     (start.elapsed().as_nanos() as u64, lats)
+}
+
+/// [`run_sweep`] under the attribution profiler: same jobs, same digest,
+/// plus the per-worker lifecycle profile.
+fn run_sweep_profiled(
+    ds: &[Dataset],
+    threads: usize,
+    cells: &[Cell],
+) -> (u64, Vec<u64>, RuntimeProfile) {
+    let ((wall_ns, lats), profile) =
+        mgg_runtime::profile::collect(|| run_sweep(ds, threads, cells));
+    (wall_ns, lats, profile)
 }
 
 /// Deterministic push/pop stream through the calendar queue, measuring raw
@@ -114,34 +160,52 @@ fn event_loop_throughput() -> (u64, f64) {
 pub fn run(scale: f64) -> HostPerfReport {
     let ds = datasets(scale);
     let mut cells: Vec<Cell> = Vec::new();
-    for di in 0..ds.len() {
+    let mut cell_names: Vec<SweepCell> = Vec::new();
+    for (di, d) in ds.iter().enumerate() {
         for dim in [16usize, 64] {
             for gpus in [4usize, 8] {
                 cells.push((di, dim, gpus));
+                cell_names.push(SweepCell { dataset: d.spec.name.to_string(), dim, gpus });
             }
         }
     }
 
     let mut rows: Vec<HostPerfRow> = Vec::new();
     for threads in [1usize, 2, 4, 8] {
-        let (wall_ns, lats) = run_sweep(&ds, threads, &cells);
+        let mut wall_ns = u64::MAX;
+        let mut digest = String::new();
+        for run in 0..RUNS_PER_THREADS {
+            let (w, lats) = run_sweep(&ds, threads, &cells);
+            wall_ns = wall_ns.min(w);
+            if run == 0 {
+                digest = fnv1a(&lats);
+            }
+        }
+        let (_, profiled_lats, profile) = run_sweep_profiled(&ds, threads, &cells);
         rows.push(HostPerfRow {
             threads,
+            runs: RUNS_PER_THREADS,
             wall_ns,
             speedup: 0.0, // filled in below once the 1-thread row exists
-            digest: fnv1a(&lats),
+            digest,
+            digest_profiled: fnv1a(&profiled_lats),
+            overhead: profile.breakdown(),
         });
     }
     let base = rows[0].wall_ns.max(1) as f64;
     for r in &mut rows {
         r.speedup = base / r.wall_ns.max(1) as f64;
     }
-    let digests_match = rows.iter().all(|r| r.digest == rows[0].digest);
+    let digests_match = rows
+        .iter()
+        .all(|r| r.digest == rows[0].digest && r.digest_profiled == rows[0].digest);
 
     let (event_loop_events, event_loop_events_per_sec) = event_loop_throughput();
 
     HostPerfReport {
         sweep_cells: cells.len(),
+        cells: cell_names,
+        runs_per_thread_count: RUNS_PER_THREADS,
         rows,
         digests_match,
         event_loop_events_per_sec,
@@ -155,20 +219,37 @@ impl ExperimentReport for HostPerfReport {
     }
 
     fn print(&self) {
-        println!("Host performance: sweep scaling + event-loop throughput");
-        println!("{:<8} {:>12} {:>9}  digest", "threads", "wall (ms)", "speedup");
+        println!("Host performance: sweep scaling + overhead attribution");
+        println!(
+            "{:<8} {:>12} {:>9}  {:>6} {:>6} {:>6} {:>6}  digest",
+            "threads", "wall (ms)", "speedup", "exec%", "spawn%", "idle%", "merge%"
+        );
         for r in &self.rows {
+            let lane = r.overhead.exec_ns + r.overhead.overhead_ns();
+            let pct = |ns: u64| {
+                if lane == 0 {
+                    0.0
+                } else {
+                    100.0 * ns as f64 / lane as f64
+                }
+            };
             println!(
-                "{:<8} {:>12.1} {:>8.2}x  {}",
+                "{:<8} {:>12.1} {:>8.2}x  {:>5.1} {:>6.1} {:>6.1} {:>6.1}  {}",
                 r.threads,
                 r.wall_ns as f64 / 1e6,
                 r.speedup,
+                pct(r.overhead.exec_ns),
+                pct(r.overhead.spawn_ns),
+                pct(r.overhead.idle_ns),
+                pct(r.overhead.merge_wait_ns),
                 r.digest
             );
         }
         println!(
-            "sweep: {} cells, digests {} across thread counts",
+            "sweep: {} cells x {} runs/thread-count, digests {} across thread counts \
+             (profiled runs included)",
             self.sweep_cells,
+            self.runs_per_thread_count,
             if self.digests_match { "IDENTICAL" } else { "DIVERGED" }
         );
         println!(
@@ -191,6 +272,23 @@ mod tests {
         for threads in [2usize, 4, 7] {
             let (_, par) = run_sweep(&ds, threads, &cells);
             assert_eq!(seq, par, "sweep diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn profiled_sweep_is_bit_identical_and_attributed() {
+        let ds = datasets(0.05);
+        let cells: Vec<Cell> = vec![(0, 16, 4), (0, 16, 8), (1, 16, 4), (1, 16, 8)];
+        let (_, plain) = run_sweep(&ds, 1, &cells);
+        for threads in [1usize, 2, 4, 7] {
+            let (_, profiled, profile) = run_sweep_profiled(&ds, threads, &cells);
+            assert_eq!(plain, profiled, "profiler changed results at {threads} threads");
+            assert!(!profile.regions.is_empty());
+            assert_eq!(profile.regions[0].name, "bench.hostperf");
+            let b = profile.breakdown();
+            assert!(b.exec_ns > 0);
+            // The named categories tile the non-exec lane time.
+            assert!(b.attributed_fraction >= 0.9, "attributed {}", b.attributed_fraction);
         }
     }
 

@@ -42,6 +42,7 @@ pub fn run(scale: f64, gpus: usize) -> OccupancyReport {
     // Dataset cells are independent simulations; run them as parallel jobs
     // on the deterministic worker pool (results merge in dataset order).
     let ds = datasets(scale);
+    let _lbl = mgg_runtime::profile::region_label("bench.occupancy");
     let rows: Vec<OccupancyRow> = mgg_runtime::par_map(&ds, |d| {
         let spec = ClusterSpec::dgx_a100(gpus);
         let mut mgg = crate::experiments::fig8::tuned_engine(

@@ -32,6 +32,7 @@ pub struct Tab1Report {
 pub fn run(scale: f64, gpus: usize) -> Tab1Report {
     // Independent per-dataset simulations: parallel jobs, dataset-order merge.
     let ds = datasets(scale);
+    let _lbl = mgg_runtime::profile::region_label("bench.tab1");
     let rows: Vec<Tab1Row> = mgg_runtime::par_map(&ds, |d| {
         let spec = ClusterSpec::dgx_a100(gpus);
         let mut uvm = UvmGnnEngine::new(&d.graph, spec.clone(), AggregateMode::Sum);

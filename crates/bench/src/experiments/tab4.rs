@@ -41,6 +41,7 @@ pub fn run(scale: f64, gpus: usize) -> Tab4Report {
     // Each dataset row is an independent simulation; fan the cells out on
     // the deterministic worker pool (results merge in dataset order).
     let ds = datasets(scale);
+    let _lbl = mgg_runtime::profile::region_label("bench.tab4");
     let rows: Vec<Tab4Row> = mgg_runtime::par_map(&ds, |d| {
         let spec = ClusterSpec::dgx_a100(gpus);
         let cost = DenseCostModel::a100(gpus);

@@ -80,6 +80,7 @@ pub fn run(scale: f64, gpus: usize) -> Tab5Report {
     ];
     // The two classification tasks (training + simulation) are independent;
     // run them as parallel jobs on the deterministic worker pool.
+    let _lbl = mgg_runtime::profile::region_label("bench.tab5");
     let rows = mgg_runtime::par_map(&tasks, |t| {
         let out = sbm(&SbmConfig {
             block_sizes: vec![t.block_size; t.blocks],

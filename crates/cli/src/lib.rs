@@ -14,6 +14,8 @@
 //! Graph files ending in `.txt` use the whitespace edge-list format; any
 //! other extension uses the compact binary CSR format.
 
+pub mod perfdiff;
+
 use std::path::{Path, PathBuf};
 
 use mgg_baselines::{DgclEngine, DirectNvshmemEngine, UvmGnnEngine};
@@ -67,6 +69,19 @@ pub enum Command {
         metrics_out: Option<PathBuf>,
         /// Worker-pool width (`--threads N`; None = all cores, 1 = sequential).
         threads: Option<usize>,
+        /// Host-runtime attribution mode (`--host`): sequential-vs-parallel
+        /// sweep with the worker-pool profiler, "where did the speedup go".
+        host: bool,
+    },
+    PerfDiff {
+        baseline: PathBuf,
+        candidate: PathBuf,
+        /// Emit GitHub Actions `::warning::`/`::error::` annotations.
+        annotate: bool,
+        /// Exit non-zero when any metric regresses (default: report only).
+        strict: bool,
+        /// Machine-readable verdict (`--json-out`).
+        json_out: Option<PathBuf>,
     },
     Train { communities: usize, size: usize, epochs: usize, gpus: usize },
     Serve {
@@ -199,7 +214,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
             match name {
-                "multilevel" | "tune" => {
+                "multilevel" | "tune" | "host" | "annotate" | "strict" => {
                     switches.insert(name.to_string());
                 }
                 _ => {
@@ -458,7 +473,24 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             trace_out: flags.get("trace-out").map(PathBuf::from),
             metrics_out: flags.get("metrics-out").map(PathBuf::from),
             threads: get_threads(&flags)?,
+            host: switches.contains("host"),
         }),
+        "perfdiff" => {
+            if positional.len() != 2 {
+                return Err(
+                    "perfdiff expects two paths: <baseline.json> <candidate.json> \
+                     (or two bench-results directories)"
+                        .into(),
+                );
+            }
+            Ok(Command::PerfDiff {
+                baseline: PathBuf::from(&positional[0]),
+                candidate: PathBuf::from(&positional[1]),
+                annotate: switches.contains("annotate"),
+                strict: switches.contains("strict"),
+                json_out: flags.get("json-out").map(PathBuf::from),
+            })
+        }
         other => Err(format!("unknown command '{other}'")),
     }
 }
@@ -856,9 +888,27 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             text.push_str(&write_telemetry_outputs(&tel, &None, metrics_out)?);
             Ok(text)
         }
-        Command::Profile { graph, gpus, dim, engine, platform, trace_out, metrics_out, threads } => {
+        Command::Profile {
+            graph,
+            gpus,
+            dim,
+            engine,
+            platform,
+            trace_out,
+            metrics_out,
+            threads,
+            host,
+        } => {
             if let Some(n) = threads {
                 mgg_runtime::set_threads(*n);
+            }
+            if *host {
+                if !matches!(engine, Engine::Mgg) {
+                    return Err("profile --host supports --engine mgg only".into());
+                }
+                let g = load_graph(graph)?;
+                let spec = platform.spec(*gpus);
+                return run_host_profile(&g, spec, *dim, *threads, trace_out, metrics_out);
             }
             let g = load_graph(graph)?;
             let spec = platform.spec(*gpus);
@@ -893,7 +943,62 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 tel.snapshot().render_text()
             ))
         }
+        Command::PerfDiff { baseline, candidate, annotate, strict, json_out } => {
+            perfdiff::run(baseline, candidate, *annotate, *strict, json_out.as_deref())
+        }
     }
+}
+
+/// The `profile --host` body: runs the same simulation sweep once at one
+/// worker and once at the requested width under the worker-pool attribution
+/// profiler, checks the two runs are bit-identical, and prints the
+/// "where did the speedup go" table.
+fn run_host_profile(
+    g: &CsrGraph,
+    spec: ClusterSpec,
+    dim: usize,
+    threads: Option<usize>,
+    trace_out: &Option<PathBuf>,
+    metrics_out: &Option<PathBuf>,
+) -> Result<String, String> {
+    // Eight independent jobs at graduated dims, so lanes get uneven work
+    // (the interesting case for idle/merge-wait attribution).
+    let dims: Vec<usize> = (1..=8).map(|i| (dim * i / 8).max(1)).collect();
+    let run = |threads: usize| -> Result<(u64, Vec<u64>), String> {
+        let start = std::time::Instant::now();
+        let results = mgg_runtime::with_threads(threads, || {
+            let _lbl = mgg_runtime::profile::region_label("cli.host");
+            mgg_runtime::par_map(&dims, |&dm| {
+                let mut e =
+                    MggEngine::new(g, spec.clone(), MggConfig::default_fixed(), AggregateMode::Sum);
+                e.simulate_aggregation_ns(dm).map_err(|e| e.to_string())
+            })
+        });
+        let lats = results.into_iter().collect::<Result<Vec<u64>, String>>()?;
+        Ok((start.elapsed().as_nanos() as u64, lats))
+    };
+    let par_threads = threads.unwrap_or_else(mgg_runtime::threads).max(1);
+    let (seq_wall, seq_lats) = run(1)?;
+    let (par_res, profile) = mgg_runtime::profile::collect(|| run(par_threads));
+    let (par_wall, par_lats) = par_res?;
+    if seq_lats != par_lats {
+        return Err(format!(
+            "host profile: parallel run diverged from sequential at {par_threads} threads \
+             (this is a runtime bug — the pool must be bit-identical)"
+        ));
+    }
+    let mut out = profile.render_attribution(seq_wall, par_wall);
+    out.push_str(&format!(
+        "bit-identity: {} jobs, sequential == {}-thread results (profiled)\n",
+        dims.len(),
+        par_threads
+    ));
+    if trace_out.is_some() || metrics_out.is_some() {
+        let tel = Telemetry::enabled();
+        tel.attach_runtime_profile(profile);
+        out.push_str(&write_telemetry_outputs(&tel, trace_out, metrics_out)?);
+    }
+    Ok(out)
 }
 
 /// The `serve --json-out` report: calibration, tunables and run summary.
@@ -1005,6 +1110,11 @@ pub fn usage() -> &'static str {
   mgg-cli profile <graph> [--gpus N] [--dim D] [--engine mgg|uvm]
                   [--platform a100|v100|pcie] [--trace-out <file>] [--metrics-out <file>]
                   [--threads N]
+                  [--host]   (worker-pool attribution: sequential-vs-parallel sweep,
+                              bit-identity check, \"where did the speedup go\" table)
+  mgg-cli perfdiff <baseline.json> <candidate.json> [--annotate] [--strict]
+                   [--json-out <file>]
+                   (also takes two bench-results directories, pairing files by name)
   mgg-cli train [--communities K] [--size NODES_PER_COMMUNITY] [--epochs E] [--gpus N]
 
 graph files: .txt = edge list, anything else = binary CSR\n"
@@ -1304,6 +1414,7 @@ mod tests {
                 trace_out: Some(PathBuf::from("t.json")),
                 metrics_out: Some(PathBuf::from("m.json")),
                 threads: None,
+                host: false,
             }
         );
         match parse(&args("simulate g.csr --trace-out t.json")).unwrap() {
@@ -1313,6 +1424,101 @@ mod tests {
             }
             other => panic!("parsed {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_perfdiff_and_host_flags() {
+        let cmd =
+            parse(&args("perfdiff base.json cand.json --annotate --json-out v.json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::PerfDiff {
+                baseline: PathBuf::from("base.json"),
+                candidate: PathBuf::from("cand.json"),
+                annotate: true,
+                strict: false,
+                json_out: Some(PathBuf::from("v.json")),
+            }
+        );
+        assert!(parse(&args("perfdiff only-one.json")).is_err());
+        match parse(&args("profile g.csr --host --threads 4")).unwrap() {
+            Command::Profile { host, threads, .. } => {
+                assert!(host);
+                assert_eq!(threads, Some(4));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn host_profile_attributes_the_speedup_gap() {
+        let dir = std::env::temp_dir().join(format!("mgg-cli-host-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.csr");
+        let p = path.to_str().unwrap();
+        execute(&parse(&args(&format!("generate --rmat 9,6000 -o {p}"))).unwrap()).unwrap();
+
+        let metrics = dir.join("m.json");
+        let out = execute(
+            &parse(&args(&format!(
+                "profile {p} --gpus 4 --dim 32 --host --threads 4 --metrics-out {}",
+                metrics.display()
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("task-exec"), "{out}");
+        assert!(out.contains("bit-identity"), "{out}");
+        // The metrics snapshot must carry the attached runtime profile.
+        let snap = std::fs::read_to_string(&metrics).unwrap();
+        assert!(snap.contains("cli.host"), "{snap}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn perfdiff_command_runs_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("mgg-cli-pd-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cand = dir.join("cand.json");
+        let verdict = dir.join("verdict.json");
+        std::fs::write(&base, r#"{"rows": [{"threads": 4, "speedup": 3.0}]}"#).unwrap();
+        std::fs::write(&cand, r#"{"rows": [{"threads": 4, "speedup": 2.0}]}"#).unwrap();
+
+        let out = execute(
+            &parse(&args(&format!(
+                "perfdiff {} {} --annotate --json-out {}",
+                base.display(),
+                cand.display(),
+                verdict.display()
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("REGRESSED"), "{out}");
+        assert!(out.contains("::warning::"), "{out}");
+        assert!(std::fs::read_to_string(&verdict).unwrap().contains("regressed"));
+
+        // --strict turns the same regression into a hard failure.
+        let err = execute(
+            &parse(&args(&format!(
+                "perfdiff {} {} --strict",
+                base.display(),
+                cand.display()
+            )))
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("--strict"), "{err}");
+
+        // Identical inputs are clean even under --strict.
+        let out = execute(
+            &parse(&args(&format!("perfdiff {} {} --strict", base.display(), base.display())))
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("CLEAN"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

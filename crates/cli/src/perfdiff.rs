@@ -1,0 +1,629 @@
+//! `mgg-cli perfdiff`: schema-aware comparison of two bench-result JSON
+//! reports (or two `bench-results/` directories), the offline half of the
+//! CI perf-regression sentinel.
+//!
+//! The engine flattens each JSON tree to dotted leaf paths — array elements
+//! are labelled by their identifying keys (`rows[threads=4].speedup`,
+//! `cells[dataset=RDD,dim=16,gpus=4]`) so reordered reports still line up —
+//! and applies a per-metric rule keyed on the leaf name:
+//!
+//! * **higher-better** (speedup, qps, goodput, hit rates, events/sec):
+//!   a relative drop beyond tolerance is a regression.
+//! * **lower-better** (p50/p95/p99, wall-clock, latency, penalty):
+//!   a relative rise beyond tolerance is a regression.
+//! * **exact** (digests): any mismatch is an error — these are correctness
+//!   signals, not perf trends, and have no tolerance.
+//! * everything else is **informational**: reported when it changes, never
+//!   a verdict.
+//!
+//! Tolerances are deliberately loose (wall-clock numbers come from shared CI
+//! runners); the CI gate stays digest-equality-only and `perfdiff` only
+//! annotates (`::warning::` / `::error::`) unless `--strict` is given.
+
+use std::path::Path;
+
+use serde::Serialize;
+use serde_json::Value;
+
+/// How a metric is judged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    HigherBetter,
+    LowerBetter,
+    Exact,
+    Info,
+}
+
+/// The rule applied to one leaf: direction plus relative tolerance.
+#[derive(Debug, Clone, Copy)]
+struct Rule {
+    direction: Direction,
+    rel_tol: f64,
+}
+
+/// Maps a flattened leaf path to its comparison rule. First match wins;
+/// anything unmatched is informational.
+fn rule_for(path: &str) -> Rule {
+    let leaf = path.rsplit('.').next().unwrap_or(path).to_ascii_lowercase();
+    let r = |direction, rel_tol| Rule { direction, rel_tol };
+    if leaf.contains("digest") {
+        return r(Direction::Exact, 0.0);
+    }
+    if leaf == "speedup" || leaf.ends_with("_speedup") {
+        return r(Direction::HigherBetter, 0.15);
+    }
+    if leaf.contains("hit_rate") || leaf.contains("hitrate") {
+        return r(Direction::HigherBetter, 0.02);
+    }
+    if leaf.contains("per_sec")
+        || leaf.contains("qps")
+        || leaf.contains("goodput")
+        || leaf.contains("throughput")
+    {
+        return r(Direction::HigherBetter, 0.10);
+    }
+    if leaf.starts_with("p50") || leaf.starts_with("p95") || leaf.starts_with("p99") {
+        return r(Direction::LowerBetter, 0.10);
+    }
+    if leaf.contains("latency") || leaf.contains("penalty") {
+        return r(Direction::LowerBetter, 0.10);
+    }
+    if leaf == "wall_ns" || leaf.ends_with("_wall_ns") || leaf.contains("makespan") {
+        return r(Direction::LowerBetter, 0.15);
+    }
+    r(Direction::Info, 0.0)
+}
+
+/// A comparable leaf value.
+#[derive(Debug, Clone, PartialEq)]
+enum Leaf {
+    Num(f64),
+    Text(String),
+}
+
+impl Leaf {
+    fn render(&self) -> String {
+        match self {
+            Leaf::Num(n) => {
+                if *n == n.trunc() && n.abs() < 1e15 {
+                    format!("{n:.0}")
+                } else {
+                    format!("{n:.4}")
+                }
+            }
+            Leaf::Text(s) => s.clone(),
+        }
+    }
+}
+
+/// Array elements carrying any of these keys are labelled by them instead
+/// of by position, so baselines survive row reordering and insertion.
+const ID_KEYS: [&str; 8] = ["threads", "dataset", "name", "id", "engine", "policy", "dim", "gpus"];
+
+fn array_label(item: &Value, index: usize) -> String {
+    if let Value::Object(fields) = item {
+        let mut parts: Vec<String> = Vec::new();
+        for key in ID_KEYS {
+            if let Some((_, v)) = fields.iter().find(|(k, _)| k == key) {
+                let text = match v {
+                    Value::Str(s) => Some(s.clone()),
+                    Value::UInt(u) => Some(u.to_string()),
+                    Value::Int(i) => Some(i.to_string()),
+                    _ => None,
+                };
+                if let Some(text) = text {
+                    parts.push(format!("{key}={text}"));
+                }
+            }
+        }
+        if !parts.is_empty() {
+            return parts.join(",");
+        }
+    }
+    index.to_string()
+}
+
+/// Flattens a JSON tree into `(dotted.path, leaf)` pairs.
+fn flatten(v: &Value, prefix: &str, out: &mut Vec<(String, Leaf)>) {
+    match v {
+        Value::Object(fields) => {
+            for (k, val) in fields {
+                let p = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+                flatten(val, &p, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten(item, &format!("{prefix}[{}]", array_label(item, i)), out);
+            }
+        }
+        Value::Null => {}
+        Value::Bool(b) => out.push((prefix.to_string(), Leaf::Text(b.to_string()))),
+        Value::UInt(u) => out.push((prefix.to_string(), Leaf::Num(*u as f64))),
+        Value::Int(i) => out.push((prefix.to_string(), Leaf::Num(*i as f64))),
+        Value::Float(f) => out.push((prefix.to_string(), Leaf::Num(*f))),
+        Value::Str(s) => out.push((prefix.to_string(), Leaf::Text(s.clone()))),
+    }
+}
+
+/// One compared metric in the verdict report.
+#[derive(Debug, Clone, Serialize)]
+pub struct DiffEntry {
+    pub path: String,
+    /// "higher_better" | "lower_better" | "exact" | "info".
+    pub rule: String,
+    pub baseline: String,
+    pub candidate: String,
+    /// Relative change (candidate vs baseline); 0 for non-numeric leaves.
+    pub rel_change: f64,
+    pub tolerance: f64,
+    /// "improved" | "regressed" | "unchanged" | "changed" | "added" | "removed".
+    pub status: String,
+}
+
+/// The whole verdict: per-metric entries plus counts, serialized by
+/// `--json-out` and uploaded as the CI sentinel artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct DiffReport {
+    pub baseline: String,
+    pub candidate: String,
+    pub compared: u64,
+    pub improved: u64,
+    pub regressed: u64,
+    pub unchanged: u64,
+    pub informational: u64,
+    /// Exact-match (digest) mismatches — always a failure signal.
+    pub errors: u64,
+    pub entries: Vec<DiffEntry>,
+}
+
+impl DiffReport {
+    pub fn clean(&self) -> bool {
+        self.regressed == 0 && self.errors == 0
+    }
+}
+
+fn direction_name(d: Direction) -> &'static str {
+    match d {
+        Direction::HigherBetter => "higher_better",
+        Direction::LowerBetter => "lower_better",
+        Direction::Exact => "exact",
+        Direction::Info => "info",
+    }
+}
+
+/// Compares two parsed JSON trees.
+pub fn diff_values(baseline: &Value, candidate: &Value, label_base: &str, label_cand: &str) -> DiffReport {
+    let mut flat_base: Vec<(String, Leaf)> = Vec::new();
+    let mut flat_cand: Vec<(String, Leaf)> = Vec::new();
+    flatten(baseline, "", &mut flat_base);
+    flatten(candidate, "", &mut flat_cand);
+    let base: std::collections::BTreeMap<String, Leaf> = flat_base.into_iter().collect();
+    let cand: std::collections::BTreeMap<String, Leaf> = flat_cand.into_iter().collect();
+
+    let mut report = DiffReport {
+        baseline: label_base.to_string(),
+        candidate: label_cand.to_string(),
+        compared: 0,
+        improved: 0,
+        regressed: 0,
+        unchanged: 0,
+        informational: 0,
+        errors: 0,
+        entries: Vec::new(),
+    };
+
+    let mut paths: Vec<&String> = base.keys().collect();
+    for k in cand.keys() {
+        if !base.contains_key(k) {
+            paths.push(k);
+        }
+    }
+    paths.sort();
+
+    for path in paths {
+        let rule = rule_for(path);
+        let (b, c) = (base.get(path), cand.get(path));
+        let entry = match (b, c) {
+            (Some(b), None) => DiffEntry {
+                path: path.clone(),
+                rule: direction_name(rule.direction).to_string(),
+                baseline: b.render(),
+                candidate: String::new(),
+                rel_change: 0.0,
+                tolerance: rule.rel_tol,
+                status: "removed".to_string(),
+            },
+            (None, Some(c)) => DiffEntry {
+                path: path.clone(),
+                rule: direction_name(rule.direction).to_string(),
+                baseline: String::new(),
+                candidate: c.render(),
+                rel_change: 0.0,
+                tolerance: rule.rel_tol,
+                status: "added".to_string(),
+            },
+            (Some(b), Some(c)) => classify(path, rule, b, c),
+            (None, None) => unreachable!("path came from one of the maps"),
+        };
+        match entry.status.as_str() {
+            "improved" => report.improved += 1,
+            "regressed" => {
+                report.regressed += 1;
+                if entry.rule == "exact" {
+                    report.errors += 1;
+                }
+            }
+            "unchanged" => report.unchanged += 1,
+            _ => report.informational += 1,
+        }
+        report.compared += 1;
+        report.entries.push(entry);
+    }
+    report
+}
+
+fn classify(path: &str, rule: Rule, b: &Leaf, c: &Leaf) -> DiffEntry {
+    let mut entry = DiffEntry {
+        path: path.to_string(),
+        rule: direction_name(rule.direction).to_string(),
+        baseline: b.render(),
+        candidate: c.render(),
+        rel_change: 0.0,
+        tolerance: rule.rel_tol,
+        status: "unchanged".to_string(),
+    };
+    match rule.direction {
+        Direction::Exact => {
+            if b != c {
+                entry.status = "regressed".to_string();
+            }
+        }
+        Direction::Info => {
+            if b != c {
+                entry.status = "changed".to_string();
+            }
+        }
+        Direction::HigherBetter | Direction::LowerBetter => {
+            let (Leaf::Num(bv), Leaf::Num(cv)) = (b, c) else {
+                if b != c {
+                    entry.status = "changed".to_string();
+                    entry.rule = "info".to_string();
+                }
+                return entry;
+            };
+            let rel = if *bv == 0.0 {
+                if *cv == 0.0 { 0.0 } else { cv.signum() }
+            } else {
+                (cv - bv) / bv.abs()
+            };
+            entry.rel_change = rel;
+            let better = match rule.direction {
+                Direction::HigherBetter => rel,
+                _ => -rel,
+            };
+            if better > rule.rel_tol {
+                entry.status = "improved".to_string();
+            } else if better < -rule.rel_tol {
+                entry.status = "regressed".to_string();
+            }
+        }
+    }
+    entry
+}
+
+/// Renders the human-readable verdict: regressions first, then improvements,
+/// then a one-line tally (unchanged/informational entries are only counted).
+pub fn render_text(report: &DiffReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "perfdiff: {} -> {}\n",
+        report.baseline, report.candidate
+    ));
+    let interesting = |status: &'static str| {
+        report.entries.iter().filter(move |e| e.status == status)
+    };
+    for status in ["regressed", "improved"] {
+        for e in interesting(status) {
+            let arrow = if e.rule == "exact" {
+                "MISMATCH".to_string()
+            } else {
+                format!("{:+.1}%", 100.0 * e.rel_change)
+            };
+            out.push_str(&format!(
+                "  {:<9} {:<58} {} -> {}  ({} tol {:.0}%)\n",
+                e.status.to_uppercase(),
+                e.path,
+                e.baseline,
+                e.candidate,
+                arrow,
+                100.0 * e.tolerance
+            ));
+        }
+    }
+    let added = interesting("added").count();
+    let removed = interesting("removed").count();
+    if added + removed > 0 {
+        out.push_str(&format!(
+            "  schema drift: {added} metric(s) added, {removed} removed\n"
+        ));
+    }
+    out.push_str(&format!(
+        "verdict: {} compared, {} improved, {} regressed ({} digest error(s)), {} unchanged, {} informational => {}\n",
+        report.compared,
+        report.improved,
+        report.regressed,
+        report.errors,
+        report.unchanged,
+        report.informational,
+        if report.clean() { "CLEAN" } else { "REGRESSED" }
+    ));
+    out
+}
+
+/// Renders GitHub Actions annotations: `::error::` for digest mismatches,
+/// `::warning::` for tolerance-exceeding metric regressions.
+pub fn render_annotations(report: &DiffReport) -> String {
+    let mut out = String::new();
+    for e in &report.entries {
+        if e.status != "regressed" {
+            continue;
+        }
+        if e.rule == "exact" {
+            out.push_str(&format!(
+                "::error::perfdiff digest mismatch at {}: {} -> {}\n",
+                e.path, e.baseline, e.candidate
+            ));
+        } else {
+            out.push_str(&format!(
+                "::warning::perfdiff regression at {}: {} -> {} ({:+.1}%, tolerance {:.0}%)\n",
+                e.path,
+                e.baseline,
+                e.candidate,
+                100.0 * e.rel_change,
+                100.0 * e.tolerance
+            ));
+        }
+    }
+    out
+}
+
+fn load_value(path: &Path) -> Result<Value, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Compares two report files.
+pub fn diff_files(baseline: &Path, candidate: &Path) -> Result<DiffReport, String> {
+    let b = load_value(baseline)?;
+    let c = load_value(candidate)?;
+    Ok(diff_values(&b, &c, &baseline.display().to_string(), &candidate.display().to_string()))
+}
+
+/// Compares two directories of `*.json` reports, pairing files by name.
+/// Files present on only one side are reported as informational drift.
+pub fn diff_dirs(baseline: &Path, candidate: &Path) -> Result<Vec<DiffReport>, String> {
+    let names = |dir: &Path| -> Result<Vec<String>, String> {
+        let mut out: Vec<String> = std::fs::read_dir(dir)
+            .map_err(|e| format!("{}: {e}", dir.display()))?
+            .filter_map(|entry| entry.ok())
+            .filter_map(|entry| entry.file_name().into_string().ok())
+            .filter(|n| n.ends_with(".json"))
+            .collect();
+        out.sort();
+        Ok(out)
+    };
+    let base_names = names(baseline)?;
+    let cand_names = names(candidate)?;
+    let mut reports = Vec::new();
+    for name in &base_names {
+        if cand_names.contains(name) {
+            reports.push(diff_files(&baseline.join(name), &candidate.join(name))?);
+        } else {
+            reports.push(DiffReport {
+                baseline: baseline.join(name).display().to_string(),
+                candidate: String::new(),
+                compared: 0,
+                improved: 0,
+                regressed: 0,
+                unchanged: 0,
+                informational: 1,
+                errors: 0,
+                entries: vec![DiffEntry {
+                    path: name.clone(),
+                    rule: "info".to_string(),
+                    baseline: "present".to_string(),
+                    candidate: "missing".to_string(),
+                    rel_change: 0.0,
+                    tolerance: 0.0,
+                    status: "removed".to_string(),
+                }],
+            });
+        }
+    }
+    for name in &cand_names {
+        if !base_names.contains(name) {
+            reports.push(DiffReport {
+                baseline: String::new(),
+                candidate: candidate.join(name).display().to_string(),
+                compared: 0,
+                improved: 0,
+                regressed: 0,
+                unchanged: 0,
+                informational: 1,
+                errors: 0,
+                entries: vec![DiffEntry {
+                    path: name.clone(),
+                    rule: "info".to_string(),
+                    baseline: "missing".to_string(),
+                    candidate: "present".to_string(),
+                    rel_change: 0.0,
+                    tolerance: 0.0,
+                    status: "added".to_string(),
+                }],
+            });
+        }
+    }
+    Ok(reports)
+}
+
+/// The `perfdiff` command body: file-vs-file or directory-vs-directory.
+/// Returns the text to print; `Err` only for I/O or (`strict`) regressions.
+pub fn run(
+    baseline: &Path,
+    candidate: &Path,
+    annotate: bool,
+    strict: bool,
+    json_out: Option<&Path>,
+) -> Result<String, String> {
+    let reports = if baseline.is_dir() && candidate.is_dir() {
+        diff_dirs(baseline, candidate)?
+    } else if baseline.is_dir() != candidate.is_dir() {
+        return Err("perfdiff: baseline and candidate must both be files or both directories".into());
+    } else {
+        vec![diff_files(baseline, candidate)?]
+    };
+
+    let mut out = String::new();
+    for r in &reports {
+        out.push_str(&render_text(r));
+        if annotate {
+            out.push_str(&render_annotations(r));
+        }
+    }
+    if reports.len() > 1 {
+        let regressed: u64 = reports.iter().map(|r| r.regressed).sum();
+        let errors: u64 = reports.iter().map(|r| r.errors).sum();
+        out.push_str(&format!(
+            "overall: {} report(s), {} regressed metric(s), {} digest error(s) => {}\n",
+            reports.len(),
+            regressed,
+            errors,
+            if regressed == 0 && errors == 0 { "CLEAN" } else { "REGRESSED" }
+        ));
+    }
+    if let Some(path) = json_out {
+        let json = if reports.len() == 1 {
+            serde_json::to_string_pretty(&reports[0])
+        } else {
+            serde_json::to_string_pretty(&reports)
+        }
+        .map_err(|e| format!("serialize perfdiff verdict: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push_str(&format!("wrote perfdiff verdict to {}\n", path.display()));
+    }
+    if strict && reports.iter().any(|r| !r.clean()) {
+        return Err(format!("{out}perfdiff: regression detected (--strict)"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(speedup: f64, p95: f64, digest: &str) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{"rows": [{{"threads": 4, "speedup": {speedup}, "p95_ns": {p95}, "digest": "{digest}", "jobs": 16}}], "sweep_cells": 8}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_reports_are_clean() {
+        let a = report(3.0, 1000.0, "abc");
+        let r = diff_values(&a, &a, "a", "a");
+        assert!(r.clean());
+        assert_eq!(r.improved, 0);
+        assert!(r.unchanged > 0);
+    }
+
+    #[test]
+    fn twenty_percent_speedup_drop_is_flagged() {
+        let base = report(3.0, 1000.0, "abc");
+        let cand = report(2.4, 1000.0, "abc"); // -20% < -15% tolerance
+        let r = diff_values(&base, &cand, "b", "c");
+        assert!(!r.clean());
+        let e = r.entries.iter().find(|e| e.path.contains("speedup")).unwrap();
+        assert_eq!(e.status, "regressed");
+        assert!((e.rel_change + 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_wobble_is_silent() {
+        let base = report(3.0, 1000.0, "abc");
+        let cand = report(2.8, 1050.0, "abc"); // -6.7% and +5%: inside tolerance
+        let r = diff_values(&base, &cand, "b", "c");
+        assert!(r.clean());
+        assert_eq!(r.improved, 0);
+    }
+
+    #[test]
+    fn p95_rise_is_lower_better_regression() {
+        let base = report(3.0, 1000.0, "abc");
+        let cand = report(3.0, 1200.0, "abc"); // +20% latency > 10% tolerance
+        let r = diff_values(&base, &cand, "b", "c");
+        let e = r.entries.iter().find(|e| e.path.contains("p95")).unwrap();
+        assert_eq!(e.status, "regressed");
+        // And a latency *drop* is an improvement, not a regression.
+        let faster = report(3.0, 800.0, "abc");
+        let r2 = diff_values(&base, &faster, "b", "c");
+        let e2 = r2.entries.iter().find(|e| e.path.contains("p95")).unwrap();
+        assert_eq!(e2.status, "improved");
+    }
+
+    #[test]
+    fn digest_mismatch_is_an_error_regardless_of_tolerance() {
+        let base = report(3.0, 1000.0, "abc");
+        let cand = report(3.0, 1000.0, "def");
+        let r = diff_values(&base, &cand, "b", "c");
+        assert_eq!(r.errors, 1);
+        assert!(!r.clean());
+        let notes = render_annotations(&r);
+        assert!(notes.contains("::error::"), "{notes}");
+    }
+
+    #[test]
+    fn count_changes_are_informational() {
+        let base = report(3.0, 1000.0, "abc");
+        let mut cand = report(3.0, 1000.0, "abc");
+        // Bump the informational `jobs` count.
+        if let Value::Object(fields) = &mut cand {
+            if let Some((_, Value::Array(rows))) = fields.iter_mut().find(|(k, _)| k == "rows") {
+                if let Value::Object(row) = &mut rows[0] {
+                    row.iter_mut().find(|(k, _)| k == "jobs").unwrap().1 = Value::UInt(99);
+                }
+            }
+        }
+        let r = diff_values(&base, &cand, "b", "c");
+        assert!(r.clean());
+        let e = r.entries.iter().find(|e| e.path.contains("jobs")).unwrap();
+        assert_eq!(e.status, "changed");
+    }
+
+    #[test]
+    fn rows_align_by_identifying_key_not_position() {
+        let a: Value = serde_json::from_str(
+            r#"{"rows": [{"threads": 1, "speedup": 1.0}, {"threads": 4, "speedup": 3.0}]}"#,
+        )
+        .unwrap();
+        let b: Value = serde_json::from_str(
+            r#"{"rows": [{"threads": 4, "speedup": 3.0}, {"threads": 1, "speedup": 1.0}]}"#,
+        )
+        .unwrap();
+        let r = diff_values(&a, &b, "a", "b");
+        assert!(r.clean());
+        assert_eq!(r.improved + r.regressed, 0);
+    }
+
+    #[test]
+    fn annotations_use_warning_for_metric_regressions() {
+        let base = report(3.0, 1000.0, "abc");
+        let cand = report(2.0, 1000.0, "abc");
+        let r = diff_values(&base, &cand, "b", "c");
+        let notes = render_annotations(&r);
+        assert!(notes.contains("::warning::"), "{notes}");
+        assert!(!notes.contains("::error::"), "{notes}");
+    }
+}

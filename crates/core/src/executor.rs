@@ -745,6 +745,7 @@ impl MggEngine {
         // at any thread count.
         let slices = split_by_parts(out.data_mut(), &self.placement.parts, dim);
         let region = &region;
+        let _lbl = mgg_runtime::profile::region_label("engine.aggregate");
         mgg_runtime::par_slices_mut(slices, |pi, out_part| {
             let part = &self.placement.parts[pi];
             let base = part.node_range.start as usize;
@@ -901,6 +902,7 @@ impl MggEngine {
         // One job per partition, each with its own issuing-PE cache over
         // the shared region; parts are merged back in index order, so the
         // output layout matches `aggregate_values` exactly.
+        let _lbl = mgg_runtime::profile::region_label("engine.aggregate_cached");
         let results = mgg_runtime::par_map_indexed(parts.len(), |pi| {
             let part = &parts[pi];
             let mut cached = CachedRegion::new(region, faults, cfg, dim);
@@ -991,6 +993,7 @@ impl MggEngine {
         // Same per-part parallel decomposition as `aggregate_values`.
         let slices = split_by_parts(out.data_mut(), &self.placement.parts, dim);
         let region = &region;
+        let _lbl = mgg_runtime::profile::region_label("engine.aggregate_weighted");
         mgg_runtime::par_slices_mut(slices, |pi, out_part| {
             let part = &self.placement.parts[pi];
             for r in 0..part.local.num_rows() as u32 {

@@ -312,7 +312,9 @@ impl<F: Fn(&MggConfig) -> u64 + Sync> Tuner<F> {
     /// Requires a shareable oracle (`Fn + Sync`, e.g. one driving
     /// independent simulator instances).
     pub fn with_speculation(mut self) -> Self {
-        self.batch = Some(|eval, cfgs| mgg_runtime::par_map(cfgs, eval));
+        self.batch = Some(|eval, cfgs| {
+            mgg_runtime::profile::labeled("tuner.speculate", || mgg_runtime::par_map(cfgs, eval))
+        });
         self
     }
 }

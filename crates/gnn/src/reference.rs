@@ -351,6 +351,7 @@ pub fn aggregate_parallel(
     let mut out = Matrix::zeros(n, dim);
     let rows_per = n.div_ceil(threads);
     mgg_runtime::with_threads(threads, || {
+        let _lbl = mgg_runtime::profile::region_label("gnn.reference");
         mgg_runtime::par_chunks_mut(out.data_mut(), rows_per * dim, |t, chunk| {
             let start = t * rows_per;
             for (r, dst) in chunk.chunks_mut(dim).enumerate() {

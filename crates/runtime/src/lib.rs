@@ -27,6 +27,9 @@
 //! configuration (or a 1-item input) short-circuits to a plain sequential
 //! loop on the calling thread.
 
+pub mod profile;
+
+use profile::{LaneRaw, RegionTimer};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Process-wide thread-count setting: 0 = auto (`available_parallelism`).
@@ -103,26 +106,86 @@ where
 {
     let workers = threads().min(n);
     if workers <= 1 {
-        return (0..n).map(f).collect();
+        let timer = RegionTimer::start("par_map_indexed", n, 1);
+        let Some(timer) = timer else {
+            return (0..n).map(f).collect();
+        };
+        let mut lane = LaneRaw::default();
+        let out = (0..n)
+            .map(|i| {
+                let j0 = timer.elapsed_ns();
+                let value = f(i);
+                let j1 = timer.elapsed_ns();
+                lane.exec_ns += j1.saturating_sub(j0);
+                lane.units.record(j1.saturating_sub(j0));
+                lane.jobs += 1;
+                lane.done_ns = j1;
+                value
+            })
+            .collect();
+        timer.finish(vec![lane]);
+        return out;
     }
     let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     let shared = Slots { ptr: slots.as_mut_ptr() };
     let next = AtomicUsize::new(0);
+    // One check per region, not per job: profiling is on only when the
+    // caller wrapped this in `profile::collect`.
+    let timer = RegionTimer::start("par_map_indexed", n, workers);
+    let mut lanes: Vec<LaneRaw> = Vec::with_capacity(if timer.is_some() { workers } else { 0 });
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = f(i);
-                // SAFETY: `i` < n and fetch_add hands each index to one
-                // worker only.
-                unsafe { shared.write(i, value) };
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let timer = timer.as_ref();
+                    // Propagate the caller's collector into this worker so
+                    // nested regions and telemetry hooks attribute here.
+                    let _guard =
+                        timer.map(|t| profile::install(Some(t.collector())));
+                    let mut lane = LaneRaw::default();
+                    if let Some(t) = timer {
+                        lane.spawn_delay_ns = t.elapsed_ns();
+                    }
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        match timer {
+                            None => {
+                                let value = f(i);
+                                // SAFETY: `i` < n and fetch_add hands each
+                                // index to one worker only.
+                                unsafe { shared.write(i, value) };
+                            }
+                            Some(t) => {
+                                let j0 = t.elapsed_ns();
+                                let value = f(i);
+                                // SAFETY: as above.
+                                unsafe { shared.write(i, value) };
+                                let j1 = t.elapsed_ns();
+                                lane.exec_ns += j1.saturating_sub(j0);
+                                lane.units.record(j1.saturating_sub(j0));
+                                lane.jobs += 1;
+                                lane.done_ns = j1;
+                            }
+                        }
+                    }
+                    lane
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(lane) => lanes.push(lane),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
+    if let Some(timer) = timer {
+        timer.finish(lanes);
+    }
     slots.into_iter().map(|s| s.expect("every claimed slot is written")).collect()
 }
 
@@ -148,9 +211,24 @@ where
     let n = slices.len();
     let workers = threads().min(n);
     if workers <= 1 {
+        let timer = RegionTimer::start("par_slices_mut", n, 1);
+        let Some(timer) = timer else {
+            for (i, s) in slices.into_iter().enumerate() {
+                f(i, s);
+            }
+            return;
+        };
+        let mut lane = LaneRaw::default();
         for (i, s) in slices.into_iter().enumerate() {
+            let j0 = timer.elapsed_ns();
             f(i, s);
+            let j1 = timer.elapsed_ns();
+            lane.exec_ns += j1.saturating_sub(j0);
+            lane.units.record(j1.saturating_sub(j0));
+            lane.jobs += 1;
+            lane.done_ns = j1;
         }
+        timer.finish(vec![lane]);
         return;
     }
     // Decompose the exclusive borrows into raw windows so idle workers can
@@ -167,22 +245,56 @@ where
     // Capture the struct (not its field) so the `Sync` impl applies.
     let windows = &windows;
     let next = AtomicUsize::new(0);
+    let timer = RegionTimer::start("par_slices_mut", n, workers);
+    let mut lanes: Vec<LaneRaw> = Vec::with_capacity(if timer.is_some() { workers } else { 0 });
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let (ptr, len) = windows.parts[i];
-                // SAFETY: window `i` is claimed by exactly one worker and
-                // the source slices were disjoint exclusive borrows that
-                // outlive the scope.
-                let slice = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
-                f(i, slice);
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let timer = timer.as_ref();
+                    let _guard =
+                        timer.map(|t| profile::install(Some(t.collector())));
+                    let mut lane = LaneRaw::default();
+                    if let Some(t) = timer {
+                        lane.spawn_delay_ns = t.elapsed_ns();
+                    }
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let (ptr, len) = windows.parts[i];
+                        // SAFETY: window `i` is claimed by exactly one
+                        // worker and the source slices were disjoint
+                        // exclusive borrows that outlive the scope.
+                        let slice = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+                        match timer {
+                            None => f(i, slice),
+                            Some(t) => {
+                                let j0 = t.elapsed_ns();
+                                f(i, slice);
+                                let j1 = t.elapsed_ns();
+                                lane.exec_ns += j1.saturating_sub(j0);
+                                lane.units.record(j1.saturating_sub(j0));
+                                lane.jobs += 1;
+                                lane.done_ns = j1;
+                            }
+                        }
+                    }
+                    lane
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(lane) => lanes.push(lane),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
+    if let Some(timer) = timer {
+        timer.finish(lanes);
+    }
 }
 
 /// Runs `f(chunk_index, chunk)` over `chunk_len`-sized windows of `data`

@@ -332,8 +332,10 @@ impl Server {
         &self,
         specs: &[(WorkloadSpec, FaultSchedule)],
     ) -> Vec<ServeOutcome> {
-        mgg_runtime::par_map(specs, |(spec, sched)| {
-            self.run(spec, sched, &Telemetry::disabled())
+        mgg_runtime::profile::labeled("serve.sweep", || {
+            mgg_runtime::par_map(specs, |(spec, sched)| {
+                self.run(spec, sched, &Telemetry::disabled())
+            })
         })
     }
 
@@ -369,6 +371,11 @@ impl Server {
         let mut batches = 0u64;
         let mut batched_queries = 0u64;
         let mut hedges = 0u64;
+        // Per-query records go through a write batch: one recorder lock at
+        // the end of the run instead of one per query/batch/transition.
+        // Replay order inside the batch matches the direct-call order, so
+        // counters and histogram sums (f64 bits included) are unchanged.
+        let mut tbatch = telemetry.batch();
 
         let dispatch = |shards: &mut Vec<ShardState>,
                             records: &mut Vec<QueryRecord>,
@@ -377,6 +384,7 @@ impl Server {
                             batches: &mut u64,
                             batched_queries: &mut u64,
                             hedges: &mut u64,
+                            tbatch: &mut mgg_telemetry::TelemetryBatch,
                             s: usize,
                             now: u64| {
             let batch: Vec<(Query, f64, bool)> = std::mem::take(&mut shards[s].pending);
@@ -409,10 +417,10 @@ impl Server {
             }
             *batches += 1;
             *batched_queries += batch.len() as u64;
-            telemetry.histogram_record("serve.batch_size", batch.len() as f64);
+            tbatch.histogram_record("serve.batch_size", batch.len() as f64);
             for (q, _, rerouted) in &batch {
                 let met = completion <= q.deadline_ns;
-                telemetry
+                tbatch
                     .histogram_record("serve.latency_us", (completion - q.arrival_ns) as f64 / 1e3);
                 completions.push(std::cmp::Reverse(completion));
                 records.push(QueryRecord {
@@ -462,6 +470,7 @@ impl Server {
                     &mut batches,
                     &mut batched_queries,
                     &mut hedges,
+                    &mut tbatch,
                     s,
                     t,
                 );
@@ -491,7 +500,7 @@ impl Server {
             );
             match outcome {
                 Ok((shard, units, rerouted)) => {
-                    telemetry.counter_add("serve.admitted", 1);
+                    tbatch.counter_add("serve.admitted", 1);
                     let st = &mut shards[shard];
                     if st.pending.is_empty() {
                         st.open_at = now;
@@ -506,6 +515,7 @@ impl Server {
                             &mut batches,
                             &mut batched_queries,
                             &mut hedges,
+                            &mut tbatch,
                             shard,
                             now,
                         );
@@ -533,7 +543,7 @@ impl Server {
                     }
                 }
                 Err(err) => {
-                    telemetry.counter_add(&format!("serve.shed.{}", err.name()), 1);
+                    tbatch.counter_add(&format!("serve.shed.{}", err.name()), 1);
                     records.push(QueryRecord {
                         id: q.id,
                         arrival_ns: q.arrival_ns,
@@ -560,6 +570,7 @@ impl Server {
                     &mut batches,
                     &mut batched_queries,
                     &mut hedges,
+                    &mut tbatch,
                     s,
                     at,
                 );
@@ -568,8 +579,9 @@ impl Server {
 
         records.sort_by_key(|r| r.id);
         for t in &transitions {
-            telemetry.counter_add(&format!("serve.breaker.{}", t.to.name()), 1);
+            tbatch.counter_add(&format!("serve.breaker.{}", t.to.name()), 1);
         }
+        tbatch.flush();
         let summary = self.summarize(&records, &transitions, spec, batches, batched_queries, hedges);
         ServeOutcome { records, transitions, summary }
     }
@@ -711,13 +723,7 @@ impl Server {
             }
         }
         latencies.sort_unstable();
-        let pct = |p: f64| -> u64 {
-            if latencies.is_empty() {
-                return 0;
-            }
-            let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len()) - 1;
-            latencies[idx]
-        };
+        let pct = |p: f64| mgg_telemetry::percentile_sorted_u64(&latencies, p);
         let digest = self.digest(records, transitions);
         ServeSummary {
             offered,

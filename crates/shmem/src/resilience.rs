@@ -174,6 +174,14 @@ pub struct ResilientRegion<'a> {
     outstanding: Vec<Vec<bool>>,
     stats: ResilienceStats,
     telemetry: Telemetry,
+    /// Watermark of what `stats` looked like at the last telemetry flush;
+    /// per-op paths never touch the recorder lock, [`Self::flush_telemetry`]
+    /// pushes the delta in one batched acquisition.
+    flushed: ResilienceStats,
+    /// GETs that exhausted the attempt budget (`shmem.failed_gets`); not
+    /// part of [`ResilienceStats`], so tracked beside it.
+    failed_gets: u64,
+    flushed_failed_gets: u64,
 }
 
 impl<'a> ResilientRegion<'a> {
@@ -198,14 +206,48 @@ impl<'a> ResilientRegion<'a> {
             outstanding: vec![Vec::new(); pes],
             stats: ResilienceStats::default(),
             telemetry: Telemetry::disabled(),
+            flushed: ResilienceStats::default(),
+            failed_gets: 0,
+            flushed_failed_gets: 0,
         }
     }
 
-    /// Attaches a telemetry sink: per-request GET/retry/timeout accounting
-    /// flows into its counters (`shmem.*`) alongside the local stats.
+    /// Attaches a telemetry sink: GET/retry/timeout accounting flows into
+    /// its counters (`shmem.*`) alongside the local stats. Counters are
+    /// flushed as batched deltas at [`ResilientRegion::quiet`] /
+    /// [`ResilientRegion::flush_telemetry`] / drop rather than per
+    /// operation, so the per-remote-edge hot path never contends on the
+    /// recorder mutex; final counter values are identical either way
+    /// (counter addition is commutative).
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
         self
+    }
+
+    /// Pushes the stats delta accumulated since the last flush into the
+    /// attached telemetry under a single recorder lock. Called
+    /// automatically by [`ResilientRegion::quiet`] and on drop.
+    pub fn flush_telemetry(&mut self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let d = |now: u64, then: u64| now - then;
+        let mut batch = self.telemetry.batch();
+        for (name, now, then) in [
+            ("shmem.gets", self.stats.gets, self.flushed.gets),
+            ("shmem.retries", self.stats.retries, self.flushed.retries),
+            ("shmem.timeouts", self.stats.timed_out_completions, self.flushed.timed_out_completions),
+            ("shmem.dead_peer_gets", self.stats.dead_peer_gets, self.flushed.dead_peer_gets),
+            ("shmem.penalty_ns", self.stats.penalty_ns, self.flushed.penalty_ns),
+            ("shmem.failed_gets", self.failed_gets, self.flushed_failed_gets),
+        ] {
+            if d(now, then) > 0 {
+                batch.counter_add(name, d(now, then));
+            }
+        }
+        batch.flush();
+        self.flushed = self.stats;
+        self.flushed_failed_gets = self.failed_gets;
     }
 
     /// Blocking resilient GET: copies row `(src_pe, src_row)` into `dst`,
@@ -219,7 +261,6 @@ impl<'a> ResilientRegion<'a> {
     ) -> Result<u32, ShmemError> {
         self.check_row(src_pe, src_row)?;
         self.stats.gets += 1;
-        self.telemetry.counter_add("shmem.gets", 1);
         if self.pe_dead(src_pe) {
             return Err(self.abandon_dead(src_pe, self.policy.deadline_ns));
         }
@@ -237,8 +278,6 @@ impl<'a> ResilientRegion<'a> {
             }
             self.stats.retries += 1;
             self.stats.penalty_ns += self.policy.backoff_ns;
-            self.telemetry.counter_add("shmem.retries", 1);
-            self.telemetry.counter_add("shmem.penalty_ns", self.policy.backoff_ns);
             waited_ns += self.policy.backoff_ns;
             if waited_ns >= self.policy.deadline_ns {
                 // The attempt budget alone would keep retrying; past the
@@ -247,7 +286,7 @@ impl<'a> ResilientRegion<'a> {
                 return Err(self.abandon_dead(src_pe, waited_ns));
             }
         }
-        self.telemetry.counter_add("shmem.failed_gets", 1);
+        self.failed_gets += 1;
         Err(ShmemError::GetFailed { pe: src_pe, row: src_row, attempts })
     }
 
@@ -263,7 +302,6 @@ impl<'a> ResilientRegion<'a> {
     ) -> Result<(), ShmemError> {
         self.check_row(src_pe, src_row)?;
         self.stats.gets += 1;
-        self.telemetry.counter_add("shmem.gets", 1);
         if self.pe_dead(src_pe) {
             return Err(self.abandon_dead(src_pe, self.policy.deadline_ns));
         }
@@ -274,8 +312,6 @@ impl<'a> ResilientRegion<'a> {
             self.stats.retries += 1;
             self.stats.recovered_gets += 1;
             self.stats.penalty_ns += self.policy.backoff_ns;
-            self.telemetry.counter_add("shmem.retries", 1);
-            self.telemetry.counter_add("shmem.penalty_ns", self.policy.backoff_ns);
         }
         self.region.get(dst, src_pe, src_row);
         self.outstanding[issuing_pe].push(completion_lost);
@@ -290,10 +326,9 @@ impl<'a> ResilientRegion<'a> {
             if completion_lost {
                 self.stats.timed_out_completions += 1;
                 self.stats.penalty_ns += self.policy.timeout_ns;
-                self.telemetry.counter_add("shmem.timeouts", 1);
-                self.telemetry.counter_add("shmem.penalty_ns", self.policy.timeout_ns);
             }
         }
+        self.flush_telemetry();
         Ok(())
     }
 
@@ -329,8 +364,6 @@ impl<'a> ResilientRegion<'a> {
     fn abandon_dead(&mut self, pe: usize, waited_ns: u64) -> ShmemError {
         self.stats.dead_peer_gets += 1;
         self.stats.penalty_ns += waited_ns;
-        self.telemetry.counter_add("shmem.dead_peer_gets", 1);
-        self.telemetry.counter_add("shmem.penalty_ns", waited_ns);
         ShmemError::PeDead { pe, waited_ns }
     }
 
@@ -341,6 +374,14 @@ impl<'a> ResilientRegion<'a> {
         let serial = self.serial[pe];
         self.serial[pe] += 1;
         (s.drops_get(pe, serial), s.drops_completion(pe, serial))
+    }
+}
+
+impl Drop for ResilientRegion<'_> {
+    /// Final telemetry flush: error paths that never reach `quiet` (failed
+    /// or abandoned GETs) still land in the counters.
+    fn drop(&mut self) {
+        self.flush_telemetry();
     }
 }
 
@@ -501,6 +542,30 @@ mod tests {
         assert_eq!(tel.counter_value("shmem.retries"), s.retries);
         assert_eq!(tel.counter_value("shmem.timeouts"), s.timed_out_completions);
         assert_eq!(tel.counter_value("shmem.penalty_ns"), s.penalty_ns);
+        // A second flush with no new activity adds nothing (delta is 0).
+        res.flush_telemetry();
+        assert_eq!(tel.counter_value("shmem.gets"), s.gets);
+    }
+
+    #[test]
+    fn drop_flushes_counters_without_quiet() {
+        let r = region();
+        let spec = FaultSpec { seed: 9, drop_rate: 0.3, ..FaultSpec::quiet() };
+        let sched = FaultSchedule::derive(&spec, 2);
+        let tel = Telemetry::enabled();
+        let expected = {
+            let mut res = ResilientRegion::new(&r, Some(&sched)).with_telemetry(tel.clone());
+            let mut dst = [0.0f32; 4];
+            for i in 0..16 {
+                let _ = res.get(&mut dst, 0, 1, i % 2);
+            }
+            // No quiet(): the hot path has not touched the recorder yet.
+            assert_eq!(tel.counter_value("shmem.gets"), 0);
+            res.stats()
+        };
+        assert_eq!(tel.counter_value("shmem.gets"), expected.gets);
+        assert_eq!(tel.counter_value("shmem.retries"), expected.retries);
+        assert_eq!(tel.counter_value("shmem.penalty_ns"), expected.penalty_ns);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! host time to sim time.
 
 use crate::snapshot::SpanSnapshot;
+use mgg_runtime::profile::RuntimeProfile;
 use mgg_sim::TraceEvent;
 use serde_json::Value;
 use std::collections::BTreeSet;
@@ -24,11 +25,61 @@ const NS_PER_US: f64 = 1000.0;
 
 /// Renders host spans + warp events as a Chrome-trace JSON document.
 pub fn chrome_trace_json(spans: &[SpanSnapshot], events: &[TraceEvent]) -> String {
+    chrome_trace_json_with_runtime(spans, events, None)
+}
+
+/// [`chrome_trace_json`] plus per-worker host-pool tracks: when a
+/// [`RuntimeProfile`] is given, each profiled parallel region emits one
+/// row per worker on pid 0 (tid `1 + worker`) with the worker's
+/// spawn → exec → idle → merge-wait lifecycle laid out as contiguous
+/// segments inside the region window. The per-category *durations* are
+/// measured; their *placement* within the region is schematic (the pool
+/// records aggregates, not per-job intervals).
+pub fn chrome_trace_json_with_runtime(
+    spans: &[SpanSnapshot],
+    events: &[TraceEvent],
+    runtime: Option<&RuntimeProfile>,
+) -> String {
     let mut out: Vec<Value> = Vec::new();
 
-    if !spans.is_empty() {
+    let has_lanes = runtime.is_some_and(|rt| rt.regions.iter().any(|r| !r.lanes.is_empty()));
+    if !spans.is_empty() || has_lanes {
         out.push(meta("process_name", 0, 0, "host"));
+    }
+    if !spans.is_empty() {
         out.push(meta("thread_name", 0, 0, "engine phases"));
+    }
+    if let Some(rt) = runtime {
+        let max_workers =
+            rt.regions.iter().map(|r| r.lanes.len()).max().unwrap_or(0);
+        for w in 0..max_workers {
+            out.push(meta("thread_name", 0, 1 + w as u64, &format!("pool worker{w}")));
+        }
+        for region in &rt.regions {
+            for lane in &region.lanes {
+                let tid = 1 + lane.worker;
+                let mut cursor = region.start_ns;
+                for (name, dur) in [
+                    ("spawn", lane.spawn_delay_ns),
+                    ("exec", lane.exec_ns),
+                    ("idle", lane.idle_ns),
+                    ("merge-wait", lane.merge_wait_ns),
+                ] {
+                    if dur > 0 {
+                        out.push(complete(
+                            &format!("{}:{}", region.name, name),
+                            "host-pool",
+                            0,
+                            tid,
+                            cursor as f64 / NS_PER_US,
+                            dur as f64 / NS_PER_US,
+                            vec![("jobs".to_string(), Value::UInt(lane.jobs))],
+                        ));
+                    }
+                    cursor += dur;
+                }
+            }
+        }
     }
     for s in spans {
         out.push(complete(
@@ -206,6 +257,35 @@ mod tests {
         assert!(labels.contains(&"gpu0"));
         assert!(labels.contains(&"gpu1"));
         assert!(labels.contains(&"sm2"));
+    }
+
+    #[test]
+    fn runtime_profile_adds_worker_tracks_on_host_pid() {
+        let ((), profile) = mgg_runtime::profile::collect(|| {
+            mgg_runtime::with_threads(3, || {
+                mgg_runtime::par_map_indexed(9, |i| std::hint::black_box(i * i));
+            })
+        });
+        let json = chrome_trace_json_with_runtime(&[], &[], Some(&profile));
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        let items = events_of(&doc);
+        let pool: Vec<_> = items
+            .iter()
+            .filter(|it| it.get("cat").and_then(Value::as_str) == Some("host-pool"))
+            .collect();
+        assert!(!pool.is_empty());
+        // All pool events on pid 0, worker tids start at 1.
+        for it in &pool {
+            assert_eq!(it.get("pid").and_then(Value::as_u64), Some(0));
+            assert!(it.get("tid").and_then(Value::as_u64).unwrap() >= 1);
+        }
+        let labels: Vec<&str> = items
+            .iter()
+            .filter(|it| it.get("ph").and_then(Value::as_str) == Some("M"))
+            .filter_map(|m| m.get("args").and_then(|a| a.get("name")).and_then(Value::as_str))
+            .collect();
+        assert!(labels.contains(&"pool worker0"));
+        assert!(labels.contains(&"pool worker2"));
     }
 
     #[test]

@@ -27,10 +27,11 @@ pub mod chrome;
 pub mod pipeline;
 pub mod snapshot;
 
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_trace_json, chrome_trace_json_with_runtime};
 pub use pipeline::{overlap_efficiency, PairTraffic, PipelineMetrics};
 pub use snapshot::{
-    CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot, SpanSnapshot,
+    percentile_sorted, percentile_sorted_u64, CounterSnapshot, GaugeSnapshot, HistogramSnapshot,
+    MetricsSnapshot, SpanSnapshot,
 };
 
 use mgg_sim::TraceEvent;
@@ -69,7 +70,7 @@ impl Telemetry {
     }
 
     fn lock(&self) -> Option<MutexGuard<'_, Recorder>> {
-        self.0.as_ref().map(|m| m.lock().unwrap_or_else(|p| p.into_inner()))
+        self.0.as_ref().map(|m| lock_recorder(m))
     }
 
     /// Opens a phase span, closed when the returned guard drops. Nesting
@@ -79,7 +80,7 @@ impl Telemetry {
             return SpanGuard(None);
         };
         let idx = {
-            let mut r = rec.lock().unwrap_or_else(|p| p.into_inner());
+            let mut r = lock_recorder(rec);
             let start_ns = r.now_ns();
             let depth = r.open.len() as u32;
             r.spans.push(SpanRecord { name: name.to_string(), start_ns, end_ns: None, depth });
@@ -167,22 +168,36 @@ impl Telemetry {
             histograms: r
                 .histograms
                 .iter()
-                .map(|(name, h)| HistogramSnapshot {
-                    name: name.clone(),
-                    count: h.count,
-                    sum: h.sum,
-                    min: if h.count == 0 { 0.0 } else { h.min },
-                    max: if h.count == 0 { 0.0 } else { h.max },
+                .map(|(name, h)| {
+                    let mut sorted = h.samples.clone();
+                    sorted.sort_by(f64::total_cmp);
+                    HistogramSnapshot {
+                        name: name.clone(),
+                        count: h.count,
+                        sum: h.sum,
+                        min: if h.count == 0 { 0.0 } else { h.min },
+                        max: if h.count == 0 { 0.0 } else { h.max },
+                        p50: snapshot::percentile_sorted(&sorted, 0.50),
+                        p95: snapshot::percentile_sorted(&sorted, 0.95),
+                        p99: snapshot::percentile_sorted(&sorted, 0.99),
+                    }
                 })
                 .collect(),
             pipeline: r.pipeline.clone(),
+            runtime: r.runtime.clone(),
         }
     }
 
-    /// Chrome-trace JSON of host spans merged with attached warp events.
+    /// Chrome-trace JSON of host spans merged with attached warp events
+    /// (plus per-worker host-pool tracks when a runtime profile is
+    /// attached).
     pub fn chrome_trace(&self) -> String {
         let snap = self.snapshot();
-        chrome_trace_json(&snap.spans, &self.trace_events())
+        chrome::chrome_trace_json_with_runtime(
+            &snap.spans,
+            &self.trace_events(),
+            snap.runtime.as_ref(),
+        )
     }
 
     /// A fresh shard for one parallel job: enabled iff `self` is, but
@@ -191,11 +206,16 @@ impl Telemetry {
     /// jobs' input order; metrics then come out bit-identical to the jobs
     /// having recorded sequentially, at any thread count.
     pub fn fork(&self) -> Telemetry {
-        if self.is_enabled() {
-            Telemetry::enabled()
-        } else {
-            Telemetry::disabled()
+        if !self.is_enabled() {
+            return Telemetry::disabled();
         }
+        if !mgg_runtime::profile::is_profiling() {
+            return Telemetry::enabled();
+        }
+        let t0 = Instant::now();
+        let shard = Telemetry::enabled();
+        mgg_runtime::profile::note_telemetry_fork(t0.elapsed().as_nanos() as u64);
+        shard
     }
 
     /// Folds a shard's recordings into this handle, preserving sequential
@@ -206,6 +226,15 @@ impl Telemetry {
     /// timestamps stay in the child's wall-clock epoch, so spans are
     /// timing-diagnostic only — never part of determinism comparisons.
     pub fn merge_child(&self, child: &Telemetry) {
+        if !mgg_runtime::profile::is_profiling() {
+            return self.merge_child_inner(child);
+        }
+        let t0 = Instant::now();
+        self.merge_child_inner(child);
+        mgg_runtime::profile::note_telemetry_merge(t0.elapsed().as_nanos() as u64);
+    }
+
+    fn merge_child_inner(&self, child: &Telemetry) {
         let Some(child_rec) = child.lock() else { return };
         let Some(mut r) = self.lock() else { return };
         for (name, &value) in &child_rec.counters {
@@ -232,6 +261,131 @@ impl Telemetry {
         if child_rec.pipeline.is_some() {
             r.pipeline = child_rec.pipeline.clone();
         }
+        if child_rec.runtime.is_some() {
+            r.runtime = child_rec.runtime.clone();
+        }
+    }
+
+    /// Attaches a host-pool attribution profile (from
+    /// `mgg_runtime::profile::collect`) so it travels with the snapshot
+    /// (JSON `--metrics-out`, text report, Chrome trace worker tracks).
+    pub fn attach_runtime_profile(&self, profile: mgg_runtime::profile::RuntimeProfile) {
+        if let Some(mut r) = self.lock() {
+            r.runtime = Some(profile);
+        }
+    }
+
+    /// Starts a write batch against this handle: counter/gauge/histogram
+    /// records accumulate in the batch without touching the recorder mutex
+    /// and flush under **one** lock acquisition when [`TelemetryBatch::flush`]
+    /// is called or the batch drops. Use in per-item hot loops (per-query,
+    /// per-remote-edge) where a lock per record is measurable contention.
+    ///
+    /// Replay order is preserved within the batch, so flushed histograms
+    /// are bit-identical (f64 sums included) to unbatched recording from
+    /// the same thread; counters add and gauges keep last-write-wins.
+    pub fn batch(&self) -> TelemetryBatch {
+        TelemetryBatch {
+            target: self.clone(),
+            counters: BTreeMap::new(),
+            ordered: Vec::new(),
+        }
+    }
+}
+
+/// Locks a recorder, reporting the acquisition (and any blocked time) to
+/// the host profiler when one is collecting on this thread. Without a
+/// profiler this is exactly the old poison-tolerant `lock()`.
+fn lock_recorder(m: &Mutex<Recorder>) -> MutexGuard<'_, Recorder> {
+    if !mgg_runtime::profile::is_profiling() {
+        return m.lock().unwrap_or_else(|p| p.into_inner());
+    }
+    match m.try_lock() {
+        Ok(guard) => {
+            mgg_runtime::profile::note_recorder_lock(0);
+            guard
+        }
+        Err(std::sync::TryLockError::Poisoned(p)) => {
+            mgg_runtime::profile::note_recorder_lock(0);
+            p.into_inner()
+        }
+        Err(std::sync::TryLockError::WouldBlock) => {
+            let t0 = Instant::now();
+            let guard = m.lock().unwrap_or_else(|p| p.into_inner());
+            // Count contended acquisitions even when the wait rounds to 0ns.
+            mgg_runtime::profile::note_recorder_lock(t0.elapsed().as_nanos().max(1) as u64);
+            guard
+        }
+    }
+}
+
+/// An ordered record buffered by a [`TelemetryBatch`]; replayed at flush.
+enum BatchRecord {
+    Gauge(String, f64),
+    HistSample(String, f64),
+}
+
+/// A thread-local write buffer created by [`Telemetry::batch`]; flushes
+/// everything under a single recorder lock on [`TelemetryBatch::flush`]
+/// or drop.
+pub struct TelemetryBatch {
+    target: Telemetry,
+    counters: BTreeMap<String, u64>,
+    /// Gauge writes and histogram samples in record order (both are
+    /// order-sensitive: last-write-wins and f64 replay respectively).
+    ordered: Vec<BatchRecord>,
+}
+
+impl TelemetryBatch {
+    /// Buffered [`Telemetry::counter_add`].
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        if self.target.is_enabled() {
+            *self.counters.entry(name.to_string()).or_insert(0) += delta;
+        }
+    }
+
+    /// Buffered [`Telemetry::gauge_set`].
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        if self.target.is_enabled() {
+            self.ordered.push(BatchRecord::Gauge(name.to_string(), value));
+        }
+    }
+
+    /// Buffered [`Telemetry::histogram_record`].
+    pub fn histogram_record(&mut self, name: &str, value: f64) {
+        if self.target.is_enabled() {
+            self.ordered.push(BatchRecord::HistSample(name.to_string(), value));
+        }
+    }
+
+    /// Pushes everything buffered so far into the recorder under one lock;
+    /// the batch is empty (and reusable) afterwards.
+    pub fn flush(&mut self) {
+        if self.counters.is_empty() && self.ordered.is_empty() {
+            return;
+        }
+        let counters = std::mem::take(&mut self.counters);
+        let ordered = std::mem::take(&mut self.ordered);
+        let Some(mut r) = self.target.lock() else { return };
+        for (name, delta) in counters {
+            *r.counters.entry(name).or_insert(0) += delta;
+        }
+        for rec in ordered {
+            match rec {
+                BatchRecord::Gauge(name, value) => {
+                    r.gauges.insert(name, value);
+                }
+                BatchRecord::HistSample(name, value) => {
+                    r.histograms.entry(name).or_default().record(value);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for TelemetryBatch {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -300,6 +454,7 @@ struct Recorder {
     histograms: BTreeMap<String, Histogram>,
     trace_events: Vec<TraceEvent>,
     pipeline: Option<PipelineMetrics>,
+    runtime: Option<mgg_runtime::profile::RuntimeProfile>,
 }
 
 impl Recorder {
@@ -313,6 +468,7 @@ impl Recorder {
             histograms: BTreeMap::new(),
             trace_events: Vec::new(),
             pipeline: None,
+            runtime: None,
         }
     }
 
@@ -468,6 +624,84 @@ mod tests {
             assert_eq!(hp.min.to_bits(), hs.min.to_bits());
             assert_eq!(hp.max.to_bits(), hs.max.to_bits());
         }
+    }
+
+    #[test]
+    fn batch_flush_matches_direct_recording_bitwise() {
+        let direct = Telemetry::enabled();
+        let batched = Telemetry::enabled();
+        let mut batch = batched.batch();
+        for i in 0..40 {
+            let v = 1.0 / (1.0 + i as f64);
+            direct.counter_add("ops", 2);
+            direct.histogram_record("lat", v);
+            direct.gauge_set("last", v);
+            batch.counter_add("ops", 2);
+            batch.histogram_record("lat", v);
+            batch.gauge_set("last", v);
+        }
+        batch.flush();
+        let (d, b) = (direct.snapshot(), batched.snapshot());
+        assert_eq!(d.counters, b.counters);
+        assert_eq!(d.gauges[0].value.to_bits(), b.gauges[0].value.to_bits());
+        assert_eq!(d.histograms[0].sum.to_bits(), b.histograms[0].sum.to_bits());
+        assert_eq!(d.histograms[0].p50.to_bits(), b.histograms[0].p50.to_bits());
+    }
+
+    #[test]
+    fn batch_flushes_on_drop_and_is_noop_when_disabled() {
+        let t = Telemetry::enabled();
+        {
+            let mut batch = t.batch();
+            batch.counter_add("dropped", 3);
+        }
+        assert_eq!(t.counter_value("dropped"), 3);
+        let off = Telemetry::disabled();
+        let mut batch = off.batch();
+        batch.counter_add("x", 1);
+        batch.flush();
+        assert_eq!(off.counter_value("x"), 0);
+    }
+
+    #[test]
+    fn snapshot_histograms_carry_percentiles() {
+        let t = Telemetry::enabled();
+        for i in 1..=100 {
+            t.histogram_record("lat", i as f64);
+        }
+        let h = &t.snapshot().histograms[0];
+        assert_eq!((h.p50, h.p95, h.p99), (50.0, 95.0, 99.0));
+    }
+
+    #[test]
+    fn runtime_profile_attaches_and_snapshots() {
+        let t = Telemetry::enabled();
+        assert!(t.snapshot().runtime.is_none());
+        let ((), profile) = mgg_runtime::profile::collect(|| {
+            mgg_runtime::with_threads(2, || {
+                mgg_runtime::par_map_indexed(4, |i| i);
+            })
+        });
+        t.attach_runtime_profile(profile.clone());
+        let snap = t.snapshot();
+        assert_eq!(snap.runtime, Some(profile));
+        assert!(snap.render_text().contains("host worker pool"));
+        // Lock accounting reaches the profiler: recording under a
+        // collector bumps the acquire counter.
+        let ((), p2) = mgg_runtime::profile::collect(|| t.counter_add("c", 1));
+        assert!(p2.mutex.acquires >= 1);
+    }
+
+    #[test]
+    fn fork_merge_report_into_active_profiler() {
+        let t = Telemetry::enabled();
+        let ((), profile) = mgg_runtime::profile::collect(|| {
+            let shard = t.fork();
+            shard.histogram_record("h", 1.0);
+            t.merge_child(&shard);
+        });
+        assert!(profile.telemetry_fork_ns > 0);
+        assert!(profile.telemetry_merge_ns > 0);
     }
 
     #[test]

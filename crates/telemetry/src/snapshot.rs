@@ -2,7 +2,31 @@
 //! renderable as the `mgg-cli profile` text report.
 
 use crate::pipeline::PipelineMetrics;
+use mgg_runtime::profile::RuntimeProfile;
 use serde::Serialize;
+
+/// Percentile of an ascending-sorted f64 sample set, `p` in `[0, 1]`:
+/// the smallest sample whose rank is ≥ ⌈len·p⌉ (the ceil-rank rule the
+/// serving layer has always used for its latency p50/p95/p99). Returns
+/// 0.0 on an empty set.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[percentile_index(sorted.len(), p)]
+}
+
+/// [`percentile_sorted`] for integer samples (e.g. latency nanoseconds).
+pub fn percentile_sorted_u64(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[percentile_index(sorted.len(), p)]
+}
+
+fn percentile_index(len: usize, p: f64) -> usize {
+    ((len as f64 * p).ceil() as usize).clamp(1, len) - 1
+}
 
 /// One closed (or still-open, snapshotted-as-now) host phase span.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -40,6 +64,11 @@ pub struct HistogramSnapshot {
     pub sum: f64,
     pub min: f64,
     pub max: f64,
+    /// Ceil-rank percentiles over the recorded samples (0 when empty);
+    /// see [`percentile_sorted`].
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
 }
 
 impl HistogramSnapshot {
@@ -60,6 +89,10 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<GaugeSnapshot>,
     pub histograms: Vec<HistogramSnapshot>,
     pub pipeline: Option<PipelineMetrics>,
+    /// Host worker-pool attribution, when the run was wrapped in
+    /// `mgg_runtime::profile::collect` and attached via
+    /// [`crate::Telemetry::attach_runtime_profile`].
+    pub runtime: Option<RuntimeProfile>,
 }
 
 impl MetricsSnapshot {
@@ -150,12 +183,60 @@ impl MetricsSnapshot {
             out.push_str("\n== histograms ==\n");
             for h in &self.histograms {
                 out.push_str(&format!(
-                    "{:32} n={} mean={:.1} min={:.1} max={:.1}\n",
+                    "{:32} n={} mean={:.1} min={:.1} p50={:.1} p95={:.1} p99={:.1} max={:.1}\n",
                     h.name,
                     h.count,
                     h.mean(),
                     h.min,
+                    h.p50,
+                    h.p95,
+                    h.p99,
                     h.max
+                ));
+            }
+        }
+        if let Some(rt) = &self.runtime {
+            out.push_str("\n== host worker pool ==\n");
+            let b = rt.breakdown();
+            let lane_total = b.exec_ns + b.overhead_ns();
+            let pct = |ns: u64| {
+                if lane_total == 0 {
+                    0.0
+                } else {
+                    100.0 * ns as f64 / lane_total as f64
+                }
+            };
+            for (name, ns) in [
+                ("task-exec", b.exec_ns),
+                ("spawn", b.spawn_ns),
+                ("idle", b.idle_ns),
+                ("ordered-merge-wait", b.merge_wait_ns),
+            ] {
+                out.push_str(&format!(
+                    "{:32} {:>10.3} ms {:>6.1}%\n",
+                    name,
+                    ns as f64 / 1e6,
+                    pct(ns)
+                ));
+            }
+            out.push_str(&format!(
+                "telemetry fork/merge             {:>10.3} ms (in exec) / {:.3} ms (caller)\n",
+                b.telemetry_fork_ns as f64 / 1e6,
+                b.telemetry_merge_ns as f64 / 1e6
+            ));
+            out.push_str(&format!(
+                "recorder mutex                   {} acquires, {} contended, {:.3} ms blocked\n",
+                rt.mutex.acquires,
+                rt.mutex.contended,
+                rt.mutex.blocked_ns as f64 / 1e6
+            ));
+            for r in &rt.regions {
+                out.push_str(&format!(
+                    "  region {:24} {:>5} jobs x {:<2} workers  wall {:>9.3} ms\n",
+                    r.name,
+                    r.jobs,
+                    r.workers,
+                    r.wall_ns as f64 / 1e6
                 ));
             }
         }
@@ -166,6 +247,19 @@ impl MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentile_helpers_use_ceil_rank() {
+        let f: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile_sorted(&f, 0.50), 50.0);
+        assert_eq!(percentile_sorted(&f, 0.95), 95.0);
+        assert_eq!(percentile_sorted(&f, 0.99), 99.0);
+        assert_eq!(percentile_sorted(&[], 0.5), 0.0);
+        assert_eq!(percentile_sorted_u64(&[], 0.5), 0);
+        assert_eq!(percentile_sorted_u64(&[7], 0.99), 7);
+        assert_eq!(percentile_sorted_u64(&[10, 20, 30], 0.50), 20);
+        assert_eq!(percentile_sorted_u64(&[10, 20, 30], 1.0), 30);
+    }
 
     #[test]
     fn empty_snapshot_renders_and_serializes() {
@@ -192,12 +286,16 @@ mod tests {
                 sum: 10.0,
                 min: 4.0,
                 max: 6.0,
+                p50: 4.0,
+                p95: 6.0,
+                p99: 6.0,
             }],
             pipeline: Some(PipelineMetrics {
                 makespan_ns: 1234,
                 overlap_efficiency: 0.75,
                 ..Default::default()
             }),
+            runtime: None,
         };
         let text = snap.render_text();
         assert!(text.contains("aggregate"));
