@@ -1,6 +1,7 @@
 //! One module per paper artifact.
 
 pub mod cache;
+pub mod churn;
 pub mod common;
 pub mod ext;
 pub mod failover;

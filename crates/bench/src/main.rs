@@ -14,15 +14,15 @@
 use std::path::PathBuf;
 
 use mgg_bench::experiments::{
-    cache, ext, failover, fault, fig10, fig2, fig3, fig7, fig8, fig9, hostperf, occupancy, serve, tab1, tab2,
-    tab3, tab4, tab5,
+    cache, churn, ext, failover, fault, fig10, fig2, fig3, fig7, fig8, fig9, hostperf, occupancy, serve,
+    tab1, tab2, tab3, tab4, tab5,
 };
 use mgg_bench::report::{write_json, ExperimentReport};
 use mgg_bench::DEFAULT_SCALE;
 
 const ALL: &[&str] = &[
     "fig2", "fig3", "tab1", "tab2", "fig7", "fig8", "fig9a", "fig9b", "fig10", "occupancy",
-    "tab3", "tab4", "tab5", "ext_reorder", "ext_replicated", "ext_fabric", "ext_train", "ext_cpu", "ext_putget", "ext_dims", "ext_scaling", "ext_fault", "ext_failover", "ext_hostperf", "ext_cache", "ext_serve", "microcal",
+    "tab3", "tab4", "tab5", "ext_reorder", "ext_replicated", "ext_fabric", "ext_train", "ext_cpu", "ext_putget", "ext_dims", "ext_scaling", "ext_fault", "ext_failover", "ext_hostperf", "ext_cache", "ext_serve", "ext_churn", "microcal",
 ];
 
 fn main() {
@@ -108,6 +108,7 @@ fn run_one(exp: &str, scale: f64, out: &std::path::Path) {
         "ext_hostperf" => emit(hostperf::run(scale), out),
         "ext_cache" => emit(cache::run(scale, 8), out),
         "ext_serve" => emit(serve::run(scale, 8), out),
+        "ext_churn" => emit(churn::run(scale, 8), out),
         "microcal" => emit(mgg_bench::experiments::microcal::run(), out),
         other => unreachable!("validated experiment '{other}'"),
     }

@@ -87,6 +87,10 @@ struct Slot {
     /// Tie-breaker: last-use tick under LFU, unused (0) under LRU.
     p2: u64,
     occupied: bool,
+    /// Row version the payload was filled at (see
+    /// [`EmbedCache::access_versioned`]). Plain [`EmbedCache::access`]
+    /// admissions carry version 0.
+    version: u64,
 }
 
 /// A deterministic, capacity-bounded cache of remote-row keys.
@@ -111,6 +115,7 @@ pub struct EmbedCache {
     heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
     tick: u64,
     stats: CacheStats,
+    stale: u64,
     guard: Option<ThrashGuard>,
 }
 
@@ -128,6 +133,7 @@ impl EmbedCache {
             heap: BinaryHeap::new(),
             tick: 0,
             stats: CacheStats::default(),
+            stale: 0,
             guard: None,
         }
     }
@@ -184,23 +190,52 @@ impl EmbedCache {
     }
 
     /// Looks up `key`, admitting it on a miss (evicting if full). Updates
-    /// the hit/miss/eviction counters.
+    /// the hit/miss/eviction counters. Equivalent to
+    /// [`EmbedCache::access_versioned`] at version 0 — static-graph
+    /// callers never see a version mismatch.
     pub fn access(&mut self, key: CacheKey) -> Lookup {
+        self.access_versioned(key, 0)
+    }
+
+    /// Version-checked lookup: a resident key whose slot was filled at a
+    /// *different* version than `version` is a **stale row** — the graph
+    /// mutated under the cache without the owning engine invalidating the
+    /// row. That is an invalidation bug, never a legitimate state, so in
+    /// debug builds it fails loudly (`debug_assert`); in release builds it
+    /// self-heals (the stale entry is dropped, the [`EmbedCache::stale_hits`]
+    /// counter ticks, and the access proceeds as a miss that refetches at
+    /// the current version). Admissions stamp the slot with `version`.
+    pub fn access_versioned(&mut self, key: CacheKey, version: u64) -> Lookup {
         let packed = key.pack();
         self.tick += 1;
         if let Some(g) = &mut self.guard {
             g.accesses += 1;
         }
         if let Some(&slot) = self.map.get(&packed) {
-            self.stats.hits += 1;
-            if let Some(g) = &mut self.guard {
-                g.hits += 1;
-                g.maybe_roll();
+            if self.slots[slot].version != version {
+                // Stale resident row: drop it and fall through to the miss
+                // path so the caller refetches the current payload.
+                self.stale += 1;
+                debug_assert!(
+                    false,
+                    "stale cache row: {key:?} resident at version {} but row is at {version} \
+                     — a graph delta bypassed invalidation",
+                    self.slots[slot].version
+                );
+                self.map.remove(&packed);
+                self.slots[slot].occupied = false;
+                self.free.push(slot);
+            } else {
+                self.stats.hits += 1;
+                if let Some(g) = &mut self.guard {
+                    g.hits += 1;
+                    g.maybe_roll();
+                }
+                let (p1, p2) = self.bump(slot);
+                self.heap.push(Reverse((p1, p2, slot)));
+                self.maybe_compact();
+                return Lookup { hit: true, slot: Some(slot), evicted: None };
             }
-            let (p1, p2) = self.bump(slot);
-            self.heap.push(Reverse((p1, p2, slot)));
-            self.maybe_compact();
-            return Lookup { hit: true, slot: Some(slot), evicted: None };
         }
         self.stats.misses += 1;
         if self.capacity == 0 {
@@ -220,7 +255,7 @@ impl EmbedCache {
             match self.free.pop() {
                 Some(s) => s,
                 None => {
-                    self.slots.push(Slot { key: 0, p1: 0, p2: 0, occupied: false });
+                    self.slots.push(Slot { key: 0, p1: 0, p2: 0, occupied: false, version: 0 });
                     self.slots.len() - 1
                 }
             }
@@ -239,7 +274,7 @@ impl EmbedCache {
             CachePolicy::Lru => (self.tick, 0),
             CachePolicy::Lfu => (1, self.tick),
         };
-        self.slots[slot] = Slot { key: packed, p1, p2, occupied: true };
+        self.slots[slot] = Slot { key: packed, p1, p2, occupied: true, version };
         self.map.insert(packed, slot);
         self.heap.push(Reverse((p1, p2, slot)));
         self.maybe_compact();
@@ -291,6 +326,16 @@ impl EmbedCache {
     /// [`EmbedCache::reset_stats`]).
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Stale-row detections: resident keys whose slot version disagreed
+    /// with the version [`EmbedCache::access_versioned`] asked for. Any
+    /// non-zero value means a graph delta bypassed cache invalidation —
+    /// the churn drills and chaos proptests assert this stays 0. Kept out
+    /// of [`CacheStats`] (it is an *assertion* counter, not a performance
+    /// counter, and `CacheStats` is serialized into committed baselines).
+    pub fn stale_hits(&self) -> u64 {
+        self.stale
     }
 
     /// Zeroes the counters without touching resident keys.
@@ -482,6 +527,41 @@ mod tests {
         c.flush();
         assert!(!c.thrash_bypassing(), "flush must restart the guard in admit mode");
         assert!(c.access(k(0, 1)).slot.is_some(), "post-flush misses must admit again");
+    }
+
+    #[test]
+    fn versioned_access_with_proper_invalidation_never_goes_stale() {
+        let mut c = EmbedCache::new(4, CachePolicy::Lru);
+        assert!(!c.access_versioned(k(0, 1), 0).hit);
+        assert!(c.access_versioned(k(0, 1), 0).hit);
+        // The row mutates; the engine invalidates before the next access.
+        c.invalidate(k(0, 1));
+        let out = c.access_versioned(k(0, 1), 1); // refetch at the new version
+        assert!(!out.hit, "invalidated rows must re-miss");
+        assert!(c.access_versioned(k(0, 1), 1).hit);
+        assert_eq!(c.stale_hits(), 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "bypassed invalidation")]
+    fn stale_row_fails_loudly_in_debug_builds() {
+        let mut c = EmbedCache::new(4, CachePolicy::Lru);
+        c.access_versioned(k(0, 1), 0);
+        // Version bumped without invalidating: the assertion must fire.
+        c.access_versioned(k(0, 1), 1);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn stale_row_self_heals_in_release_builds() {
+        let mut c = EmbedCache::new(4, CachePolicy::Lru);
+        c.access_versioned(k(0, 1), 0);
+        let out = c.access_versioned(k(0, 1), 1);
+        assert!(!out.hit, "stale rows must be served as misses");
+        assert_eq!(c.stale_hits(), 1);
+        assert!(c.access_versioned(k(0, 1), 1).hit, "refetched row is clean");
+        assert_eq!(c.stale_hits(), 1);
     }
 
     #[test]

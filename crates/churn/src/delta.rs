@@ -1,0 +1,383 @@
+//! Transactional batch application of graph deltas to a CSR graph.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use mgg_graph::CsrGraph;
+
+/// One live mutation of the serving graph.
+///
+/// Edge deltas are undirected (both endpoint rows change), matching the
+/// symmetric adjacency every GNN workload in this workspace uses. Node
+/// removal is a *tombstone*: the node's incident edges disappear but its
+/// dense id survives as an isolated placeholder, so node ids — and with
+/// them the `NodeSplit` bounds and every resident `(PE, row)` cache
+/// address of an untouched node — stay valid across the batch. Node
+/// insertion appends fresh ids at the top of the id space for the same
+/// reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphDelta {
+    /// Adds the undirected edge `{src, dst}` (no-op if already present).
+    EdgeInsert {
+        /// One endpoint.
+        src: u32,
+        /// The other endpoint.
+        dst: u32,
+    },
+    /// Removes the undirected edge `{src, dst}` (no-op if absent).
+    EdgeRemove {
+        /// One endpoint.
+        src: u32,
+        /// The other endpoint.
+        dst: u32,
+    },
+    /// The node's embedding row changed upstream; topology is untouched
+    /// but every cached copy of the row is now stale.
+    FeatureUpdate {
+        /// The updated node.
+        node: u32,
+    },
+    /// Appends a new node wired to `neighbors` (undirected).
+    NodeInsert {
+        /// Existing nodes the new node connects to.
+        neighbors: Vec<u32>,
+    },
+    /// Tombstones `node`: drops all incident edges, keeps the id.
+    NodeRemove {
+        /// The removed node.
+        node: u32,
+    },
+}
+
+/// What one [`apply_deltas`] batch actually did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaEffects {
+    /// Pre-existing nodes whose adjacency row or feature row changed —
+    /// exactly the rows whose cached copies must be invalidated. Sorted,
+    /// deduplicated. Freshly inserted nodes are *not* listed (they were
+    /// never cached).
+    pub affected: Vec<u32>,
+    /// Nodes appended by `NodeInsert` deltas.
+    pub inserted_nodes: usize,
+    /// Nodes tombstoned by `NodeRemove` deltas.
+    pub removed_nodes: usize,
+    /// Undirected edges actually added (no-op inserts excluded).
+    pub edges_added: u64,
+    /// Undirected edges actually removed (no-op removes excluded).
+    pub edges_removed: u64,
+    /// Feature rows marked dirty.
+    pub feature_updates: u64,
+}
+
+/// Applies `deltas` to `graph` as one transaction and returns the new
+/// graph plus the batch's effects.
+///
+/// The batch is validated up front: a delta referencing a node outside
+/// `0..num_nodes` (inserted nodes count from `num_nodes` in batch order
+/// and may be referenced by *later* deltas in the same batch) rejects the
+/// whole batch with no partial application. Application is a pure
+/// function of `(graph, deltas)` — iteration never touches hash-map
+/// order, so the output CSR is bit-identical across runs and platforms.
+pub fn apply_deltas(graph: &CsrGraph, deltas: &[GraphDelta]) -> Result<(CsrGraph, DeltaEffects), String> {
+    let n_old = graph.num_nodes() as u32;
+    let mut n_new = n_old;
+    // Validate the whole batch before touching anything (transactional).
+    for (i, d) in deltas.iter().enumerate() {
+        let check = |v: u32, what: &str| -> Result<(), String> {
+            if v >= n_new {
+                Err(format!("delta {i}: {what} node {v} out of range (graph has {n_new} nodes)"))
+            } else {
+                Ok(())
+            }
+        };
+        match d {
+            GraphDelta::EdgeInsert { src, dst } | GraphDelta::EdgeRemove { src, dst } => {
+                check(*src, "edge")?;
+                check(*dst, "edge")?;
+            }
+            GraphDelta::FeatureUpdate { node } | GraphDelta::NodeRemove { node } => {
+                check(*node, "target")?;
+            }
+            GraphDelta::NodeInsert { neighbors } => {
+                for &nb in neighbors {
+                    check(nb, "neighbor")?;
+                }
+                n_new += 1;
+            }
+        }
+    }
+
+    let mut fx = DeltaEffects::default();
+    let mut affected: BTreeSet<u32> = BTreeSet::new();
+    // Per-row edit lists. Hash maps are only ever *indexed* (by row id in
+    // 0..n order), never iterated, so they cannot perturb determinism.
+    let mut inserts: HashMap<u32, Vec<u32>> = HashMap::new();
+    let mut removes: HashMap<u32, HashSet<u32>> = HashMap::new();
+    let mut tombstoned: HashSet<u32> = HashSet::new();
+    let has_edge = |v: u32, u: u32| -> bool {
+        v < n_old && graph.neighbors(v).contains(&u)
+    };
+    // Whether the *edited* row currently contains the edge (base CSR,
+    // minus pending removes, plus pending inserts).
+    let edge_present = |v: u32,
+                        u: u32,
+                        inserts: &HashMap<u32, Vec<u32>>,
+                        removes: &HashMap<u32, HashSet<u32>>| {
+        let base = has_edge(v, u) && !removes.get(&v).is_some_and(|r| r.contains(&u));
+        base || inserts.get(&v).is_some_and(|i| i.contains(&u))
+    };
+    let mut next_id = n_old;
+    for d in deltas {
+        match d {
+            GraphDelta::EdgeInsert { src, dst } => {
+                if *src == *dst || edge_present(*src, *dst, &inserts, &removes) {
+                    continue; // self-loop or duplicate: no-op
+                }
+                if tombstoned.contains(src) || tombstoned.contains(dst) {
+                    continue; // edge to a tombstoned node: no-op
+                }
+                inserts.entry(*src).or_default().push(*dst);
+                inserts.entry(*dst).or_default().push(*src);
+                removes.get_mut(src).map(|r| r.remove(dst));
+                removes.get_mut(dst).map(|r| r.remove(src));
+                fx.edges_added += 1;
+                if *src < n_old {
+                    affected.insert(*src);
+                }
+                if *dst < n_old {
+                    affected.insert(*dst);
+                }
+            }
+            GraphDelta::EdgeRemove { src, dst } => {
+                if !edge_present(*src, *dst, &inserts, &removes) {
+                    continue; // absent edge: no-op
+                }
+                removes.entry(*src).or_default().insert(*dst);
+                removes.entry(*dst).or_default().insert(*src);
+                if let Some(i) = inserts.get_mut(src) {
+                    i.retain(|&u| u != *dst);
+                }
+                if let Some(i) = inserts.get_mut(dst) {
+                    i.retain(|&u| u != *src);
+                }
+                fx.edges_removed += 1;
+                if *src < n_old {
+                    affected.insert(*src);
+                }
+                if *dst < n_old {
+                    affected.insert(*dst);
+                }
+            }
+            GraphDelta::FeatureUpdate { node } => {
+                fx.feature_updates += 1;
+                if *node < n_old {
+                    affected.insert(*node);
+                }
+            }
+            GraphDelta::NodeInsert { neighbors } => {
+                let v = next_id;
+                next_id += 1;
+                fx.inserted_nodes += 1;
+                let mut seen = Vec::new();
+                for &nb in neighbors {
+                    if nb == v || seen.contains(&nb) || tombstoned.contains(&nb) {
+                        continue;
+                    }
+                    seen.push(nb);
+                    inserts.entry(v).or_default().push(nb);
+                    inserts.entry(nb).or_default().push(v);
+                    fx.edges_added += 1;
+                    if nb < n_old {
+                        affected.insert(nb);
+                    }
+                }
+            }
+            GraphDelta::NodeRemove { node } => {
+                if tombstoned.contains(node) {
+                    continue; // double-remove: no-op
+                }
+                tombstoned.insert(*node);
+                fx.removed_nodes += 1;
+                if *node < n_old {
+                    affected.insert(*node);
+                }
+                // Surviving neighbors lose an adjacency entry.
+                let mut dropped = 0u64;
+                if *node < n_old {
+                    for &u in graph.neighbors(*node) {
+                        if removes.get(node).is_some_and(|r| r.contains(&u)) {
+                            continue; // already removed this batch
+                        }
+                        dropped += 1;
+                        if u < n_old && !tombstoned.contains(&u) {
+                            affected.insert(u);
+                        }
+                    }
+                }
+                if let Some(ins) = inserts.get(node) {
+                    dropped += ins.len() as u64;
+                    for &u in ins {
+                        if u < n_old {
+                            affected.insert(u);
+                        }
+                    }
+                }
+                fx.edges_removed += dropped;
+                // The tombstone filter below drops the reciprocal entries;
+                // record explicit removes for rows edited this batch.
+            }
+        }
+    }
+
+    // Rebuild the CSR in one pass, row-major: retained base edges keep
+    // their original order, batch inserts append in delta order.
+    let mut row_ptr: Vec<u64> = Vec::with_capacity(n_new as usize + 1);
+    row_ptr.push(0);
+    let mut col_idx: Vec<u32> = Vec::with_capacity(graph.num_edges() + inserts.len());
+    for v in 0..n_new {
+        if !tombstoned.contains(&v) {
+            if v < n_old {
+                let rm = removes.get(&v);
+                for &u in graph.neighbors(v) {
+                    if tombstoned.contains(&u) || rm.is_some_and(|r| r.contains(&u)) {
+                        continue;
+                    }
+                    col_idx.push(u);
+                }
+            }
+            if let Some(ins) = inserts.get(&v) {
+                for &u in ins {
+                    if !tombstoned.contains(&u) {
+                        col_idx.push(u);
+                    }
+                }
+            }
+        }
+        row_ptr.push(col_idx.len() as u64);
+    }
+    fx.affected = affected.into_iter().collect();
+    Ok((CsrGraph::from_raw(row_ptr, col_idx), fx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u32) -> CsrGraph {
+        // 0-1-2-...-(n-1) path, undirected.
+        let mut row_ptr = vec![0u64];
+        let mut col = Vec::new();
+        for v in 0..n {
+            if v > 0 {
+                col.push(v - 1);
+            }
+            if v + 1 < n {
+                col.push(v + 1);
+            }
+            row_ptr.push(col.len() as u64);
+        }
+        CsrGraph::from_raw(row_ptr, col)
+    }
+
+    #[test]
+    fn edge_insert_and_remove_round_trip() {
+        let g = line(4);
+        let (g2, fx) = apply_deltas(&g, &[GraphDelta::EdgeInsert { src: 0, dst: 3 }]).unwrap();
+        assert_eq!(fx.edges_added, 1);
+        assert_eq!(fx.affected, vec![0, 3]);
+        assert!(g2.neighbors(0).contains(&3) && g2.neighbors(3).contains(&0));
+        let (g3, fx) = apply_deltas(&g2, &[GraphDelta::EdgeRemove { src: 3, dst: 0 }]).unwrap();
+        assert_eq!(fx.edges_removed, 1);
+        assert_eq!(g3.row_ptr(), g.row_ptr());
+        assert_eq!(g3.col_idx(), g.col_idx());
+    }
+
+    #[test]
+    fn duplicate_insert_and_absent_remove_are_noops() {
+        let g = line(4);
+        let (g2, fx) = apply_deltas(
+            &g,
+            &[
+                GraphDelta::EdgeInsert { src: 0, dst: 1 }, // already present
+                GraphDelta::EdgeRemove { src: 0, dst: 3 }, // absent
+                GraphDelta::EdgeInsert { src: 2, dst: 2 }, // self-loop
+            ],
+        )
+        .unwrap();
+        assert_eq!(fx.edges_added, 0);
+        assert_eq!(fx.edges_removed, 0);
+        assert!(fx.affected.is_empty());
+        assert_eq!(g2.col_idx(), g.col_idx());
+    }
+
+    #[test]
+    fn node_insert_appends_and_wires_neighbors() {
+        let g = line(3);
+        let (g2, fx) =
+            apply_deltas(&g, &[GraphDelta::NodeInsert { neighbors: vec![0, 2] }]).unwrap();
+        assert_eq!(g2.num_nodes(), 4);
+        assert_eq!(fx.inserted_nodes, 1);
+        assert_eq!(fx.affected, vec![0, 2], "existing endpoints are affected, new node is not");
+        assert_eq!(g2.neighbors(3), &[0, 2]);
+        assert!(g2.neighbors(0).contains(&3));
+        // Pre-existing rows other than the endpoints are untouched.
+        assert_eq!(g2.neighbors(1), g.neighbors(1));
+    }
+
+    #[test]
+    fn node_remove_tombstones_and_detaches() {
+        let g = line(4);
+        let (g2, fx) = apply_deltas(&g, &[GraphDelta::NodeRemove { node: 1 }]).unwrap();
+        assert_eq!(g2.num_nodes(), 4, "tombstone keeps the id space dense");
+        assert_eq!(fx.removed_nodes, 1);
+        assert_eq!(fx.edges_removed, 2);
+        assert_eq!(fx.affected, vec![0, 1, 2]);
+        assert!(g2.neighbors(1).is_empty());
+        assert!(!g2.neighbors(0).contains(&1));
+        assert!(!g2.neighbors(2).contains(&1));
+    }
+
+    #[test]
+    fn out_of_range_rejects_the_whole_batch() {
+        let g = line(3);
+        let err = apply_deltas(
+            &g,
+            &[
+                GraphDelta::EdgeInsert { src: 0, dst: 2 },
+                GraphDelta::EdgeInsert { src: 0, dst: 99 },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn later_deltas_may_reference_batch_inserted_nodes() {
+        let g = line(2);
+        let (g2, _) = apply_deltas(
+            &g,
+            &[
+                GraphDelta::NodeInsert { neighbors: vec![] }, // node 2
+                GraphDelta::EdgeInsert { src: 2, dst: 0 },
+            ],
+        )
+        .unwrap();
+        assert!(g2.neighbors(2).contains(&0));
+    }
+
+    #[test]
+    fn batch_application_is_deterministic() {
+        let g = line(16);
+        let deltas = vec![
+            GraphDelta::EdgeInsert { src: 0, dst: 8 },
+            GraphDelta::NodeRemove { node: 3 },
+            GraphDelta::NodeInsert { neighbors: vec![5, 9] },
+            GraphDelta::FeatureUpdate { node: 7 },
+            GraphDelta::EdgeRemove { src: 9, dst: 10 },
+        ];
+        let a = apply_deltas(&g, &deltas).unwrap();
+        let b = apply_deltas(&g, &deltas).unwrap();
+        assert_eq!(a.0.row_ptr(), b.0.row_ptr());
+        assert_eq!(a.0.col_idx(), b.0.col_idx());
+        assert_eq!(a.1, b.1);
+    }
+}

@@ -23,13 +23,16 @@ use mgg_core::{
     AnalyticalModel, CacheConfig, CachePolicy, MggConfig, MggEngine, RecoveryAction,
     ReplicatedEngine, Tuner,
 };
+use mgg_churn::{ChurnSchedule, ChurnSpec, MembershipChange, MembershipEvent};
 use mgg_fault::{FaultSchedule, FaultSpec, PermanentFault};
 use mgg_gnn::reference::AggregateMode;
 use mgg_graph::datasets::DatasetSpec;
 use mgg_graph::generators::rmat::{rmat, RmatConfig};
 use mgg_graph::partition::{locality, multilevel, reorder};
 use mgg_graph::{io, CsrGraph, NodeSplit};
-use mgg_serve::{ArrivalKind, Calibration, ServeConfig, ServeSummary, Server, WorkloadSpec};
+use mgg_serve::{
+    ArrivalKind, Calibration, PriorityMix, ServeConfig, ServeSummary, Server, WorkloadSpec,
+};
 use mgg_sim::ClusterSpec;
 use mgg_telemetry::Telemetry;
 use serde::Serialize;
@@ -105,6 +108,12 @@ pub enum Command {
         fault: Option<FaultSpec>,
         permanent: Vec<PermanentFault>,
         threads: Option<usize>,
+        /// Priority-class weights (`--priority-mix GOLD,SILVER,BRONZE`;
+        /// default all gold).
+        mix: PriorityMix,
+        /// Live-churn plane (`--churn-*`, `--drain/--leave/--join`;
+        /// None = static graph, fixed membership).
+        churn: Option<ChurnSpec>,
         /// Machine-readable run report (`--json-out`).
         json_out: Option<PathBuf>,
         metrics_out: Option<PathBuf>,
@@ -200,6 +209,28 @@ fn parse_link_down(spec: &str, gpus: usize) -> Result<Vec<PermanentFault>, Strin
                 return Err(format!("link {src}-{dst} needs two distinct GPUs"));
             }
             Ok(PermanentFault::LinkDown { src, dst, at_ns: parse_time_ns(at)? })
+        })
+        .collect()
+}
+
+/// Parses `--drain/--leave/--join SHARD@TIME[,SHARD@TIME...]` into
+/// membership events (e.g. `--drain 2@500us`).
+fn parse_membership(
+    spec: &str,
+    change: MembershipChange,
+    gpus: usize,
+) -> Result<Vec<MembershipEvent>, String> {
+    spec.split(',')
+        .map(|entry| {
+            let (shard, at) = entry.split_once('@').ok_or_else(|| {
+                format!("--{} expects SHARD@TIME, got '{entry}'", change.name())
+            })?;
+            let shard: u16 =
+                shard.trim().parse().map_err(|_| format!("bad shard index '{shard}'"))?;
+            if shard as usize >= gpus {
+                return Err(format!("shard {shard} out of range for {gpus} GPUs"));
+            }
+            Ok(MembershipEvent { shard, at_ns: parse_time_ns(at)?, change })
         })
         .collect()
 }
@@ -440,6 +471,74 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             if !(0.0..=10.0).contains(&zipf_s) {
                 return Err("--zipf expects a skew exponent in 0..=10".into());
             }
+            let duration_ns =
+                flags.get("duration").map(|v| parse_time_ns(v)).unwrap_or(Ok(2_000_000))?;
+            let mix = match flags.get("priority-mix") {
+                Some(v) => {
+                    let parts: Vec<&str> = v.split(',').collect();
+                    if parts.len() != 3 {
+                        return Err(
+                            "--priority-mix expects GOLD,SILVER,BRONZE weights, e.g. 0.2,0.3,0.5"
+                                .into(),
+                        );
+                    }
+                    let w = |s: &str| {
+                        s.trim()
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|x| *x >= 0.0)
+                            .ok_or_else(|| format!("bad priority weight '{s}'"))
+                    };
+                    let (g, s, b) = (w(parts[0])?, w(parts[1])?, w(parts[2])?);
+                    if g + s + b <= 0.0 {
+                        return Err("--priority-mix weights must not all be zero".into());
+                    }
+                    PriorityMix::new(g, s, b)
+                }
+                None => PriorityMix::gold_only(),
+            };
+            let churn_keys =
+                ["churn-seed", "churn-deltas", "churn-fence-us", "churn-warmup-us", "drain", "leave", "join"];
+            let churn = if churn_keys.iter().any(|k| flags.contains_key(*k)) {
+                let seed = get_usize("churn-seed", 0)? as u64;
+                let mut cs = match flags.get("churn-deltas") {
+                    Some(v) => {
+                        let rate = v
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|r| *r >= 0.0)
+                            .ok_or("--churn-deltas expects a non-negative rate (deltas/s)")?;
+                        ChurnSpec::steady(seed, duration_ns, rate)
+                    }
+                    None => {
+                        let mut q = ChurnSpec::quiet(duration_ns);
+                        q.seed = seed;
+                        q
+                    }
+                };
+                if flags.contains_key("churn-fence-us") {
+                    let us = get_usize("churn-fence-us", 250)?;
+                    if us == 0 {
+                        return Err("--churn-fence-us must be >= 1".into());
+                    }
+                    cs.fence_interval_ns = us as u64 * 1_000;
+                }
+                if flags.contains_key("churn-warmup-us") {
+                    cs.warmup_ns = get_usize("churn-warmup-us", 200)? as u64 * 1_000;
+                }
+                for (flag, change) in [
+                    ("drain", MembershipChange::Drain),
+                    ("leave", MembershipChange::Leave),
+                    ("join", MembershipChange::Join),
+                ] {
+                    if let Some(v) = flags.get(flag) {
+                        cs.membership.extend(parse_membership(v, change, gpus)?);
+                    }
+                }
+                Some(cs)
+            } else {
+                None
+            };
             let defaults = ServeConfig::default();
             Ok(Command::Serve {
                 graph: graph_path(&positional)?,
@@ -450,16 +549,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 qps,
                 deadline_ns: get_usize("deadline-us", 1_000)? as u64 * 1_000,
                 zipf_s,
-                duration_ns: flags
-                    .get("duration")
-                    .map(|v| parse_time_ns(v))
-                    .unwrap_or(Ok(2_000_000))?,
+                duration_ns,
                 seed: get_usize("seed", 42)? as u64,
                 batch_cap: get_usize("batch-cap", defaults.batch_cap)?,
                 queue_cap: get_usize("queue-cap", defaults.queue_cap)?,
                 fault,
                 permanent,
                 threads: get_threads(&flags)?,
+                mix,
+                churn,
                 json_out: flags.get("json-out").map(PathBuf::from),
                 metrics_out: flags.get("metrics-out").map(PathBuf::from),
             })
@@ -793,6 +891,8 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             fault,
             permanent,
             threads,
+            mix,
+            churn,
             json_out,
             metrics_out,
         } => {
@@ -823,6 +923,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 deadline_ns: *deadline_ns,
                 zipf_s: *zipf_s,
                 num_nodes: g.num_nodes(),
+                mix: *mix,
             };
             let mut sched = match fault {
                 Some(fs) => FaultSchedule::derive(fs, *gpus),
@@ -831,9 +932,17 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             for f in permanent {
                 sched = sched.with_permanent(*f);
             }
+            let churn_sched = match churn {
+                Some(cs) => {
+                    let mut cs = cs.clone();
+                    cs.duration_ns = *duration_ns;
+                    ChurnSchedule::derive(&cs, g.num_nodes())
+                }
+                None => ChurnSchedule::quiet(*duration_ns),
+            };
             let tel =
                 if metrics_out.is_some() { Telemetry::enabled() } else { Telemetry::disabled() };
-            let out = server.run(&spec, &sched, &tel);
+            let out = server.run_scenario(&spec, &sched, &churn_sched, &tel);
             let s = &out.summary;
             let mut text = format!(
                 "served {} offered queries over {:.3} ms (simulated, {} arrivals, zipf {zipf_s}):\n\
@@ -872,6 +981,36 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     sched.impaired_gpus(),
                     sched.dead_gpus()
                 ));
+            }
+            if !churn_sched.is_quiet() {
+                let c = &s.churn;
+                text.push_str(&format!(
+                    "  churn: {} fences ({} deltas, {:.1} us stalled) | membership {} \
+                     (drains {}, leaves {}, joins {}, rejected {}) | migrated {}\n",
+                    c.fences,
+                    c.deltas_applied,
+                    c.fence_stall_ns as f64 / 1e3,
+                    c.membership_events,
+                    c.drains,
+                    c.leaves,
+                    c.joins,
+                    c.join_rejections,
+                    c.migrated_queries,
+                ));
+            }
+            if !mix.is_gold_only() {
+                for pc in &s.per_class {
+                    text.push_str(&format!(
+                        "  class {:<6} offered {} | admitted {} | shed {} | in-deadline {} | violations {} | p99 {:.1} us\n",
+                        pc.class,
+                        pc.offered,
+                        pc.admitted,
+                        pc.shed,
+                        pc.completed_in_deadline,
+                        pc.deadline_violations,
+                        pc.p99_ns as f64 / 1e3,
+                    ));
+                }
             }
             if let Some(path) = json_out {
                 let report = ServeJson {
@@ -945,6 +1084,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
         }
         Command::PerfDiff { baseline, candidate, annotate, strict, json_out } => {
             perfdiff::run(baseline, candidate, *annotate, *strict, json_out.as_deref())
+                .map_err(|e| e.to_string())
         }
     }
 }
@@ -1106,6 +1246,10 @@ pub fn usage() -> &'static str {
                 [--fault-seed N] [--fault-straggler F] [--fault-link-degrade F]
                 [--fault-drop-rate F] [--fault-gpu-fail GPU@TIME[,..]]
                 [--fault-link-down A-B@TIME[,..]]
+                [--priority-mix G,S,B]   (gold/silver/bronze class weights; default gold-only)
+                [--churn-deltas RATE]   (graph deltas/s applied at epoch fences)
+                [--churn-seed N] [--churn-fence-us U] [--churn-warmup-us U]
+                [--drain SHARD@TIME[,..]] [--leave SHARD@TIME[,..]] [--join SHARD@TIME[,..]]
                 [--json-out <file>] [--metrics-out <file>]
   mgg-cli profile <graph> [--gpus N] [--dim D] [--engine mgg|uvm]
                   [--platform a100|v100|pcie] [--trace-out <file>] [--metrics-out <file>]
@@ -1685,6 +1829,8 @@ mod tests {
                 fault: None,
                 permanent: vec![],
                 threads: None,
+                mix: PriorityMix::gold_only(),
+                churn: None,
                 json_out: None,
                 metrics_out: None,
             }
@@ -1757,11 +1903,63 @@ mod tests {
             fault: None,
             permanent: vec![],
             threads: None,
+            mix: PriorityMix::gold_only(),
+            churn: None,
             json_out: None,
             metrics_out: None,
         })
         .unwrap_err();
         assert!(err.contains("--batch-cap"), "{err}");
+    }
+
+    #[test]
+    fn parse_serve_churn_and_priority_flags() {
+        match parse(&args(
+            "serve g.csr --gpus 4 --duration 3ms --priority-mix 0.2,0.3,0.5 \
+             --churn-deltas 400000 --churn-seed 11 --churn-fence-us 100 --churn-warmup-us 300 \
+             --drain 1@500us --leave 1@1ms --join 1@2ms",
+        ))
+        .unwrap()
+        {
+            Command::Serve { mix, churn, .. } => {
+                assert!(!mix.is_gold_only());
+                let cs = churn.expect("churn spec");
+                assert_eq!(cs.seed, 11);
+                assert_eq!(cs.fence_interval_ns, 100_000);
+                assert_eq!(cs.warmup_ns, 300_000);
+                assert!(cs.edge_insert_rate > 0.0);
+                assert_eq!(cs.membership.len(), 3);
+                assert_eq!(cs.membership[0].shard, 1);
+                assert_eq!(cs.membership[0].at_ns, 500_000);
+                assert_eq!(cs.membership[0].change, MembershipChange::Drain);
+                assert_eq!(cs.membership[1].change, MembershipChange::Leave);
+                assert_eq!(cs.membership[2].change, MembershipChange::Join);
+                assert_eq!(cs.membership[2].at_ns, 2_000_000);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // Membership flags alone yield a quiet (no-delta) churn spec.
+        match parse(&args("serve g.csr --gpus 2 --drain 0@1ms")).unwrap() {
+            Command::Serve { mix, churn, .. } => {
+                assert!(mix.is_gold_only());
+                let cs = churn.expect("churn spec");
+                assert_eq!(cs.edge_insert_rate, 0.0);
+                assert_eq!(cs.membership.len(), 1);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // No churn flags: no churn plane at all.
+        match parse(&args("serve g.csr")).unwrap() {
+            Command::Serve { churn, .. } => assert!(churn.is_none()),
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&args("serve g.csr --priority-mix 1,2")).is_err());
+        assert!(parse(&args("serve g.csr --priority-mix 0,0,0")).is_err());
+        assert!(parse(&args("serve g.csr --priority-mix a,b,c")).is_err());
+        assert!(parse(&args("serve g.csr --gpus 4 --drain 9@1ms")).is_err());
+        assert!(parse(&args("serve g.csr --drain 1")).is_err());
+        assert!(parse(&args("serve g.csr --churn-deltas -5")).is_err());
+        assert!(parse(&args("serve g.csr --churn-fence-us 0")).is_err());
     }
 
     #[test]

@@ -20,10 +20,75 @@
 //! runners); the CI gate stays digest-equality-only and `perfdiff` only
 //! annotates (`::warning::` / `::error::`) unless `--strict` is given.
 
-use std::path::Path;
+use std::fmt;
+use std::path::{Path, PathBuf};
 
 use serde::Serialize;
 use serde_json::Value;
+
+/// Typed failure modes of the `perfdiff` command, so callers and CI
+/// wrappers can distinguish "the baseline is not there" (a setup problem,
+/// often a forgotten `bench` regeneration) from a genuine `--strict`
+/// regression verdict, instead of pattern-matching opaque I/O strings.
+#[derive(Debug)]
+pub enum PerfDiffError {
+    /// The baseline file or directory does not exist.
+    MissingBaseline(PathBuf),
+    /// The candidate file or directory does not exist.
+    MissingCandidate(PathBuf),
+    /// One side is a file and the other a directory.
+    ShapeMismatch,
+    /// Reading a report or directory, or writing the verdict, failed.
+    Io {
+        /// Path the operation touched.
+        path: PathBuf,
+        /// Underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A report file is not valid JSON.
+    Parse {
+        /// Offending file.
+        path: PathBuf,
+        /// Parser message.
+        detail: String,
+    },
+    /// `--strict` was set and the comparison regressed; carries the full
+    /// rendered verdict text.
+    Regressed(String),
+}
+
+impl fmt::Display for PerfDiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfDiffError::MissingBaseline(p) => write!(
+                f,
+                "perfdiff: baseline {} does not exist (regenerate it with `mgg-bench` or pass an existing report)",
+                p.display()
+            ),
+            PerfDiffError::MissingCandidate(p) => {
+                write!(f, "perfdiff: candidate {} does not exist", p.display())
+            }
+            PerfDiffError::ShapeMismatch => write!(
+                f,
+                "perfdiff: baseline and candidate must both be files or both directories"
+            ),
+            PerfDiffError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            PerfDiffError::Parse { path, detail } => write!(f, "{}: {detail}", path.display()),
+            PerfDiffError::Regressed(text) => {
+                write!(f, "{text}perfdiff: regression detected (--strict)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PerfDiffError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PerfDiffError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// How a metric is judged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -388,14 +453,15 @@ pub fn render_annotations(report: &DiffReport) -> String {
     out
 }
 
-fn load_value(path: &Path) -> Result<Value, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+fn load_value(path: &Path) -> Result<Value, PerfDiffError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| PerfDiffError::Io { path: path.to_path_buf(), source: e })?;
+    serde_json::from_str(&text)
+        .map_err(|e| PerfDiffError::Parse { path: path.to_path_buf(), detail: e.to_string() })
 }
 
 /// Compares two report files.
-pub fn diff_files(baseline: &Path, candidate: &Path) -> Result<DiffReport, String> {
+pub fn diff_files(baseline: &Path, candidate: &Path) -> Result<DiffReport, PerfDiffError> {
     let b = load_value(baseline)?;
     let c = load_value(candidate)?;
     Ok(diff_values(&b, &c, &baseline.display().to_string(), &candidate.display().to_string()))
@@ -403,10 +469,10 @@ pub fn diff_files(baseline: &Path, candidate: &Path) -> Result<DiffReport, Strin
 
 /// Compares two directories of `*.json` reports, pairing files by name.
 /// Files present on only one side are reported as informational drift.
-pub fn diff_dirs(baseline: &Path, candidate: &Path) -> Result<Vec<DiffReport>, String> {
-    let names = |dir: &Path| -> Result<Vec<String>, String> {
+pub fn diff_dirs(baseline: &Path, candidate: &Path) -> Result<Vec<DiffReport>, PerfDiffError> {
+    let names = |dir: &Path| -> Result<Vec<String>, PerfDiffError> {
         let mut out: Vec<String> = std::fs::read_dir(dir)
-            .map_err(|e| format!("{}: {e}", dir.display()))?
+            .map_err(|e| PerfDiffError::Io { path: dir.to_path_buf(), source: e })?
             .filter_map(|entry| entry.ok())
             .filter_map(|entry| entry.file_name().into_string().ok())
             .filter(|n| n.ends_with(".json"))
@@ -469,18 +535,25 @@ pub fn diff_dirs(baseline: &Path, candidate: &Path) -> Result<Vec<DiffReport>, S
 }
 
 /// The `perfdiff` command body: file-vs-file or directory-vs-directory.
-/// Returns the text to print; `Err` only for I/O or (`strict`) regressions.
+/// Returns the text to print; errors are typed ([`PerfDiffError`]) so a
+/// missing baseline is distinguishable from a `--strict` regression.
 pub fn run(
     baseline: &Path,
     candidate: &Path,
     annotate: bool,
     strict: bool,
     json_out: Option<&Path>,
-) -> Result<String, String> {
+) -> Result<String, PerfDiffError> {
+    if !baseline.exists() {
+        return Err(PerfDiffError::MissingBaseline(baseline.to_path_buf()));
+    }
+    if !candidate.exists() {
+        return Err(PerfDiffError::MissingCandidate(candidate.to_path_buf()));
+    }
     let reports = if baseline.is_dir() && candidate.is_dir() {
         diff_dirs(baseline, candidate)?
     } else if baseline.is_dir() != candidate.is_dir() {
-        return Err("perfdiff: baseline and candidate must both be files or both directories".into());
+        return Err(PerfDiffError::ShapeMismatch);
     } else {
         vec![diff_files(baseline, candidate)?]
     };
@@ -509,12 +582,16 @@ pub fn run(
         } else {
             serde_json::to_string_pretty(&reports)
         }
-        .map_err(|e| format!("serialize perfdiff verdict: {e}"))?;
-        std::fs::write(path, json).map_err(|e| format!("{}: {e}", path.display()))?;
+        .map_err(|e| PerfDiffError::Parse {
+            path: path.to_path_buf(),
+            detail: format!("serialize perfdiff verdict: {e}"),
+        })?;
+        std::fs::write(path, json)
+            .map_err(|e| PerfDiffError::Io { path: path.to_path_buf(), source: e })?;
         out.push_str(&format!("wrote perfdiff verdict to {}\n", path.display()));
     }
     if strict && reports.iter().any(|r| !r.clean()) {
-        return Err(format!("{out}perfdiff: regression detected (--strict)"));
+        return Err(PerfDiffError::Regressed(out));
     }
     Ok(out)
 }
@@ -615,6 +692,55 @@ mod tests {
         let r = diff_values(&a, &b, "a", "b");
         assert!(r.clean());
         assert_eq!(r.improved + r.regressed, 0);
+    }
+
+    #[test]
+    fn missing_baseline_is_a_typed_error_not_an_io_string() {
+        let dir = std::env::temp_dir().join(format!("mgg-perfdiff-missing-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cand = dir.join("cand.json");
+        std::fs::write(&cand, r#"{"speedup": 1.0}"#).unwrap();
+        let ghost = dir.join("no-such-baseline.json");
+
+        let err = run(&ghost, &cand, false, false, None).unwrap_err();
+        assert!(matches!(err, PerfDiffError::MissingBaseline(ref p) if *p == ghost), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("baseline"), "{msg}");
+        assert!(msg.contains("no-such-baseline.json"), "{msg}");
+        assert!(msg.contains("regenerate"), "actionable hint expected: {msg}");
+        // It is a real std::error::Error, usable behind dyn Error.
+        let _: &dyn std::error::Error = &err;
+
+        // A missing candidate is the other variant — the two setups are
+        // distinguishable without string matching.
+        let err = run(&cand, &ghost, false, false, None).unwrap_err();
+        assert!(matches!(err, PerfDiffError::MissingCandidate(_)), "{err:?}");
+
+        // Missing baseline *directory* (the CI shape) gets the same variant.
+        let err = run(&dir.join("no-such-dir"), &dir, false, false, None).unwrap_err();
+        assert!(matches!(err, PerfDiffError::MissingBaseline(_)), "{err:?}");
+
+        // Unparseable JSON is Parse, with the file named.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{ nope").unwrap();
+        let err = run(&bad, &cand, false, false, None).unwrap_err();
+        assert!(matches!(err, PerfDiffError::Parse { .. }), "{err:?}");
+        assert!(err.to_string().contains("bad.json"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn strict_regression_is_its_own_variant() {
+        let dir = std::env::temp_dir().join(format!("mgg-perfdiff-strict-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cand = dir.join("cand.json");
+        std::fs::write(&base, r#"{"digest": "abc"}"#).unwrap();
+        std::fs::write(&cand, r#"{"digest": "def"}"#).unwrap();
+        let err = run(&base, &cand, false, true, None).unwrap_err();
+        assert!(matches!(err, PerfDiffError::Regressed(_)), "{err:?}");
+        assert!(err.to_string().contains("--strict"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! functional outputs match the CPU reference (up to floating-point
 //! reassociation) while timing comes from the discrete-event simulation.
 
-use mgg_cache::{CacheConfig, CacheStats, EmbedCache};
+use mgg_cache::{CacheConfig, CacheKey, CacheStats, EmbedCache};
+use mgg_churn::{apply_deltas, GraphDelta};
 use mgg_failover::checkpoint::Checkpoint;
 use mgg_failover::{plan_route, ClusterView, HealthMonitor, Route};
 use mgg_fault::{FaultSchedule, FaultSpec};
@@ -68,6 +69,44 @@ pub struct RecoveryReport {
     pub evacuated_gpus: usize,
     /// Simulated time from the first failure to full detection.
     pub detection_ns: u64,
+}
+
+/// What one [`MggEngine::apply_graph_deltas`] epoch fence actually did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Deltas in the applied batch.
+    pub applied: usize,
+    /// Pre-existing rows whose adjacency or features changed.
+    pub affected_rows: usize,
+    /// Resident cache entries dropped by targeted invalidation (summed
+    /// over all per-GPU caches; 0 when caching is disabled).
+    pub invalidated: usize,
+    /// Nodes appended to the graph (the node split was re-extended, not
+    /// re-planned, so every pre-existing `(PE, row)` address survived).
+    pub inserted_nodes: usize,
+    /// Nodes tombstoned.
+    pub removed_nodes: usize,
+    /// Undirected edges added.
+    pub edges_added: u64,
+    /// Undirected edges removed.
+    pub edges_removed: u64,
+}
+
+/// What one elastic-membership change ([`MggEngine::drain_shard`] /
+/// [`MggEngine::rejoin_shard`]) migrated. Unlike a failure evacuation the
+/// migration is *planned*: it is cost-charged to the next simulation but
+/// loses nothing (no detection pass, no halted warps).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MembershipReport {
+    /// Embedding rows whose owner changed in the rebalance.
+    pub rows_moved: usize,
+    /// Bytes those rows represent at the migration dimension.
+    pub bytes_moved: u64,
+    /// Host-link cost of the migration, charged to the next simulation's
+    /// `recovery.recovery_latency_ns`.
+    pub migration_ns: u64,
+    /// Shards currently administratively down after the change.
+    pub admin_down: usize,
 }
 
 /// A neighbor reference from either virtual CSR, tagged by origin.
@@ -154,6 +193,18 @@ pub struct MggEngine {
     /// Embedding dimension the caches were sized for; capacity is counted
     /// in rows, so a dimension change rebuilds them.
     cache_dim: usize,
+    /// Per-node row versions, bumped by every epoch-fence delta that
+    /// touches the row. The cached kernel build checks each access
+    /// against this table ([`EmbedCache::access_versioned`]), so a delta
+    /// that somehow bypassed invalidation fails loudly (debug) or
+    /// self-heals and counts ([`MggEngine::stale_reads`]) instead of
+    /// serving a stale embedding. Empty until the first delta batch —
+    /// version 0 everywhere, the static-graph fast path.
+    row_versions: Vec<u64>,
+    /// Shards administratively out of rotation (drained or left). Unlike
+    /// dead GPUs these are healthy and can re-join; the rebalance weights
+    /// treat both as zero-capacity.
+    admin_down: Vec<bool>,
     /// Checkpoint restores executed since the last simulation, merged into
     /// the next run's recovery stats (one-shot).
     checkpoint_restores: u64,
@@ -263,6 +314,8 @@ impl MggEngine {
             cache_cfg: None,
             caches: Vec::new(),
             cache_dim: 0,
+            row_versions: Vec::new(),
+            admin_down: Vec::new(),
             checkpoint_restores: 0,
             pending_restore_ns: 0,
             last_stats: None,
@@ -543,6 +596,227 @@ impl MggEngine {
         Ok(Matrix::from_vec(ckpt.features.len() / ckpt.dim, ckpt.dim, ckpt.features.clone()))
     }
 
+    /// Applies one epoch-fence batch of live-graph `deltas` transactionally.
+    ///
+    /// Ordering is the safety argument: **invalidation happens under the
+    /// old addressing, before anything is rebuilt.** Each affected row's
+    /// current `(owner, local)` cache key is dropped from every per-GPU
+    /// cache and its version bumped; only then are the graph, placement
+    /// and work plans swapped. Node insertion *re-extends* the current
+    /// split (the last part's bound grows) instead of re-planning from
+    /// scratch, so every pre-existing node keeps its `(PE, row)` address
+    /// — which is exactly why targeted invalidation is sufficient and
+    /// unaffected rows stay legitimately resident across the fence.
+    ///
+    /// The whole batch is validated first; on [`MggError::InvalidDelta`]
+    /// nothing was applied. A quiet batch (`deltas.is_empty()`) is a
+    /// no-op that still reports.
+    pub fn apply_graph_deltas(&mut self, deltas: &[GraphDelta]) -> Result<DeltaReport, MggError> {
+        let (new_graph, fx) =
+            apply_deltas(&self.graph, deltas).map_err(MggError::InvalidDelta)?;
+        // 1. Targeted invalidation, old addressing. Every GPU's cache keys
+        //    remote rows globally by (owner PE, local row), so the same key
+        //    is dropped from each.
+        let mut invalidated = 0usize;
+        for &node in &fx.affected {
+            let key = CacheKey {
+                pe: self.placement.split.owner(node) as u16,
+                row: self.placement.split.local_index(node),
+            };
+            for c in &mut self.caches {
+                if c.invalidate(key) {
+                    invalidated += 1;
+                }
+            }
+        }
+        // 2. Version bumps for affected rows; inserted rows start at 0.
+        if self.row_versions.len() < self.graph.num_nodes() {
+            self.row_versions.resize(self.graph.num_nodes(), 0);
+        }
+        for &node in &fx.affected {
+            self.row_versions[node as usize] += 1;
+        }
+        self.row_versions.resize(new_graph.num_nodes(), 0);
+        // 3. Incremental split re-extension + placement/plan rebuild.
+        let mut bounds = self.placement.split.bounds().to_vec();
+        if fx.inserted_nodes > 0 {
+            *bounds.last_mut().expect("split has bounds") = new_graph.num_nodes() as u32;
+        }
+        self.graph = new_graph;
+        self.placement =
+            HybridPlacement::from_split(&self.graph, NodeSplit::from_bounds(bounds));
+        self.plans = build_plans(&self.placement, self.config.ps);
+        if self.mode == AggregateMode::GcnNorm {
+            self.norm = self.graph.gcn_norm();
+        }
+        self.telemetry.counter_add("churn.deltas_applied", deltas.len() as u64);
+        self.telemetry.counter_add("churn.rows_invalidated", invalidated as u64);
+        Ok(DeltaReport {
+            applied: deltas.len(),
+            affected_rows: fx.affected.len(),
+            invalidated,
+            inserted_nodes: fx.inserted_nodes,
+            removed_nodes: fx.removed_nodes,
+            edges_added: fx.edges_added,
+            edges_removed: fx.edges_removed,
+        })
+    }
+
+    /// Takes `shard` out of rotation as a *planned* migration: its rows
+    /// move to the remaining in-rotation shards via the same
+    /// health-weighted re-split the failover ladder uses for evacuation,
+    /// but nothing is lost and the cost is charged analytically (one
+    /// host-link transfer of the moved rows at dimension `dim`) to the
+    /// next simulation. Refused when it would leave no shard in rotation.
+    pub fn drain_shard(&mut self, shard: usize, dim: usize) -> Result<MembershipReport, MggError> {
+        self.set_admin_down(shard, true, dim)
+    }
+
+    /// Returns a drained shard to rotation, health-gated: a shard the
+    /// fault plane reports dead (or critically degraded) may not re-join.
+    /// The rebalance moves rows back onto it, cost-charged like
+    /// [`MggEngine::drain_shard`]; the caches keep serving (the moved
+    /// rows' keys are invalidated, resident survivors stay warm).
+    pub fn rejoin_shard(&mut self, shard: usize, dim: usize) -> Result<MembershipReport, MggError> {
+        if shard >= self.cluster.num_gpus() {
+            return Err(MggError::MembershipRejected(format!(
+                "shard {shard} does not exist (cluster has {})",
+                self.cluster.num_gpus()
+            )));
+        }
+        if let Some(sched) = self.cluster.faults() {
+            if sched.dead_gpus().contains(&shard) {
+                return Err(MggError::MembershipRejected(format!(
+                    "shard {shard} is dead; it cannot re-join"
+                )));
+            }
+            if sched.health(shard) < UVM_FALLBACK_HEALTH_THRESHOLD {
+                return Err(MggError::MembershipRejected(format!(
+                    "shard {shard} health {:.2} is below the re-join gate {:.2}",
+                    sched.health(shard),
+                    UVM_FALLBACK_HEALTH_THRESHOLD
+                )));
+            }
+        }
+        self.set_admin_down(shard, false, dim)
+    }
+
+    /// Shards currently administratively out of rotation.
+    pub fn admin_down(&self) -> Vec<usize> {
+        self.admin_down
+            .iter()
+            .enumerate()
+            .filter_map(|(g, &down)| down.then_some(g))
+            .collect()
+    }
+
+    fn set_admin_down(
+        &mut self,
+        shard: usize,
+        down: bool,
+        dim: usize,
+    ) -> Result<MembershipReport, MggError> {
+        let num_gpus = self.cluster.num_gpus();
+        if shard >= num_gpus {
+            return Err(MggError::MembershipRejected(format!(
+                "shard {shard} does not exist (cluster has {num_gpus})"
+            )));
+        }
+        if self.admin_down.len() < num_gpus {
+            self.admin_down.resize(num_gpus, false);
+        }
+        if self.admin_down[shard] == down {
+            // Idempotent: draining a drained shard (or re-joining an
+            // in-rotation one) moves nothing.
+            return Ok(MembershipReport {
+                admin_down: self.admin_down.iter().filter(|&&d| d).count(),
+                ..MembershipReport::default()
+            });
+        }
+        // Capacity weights fold administrative state into the same plane
+        // the failover ladder uses: dead or drained shards get zero,
+        // survivors their health. Refuse to drain the last live shard.
+        let sched = self.cluster.faults().cloned();
+        let weight = |g: usize| -> f64 {
+            let drained = if g == shard { down } else { self.admin_down[g] };
+            if drained {
+                return 0.0;
+            }
+            match &sched {
+                Some(s) if s.dead_gpus().contains(&g) => 0.0,
+                Some(s) => s.health(g).max(0.05),
+                None => 1.0,
+            }
+        };
+        let weights: Vec<f64> = (0..num_gpus).map(weight).collect();
+        if weights.iter().all(|&w| w <= 0.0) {
+            return Err(MggError::MembershipRejected(format!(
+                "draining shard {shard} would leave no shard in rotation"
+            )));
+        }
+        // Permanent failures not yet recovered need their relay routes
+        // before the rebalance claims the placement is fault-accurate.
+        if self.cluster.faults().is_some_and(FaultSchedule::has_permanent) && !self.replanned {
+            self.recover(dim)?;
+        }
+        self.admin_down[shard] = down;
+        let old_bounds = self.placement.split.bounds().to_vec();
+        self.replan_weighted(&weights);
+        // Planned-migration cost: rows whose owner changed cross the host
+        // link once (same analytic formula as a checkpoint restore).
+        let rows_moved = Self::rows_moved(&old_bounds, self.placement.split.bounds());
+        let bytes_moved = (rows_moved * dim * 4) as u64;
+        let host = &self.cluster.spec.host_link;
+        let migration_ns = if rows_moved > 0 {
+            host.latency_ns
+                + host.request_overhead_ns
+                + (bytes_moved as f64 / host.bw_gbps).ceil() as u64
+        } else {
+            0
+        };
+        self.pending_restore_ns += migration_ns;
+        self.telemetry.counter_add("churn.membership_changes", 1);
+        self.telemetry.counter_add("churn.rows_migrated", rows_moved as u64);
+        Ok(MembershipReport {
+            rows_moved,
+            bytes_moved,
+            migration_ns,
+            admin_down: self.admin_down.iter().filter(|&&d| d).count(),
+        })
+    }
+
+    /// Rows whose owning part changed between two bounds vectors over the
+    /// same node count: total nodes minus the per-part overlap of old and
+    /// new ranges.
+    fn rows_moved(old_bounds: &[u32], new_bounds: &[u32]) -> usize {
+        let n = *old_bounds.last().unwrap_or(&0) as usize;
+        let mut same = 0usize;
+        let mut old_start = 0u32;
+        let mut new_start = 0u32;
+        for (&oe, &ne) in old_bounds.iter().zip(new_bounds) {
+            let lo = old_start.max(new_start);
+            let hi = oe.min(ne);
+            if hi > lo {
+                same += (hi - lo) as usize;
+            }
+            old_start = oe;
+            new_start = ne;
+        }
+        n.saturating_sub(same)
+    }
+
+    /// Stale-read detections summed over the per-GPU caches: accesses
+    /// that found a resident row at the wrong version. Any non-zero value
+    /// means a delta bypassed invalidation — the churn drills assert 0.
+    pub fn stale_reads(&self) -> u64 {
+        self.caches.iter().map(EmbedCache::stale_hits).sum()
+    }
+
+    /// The engine's current (post-churn) graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
     /// Simulates one aggregation pass at embedding dimension `dim` and
     /// returns the kernel statistics. Channels are reset first, so calls
     /// are independent measurements.
@@ -626,9 +900,9 @@ impl MggEngine {
             stats = recovered;
             trace = recovered_trace;
         }
-        if self.checkpoint_restores > 0 {
-            // One-shot: resumed-from-checkpoint work is attributed to the
-            // first simulation after the restore.
+        if self.checkpoint_restores > 0 || self.pending_restore_ns > 0 {
+            // One-shot: resumed-from-checkpoint and planned-migration work
+            // is attributed to the first simulation after it.
             stats.recovery.checkpoint_restores += self.checkpoint_restores;
             stats.recovery.recovery_latency_ns += self.pending_restore_ns;
             tel.counter_add("engine.checkpoint_restores", self.checkpoint_restores);
@@ -676,6 +950,7 @@ impl MggEngine {
                     self.variant,
                     self.mapping,
                     &mut self.caches,
+                    &self.row_versions,
                 )
             } else {
                 MggKernel::build(
@@ -1676,6 +1951,233 @@ mod tests {
         let x = features(g.num_nodes(), 16);
         let (got, _) = e.aggregate_values_cached(&x).unwrap();
         assert_eq!(got.data(), e.aggregate_values(&x).data());
+    }
+
+    #[test]
+    fn graph_deltas_apply_and_values_match_reference() {
+        let g = graph();
+        let deltas = vec![
+            GraphDelta::EdgeInsert { src: 3, dst: 200 },
+            GraphDelta::FeatureUpdate { node: 7 },
+            GraphDelta::NodeRemove { node: 11 },
+            GraphDelta::NodeInsert { neighbors: vec![1, 5, 9] },
+            GraphDelta::EdgeRemove { src: 3, dst: 200 },
+        ];
+        let (g2, _) = apply_deltas(&g, &deltas).unwrap();
+        let x2 = features(g2.num_nodes(), 16);
+        for mode in [AggregateMode::Sum, AggregateMode::GcnNorm] {
+            let mut e =
+                MggEngine::new(&g, ClusterSpec::dgx_a100(4), MggConfig::default_fixed(), mode);
+            let report = e.apply_graph_deltas(&deltas).unwrap();
+            assert_eq!(report.applied, 5);
+            assert_eq!(report.inserted_nodes, 1);
+            assert_eq!(report.removed_nodes, 1);
+            assert_eq!(e.graph().num_nodes(), g2.num_nodes());
+            // The post-fence engine computes on the mutated graph — same
+            // values as an engine built from it directly (GcnNorm checks
+            // the degree-dependent norm recompute too).
+            let got = e.aggregate_values(&x2);
+            let want = aggregate(&g2, &x2, mode);
+            assert!(
+                got.max_abs_diff(&want) < 1e-3,
+                "mode {mode:?}: post-churn diff {}",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn delta_fence_invalidates_exactly_the_affected_rows() {
+        let g = graph();
+        let mut e = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(4),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        e.set_cache(Some(CacheConfig::from_mb(64)));
+        e.simulate_aggregation(64).unwrap();
+        let warm_misses = e.simulate_aggregation(64).unwrap().cache.misses;
+        // Feature-update a handful of rows: only those rows' cache
+        // entries drop, so the next run is nearly as warm as before (a
+        // full flush would re-miss every first touch).
+        let deltas: Vec<GraphDelta> =
+            (0..8).map(|i| GraphDelta::FeatureUpdate { node: i * 31 }).collect();
+        let report = e.apply_graph_deltas(&deltas).unwrap();
+        assert_eq!(report.affected_rows, 8);
+        assert!(
+            report.invalidated <= 8 * 4,
+            "at most one entry per affected row per GPU cache ({report:?})"
+        );
+        let after = e.simulate_aggregation(64).unwrap().cache.misses;
+        assert!(
+            after <= warm_misses + 8 * 4,
+            "targeted invalidation must not cold-start the cache \
+             ({after} misses vs warm {warm_misses})"
+        );
+        assert_eq!(e.stale_reads(), 0, "versioned accesses must never see a stale row");
+    }
+
+    #[test]
+    fn node_insert_extends_the_split_without_replanning() {
+        let g = graph();
+        let mut e = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(4),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        let before = e.placement.split.bounds().to_vec();
+        e.apply_graph_deltas(&[
+            GraphDelta::NodeInsert { neighbors: vec![0] },
+            GraphDelta::NodeInsert { neighbors: vec![2, 4] },
+        ])
+        .unwrap();
+        let after = e.placement.split.bounds().to_vec();
+        assert_eq!(after.len(), before.len());
+        assert_eq!(&after[..after.len() - 1], &before[..before.len() - 1],
+            "interior bounds must survive a node insert");
+        assert_eq!(*after.last().unwrap(), *before.last().unwrap() + 2);
+    }
+
+    #[test]
+    fn invalid_delta_batch_is_rejected_transactionally() {
+        let g = graph();
+        let n = g.num_nodes();
+        let mut e = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(4),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        let err = e
+            .apply_graph_deltas(&[
+                GraphDelta::EdgeInsert { src: 0, dst: 1 },
+                GraphDelta::FeatureUpdate { node: n as u32 + 5 },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, MggError::InvalidDelta(_)), "{err:?}");
+        assert_eq!(e.graph().num_nodes(), n, "a rejected batch must change nothing");
+        assert_eq!(e.graph().num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn drain_leave_join_cycle_is_loss_free_and_cost_charged() {
+        let g = graph();
+        let x = features(g.num_nodes(), 16);
+        let mut e = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(4),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        let healthy = e.aggregate_values(&x);
+        let report = e.drain_shard(2, 16).unwrap();
+        assert!(report.rows_moved > 0);
+        assert!(report.migration_ns > 0);
+        assert_eq!(report.admin_down, 1);
+        assert_eq!(e.placement.split.part_nodes(2), 0, "drained shard owns nothing");
+        assert_eq!(e.admin_down(), vec![2]);
+        // Planned migration: values survive bit-exact, and the migration
+        // cost lands on the next simulation's recovery ledger.
+        assert_eq!(e.aggregate_values(&x).data(), healthy.data());
+        let stats = e.simulate_aggregation(16).unwrap();
+        assert!(stats.recovery.recovery_latency_ns >= report.migration_ns);
+        // Drain is idempotent.
+        assert_eq!(e.drain_shard(2, 16).unwrap().rows_moved, 0);
+        // Re-join moves rows back; values still exact.
+        let back = e.rejoin_shard(2, 16).unwrap();
+        assert!(back.rows_moved > 0);
+        assert_eq!(back.admin_down, 0);
+        assert!(e.placement.split.part_nodes(2) > 0, "re-joined shard owns rows again");
+        assert_eq!(e.aggregate_values(&x).data(), healthy.data());
+    }
+
+    #[test]
+    fn membership_gates_refuse_unsafe_changes() {
+        let g = graph();
+        let mut e = MggEngine::new(
+            &g,
+            ClusterSpec::dgx_a100(2),
+            MggConfig::default_fixed(),
+            AggregateMode::Sum,
+        );
+        // Dead shards may not re-join.
+        e.install_fault_schedule(FaultSchedule::gpu_failure(2, 1, 1_000));
+        e.drain_shard(1, 16).unwrap_or_else(|_| MembershipReport::default());
+        match e.rejoin_shard(1, 16) {
+            Err(MggError::MembershipRejected(msg)) => assert!(msg.contains("dead"), "{msg}"),
+            other => panic!("expected MembershipRejected, got {other:?}"),
+        }
+        // Draining the last live shard is refused.
+        match e.drain_shard(0, 16) {
+            Err(MggError::MembershipRejected(msg)) => {
+                assert!(msg.contains("no shard"), "{msg}")
+            }
+            other => panic!("expected MembershipRejected, got {other:?}"),
+        }
+        // Nonexistent shards are typed errors, not panics.
+        assert!(matches!(
+            e.rejoin_shard(7, 16),
+            Err(MggError::MembershipRejected(_))
+        ));
+    }
+
+    #[test]
+    fn invalidation_audit_every_replan_path_starts_cold() {
+        // The invalidation audit: every path that re-maps (PE, row)
+        // addresses — set_config(ps), resume, recover, drain — must leave
+        // the cache cold (first-touch misses reappear), while a fence
+        // that touches nothing keeps it warm.
+        let g = graph();
+        let x = features(g.num_nodes(), 8);
+        let cold_misses = {
+            let mut e = MggEngine::new(
+                &g,
+                ClusterSpec::dgx_a100(4),
+                MggConfig::default_fixed(),
+                AggregateMode::Sum,
+            );
+            e.set_cache(Some(CacheConfig::from_mb(64)));
+            e.simulate_aggregation(32).unwrap().cache.misses
+        };
+        let run_after = |prep: &dyn Fn(&mut MggEngine)| {
+            let mut e = MggEngine::new(
+                &g,
+                ClusterSpec::dgx_a100(4),
+                MggConfig::default_fixed(),
+                AggregateMode::Sum,
+            );
+            e.set_cache(Some(CacheConfig::from_mb(64)));
+            e.simulate_aggregation(32).unwrap();
+            prep(&mut e);
+            e.simulate_aggregation(32).unwrap().cache.misses
+        };
+        let warm = run_after(&|_| {});
+        assert!(warm < cold_misses / 2, "baseline: second run must be warm");
+        let after_set_config = run_after(&|e| {
+            let mut cfg = e.config();
+            cfg.ps = if cfg.ps == 16 { 32 } else { 16 };
+            e.set_config(cfg).unwrap();
+        });
+        // ps changes the warp layout and so the access stream; cold-start
+        // means misses rebound to at least the cold first-touch count of
+        // the *new* stream — conservatively, well above the warm count.
+        assert!(after_set_config > warm, "set_config(ps) must flush");
+        let after_resume = run_after(&|e| {
+            let ckpt = e.checkpoint(1, &x);
+            e.resume(&ckpt).unwrap();
+        });
+        assert!(after_resume >= cold_misses, "resume must flush");
+        let after_recover = run_after(&|e| {
+            e.install_fault_schedule(FaultSchedule::link_down(4, 0, 1, 500));
+            e.recover(32).unwrap();
+        });
+        assert!(after_recover >= cold_misses, "recover must flush even reroute-only");
+        let after_drain = run_after(&|e| {
+            e.drain_shard(3, 32).unwrap();
+        });
+        assert!(after_drain >= warm, "drain re-maps addresses and must not serve stale rows");
     }
 }
 

@@ -140,6 +140,13 @@ impl<'a> MggKernel<'a> {
     /// [`KernelVariant::SyncRemote`] variant has no in-flight window, so
     /// every reference consults the cache (a duplicate is simply a hit
     /// after the first fill).
+    ///
+    /// `row_versions` is the engine's per-global-node version table under
+    /// live-graph churn: each access is checked against the referenced
+    /// row's current version, so a resident row a delta should have
+    /// invalidated trips the stale-row assertion instead of being served.
+    /// Pass `&[]` for a static graph (every row at version 0 — bitwise
+    /// the unversioned behaviour).
     #[allow(clippy::too_many_arguments)]
     pub fn build_cached(
         placement: &'a HybridPlacement,
@@ -150,6 +157,7 @@ impl<'a> MggKernel<'a> {
         variant: KernelVariant,
         mapping: MappingMode,
         caches: &mut [EmbedCache],
+        row_versions: &[u64],
     ) -> Self {
         let mut kernel = Self::build(placement, plans, cfg, dim, model, variant, mapping);
         assert_eq!(caches.len(), placement.num_gpus(), "one cache per GPU");
@@ -180,7 +188,11 @@ impl<'a> MggKernel<'a> {
                                 cache.note_coalesced(1);
                                 continue;
                             }
-                            let look = cache.access(key);
+                            let global = placement.split.range(rr.owner as usize).start
+                                + rr.local;
+                            let version =
+                                row_versions.get(global as usize).copied().unwrap_or(0);
+                            let look = cache.access_versioned(key, version);
                             if look.hit {
                                 plan.hits += 1;
                             } else {

@@ -85,7 +85,7 @@ pub mod workload;
 pub use config::MggConfig;
 pub use error::MggError;
 pub use mgg_cache::{CacheConfig, CachePolicy, CacheStats};
-pub use executor::{MggEngine, RecoveryAction, RecoveryReport};
+pub use executor::{DeltaReport, MembershipReport, MggEngine, RecoveryAction, RecoveryReport};
 pub use kernel::{KernelVariant, MggKernel};
 pub use model::AnalyticalModel;
 pub use replicated::ReplicatedEngine;

@@ -128,6 +128,15 @@ impl ClusterView {
         s.sort_unstable();
         s
     }
+
+    /// Survivors minus administratively-down shards, ascending — the set
+    /// actually taking traffic under elastic membership. A drained shard
+    /// is healthy (its links still relay traffic, unlike a dead GPU's);
+    /// it just holds no rows, so rebalance and admission planes must plan
+    /// around this set, not [`ClusterView::survivors`].
+    pub fn rotation(&self, admin_down: &[usize]) -> Vec<usize> {
+        self.survivors().into_iter().filter(|g| !admin_down.contains(g)).collect()
+    }
 }
 
 /// Heartbeat-driven failure detector.
@@ -210,6 +219,16 @@ impl HealthMonitor {
             }
         }
         ClusterView { alive, suspected, dead, usable_links }
+    }
+
+    /// Whether `gpu` passes the health gate for (re-)joining the serving
+    /// rotation at `horizon_ns`: its suspicion score must sit strictly
+    /// below the suspect threshold. A suspected shard may still be alive,
+    /// but admitting it would route traffic onto a member the monitor is
+    /// about to evict — joins are the one transition that can afford to
+    /// wait for a clean bill of health.
+    pub fn join_admissible(&self, sched: &FaultSchedule, gpu: usize, horizon_ns: u64) -> bool {
+        self.phi(sched, gpu, horizon_ns) < self.policy.suspect_phi
     }
 
     /// The earliest horizon at which every permanent fault in `sched` has
@@ -392,5 +411,38 @@ mod tests {
         let p = MonitorPolicy::default();
         // ceil(3.0 / 0.8) = 4 missed periods.
         assert_eq!(p.detection_delay_ns(), 4 * p.heartbeat_ns);
+    }
+
+    #[test]
+    fn rotation_excludes_admin_down_but_keeps_them_as_survivors() {
+        let m = HealthMonitor::with_defaults(4);
+        let sched = FaultSchedule::gpu_failure(4, 2, 0);
+        let v = m.observe(&sched, 100_000);
+        assert_eq!(v.survivors(), vec![0, 1, 3]);
+        // Draining shard 1 removes it from rotation without declaring it dead.
+        assert_eq!(v.rotation(&[1]), vec![0, 3]);
+        assert_eq!(v.survivors(), vec![0, 1, 3], "drain must not change survivorship");
+        // Admin-down on an already-dead shard is a no-op.
+        assert_eq!(v.rotation(&[2]), vec![0, 1, 3]);
+        assert_eq!(v.rotation(&[]), v.survivors());
+    }
+
+    #[test]
+    fn join_gate_tracks_the_suspect_threshold() {
+        let m = HealthMonitor::with_defaults(4);
+        let quiet = FaultSchedule::quiet(4);
+        for g in 0..4 {
+            assert!(m.join_admissible(&quiet, g, 1_000_000));
+        }
+        let sched = FaultSchedule::gpu_failure(4, 2, 2_000);
+        // At the death instant no heartbeat has been missed yet.
+        assert!(m.join_admissible(&sched, 2, 2_000));
+        // Once observe() would classify it suspected, the join gate closes
+        // at exactly the same horizon.
+        let suspect_at = 4_000;
+        assert_eq!(m.observe(&sched, suspect_at).suspected, vec![2]);
+        assert!(!m.join_admissible(&sched, 2, suspect_at));
+        // Healthy peers remain admissible throughout.
+        assert!(m.join_admissible(&sched, 0, suspect_at));
     }
 }

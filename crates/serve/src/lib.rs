@@ -25,6 +25,17 @@
 //!   re-dispatch on a healthy peer. Capacity loss beyond what routing
 //!   absorbs falls back to the engine's recovery ladder (re-split /
 //!   UVM degrade).
+//! * **Live mutation & elastic membership** ([`Server::run_scenario`]) —
+//!   replays an `mgg-churn` schedule inside the same event loop: epoch
+//!   fences stall in-rotation shards for the apply transaction, drains
+//!   and leaves retire shards loss-free (pending work migrates at the
+//!   relay surcharge), joins pass the failover plane's health gate and
+//!   warm up at a decaying service penalty, and the admission token rate
+//!   tracks the live member count.
+//! * **Priority-weighted shedding** ([`workload::PriorityMix`]) — gold /
+//!   silver / bronze classes gate on graduated token reserves and queue
+//!   shares, so churn-induced capacity dips shed bronze first while gold
+//!   p99 holds.
 //! * **Observability** — admissions, sheds by cause, batch sizes,
 //!   latencies and breaker transitions thread through `mgg-telemetry`;
 //!   [`snapshot_digest`] fingerprints the deterministic slice of a
@@ -69,7 +80,7 @@ pub mod workload;
 
 pub use breaker::{Breaker, BreakerState, BreakerTransition};
 pub use server::{
-    snapshot_digest, Calibration, Decision, QueryRecord, ServeConfig, ServeError, ServeOutcome,
-    ServeSummary, Server,
+    snapshot_digest, Calibration, ChurnStats, ClassStats, Decision, QueryRecord, ServeConfig,
+    ServeError, ServeOutcome, ServeSummary, Server,
 };
-pub use workload::{generate, ArrivalKind, Query, WorkloadSpec};
+pub use workload::{generate, ArrivalKind, Priority, PriorityMix, Query, WorkloadSpec};

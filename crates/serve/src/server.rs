@@ -16,6 +16,7 @@
 
 use std::collections::BinaryHeap;
 
+use mgg_churn::{ChurnEventKind, ChurnSchedule, MembershipChange};
 use mgg_core::{MggEngine, MggError};
 use mgg_failover::HealthMonitor;
 use mgg_fault::FaultSchedule;
@@ -23,7 +24,7 @@ use mgg_telemetry::{MetricsSnapshot, Telemetry};
 use serde::Serialize;
 
 use crate::breaker::{Breaker, BreakerTransition};
-use crate::workload::{generate, Query, WorkloadSpec};
+use crate::workload::{generate, Priority, Query, WorkloadSpec};
 
 /// Why a query was refused at admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,6 +164,61 @@ impl Calibration {
 /// the calibration prices at about one extra query of work.
 const REROUTE_UNITS: f64 = 0.5;
 
+/// Token-bucket reserve per priority class, indexed by [`Priority::code`].
+/// A class admits only while at least this many tokens remain, so as the
+/// bucket drains under a capacity dip bronze stops admitting first, then
+/// silver, and gold keeps the last token. Gold's floor of 1.0 is exactly
+/// the legacy single-class gate.
+const TOKEN_FLOOR: [f64; 3] = [1.0, 2.0, 4.0];
+
+/// Fraction of the admission-queue bound each class may fill, indexed by
+/// [`Priority::code`]. Backlog sheds bronze at half the bound while gold
+/// still has the full queue. Gold's 1.0 is the legacy gate.
+const QUEUE_FRAC: [f64; 3] = [1.0, 0.75, 0.5];
+
+/// Cold-cache service penalty of a freshly joined shard: service starts
+/// `1 + WARMUP_PENALTY` times slower and decays linearly to healthy over
+/// the churn spec's warm-up window (cache warm-up accounting).
+const WARMUP_PENALTY: f64 = 0.5;
+
+/// Per-delta epoch-fence apply cost, in query-units per in-rotation
+/// shard: the transactional cache invalidation and split re-extension
+/// stall every member briefly, priced well below a full query.
+const FENCE_STALL_UNITS: f64 = 0.25;
+
+/// Elastic-membership phase of one shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum MemberPhase {
+    /// In rotation, serving at full weight.
+    Active,
+    /// Administratively draining: finishes in-flight work, admits nothing
+    /// new. The planned half of the evacuation ladder — loss-free.
+    Draining,
+    /// Departed: holds no rows, takes no traffic.
+    Left,
+    /// Re-joined and warming its caches until the given instant; takes
+    /// traffic at a decaying service penalty.
+    Warming {
+        /// Instant the shard reaches healthy service time.
+        until: u64,
+    },
+}
+
+/// Whether a shard in `phase` takes new admissions.
+fn in_rotation(phase: MemberPhase) -> bool {
+    matches!(phase, MemberPhase::Active | MemberPhase::Warming { .. })
+}
+
+/// Warm-up service-time multiplier of a shard in `phase` at `now`.
+fn warm_mult(phase: MemberPhase, warmup_ns: u64, now: u64) -> f64 {
+    match phase {
+        MemberPhase::Warming { until } if now < until && warmup_ns > 0 => {
+            1.0 + WARMUP_PENALTY * (until - now).min(warmup_ns) as f64 / warmup_ns as f64
+        }
+        _ => 1.0,
+    }
+}
+
 /// How a query left the system.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Decision {
@@ -191,6 +247,52 @@ pub struct QueryRecord {
     pub rerouted: bool,
     /// True when the dispatch was hedged on a second shard.
     pub hedged: bool,
+    /// Service class of the query.
+    pub class: Priority,
+}
+
+/// Per-priority-class slice of one run's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ClassStats {
+    /// Class name (`gold` / `silver` / `bronze`).
+    pub class: String,
+    /// Queries of this class offered by the workload.
+    pub offered: u64,
+    /// Admitted and executed.
+    pub admitted: u64,
+    /// Shed at admission (any cause).
+    pub shed: u64,
+    /// Admitted queries that completed inside their deadline.
+    pub completed_in_deadline: u64,
+    /// Admitted queries that missed their deadline.
+    pub deadline_violations: u64,
+    /// 99th percentile latency of admitted queries of this class, ns.
+    pub p99_ns: u64,
+}
+
+/// Churn-plane activity the serving loop replayed during one run. All
+/// zeros for a quiet schedule (the legacy static-graph path).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct ChurnStats {
+    /// Epoch fences applied.
+    pub fences: u64,
+    /// Graph deltas carried by those fences.
+    pub deltas_applied: u64,
+    /// Membership events processed (accepted or rejected).
+    pub membership_events: u64,
+    /// Shards that entered the draining phase.
+    pub drains: u64,
+    /// Shards that left the rotation.
+    pub leaves: u64,
+    /// Join events admitted through the health gate.
+    pub joins: u64,
+    /// Join events refused (unhealthy shard, or not absent).
+    pub join_rejections: u64,
+    /// Pending queries migrated off a leaving shard (loss-free, with the
+    /// relay surcharge charged).
+    pub migrated_queries: u64,
+    /// Total fence apply-stall charged across shards, ns.
+    pub fence_stall_ns: u64,
 }
 
 /// Aggregate figures of one serving run (the JSON-facing summary).
@@ -238,8 +340,13 @@ pub struct ServeSummary {
     pub saturation_qps: f64,
     /// Shed fraction of offered load.
     pub shed_fraction: f64,
+    /// Per-class breakdown, gold first. The gold row of a gold-only run
+    /// equals the overall figures.
+    pub per_class: Vec<ClassStats>,
+    /// Churn-plane activity (all zeros for a quiet schedule).
+    pub churn: ChurnStats,
     /// FNV-1a digest of the whole decision trace (queries, breaker
-    /// transitions) — the replay-identity fingerprint.
+    /// transitions, churn activity) — the replay-identity fingerprint.
     pub digest: String,
 }
 
@@ -280,6 +387,8 @@ struct ShardState {
     /// Executor serialization: next batch starts no earlier than this.
     busy_until: u64,
     breaker: Breaker,
+    /// Elastic-membership phase.
+    phase: MemberPhase,
 }
 
 impl Server {
@@ -320,9 +429,28 @@ impl Server {
 
     /// Runs the workload of `spec` against the fault scenario `sched`,
     /// recording counters and latency histograms into `telemetry`.
+    /// Equivalent to [`Server::run_scenario`] with a quiet churn schedule.
     pub fn run(&self, spec: &WorkloadSpec, sched: &FaultSchedule, telemetry: &Telemetry) -> ServeOutcome {
+        self.run_scenario(spec, sched, &ChurnSchedule::quiet(spec.duration_ns), telemetry)
+    }
+
+    /// Runs the workload of `spec` against the fault scenario `sched`
+    /// while replaying the live-mutation and membership events of
+    /// `churn`: epoch fences stall in-rotation shards for the apply
+    /// transaction, drains/leaves retire shards loss-free (pending work
+    /// migrates with the relay surcharge), joins pass a health gate and
+    /// warm up at a decaying service penalty, and admission capacity
+    /// tracks the live member count. A quiet schedule replays the legacy
+    /// static-graph loop bit-identically.
+    pub fn run_scenario(
+        &self,
+        spec: &WorkloadSpec,
+        sched: &FaultSchedule,
+        churn: &ChurnSchedule,
+        telemetry: &Telemetry,
+    ) -> ServeOutcome {
         let queries = generate(spec);
-        self.run_queries(&queries, spec, sched, telemetry)
+        self.run_queries(&queries, spec, sched, churn, telemetry)
     }
 
     /// Runs several independent scenarios concurrently on the
@@ -339,14 +467,29 @@ impl Server {
         })
     }
 
+    /// [`Server::run_sweep`] for churn scenarios: each `(workload, fault,
+    /// churn)` triple replays independently, merged in input order.
+    pub fn run_churn_sweep(
+        &self,
+        specs: &[(WorkloadSpec, FaultSchedule, ChurnSchedule)],
+    ) -> Vec<ServeOutcome> {
+        mgg_runtime::profile::labeled("serve.churn_sweep", || {
+            mgg_runtime::par_map(specs, |(spec, sched, churn)| {
+                self.run_scenario(spec, sched, churn, &Telemetry::disabled())
+            })
+        })
+    }
+
     fn run_queries(
         &self,
         queries: &[Query],
         spec: &WorkloadSpec,
         sched: &FaultSchedule,
+        churn: &ChurnSchedule,
         telemetry: &Telemetry,
     ) -> ServeOutcome {
         let n_shards = self.cal.num_shards;
+        let warmup_ns = churn.spec().warmup_ns;
         let mut shards: Vec<ShardState> = (0..n_shards)
             .map(|s| ShardState {
                 pending: Vec::new(),
@@ -355,6 +498,7 @@ impl Server {
                 close_seq: 0,
                 busy_until: 0,
                 breaker: Breaker::new(s, self.cfg.breaker_cooldown_ns, self.cfg.breaker_trip_scale),
+                phase: MemberPhase::Active,
             })
             .collect();
         let mut transitions: Vec<BreakerTransition> = Vec::new();
@@ -364,13 +508,17 @@ impl Server {
         let mut timer_seq = 0u64;
         // Lazy in-system accounting: completions ordered by time.
         let mut completions: BinaryHeap<std::cmp::Reverse<u64>> = BinaryHeap::new();
-        // Token bucket.
+        // Token bucket. The refill rate follows the live member count:
+        // every drain/leave/join rescales it to `live / n_shards` of the
+        // calibrated rate, so admission capacity tracks real capacity.
         let mut tokens = self.cfg.token_burst;
         let mut tokens_at = 0u64;
-        let refill_per_ns = self.cal.saturation_qps * self.cfg.rate_mult / 1e9;
+        let base_refill_per_ns = self.cal.saturation_qps * self.cfg.rate_mult / 1e9;
+        let mut refill_per_ns = base_refill_per_ns;
         let mut batches = 0u64;
         let mut batched_queries = 0u64;
         let mut hedges = 0u64;
+        let mut churn_stats = ChurnStats::default();
         // Per-query records go through a write batch: one recorder lock at
         // the end of the run instead of one per query/batch/transition.
         // Replay order inside the batch matches the direct-call order, so
@@ -393,7 +541,7 @@ impl Server {
                 return;
             }
             let units: f64 = batch.iter().map(|(_, u, _)| *u).sum();
-            let scale = sched.compute_scale(s);
+            let scale = sched.compute_scale(s) * warm_mult(shards[s].phase, warmup_ns, now);
             let start = now.max(shards[s].busy_until);
             let mut completion = start + self.cal.service_ns(units, scale);
             shards[s].busy_until = completion;
@@ -404,7 +552,8 @@ impl Server {
             if scale >= self.cfg.hedge_scale {
                 if let Some(peer) = self.hedge_peer(shards, sched, s, now, transitions) {
                     let peer_units = units + batch.len() as f64 * REROUTE_UNITS;
-                    let peer_scale = sched.compute_scale(peer);
+                    let peer_scale =
+                        sched.compute_scale(peer) * warm_mult(shards[peer].phase, warmup_ns, now);
                     let peer_start = now.max(shards[peer].busy_until);
                     let peer_done = peer_start + self.cal.service_ns(peer_units, peer_scale);
                     shards[peer].busy_until = peer_done;
@@ -432,30 +581,57 @@ impl Server {
                     deadline_met: met,
                     rerouted: *rerouted,
                     hedged,
+                    class: q.class,
                 });
             }
         };
 
+        // Deadline-aware close (re)scheduling of `s`'s open batch: the
+        // latest instant at which the batch at its current size still
+        // makes every member's deadline, bounded by the linger cap.
+        let schedule_close = |shards: &mut Vec<ShardState>,
+                              timers: &mut BinaryHeap<std::cmp::Reverse<(u64, usize, u64)>>,
+                              timer_seq: &mut u64,
+                              s: usize,
+                              now: u64| {
+            let scale = sched.compute_scale(s) * warm_mult(shards[s].phase, warmup_ns, now);
+            let st = &shards[s];
+            let units_now: f64 = st.pending.iter().map(|(_, u, _)| *u).sum();
+            let service = self.cal.service_ns(units_now, scale);
+            let mut close = u64::MAX;
+            for (m, ..) in &st.pending {
+                let latest = m.deadline_ns.saturating_sub(service + self.cfg.safety_ns);
+                close = close.min(latest);
+            }
+            let close = close.min(st.open_at + self.cfg.linger_ns).max(now);
+            *timer_seq += 1;
+            let st = &mut shards[s];
+            st.close_at = close;
+            st.close_seq = *timer_seq;
+            timers.push(std::cmp::Reverse((close, s, *timer_seq)));
+        };
+
         let mut qi = 0usize;
+        let mut ci = 0usize;
         loop {
-            // Next event: earliest of (pending timer, next arrival).
+            // Next event: earliest of (pending timer, churn event, next
+            // arrival). Ties at one instant order timers first (close the
+            // batch the old world promised), then churn (capacity and
+            // fence effects land before new work), then arrivals.
             let next_arrival = queries.get(qi).map(|q| q.arrival_ns);
-            let next_timer = timers.peek().map(|std::cmp::Reverse((t, s, seq))| (*t, *s, *seq));
-            let (now, is_timer) = match (next_timer, next_arrival) {
-                (None, None) => break,
-                (Some((t, ..)), None) => (t, true),
-                (None, Some(a)) => (a, false),
-                // Ties close batches before admitting new arrivals.
-                (Some((t, ..)), Some(a)) => {
-                    if t <= a {
-                        (t, true)
-                    } else {
-                        (a, false)
+            let next_timer = timers.peek().map(|std::cmp::Reverse((t, ..))| *t);
+            let next_churn = churn.events().get(ci).map(|e| e.at_ns);
+            let mut best: Option<(u64, u8)> = None;
+            for (t, k) in [(next_timer, 0u8), (next_churn, 1u8), (next_arrival, 2u8)] {
+                if let Some(t) = t {
+                    if best.is_none_or(|b| (t, k) < b) {
+                        best = Some((t, k));
                     }
                 }
-            };
+            }
+            let Some((now, kind)) = best else { break };
 
-            if is_timer {
+            if kind == 0 {
                 let std::cmp::Reverse((t, s, seq)) = timers.pop().expect("peeked");
                 // Stale timer: the batch it was set for already dispatched
                 // (full) or was superseded by a tighter close.
@@ -477,6 +653,175 @@ impl Server {
                 continue;
             }
 
+            if kind == 1 {
+                let ev = churn.events()[ci].clone();
+                ci += 1;
+                // Settle the token bucket at the old rate before any
+                // capacity change (the refill is piecewise linear).
+                tokens =
+                    (tokens + (now - tokens_at) as f64 * refill_per_ns).min(self.cfg.token_burst);
+                tokens_at = now;
+                match ev.kind {
+                    ChurnEventKind::Membership(m) => {
+                        churn_stats.membership_events += 1;
+                        let s = m.shard as usize;
+                        if s >= n_shards {
+                            churn_stats.join_rejections += 1;
+                        } else {
+                            match m.change {
+                                MembershipChange::Drain => {
+                                    if in_rotation(shards[s].phase) {
+                                        // Flush the open batch before the
+                                        // shard stops taking traffic.
+                                        dispatch(
+                                            &mut shards,
+                                            &mut records,
+                                            &mut completions,
+                                            &mut transitions,
+                                            &mut batches,
+                                            &mut batched_queries,
+                                            &mut hedges,
+                                            &mut tbatch,
+                                            s,
+                                            now,
+                                        );
+                                        shards[s].phase = MemberPhase::Draining;
+                                        churn_stats.drains += 1;
+                                        tbatch.counter_add("serve.churn.drains", 1);
+                                    }
+                                }
+                                MembershipChange::Leave => {
+                                    if shards[s].phase != MemberPhase::Left {
+                                        let orphans = std::mem::take(&mut shards[s].pending);
+                                        shards[s].close_at = u64::MAX;
+                                        shards[s].phase = MemberPhase::Left;
+                                        churn_stats.leaves += 1;
+                                        tbatch.counter_add("serve.churn.leaves", 1);
+                                        // Loss-free departure: pending work
+                                        // migrates to the least-loaded
+                                        // in-rotation peer at the relay
+                                        // surcharge; with no peer left it
+                                        // executes here before the shard
+                                        // goes.
+                                        for (q, units, _) in orphans {
+                                            let mut peer: Option<(u64, usize)> = None;
+                                            for step in 1..n_shards {
+                                                let p = (s + step) % n_shards;
+                                                if !in_rotation(shards[p].phase) {
+                                                    continue;
+                                                }
+                                                if !shards[p].breaker.poll(
+                                                    &self.monitor,
+                                                    sched,
+                                                    now,
+                                                    &mut transitions,
+                                                ) {
+                                                    continue;
+                                                }
+                                                let key = (shards[p].busy_until, p);
+                                                if peer.is_none_or(|b| key < b) {
+                                                    peer = Some(key);
+                                                }
+                                            }
+                                            if let Some((_, p)) = peer {
+                                                if shards[p].pending.is_empty() {
+                                                    shards[p].open_at = now;
+                                                }
+                                                shards[p]
+                                                    .pending
+                                                    .push((q, units + REROUTE_UNITS, true));
+                                                churn_stats.migrated_queries += 1;
+                                                if shards[p].pending.len() >= self.cfg.batch_cap {
+                                                    dispatch(
+                                                        &mut shards,
+                                                        &mut records,
+                                                        &mut completions,
+                                                        &mut transitions,
+                                                        &mut batches,
+                                                        &mut batched_queries,
+                                                        &mut hedges,
+                                                        &mut tbatch,
+                                                        p,
+                                                        now,
+                                                    );
+                                                } else {
+                                                    schedule_close(
+                                                        &mut shards,
+                                                        &mut timers,
+                                                        &mut timer_seq,
+                                                        p,
+                                                        now,
+                                                    );
+                                                }
+                                            } else {
+                                                shards[s].pending.push((q, units, false));
+                                            }
+                                        }
+                                        if !shards[s].pending.is_empty() {
+                                            dispatch(
+                                                &mut shards,
+                                                &mut records,
+                                                &mut completions,
+                                                &mut transitions,
+                                                &mut batches,
+                                                &mut batched_queries,
+                                                &mut hedges,
+                                                &mut tbatch,
+                                                s,
+                                                now,
+                                            );
+                                        }
+                                        if churn_stats.migrated_queries > 0 {
+                                            tbatch.counter_add(
+                                                "serve.churn.migrated",
+                                                churn_stats.migrated_queries,
+                                            );
+                                        }
+                                    }
+                                }
+                                MembershipChange::Join => {
+                                    let absent = matches!(
+                                        shards[s].phase,
+                                        MemberPhase::Draining | MemberPhase::Left
+                                    );
+                                    if absent && self.monitor.join_admissible(sched, s, now) {
+                                        shards[s].phase =
+                                            MemberPhase::Warming { until: now + warmup_ns };
+                                        churn_stats.joins += 1;
+                                        tbatch.counter_add("serve.churn.joins", 1);
+                                    } else {
+                                        churn_stats.join_rejections += 1;
+                                        tbatch.counter_add("serve.churn.join_rejections", 1);
+                                    }
+                                }
+                            }
+                        }
+                        // Admission capacity follows the live member count.
+                        let live = shards.iter().filter(|st| in_rotation(st.phase)).count();
+                        refill_per_ns = base_refill_per_ns * live as f64 / n_shards as f64;
+                    }
+                    ChurnEventKind::Fence { deltas } => {
+                        churn_stats.fences += 1;
+                        churn_stats.deltas_applied += deltas.len() as u64;
+                        tbatch.counter_add("serve.churn.fences", 1);
+                        tbatch.counter_add("serve.churn.deltas", deltas.len() as u64);
+                        // Epoch-fence apply transaction: every member that
+                        // still holds rows stalls for the targeted cache
+                        // invalidation and split re-extension.
+                        let stall = self.cal.launch_ns
+                            + (deltas.len() as f64 * self.cal.per_query_ns * FENCE_STALL_UNITS)
+                                .ceil() as u64;
+                        for st in shards.iter_mut() {
+                            if st.phase != MemberPhase::Left {
+                                st.busy_until = st.busy_until.max(now) + stall;
+                                churn_stats.fence_stall_ns += stall;
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+
             let q = queries[qi];
             qi += 1;
             // Lazy queue drain: completed queries leave the system.
@@ -495,6 +840,7 @@ impl Server {
                 &mut transitions,
                 &mut tokens,
                 in_system,
+                warmup_ns,
                 q,
                 now,
             );
@@ -520,26 +866,7 @@ impl Server {
                             now,
                         );
                     } else {
-                        // Deadline-aware close: latest instant at which the
-                        // batch (at its current size) still makes every
-                        // member's deadline, with a safety margin.
-                        let scale = sched.compute_scale(shard);
-                        let st = &shards[shard];
-                        let units_now: f64 = st.pending.iter().map(|(_, u, _)| *u).sum();
-                        let service = self.cal.service_ns(units_now, scale);
-                        let mut close = u64::MAX;
-                        for (m, ..) in &st.pending {
-                            let latest = m
-                                .deadline_ns
-                                .saturating_sub(service + self.cfg.safety_ns);
-                            close = close.min(latest);
-                        }
-                        let close = close.min(st.open_at + self.cfg.linger_ns).max(now);
-                        timer_seq += 1;
-                        let st = &mut shards[shard];
-                        st.close_at = close;
-                        st.close_seq = timer_seq;
-                        timers.push(std::cmp::Reverse((close, shard, timer_seq)));
+                        schedule_close(&mut shards, &mut timers, &mut timer_seq, shard, now);
                     }
                 }
                 Err(err) => {
@@ -553,6 +880,7 @@ impl Server {
                         deadline_met: false,
                         rerouted: false,
                         hedged: false,
+                        class: q.class,
                     });
                 }
             }
@@ -582,13 +910,27 @@ impl Server {
             tbatch.counter_add(&format!("serve.breaker.{}", t.to.name()), 1);
         }
         tbatch.flush();
-        let summary = self.summarize(&records, &transitions, spec, batches, batched_queries, hedges);
+        let summary = self.summarize(
+            &records,
+            &transitions,
+            spec,
+            batches,
+            batched_queries,
+            hedges,
+            churn_stats,
+        );
         ServeOutcome { records, transitions, summary }
     }
 
-    /// Admission pipeline: token bucket → queue bound → breaker-guarded
-    /// routing → deadline feasibility. Returns the target shard, the
-    /// query's cost units, and whether it was rerouted.
+    /// Admission pipeline: class-weighted token bucket → class-weighted
+    /// queue bound → breaker-guarded routing over in-rotation members →
+    /// deadline feasibility. Returns the target shard, the query's cost
+    /// units, and whether it was rerouted.
+    ///
+    /// The class weighting is a reserve, not a price: bronze admits only
+    /// while the bucket holds ≥ 4 tokens (silver ≥ 2) and may fill only
+    /// half the queue bound, but an admitted query of any class spends
+    /// exactly one token. Gold's gates are the legacy single-class gates.
     #[allow(clippy::too_many_arguments)]
     fn admit(
         &self,
@@ -597,14 +939,17 @@ impl Server {
         transitions: &mut Vec<BreakerTransition>,
         tokens: &mut f64,
         in_system: usize,
+        warmup_ns: u64,
         q: Query,
         now: u64,
     ) -> Result<(usize, f64, bool), ServeError> {
-        if *tokens < 1.0 {
+        let class = q.class.code() as usize;
+        if *tokens < TOKEN_FLOOR[class] {
             return Err(ServeError::RateLimited);
         }
-        if in_system >= self.cfg.queue_cap {
-            return Err(ServeError::Overloaded { queued: in_system, cap: self.cfg.queue_cap });
+        let class_cap = (self.cfg.queue_cap as f64 * QUEUE_FRAC[class]) as usize;
+        if in_system >= class_cap {
+            return Err(ServeError::Overloaded { queued: in_system, cap: class_cap });
         }
         // Route to the breaker-admitting shard with the earliest estimated
         // completion. The home shard is costed at 1.0 query-units while
@@ -622,11 +967,14 @@ impl Server {
         let mut best: Option<(u64, usize, f64)> = None;
         for step in 0..n {
             let s = (home + step) % n;
+            if !in_rotation(shards[s].phase) {
+                continue;
+            }
             if !shards[s].breaker.poll(&self.monitor, sched, now, transitions) {
                 continue;
             }
             let units = if step == 0 { 1.0 } else { 1.0 + REROUTE_UNITS };
-            let scale = sched.compute_scale(s);
+            let scale = sched.compute_scale(s) * warm_mult(shards[s].phase, warmup_ns, now);
             let queued_units: f64 = shards[s].pending.iter().map(|(_, u, _)| *u).sum();
             let est =
                 now.max(shards[s].busy_until) + self.cal.service_ns(queued_units + units, scale);
@@ -660,6 +1008,9 @@ impl Server {
         let mut best: Option<(u64, usize)> = None;
         for step in 1..n {
             let s = (home + step) % n;
+            if !in_rotation(shards[s].phase) {
+                continue;
+            }
             if sched.compute_scale(s) >= self.cfg.hedge_scale {
                 continue;
             }
@@ -674,6 +1025,7 @@ impl Server {
         best.map(|(_, s)| s)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn summarize(
         &self,
         records: &[QueryRecord],
@@ -682,6 +1034,7 @@ impl Server {
         batches: u64,
         batched_queries: u64,
         hedges: u64,
+        churn_stats: ChurnStats,
     ) -> ServeSummary {
         let offered = records.len() as u64;
         let mut admitted = 0u64;
@@ -724,7 +1077,42 @@ impl Server {
         }
         latencies.sort_unstable();
         let pct = |p: f64| mgg_telemetry::percentile_sorted_u64(&latencies, p);
-        let digest = self.digest(records, transitions);
+        let per_class = Priority::ALL
+            .iter()
+            .map(|&c| {
+                let mut cs = ClassStats {
+                    class: c.name().to_string(),
+                    offered: 0,
+                    admitted: 0,
+                    shed: 0,
+                    completed_in_deadline: 0,
+                    deadline_violations: 0,
+                    p99_ns: 0,
+                };
+                let mut lats: Vec<u64> = Vec::new();
+                for r in records.iter().filter(|r| r.class == c) {
+                    cs.offered += 1;
+                    match r.decision {
+                        Decision::Admitted => {
+                            cs.admitted += 1;
+                            if r.deadline_met {
+                                cs.completed_in_deadline += 1;
+                            } else {
+                                cs.deadline_violations += 1;
+                            }
+                            if let Some(done) = r.completion_ns {
+                                lats.push(done.saturating_sub(r.arrival_ns));
+                            }
+                        }
+                        Decision::Shed(_) => cs.shed += 1,
+                    }
+                }
+                lats.sort_unstable();
+                cs.p99_ns = mgg_telemetry::percentile_sorted_u64(&lats, 0.99);
+                cs
+            })
+            .collect();
+        let digest = self.digest(records, transitions, &churn_stats);
         ServeSummary {
             offered,
             admitted,
@@ -750,12 +1138,21 @@ impl Server {
             } else {
                 (shed_queue + shed_rate + shed_infeasible + shed_unavailable) as f64 / offered as f64
             },
+            per_class,
+            churn: churn_stats,
             digest: format!("{:016x}", digest),
         }
     }
 
     /// FNV-1a over the full decision trace: the run's replay fingerprint.
-    fn digest(&self, records: &[QueryRecord], transitions: &[BreakerTransition]) -> u64 {
+    /// Churn activity is folded in only when present, so static-graph
+    /// digests match the values pinned by committed baselines.
+    fn digest(
+        &self,
+        records: &[QueryRecord],
+        transitions: &[BreakerTransition],
+        churn_stats: &ChurnStats,
+    ) -> u64 {
         let mut h = Fnv::new();
         for r in records {
             h.u64(r.id);
@@ -765,7 +1162,25 @@ impl Server {
             }
             h.u64(r.shard.map_or(u64::MAX, |s| s as u64));
             h.u64(r.completion_ns.unwrap_or(u64::MAX));
-            h.u8(u8::from(r.deadline_met) | (u8::from(r.rerouted) << 1) | (u8::from(r.hedged) << 2));
+            h.u8(u8::from(r.deadline_met)
+                | (u8::from(r.rerouted) << 1)
+                | (u8::from(r.hedged) << 2)
+                | (r.class.code() << 3));
+        }
+        if *churn_stats != ChurnStats::default() {
+            for v in [
+                churn_stats.fences,
+                churn_stats.deltas_applied,
+                churn_stats.membership_events,
+                churn_stats.drains,
+                churn_stats.leaves,
+                churn_stats.joins,
+                churn_stats.join_rejections,
+                churn_stats.migrated_queries,
+                churn_stats.fence_stall_ns,
+            ] {
+                h.u64(v);
+            }
         }
         for t in transitions {
             h.u64(t.at_ns);
@@ -1023,6 +1438,162 @@ mod tests {
         assert!(e.to_string().contains("queue full"));
         assert_eq!(e.code(), 1);
         assert_eq!(ServeError::RateLimited.name(), "rate");
+    }
+
+    use crate::workload::PriorityMix;
+    use mgg_churn::{ChurnSpec, MembershipEvent};
+
+    #[test]
+    fn quiet_churn_scenario_matches_legacy_run_bitwise() {
+        let (s, nodes) = server(4, ServeConfig::default());
+        let spec = spec_at(&s, nodes, 1.5, 31);
+        let sched = FaultSchedule::quiet(4);
+        let legacy = s.run(&spec, &sched, &Telemetry::disabled());
+        let quiet = ChurnSchedule::quiet(spec.duration_ns);
+        let scenario = s.run_scenario(&spec, &sched, &quiet, &Telemetry::disabled());
+        assert_eq!(legacy, scenario, "quiet churn must replay the static-graph loop");
+        assert_eq!(scenario.summary.churn, ChurnStats::default());
+        // The gold row of a gold-only run is the whole run.
+        let gold = &scenario.summary.per_class[0];
+        assert_eq!(gold.offered, scenario.summary.offered);
+        assert_eq!(gold.admitted, scenario.summary.admitted);
+        assert_eq!(gold.p99_ns, scenario.summary.p99_ns);
+    }
+
+    #[test]
+    fn overload_sheds_bronze_first_and_gold_p99_holds() {
+        let (s, nodes) = server(4, ServeConfig::default());
+        let mut spec = spec_at(&s, nodes, 2.0, 32);
+        spec.mix = PriorityMix::new(0.2, 0.3, 0.5);
+        let out = s.run(&spec, &FaultSchedule::quiet(4), &Telemetry::disabled());
+        let cls = &out.summary.per_class;
+        let shed_frac = |c: &ClassStats| c.shed as f64 / c.offered.max(1) as f64;
+        assert!(cls.iter().all(|c| c.offered > 50), "every class needs a real sample");
+        assert!(
+            shed_frac(&cls[2]) > shed_frac(&cls[0]),
+            "bronze ({:.3}) must shed harder than gold ({:.3}) at 2x load",
+            shed_frac(&cls[2]),
+            shed_frac(&cls[0])
+        );
+        let miss = |c: &ClassStats| c.deadline_violations as f64 / c.admitted.max(1) as f64;
+        let overall =
+            out.summary.deadline_violations as f64 / out.summary.admitted.max(1) as f64;
+        assert!(miss(&cls[0]) <= overall, "gold may not miss more than the blend");
+        assert!(cls[0].p99_ns <= spec.deadline_ns, "gold p99 must hold under overload");
+    }
+
+    #[test]
+    fn drain_leave_join_cycle_is_loss_free_and_respects_membership() {
+        let (s, nodes) = server(4, ServeConfig::default());
+        let spec = spec_at(&s, nodes, 1.0, 33);
+        let (drain_at, leave_at, join_at) = (500_000u64, 1_000_000u64, 1_500_000u64);
+        let mut cspec = ChurnSpec::quiet(spec.duration_ns);
+        cspec.membership = vec![
+            MembershipEvent { shard: 1, at_ns: drain_at, change: MembershipChange::Drain },
+            MembershipEvent { shard: 1, at_ns: leave_at, change: MembershipChange::Leave },
+            MembershipEvent { shard: 1, at_ns: join_at, change: MembershipChange::Join },
+        ];
+        let churn = ChurnSchedule::derive(&cspec, nodes);
+        let sched = FaultSchedule::quiet(4);
+        let out = s.run_scenario(&spec, &sched, &churn, &Telemetry::disabled());
+        let c = &out.summary.churn;
+        assert_eq!((c.drains, c.leaves, c.joins, c.join_rejections), (1, 1, 1, 0));
+        // Loss-free: every offered query is either admitted or explicitly
+        // shed, and every admitted one completed.
+        assert_eq!(out.summary.offered, out.records.len() as u64);
+        for r in &out.records {
+            if r.decision == Decision::Admitted {
+                assert!(r.completion_ns.is_some(), "query {} lost in the cycle", r.id);
+            }
+        }
+        assert_eq!(out.summary.routing_violations, 0);
+        // No arrival in the out-of-rotation window may execute on shard 1.
+        for r in &out.records {
+            if r.arrival_ns > drain_at && r.arrival_ns < join_at {
+                assert_ne!(r.shard, Some(1), "query {} admitted to an absent shard", r.id);
+            }
+        }
+        // The shard serves again after re-joining.
+        assert!(
+            out.records
+                .iter()
+                .any(|r| r.arrival_ns > join_at && r.shard == Some(1)),
+            "re-joined shard must take traffic again"
+        );
+        // Replays bit-identically.
+        let again = s.run_scenario(&spec, &sched, &churn, &Telemetry::disabled());
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn join_health_gate_refuses_a_dead_shard() {
+        let (s, nodes) = server(4, ServeConfig::default());
+        let spec = spec_at(&s, nodes, 0.8, 34);
+        let mut cspec = ChurnSpec::quiet(spec.duration_ns);
+        cspec.membership = vec![
+            MembershipEvent { shard: 1, at_ns: 100_000, change: MembershipChange::Drain },
+            MembershipEvent { shard: 1, at_ns: 200_000, change: MembershipChange::Leave },
+            MembershipEvent { shard: 1, at_ns: 1_500_000, change: MembershipChange::Join },
+        ];
+        let churn = ChurnSchedule::derive(&cspec, nodes);
+        let sched = FaultSchedule::gpu_failure(4, 1, 0);
+        let out = s.run_scenario(&spec, &sched, &churn, &Telemetry::disabled());
+        let c = &out.summary.churn;
+        assert_eq!(c.joins, 0, "a dead shard must not pass the join gate");
+        assert_eq!(c.join_rejections, 1);
+        assert!(
+            out.records.iter().all(|r| r.shard != Some(1) || r.arrival_ns <= 100_000),
+            "no traffic may land on the dead, departed shard"
+        );
+    }
+
+    #[test]
+    fn fences_stall_shards_and_pin_the_digest() {
+        let (s, nodes) = server(4, ServeConfig::default());
+        let spec = spec_at(&s, nodes, 1.0, 35);
+        let cspec = ChurnSpec::steady(7, spec.duration_ns, 500_000.0);
+        let churn = ChurnSchedule::derive(&cspec, nodes);
+        let sched = FaultSchedule::quiet(4);
+        let out = s.run_scenario(&spec, &sched, &churn, &Telemetry::disabled());
+        let c = &out.summary.churn;
+        assert!(c.fences > 0 && c.deltas_applied > 0, "steady churn must fence");
+        assert!(c.fence_stall_ns > 0, "fences must charge an apply stall");
+        // The churn plane is part of the replay identity.
+        let baseline = s.run(&spec, &sched, &Telemetry::disabled());
+        assert_ne!(out.summary.digest, baseline.summary.digest);
+        assert_eq!(
+            out,
+            s.run_scenario(&spec, &sched, &churn, &Telemetry::disabled()),
+            "churn runs must replay bit-identically"
+        );
+    }
+
+    #[test]
+    fn churn_sweep_is_thread_count_invariant() {
+        let (s, nodes) = server(4, ServeConfig::default());
+        let scenarios: Vec<(WorkloadSpec, FaultSchedule, ChurnSchedule)> = (0..5)
+            .map(|i| {
+                let mut spec = spec_at(&s, nodes, 0.9 + 0.3 * i as f64, 40 + i);
+                spec.mix = PriorityMix::new(0.3, 0.3, 0.4);
+                let mut cspec = ChurnSpec::steady(50 + i, spec.duration_ns, 200_000.0);
+                cspec.membership = vec![
+                    MembershipEvent {
+                        shard: (i % 4) as u16,
+                        at_ns: 400_000,
+                        change: MembershipChange::Drain,
+                    },
+                    MembershipEvent {
+                        shard: (i % 4) as u16,
+                        at_ns: 1_200_000,
+                        change: MembershipChange::Join,
+                    },
+                ];
+                (spec, FaultSchedule::quiet(4), ChurnSchedule::derive(&cspec, nodes))
+            })
+            .collect();
+        let seq = mgg_runtime::with_threads(1, || s.run_churn_sweep(&scenarios));
+        let par = mgg_runtime::with_threads(4, || s.run_churn_sweep(&scenarios));
+        assert_eq!(seq, par, "churn sweep must merge in input order at any thread count");
     }
 }
 

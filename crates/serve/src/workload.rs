@@ -73,6 +73,95 @@ impl ArrivalKind {
     }
 }
 
+/// Service class of a query. Under churn-induced capacity dips the
+/// admission gates shed lower classes first, so gold latency holds while
+/// bronze absorbs the squeeze.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Latency-critical traffic: full queue share, last to shed.
+    Gold,
+    /// Standard traffic: sheds once the token bucket runs low.
+    Silver,
+    /// Best-effort traffic: first to shed, half the queue share.
+    Bronze,
+}
+
+impl Priority {
+    /// Every class, gold first — the scan order of per-class reports.
+    pub const ALL: [Priority; 3] = [Priority::Gold, Priority::Silver, Priority::Bronze];
+
+    /// Stable small code used in the decision digest. Gold is 0 so the
+    /// legacy gold-only digests (pinned by committed bench baselines) are
+    /// unchanged by the class bits.
+    pub fn code(&self) -> u8 {
+        match self {
+            Priority::Gold => 0,
+            Priority::Silver => 1,
+            Priority::Bronze => 2,
+        }
+    }
+
+    /// Lower-case name for CLI flags, JSON and telemetry counters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Priority::Gold => "gold",
+            Priority::Silver => "silver",
+            Priority::Bronze => "bronze",
+        }
+    }
+}
+
+/// Relative weights of the three priority classes in a workload. The
+/// weights need not sum to 1; classes are drawn proportionally.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriorityMix {
+    /// Weight of [`Priority::Gold`].
+    pub gold: f64,
+    /// Weight of [`Priority::Silver`].
+    pub silver: f64,
+    /// Weight of [`Priority::Bronze`].
+    pub bronze: f64,
+}
+
+impl PriorityMix {
+    /// Everything gold — the legacy single-class workload. Skips the
+    /// class-draw RNG entirely, so gold-only streams are bit-identical to
+    /// streams generated before priority classes existed.
+    pub fn gold_only() -> Self {
+        PriorityMix { gold: 1.0, silver: 0.0, bronze: 0.0 }
+    }
+
+    /// A mix with the given non-negative weights (at least one positive).
+    pub fn new(gold: f64, silver: f64, bronze: f64) -> Self {
+        assert!(
+            gold >= 0.0 && silver >= 0.0 && bronze >= 0.0 && gold + silver + bronze > 0.0,
+            "priority weights must be non-negative and not all zero"
+        );
+        PriorityMix { gold, silver, bronze }
+    }
+
+    /// Whether the mix degenerates to the legacy gold-only stream.
+    pub fn is_gold_only(&self) -> bool {
+        self.silver == 0.0 && self.bronze == 0.0
+    }
+
+    fn draw(&self, rng: &mut StdRng) -> Priority {
+        let u: f64 = rng.random::<f64>() * (self.gold + self.silver + self.bronze);
+        if u < self.gold {
+            Priority::Gold
+        } else if u < self.gold + self.silver {
+            Priority::Silver
+        } else {
+            Priority::Bronze
+        }
+    }
+}
+
+/// Salt of the class-assignment RNG stream. Classes draw from a *second*
+/// seeded stream so mixing priorities never perturbs the arrival/node
+/// stream the committed decision digests pin.
+const CLASS_STREAM_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
 /// Full description of one serving workload. Two equal specs always
 /// generate identical query streams.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,6 +183,8 @@ pub struct WorkloadSpec {
     pub zipf_s: f64,
     /// Number of distinct queryable nodes.
     pub num_nodes: usize,
+    /// Priority-class mix of the stream.
+    pub mix: PriorityMix,
 }
 
 impl WorkloadSpec {
@@ -108,6 +199,7 @@ impl WorkloadSpec {
             deadline_ns: 1_000_000,
             zipf_s: 0.9,
             num_nodes,
+            mix: PriorityMix::gold_only(),
         }
     }
 }
@@ -123,6 +215,8 @@ pub struct Query {
     pub node: u32,
     /// Absolute completion deadline (`arrival_ns + deadline_ns`).
     pub deadline_ns: u64,
+    /// Service class (from the spec's [`PriorityMix`]).
+    pub class: Priority,
 }
 
 /// Zipf sampler over `0..n` ranks, materialised as a cumulative weight
@@ -193,7 +287,7 @@ pub fn generate(spec: &WorkloadSpec) -> Vec<Query> {
     let mut queries = Vec::new();
     let mut t = 0u64;
     let base_rate_per_ns = spec.qps / 1e9;
-    loop {
+    'gen: loop {
         // Skip forward while the instantaneous rate is zero (off phase).
         let mut mult = spec.arrival.rate_mult(t, spec.duration_ns);
         while mult <= 0.0 {
@@ -205,7 +299,7 @@ pub fn generate(spec: &WorkloadSpec) -> Vec<Query> {
                 _ => t + 1_000,
             };
             if t >= spec.duration_ns {
-                return queries;
+                break 'gen;
             }
             mult = spec.arrival.rate_mult(t, spec.duration_ns);
         }
@@ -215,11 +309,11 @@ pub fn generate(spec: &WorkloadSpec) -> Vec<Query> {
         // keeps simulated time strictly advancing.
         let gap = (-(1.0 - u).ln() / rate).ceil().max(1.0);
         if gap > spec.duration_ns as f64 {
-            return queries;
+            break 'gen;
         }
         t = t.saturating_add(gap as u64);
         if t >= spec.duration_ns {
-            return queries;
+            break 'gen;
         }
         let node = zipf.sample(&mut rng);
         queries.push(Query {
@@ -227,8 +321,19 @@ pub fn generate(spec: &WorkloadSpec) -> Vec<Query> {
             arrival_ns: t,
             node,
             deadline_ns: t + spec.deadline_ns,
+            class: Priority::Gold,
         });
     }
+    // Class assignment draws from a salted second stream, and a gold-only
+    // mix skips it entirely: the arrival/node stream above is bitwise the
+    // stream generated before priority classes existed.
+    if !spec.mix.is_gold_only() {
+        let mut crng = StdRng::seed_from_u64(spec.seed ^ CLASS_STREAM_SALT);
+        for q in &mut queries {
+            q.class = spec.mix.draw(&mut crng);
+        }
+    }
+    queries
 }
 
 #[cfg(test)]
@@ -244,6 +349,7 @@ mod tests {
             deadline_ns: 500_000,
             zipf_s: 0.9,
             num_nodes: 1024,
+            mix: PriorityMix::gold_only(),
         }
     }
 
@@ -329,6 +435,40 @@ mod tests {
         hot_ids.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
         let low_quarter = hot_ids[..4].iter().filter(|&&i| i < spec.num_nodes / 4).count();
         assert!(low_quarter < 4, "hot nodes must not cluster in one shard's range");
+    }
+
+    #[test]
+    fn class_mix_never_perturbs_the_arrival_stream() {
+        let gold = base(ArrivalKind::Poisson);
+        let mut mixed = gold;
+        mixed.mix = PriorityMix::new(0.2, 0.3, 0.5);
+        let a = generate(&gold);
+        let b = generate(&mixed);
+        assert_eq!(a.len(), b.len(), "mixing classes must not change arrivals");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                (x.id, x.arrival_ns, x.node, x.deadline_ns),
+                (y.id, y.arrival_ns, y.node, y.deadline_ns),
+                "class draws must come from a separate RNG stream"
+            );
+        }
+        assert!(a.iter().all(|q| q.class == Priority::Gold));
+        assert!(b.iter().any(|q| q.class == Priority::Bronze));
+        // And the assignment itself replays.
+        assert_eq!(b, generate(&mixed));
+    }
+
+    #[test]
+    fn class_fractions_track_the_mix() {
+        let mut spec = base(ArrivalKind::Poisson);
+        spec.mix = PriorityMix::new(0.2, 0.3, 0.5);
+        let qs = generate(&spec);
+        let frac = |c: Priority| {
+            qs.iter().filter(|q| q.class == c).count() as f64 / qs.len() as f64
+        };
+        assert!((frac(Priority::Gold) - 0.2).abs() < 0.05);
+        assert!((frac(Priority::Silver) - 0.3).abs() < 0.05);
+        assert!((frac(Priority::Bronze) - 0.5).abs() < 0.05);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use mgg::core::{MggConfig, MggEngine};
 use mgg::fault::{FaultSchedule, FaultSpec};
 use mgg::gnn::reference::AggregateMode;
 use mgg::graph::generators::rmat::{rmat, RmatConfig};
-use mgg::serve::{snapshot_digest, ArrivalKind, ServeConfig, Server, WorkloadSpec};
+use mgg::serve::{snapshot_digest, ArrivalKind, PriorityMix, ServeConfig, Server, WorkloadSpec};
 use mgg::sim::ClusterSpec;
 use mgg::telemetry::Telemetry;
 
@@ -72,6 +72,7 @@ fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
                 deadline_ns,
                 zipf_s,
                 num_nodes: 1 << 9,
+                mix: PriorityMix::gold_only(),
             }
         },
     )
