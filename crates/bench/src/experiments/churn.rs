@@ -243,14 +243,14 @@ pub fn run(scale: f64, gpus: usize) -> ChurnBenchReport {
         duration_ns = base.duration_ns;
 
         let mix = PriorityMix::new(MIX[0], MIX[1], MIX[2]);
-        let mixed = |mult: f64| WorkloadSpec { qps: sat * mult, mix, ..base.clone() };
+        let mixed = |mult: f64| WorkloadSpec { qps: sat * mult, mix, ..base };
         let quiet = || ChurnSchedule::quiet(duration_ns);
         let scenarios = vec![
             // 0: steady ceiling at the drill load, no churn.
-            (base.clone(), FaultSchedule::quiet(gpus), quiet()),
+            (base, FaultSchedule::quiet(gpus), quiet()),
             // 1: the drill — same load through the membership cycle + burst.
             (
-                base.clone(),
+                base,
                 FaultSchedule::quiet(gpus),
                 ChurnSchedule::derive(&drill_spec(duration_ns), nodes),
             ),

@@ -6,17 +6,21 @@
 //! 1. **Sweep scaling.** Wall-clock of a dataset × dimension × GPU-count
 //!    simulation sweep at 1/2/4/8 threads (best of `RUNS_PER_THREADS`
 //!    timed runs), each run producing an FNV-1a digest of every simulated
-//!    latency. The pool merges job results in input order, so the digest
-//!    must be identical at every thread count; `digests_match` makes that
-//!    checkable in CI without wall-clock gating. The cell list is part of
-//!    the report so `perfdiff` comparisons are apples-to-apples.
+//!    latency. Pool jobs are dataset-level super-cells (the dim × gpus
+//!    grid runs inside one task, engines reused per GPU count) but the
+//!    flattened latency order is the per-cell order, so the digest is
+//!    decomposition-independent and must be identical at every thread
+//!    count; `digests_match` makes that checkable in CI without
+//!    wall-clock gating. The cell list is part of the report so
+//!    `perfdiff` comparisons are apples-to-apples.
 //! 2. **Overhead attribution.** One additional run per thread count under
 //!    `mgg_runtime::profile::collect`, breaking the worker-lane time into
-//!    task-exec / spawn / idle / ordered-merge-wait (plus telemetry
-//!    fork/merge and recorder-mutex contention) — the "where did the
-//!    speedup go" data for ROADMAP open item 1. The profiled run's digest
-//!    is reported separately and must equal the unprofiled one: profiling
-//!    is bit-identity-preserving by contract.
+//!    on-CPU task-exec / contended-exec (descheduled mid-job) / spawn /
+//!    idle / ordered-merge-wait (plus telemetry fork/merge and
+//!    recorder-mutex contention) — the "where did the speedup go" data
+//!    for ROADMAP open item 1. The profiled run's digest is reported
+//!    separately and must equal the unprofiled one: profiling is
+//!    bit-identity-preserving by contract.
 //! 3. **Event-loop throughput.** Events/sec through the calendar queue
 //!    (deterministic push/pop stream), the simulator's single hottest path.
 //!
@@ -34,7 +38,13 @@ use crate::experiments::common::datasets;
 use crate::report::ExperimentReport;
 
 /// Timed (unprofiled) runs per thread count; the row reports the best.
-pub const RUNS_PER_THREADS: usize = 2;
+pub const RUNS_PER_THREADS: usize = 3;
+
+/// Aggregation dimensions swept per dataset, in latency order.
+const DIMS: [usize; 2] = [16, 64];
+
+/// GPU counts swept per dimension, in latency order.
+const GPU_COUNTS: [usize; 2] = [4, 8];
 
 /// One sweep cell, named so baselines can be compared cell-for-cell.
 #[derive(Debug, Clone, Serialize)]
@@ -77,9 +87,6 @@ pub struct HostPerfReport {
     pub event_loop_events: u64,
 }
 
-/// One sweep cell: dataset index × aggregation dim × GPU count.
-type Cell = (usize, usize, usize);
-
 fn fnv1a(values: &[u64]) -> String {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for v in values {
@@ -94,30 +101,49 @@ fn fnv1a(values: &[u64]) -> String {
 /// Runs the sweep once at `threads` workers, returning (wall_ns, latencies).
 /// Dataset construction happens outside so the wall-clock covers only the
 /// parallelizable simulation work.
-fn run_sweep(ds: &[Dataset], threads: usize, cells: &[Cell]) -> (u64, Vec<u64>) {
+///
+/// Work units are dataset-level **super-cells**: one pool job per dataset
+/// iterates the dim × GPU-count grid inside, reusing one engine per GPU
+/// count across dimensions, so the pool dispatches |datasets| coarse tasks
+/// instead of 4× as many slivers and each task builds placement/plans once
+/// per GPU count instead of once per cell. The flattened latency order
+/// (dataset → dim → gpus) is exactly the old per-cell job order, and the
+/// simulation is a pure function of (graph, spec, dim) — engine reuse
+/// resets the cluster between launches — so digests are unchanged (pinned
+/// by `super_cells_match_per_cell_sweep`).
+fn run_sweep(ds: &[Dataset], threads: usize) -> (u64, Vec<u64>) {
     let start = std::time::Instant::now();
-    let lats = mgg_runtime::with_threads(threads, || {
+    let per_ds = mgg_runtime::with_threads(threads, || {
         let _lbl = mgg_runtime::profile::region_label("bench.hostperf");
-        mgg_runtime::par_map(cells, |&(di, dim, gpus)| {
+        mgg_runtime::par_map_indexed(ds.len(), |di| {
             let d = &ds[di];
-            let spec = ClusterSpec::dgx_a100(gpus);
-            let mut eng =
-                MggEngine::new(&d.graph, spec, MggConfig::default_fixed(), AggregateMode::Sum);
-            eng.simulate_aggregation_ns(dim).expect("valid launch")
+            let mut engines: Vec<MggEngine> = GPU_COUNTS
+                .iter()
+                .map(|&gpus| {
+                    MggEngine::new(
+                        &d.graph,
+                        ClusterSpec::dgx_a100(gpus),
+                        MggConfig::default_fixed(),
+                        AggregateMode::Sum,
+                    )
+                })
+                .collect();
+            let mut lats = Vec::with_capacity(DIMS.len() * GPU_COUNTS.len());
+            for dim in DIMS {
+                for eng in engines.iter_mut() {
+                    lats.push(eng.simulate_aggregation_ns(dim).expect("valid launch"));
+                }
+            }
+            lats
         })
     });
-    (start.elapsed().as_nanos() as u64, lats)
+    (start.elapsed().as_nanos() as u64, per_ds.into_iter().flatten().collect())
 }
 
 /// [`run_sweep`] under the attribution profiler: same jobs, same digest,
 /// plus the per-worker lifecycle profile.
-fn run_sweep_profiled(
-    ds: &[Dataset],
-    threads: usize,
-    cells: &[Cell],
-) -> (u64, Vec<u64>, RuntimeProfile) {
-    let ((wall_ns, lats), profile) =
-        mgg_runtime::profile::collect(|| run_sweep(ds, threads, cells));
+fn run_sweep_profiled(ds: &[Dataset], threads: usize) -> (u64, Vec<u64>, RuntimeProfile) {
+    let ((wall_ns, lats), profile) = mgg_runtime::profile::collect(|| run_sweep(ds, threads));
     (wall_ns, lats, profile)
 }
 
@@ -159,12 +185,10 @@ fn event_loop_throughput() -> (u64, f64) {
 /// Runs the host-performance benchmark.
 pub fn run(scale: f64) -> HostPerfReport {
     let ds = datasets(scale);
-    let mut cells: Vec<Cell> = Vec::new();
     let mut cell_names: Vec<SweepCell> = Vec::new();
-    for (di, d) in ds.iter().enumerate() {
-        for dim in [16usize, 64] {
-            for gpus in [4usize, 8] {
-                cells.push((di, dim, gpus));
+    for d in ds.iter() {
+        for dim in DIMS {
+            for gpus in GPU_COUNTS {
                 cell_names.push(SweepCell { dataset: d.spec.name.to_string(), dim, gpus });
             }
         }
@@ -175,13 +199,13 @@ pub fn run(scale: f64) -> HostPerfReport {
         let mut wall_ns = u64::MAX;
         let mut digest = String::new();
         for run in 0..RUNS_PER_THREADS {
-            let (w, lats) = run_sweep(&ds, threads, &cells);
+            let (w, lats) = run_sweep(&ds, threads);
             wall_ns = wall_ns.min(w);
             if run == 0 {
                 digest = fnv1a(&lats);
             }
         }
-        let (_, profiled_lats, profile) = run_sweep_profiled(&ds, threads, &cells);
+        let (_, profiled_lats, profile) = run_sweep_profiled(&ds, threads);
         rows.push(HostPerfRow {
             threads,
             runs: RUNS_PER_THREADS,
@@ -203,7 +227,7 @@ pub fn run(scale: f64) -> HostPerfReport {
     let (event_loop_events, event_loop_events_per_sec) = event_loop_throughput();
 
     HostPerfReport {
-        sweep_cells: cells.len(),
+        sweep_cells: cell_names.len(),
         cells: cell_names,
         runs_per_thread_count: RUNS_PER_THREADS,
         rows,
@@ -221,8 +245,8 @@ impl ExperimentReport for HostPerfReport {
     fn print(&self) {
         println!("Host performance: sweep scaling + overhead attribution");
         println!(
-            "{:<8} {:>12} {:>9}  {:>6} {:>6} {:>6} {:>6}  digest",
-            "threads", "wall (ms)", "speedup", "exec%", "spawn%", "idle%", "merge%"
+            "{:<8} {:>12} {:>9}  {:>6} {:>6} {:>6} {:>6} {:>6}  digest",
+            "threads", "wall (ms)", "speedup", "exec%", "cont%", "spawn%", "idle%", "merge%"
         );
         for r in &self.rows {
             let lane = r.overhead.exec_ns + r.overhead.overhead_ns();
@@ -234,11 +258,12 @@ impl ExperimentReport for HostPerfReport {
                 }
             };
             println!(
-                "{:<8} {:>12.1} {:>8.2}x  {:>5.1} {:>6.1} {:>6.1} {:>6.1}  {}",
+                "{:<8} {:>12.1} {:>8.2}x  {:>5.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1}  {}",
                 r.threads,
                 r.wall_ns as f64 / 1e6,
                 r.speedup,
                 pct(r.overhead.exec_ns),
+                pct(r.overhead.contended_exec_ns),
                 pct(r.overhead.spawn_ns),
                 pct(r.overhead.idle_ns),
                 pct(r.overhead.merge_wait_ns),
@@ -267,21 +292,46 @@ mod tests {
     #[test]
     fn sweep_digest_is_thread_count_invariant() {
         let ds = datasets(0.05);
-        let cells: Vec<Cell> = vec![(0, 16, 4), (0, 16, 8), (1, 16, 4), (1, 16, 8)];
-        let (_, seq) = run_sweep(&ds, 1, &cells);
+        let ds = &ds[..2];
+        let (_, seq) = run_sweep(ds, 1);
         for threads in [2usize, 4, 7] {
-            let (_, par) = run_sweep(&ds, threads, &cells);
+            let (_, par) = run_sweep(ds, threads);
             assert_eq!(seq, par, "sweep diverged at {threads} threads");
         }
+    }
+
+    /// Pins the super-cell refactor: one engine per GPU count reused
+    /// across dimensions must produce exactly the per-cell (fresh engine
+    /// per config) latencies, in the same flattened order.
+    #[test]
+    fn super_cells_match_per_cell_sweep() {
+        let ds = datasets(0.05);
+        let ds = &ds[..2];
+        let (_, coarse) = run_sweep(ds, 1);
+        let mut fine = Vec::new();
+        for d in ds {
+            for dim in DIMS {
+                for gpus in GPU_COUNTS {
+                    let mut eng = MggEngine::new(
+                        &d.graph,
+                        ClusterSpec::dgx_a100(gpus),
+                        MggConfig::default_fixed(),
+                        AggregateMode::Sum,
+                    );
+                    fine.push(eng.simulate_aggregation_ns(dim).expect("valid launch"));
+                }
+            }
+        }
+        assert_eq!(coarse, fine, "engine reuse must not perturb simulated latencies");
     }
 
     #[test]
     fn profiled_sweep_is_bit_identical_and_attributed() {
         let ds = datasets(0.05);
-        let cells: Vec<Cell> = vec![(0, 16, 4), (0, 16, 8), (1, 16, 4), (1, 16, 8)];
-        let (_, plain) = run_sweep(&ds, 1, &cells);
+        let ds = &ds[..2];
+        let (_, plain) = run_sweep(ds, 1);
         for threads in [1usize, 2, 4, 7] {
-            let (_, profiled, profile) = run_sweep_profiled(&ds, threads, &cells);
+            let (_, profiled, profile) = run_sweep_profiled(ds, threads);
             assert_eq!(plain, profiled, "profiler changed results at {threads} threads");
             assert!(!profile.regions.is_empty());
             assert_eq!(profile.regions[0].name, "bench.hostperf");

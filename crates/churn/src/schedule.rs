@@ -233,10 +233,10 @@ impl ChurnSchedule {
         let mut i = 0usize;
         let num_deltas = stamped.len() as u64;
         while i < stamped.len() {
-            let fence_at = ((stamped[i].0 + fence - 1) / fence * fence).min(spec.duration_ns);
+            let fence_at = (stamped[i].0.div_ceil(fence) * fence).min(spec.duration_ns);
             let mut deltas = Vec::new();
             while i < stamped.len()
-                && ((stamped[i].0 + fence - 1) / fence * fence).min(spec.duration_ns) == fence_at
+                && (stamped[i].0.div_ceil(fence) * fence).min(spec.duration_ns) == fence_at
             {
                 deltas.push(stamped[i].1.clone());
                 i += 1;
@@ -248,7 +248,7 @@ impl ChurnSchedule {
         }
         // Total order: time, then membership-before-fence, then original
         // position — a pure function of the spec.
-        events.sort_by(|a, b| (a.0, a.1, a.2).cmp(&(b.0, b.1, b.2)));
+        events.sort_by_key(|a| (a.0, a.1, a.2));
         let events = events
             .into_iter()
             .enumerate()

@@ -38,6 +38,9 @@ use mgg_telemetry::Telemetry;
 use serde::Serialize;
 
 /// A parsed CLI invocation.
+// One short-lived value per process; the size skew between variants is
+// irrelevant, so boxing `Serve`'s fields would only add noise.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     Generate { source: GraphSource, out: PathBuf },

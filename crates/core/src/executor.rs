@@ -142,25 +142,10 @@ fn merge_by_edge<'a>(
     remote[j..].iter().for_each(|rr| f(Neighbor::Remote(rr)));
 }
 
-/// Splits a flat row-major output buffer into one mutable slice per
-/// partition (the partitions' node ranges tile `0..n` in order), so each
-/// part can be aggregated as an independent job with exclusive access to
-/// its own output rows.
-fn split_by_parts<'a>(
-    data: &'a mut [f32],
-    parts: &[mgg_graph::partition::locality::LocalityPartition],
-    dim: usize,
-) -> Vec<&'a mut [f32]> {
-    let mut slices = Vec::with_capacity(parts.len());
-    let mut rest = data;
-    for part in parts {
-        let (head, tail) = rest.split_at_mut(part.local.num_rows() * dim);
-        slices.push(head);
-        rest = tail;
-    }
-    debug_assert!(rest.is_empty(), "partitions must tile the output");
-    slices
-}
+/// Minimum output rows per parallel aggregation job. Below this, the
+/// per-job dispatch cost outweighs the row math, so small graphs collapse
+/// into fewer (or one) jobs instead of paying the fan-out.
+const MIN_AGG_ROWS_PER_JOB: usize = 64;
 
 /// The MGG multi-GPU aggregation engine.
 pub struct MggEngine {
@@ -1013,23 +998,32 @@ impl MggEngine {
         let dim = x.cols();
         let region = self.placement.place_embeddings(x);
         let mut out = Matrix::zeros(x.rows(), dim);
-        // Each partition writes exactly its own contiguous node range, and
-        // the partitions tile the output, so per-part jobs run on the
-        // worker pool over disjoint output slices. Within a part the math
-        // is untouched, so the result is bit-identical to the serial loop
-        // at any thread count.
-        let slices = split_by_parts(out.data_mut(), &self.placement.parts, dim);
+        if x.rows() == 0 || dim == 0 {
+            return out;
+        }
+        // Row-chunk decomposition at pool granularity: jobs are contiguous
+        // row ranges sized to `rows / threads` with a minimum-work floor
+        // (one job per partition underfills wide pools and overfills small
+        // graphs with spawn overhead). Each row is computed exactly as in
+        // the serial loop — chunk boundaries never enter the math — so the
+        // result is bit-identical at any thread count.
+        let chunk_rows = mgg_runtime::chunk_len(x.rows(), MIN_AGG_ROWS_PER_JOB);
+        let slices: Vec<&mut [f32]> = out.data_mut().chunks_mut(chunk_rows * dim).collect();
         let region = &region;
         let _lbl = mgg_runtime::profile::region_label("engine.aggregate");
-        mgg_runtime::par_slices_mut(slices, |pi, out_part| {
-            let part = &self.placement.parts[pi];
-            let base = part.node_range.start as usize;
-            for r in 0..part.local.num_rows() as u32 {
-                let v = base + r as usize;
-                let row_start = r as usize * dim;
+        mgg_runtime::par_slices_mut(slices, |ci, out_chunk| {
+            let first = ci * chunk_rows;
+            let mut pi = self.part_of(first);
+            for (k, dst) in out_chunk.chunks_mut(dim).enumerate() {
+                let v = first + k;
+                while self.placement.parts[pi].node_range.end as usize <= v {
+                    pi += 1;
+                }
+                let part = &self.placement.parts[pi];
+                let base = part.node_range.start as usize;
+                let r = (v - base) as u32;
                 // Local (device memory) and remote (symmetric heap)
                 // neighbors, summed in the input graph's edge order.
-                let dst = &mut out_part[row_start..row_start + dim];
                 merge_by_edge(part.local.row(r), part.remote.row(r), |nb| {
                     let (w, src) = match nb {
                         Neighbor::Local(lr) => (
@@ -1054,7 +1048,6 @@ impl MggEngine {
                     AggregateMode::GcnNorm => {
                         // Self-loop term of \hat{A}.
                         let w = self.norm[v] * self.norm[v];
-                        let dst = &mut out_part[row_start..row_start + dim];
                         for (d, &s) in dst.iter_mut().zip(x.row(v)) {
                             *d += w * s;
                         }
@@ -1063,8 +1056,7 @@ impl MggEngine {
                         let deg = part.local.row(r).len() + part.remote.row(r).len();
                         if deg > 0 {
                             let inv = 1.0 / deg as f32;
-                            let dst = &mut out_part[row_start..row_start + dim];
-                            for d in dst {
+                            for d in dst.iter_mut() {
                                 *d *= inv;
                             }
                         }
@@ -1074,6 +1066,14 @@ impl MggEngine {
             }
         });
         out
+    }
+
+    /// Index of the partition owning global node `v` (the partitions'
+    /// node ranges tile `0..n` in order).
+    fn part_of(&self, v: usize) -> usize {
+        self.placement
+            .parts
+            .partition_point(|p| (p.node_range.end as usize) <= v)
     }
 
     /// Functional aggregation through the resilience plane: remote rows are
@@ -1176,7 +1176,12 @@ impl MggEngine {
         let parts = &self.placement.parts;
         // One job per partition, each with its own issuing-PE cache over
         // the shared region; parts are merged back in index order, so the
-        // output layout matches `aggregate_values` exactly.
+        // output layout matches `aggregate_values` exactly. Unlike the
+        // pure paths this one deliberately stays at partition granularity:
+        // cache residency is per issuing PE, and thread-count-dependent
+        // row chunks would make the returned hit/miss counters vary with
+        // the pool width (values would not, but stats determinism is part
+        // of this path's contract).
         let _lbl = mgg_runtime::profile::region_label("engine.aggregate_cached");
         let results = mgg_runtime::par_map_indexed(parts.len(), |pi| {
             let part = &parts[pi];
@@ -1265,15 +1270,24 @@ impl MggEngine {
         let dim = x.cols();
         let region = self.placement.place_embeddings(x);
         let mut out = Matrix::zeros(x.rows(), dim);
-        // Same per-part parallel decomposition as `aggregate_values`.
-        let slices = split_by_parts(out.data_mut(), &self.placement.parts, dim);
+        if x.rows() == 0 || dim == 0 {
+            return out;
+        }
+        // Same row-chunk parallel decomposition as `aggregate_values`.
+        let chunk_rows = mgg_runtime::chunk_len(x.rows(), MIN_AGG_ROWS_PER_JOB);
+        let slices: Vec<&mut [f32]> = out.data_mut().chunks_mut(chunk_rows * dim).collect();
         let region = &region;
         let _lbl = mgg_runtime::profile::region_label("engine.aggregate_weighted");
-        mgg_runtime::par_slices_mut(slices, |pi, out_part| {
-            let part = &self.placement.parts[pi];
-            for r in 0..part.local.num_rows() as u32 {
-                let row_start = r as usize * dim;
-                let dst = &mut out_part[row_start..row_start + dim];
+        mgg_runtime::par_slices_mut(slices, |ci, out_chunk| {
+            let first = ci * chunk_rows;
+            let mut pi = self.part_of(first);
+            for (k, dst) in out_chunk.chunks_mut(dim).enumerate() {
+                let v = first + k;
+                while self.placement.parts[pi].node_range.end as usize <= v {
+                    pi += 1;
+                }
+                let part = &self.placement.parts[pi];
+                let r = (v - part.node_range.start as usize) as u32;
                 merge_by_edge(part.local.row(r), part.remote.row(r), |nb| {
                     let (weight, src) = match nb {
                         Neighbor::Local(lr) => {

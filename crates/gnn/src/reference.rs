@@ -349,8 +349,12 @@ pub fn aggregate_parallel(
         _ => Vec::new(),
     };
     let mut out = Matrix::zeros(n, dim);
-    let rows_per = n.div_ceil(threads);
     mgg_runtime::with_threads(threads, || {
+        // Pool-granularity chunks with a minimum-work floor: tiny chunks
+        // pay more in dispatch than they earn in overlap, so the floor
+        // collapses small inputs into fewer jobs. Chunk edges never enter
+        // the per-row math, so output bits are chunk-size independent.
+        let rows_per = mgg_runtime::chunk_len(n, 256);
         let _lbl = mgg_runtime::profile::region_label("gnn.reference");
         mgg_runtime::par_chunks_mut(out.data_mut(), rows_per * dim, |t, chunk| {
             let start = t * rows_per;

@@ -5,10 +5,13 @@
 //! this crate so there is exactly one place where the determinism contract
 //! is enforced:
 //!
-//! * **Ordered merge** — [`par_map`]/[`par_map_indexed`] write each job's
-//!   result into its input-index slot and return the slots in input order,
-//!   so the output `Vec` is bit-identical to a sequential `map` at *any*
-//!   thread count (including odd counts and oversubscription).
+//! * **Slot merge** — [`par_map`]/[`par_map_indexed`] write each job's
+//!   result into a preallocated, cache-line-padded slot owned by its input
+//!   index (written exactly once, read only after the region barrier) and
+//!   return the slots in input order, so the output `Vec` is bit-identical
+//!   to a sequential `map` at *any* thread count (including odd counts and
+//!   oversubscription) and workers never share a hot cache line while
+//!   writing results.
 //! * **Disjoint writes** — [`par_chunks_mut`]/[`par_slices_mut`] hand each
 //!   worker exclusive `&mut` windows of one buffer; the windows tile the
 //!   buffer, so there is no accumulation-order freedom to lose.
@@ -22,14 +25,23 @@
 //! without per-worker deques. The claim order is nondeterministic; the
 //! merge order is not, which is all that matters for output bits.
 //!
-//! The pool is scoped (`std::thread::scope`), dependency-free and
-//! allocation-light: no threads outlive a call, and a 1-thread
-//! configuration (or a 1-item input) short-circuits to a plain sequential
-//! loop on the calling thread.
+//! Execution runs on a **persistent worker pool** ([`pool`]): workers are
+//! spawned lazily on first use, park between regions, and are reused by
+//! every subsequent parallel call, so a region dispatch costs a mutex
+//! handoff instead of per-call thread spawn/teardown. The caller
+//! participates as lane 0. Nested parallel calls from inside a job run
+//! sequentially on the claiming worker (no oversubscription, same bits).
+//! A 1-thread configuration (or an empty/1-item input) short-circuits to a
+//! plain sequential loop on the calling thread, and [`shutdown_pool`]
+//! joins the workers for clean teardown.
 
+pub mod pool;
 pub mod profile;
 
+pub use pool::{shutdown as shutdown_pool, spawned_workers};
+
 use profile::{LaneRaw, RegionTimer};
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Process-wide thread-count setting: 0 = auto (`available_parallelism`).
@@ -43,6 +55,11 @@ thread_local! {
 /// Sets the process-wide worker count used by subsequent parallel calls.
 /// `0` restores the default (`std::thread::available_parallelism()`).
 /// `1` forces the fully sequential path.
+///
+/// The persistent pool resizes on demand: growing spawns the missing
+/// workers at the next parallel region; shrinking leaves the extra workers
+/// parked (they hold no scratch and cost only their stack) so a later
+/// wider setting reuses them without respawning.
 pub fn set_threads(n: usize) {
     GLOBAL_THREADS.store(n, Ordering::Relaxed);
 }
@@ -80,21 +97,37 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
-/// Shared result buffer: each slot is written exactly once, by whichever
-/// worker claimed its index. Disjointness is guaranteed by the atomic
-/// claim counter; the scope join publishes the writes.
-struct Slots<T> {
-    ptr: *mut Option<T>,
+/// Deterministic chunk length for splitting `total` work items across the
+/// current worker count: one contiguous chunk per worker (ceil division),
+/// floored at `min_per_chunk` so tiny inputs do not shatter into jobs
+/// smaller than their dispatch cost. Callers that split work by rows use
+/// this so granularity follows `rows / threads` instead of a fixed size;
+/// the chunk boundary never influences output values (each item is a pure
+/// function of its index), so bit-identity across thread counts holds.
+pub fn chunk_len(total: usize, min_per_chunk: usize) -> usize {
+    let w = threads().max(1);
+    total.div_ceil(w).max(min_per_chunk.max(1))
 }
-unsafe impl<T: Send> Send for Slots<T> {}
-unsafe impl<T: Send> Sync for Slots<T> {}
 
-impl<T> Slots<T> {
-    /// # Safety
-    /// `i` must be in bounds and claimed by exactly one worker.
-    unsafe fn write(&self, i: usize, value: T) {
-        unsafe { *self.ptr.add(i) = Some(value) };
+/// One result slot, padded to a cache line so workers completing adjacent
+/// jobs never write to the same line (the false-sharing half of the PR 7
+/// merge-wait finding). Written exactly once by the worker that claimed
+/// the index, read by the caller after the region barrier.
+#[repr(align(64))]
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: the atomic claim counter hands each slot index to exactly one
+// worker, and the caller only reads after the region completes.
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+/// Effective worker count for a region of `n` jobs on this thread. Nested
+/// regions (called from inside a pool job) always run sequentially: the
+/// pool is already saturated, and re-entering dispatch would deadlock.
+fn region_workers(n: usize) -> usize {
+    if pool::in_worker() {
+        return 1;
     }
+    threads().min(n)
 }
 
 /// Maps `f` over `0..n` in parallel; results come back in index order,
@@ -104,7 +137,7 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
-    let workers = threads().min(n);
+    let workers = region_workers(n);
     if workers <= 1 {
         let timer = RegionTimer::start("par_map_indexed", n, 1);
         let Some(timer) = timer else {
@@ -113,80 +146,89 @@ where
         let mut lane = LaneRaw::default();
         let out = (0..n)
             .map(|i| {
-                let j0 = timer.elapsed_ns();
+                let (j0, c0) = (timer.elapsed_ns(), profile::thread_cpu_ns());
                 let value = f(i);
-                let j1 = timer.elapsed_ns();
-                lane.exec_ns += j1.saturating_sub(j0);
-                lane.units.record(j1.saturating_sub(j0));
-                lane.jobs += 1;
-                lane.done_ns = j1;
+                let (j1, c1) = (timer.elapsed_ns(), profile::thread_cpu_ns());
+                lane.note_job(j1.saturating_sub(j0), c1.saturating_sub(c0), j1);
                 value
             })
             .collect();
         timer.finish(vec![lane]);
         return out;
     }
-    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let shared = Slots { ptr: slots.as_mut_ptr() };
+    let slots: Vec<Slot<U>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
     let next = AtomicUsize::new(0);
     // One check per region, not per job: profiling is on only when the
     // caller wrapped this in `profile::collect`.
     let timer = RegionTimer::start("par_map_indexed", n, workers);
-    let mut lanes: Vec<LaneRaw> = Vec::with_capacity(if timer.is_some() { workers } else { 0 });
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let timer = timer.as_ref();
-                    // Propagate the caller's collector into this worker so
-                    // nested regions and telemetry hooks attribute here.
-                    let _guard =
-                        timer.map(|t| profile::install(Some(t.collector())));
-                    let mut lane = LaneRaw::default();
-                    if let Some(t) = timer {
-                        lane.spawn_delay_ns = t.elapsed_ns();
-                    }
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        match timer {
-                            None => {
-                                let value = f(i);
-                                // SAFETY: `i` < n and fetch_add hands each
-                                // index to one worker only.
-                                unsafe { shared.write(i, value) };
-                            }
-                            Some(t) => {
-                                let j0 = t.elapsed_ns();
-                                let value = f(i);
-                                // SAFETY: as above.
-                                unsafe { shared.write(i, value) };
-                                let j1 = t.elapsed_ns();
-                                lane.exec_ns += j1.saturating_sub(j0);
-                                lane.units.record(j1.saturating_sub(j0));
-                                lane.jobs += 1;
-                                lane.done_ns = j1;
-                            }
-                        }
-                    }
-                    lane
-                })
-            })
-            .collect();
-        for handle in handles {
-            match handle.join() {
-                Ok(lane) => lanes.push(lane),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
-    });
+    let lanes = run_pool_region(workers, timer.as_ref(), |i| {
+        let value = f(i);
+        // SAFETY: `i` < n and the claim counter hands each index to one
+        // lane only; the caller reads only after the region barrier.
+        unsafe { *slots[i].0.get() = Some(value) };
+    }, &next, n);
     if let Some(timer) = timer {
         timer.finish(lanes);
     }
-    slots.into_iter().map(|s| s.expect("every claimed slot is written")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.0.into_inner().expect("every claimed slot is written"))
+        .collect()
+}
+
+/// Shared claim-loop body for pool-backed regions: each lane pulls job
+/// indices from `next` and runs `body(i)`, with per-job attribution when
+/// `timer` is live. Returns the per-lane profiles (empty when unprofiled).
+fn run_pool_region<B>(
+    workers: usize,
+    timer: Option<&RegionTimer>,
+    body: B,
+    next: &AtomicUsize,
+    n: usize,
+) -> Vec<LaneRaw>
+where
+    B: Fn(usize) + Sync,
+{
+    let lane_slots: Vec<Slot<LaneRaw>> =
+        (0..if timer.is_some() { workers } else { 0 })
+            .map(|_| Slot(UnsafeCell::new(None)))
+            .collect();
+    pool::run_region(workers, |lane| {
+        // Pool lanes need the caller's collector for nested regions and
+        // telemetry hooks; lane 0 is the caller and already has it.
+        let _guard = if lane > 0 {
+            timer.map(|t| profile::install(Some(t.collector())))
+        } else {
+            None
+        };
+        let mut lane_raw = LaneRaw::default();
+        if let Some(t) = timer {
+            lane_raw.spawn_delay_ns = t.elapsed_ns();
+        }
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            match timer {
+                None => body(i),
+                Some(t) => {
+                    let (j0, c0) = (t.elapsed_ns(), profile::thread_cpu_ns());
+                    body(i);
+                    let (j1, c1) = (t.elapsed_ns(), profile::thread_cpu_ns());
+                    lane_raw.note_job(j1.saturating_sub(j0), c1.saturating_sub(c0), j1);
+                }
+            }
+        }
+        if timer.is_some() {
+            // SAFETY: each lane index is owned by exactly one lane.
+            unsafe { *lane_slots[lane].0.get() = Some(lane_raw) };
+        }
+    });
+    lane_slots
+        .into_iter()
+        .map(|s| s.0.into_inner().expect("every lane reports"))
+        .collect()
 }
 
 /// Maps `f` over `items` in parallel; results merge in input order
@@ -209,7 +251,7 @@ where
     F: Fn(usize, &mut [T]) + Sync,
 {
     let n = slices.len();
-    let workers = threads().min(n);
+    let workers = region_workers(n);
     if workers <= 1 {
         let timer = RegionTimer::start("par_slices_mut", n, 1);
         let Some(timer) = timer else {
@@ -220,13 +262,10 @@ where
         };
         let mut lane = LaneRaw::default();
         for (i, s) in slices.into_iter().enumerate() {
-            let j0 = timer.elapsed_ns();
+            let (j0, c0) = (timer.elapsed_ns(), profile::thread_cpu_ns());
             f(i, s);
-            let j1 = timer.elapsed_ns();
-            lane.exec_ns += j1.saturating_sub(j0);
-            lane.units.record(j1.saturating_sub(j0));
-            lane.jobs += 1;
-            lane.done_ns = j1;
+            let (j1, c1) = (timer.elapsed_ns(), profile::thread_cpu_ns());
+            lane.note_job(j1.saturating_sub(j0), c1.saturating_sub(c0), j1);
         }
         timer.finish(vec![lane]);
         return;
@@ -246,52 +285,13 @@ where
     let windows = &windows;
     let next = AtomicUsize::new(0);
     let timer = RegionTimer::start("par_slices_mut", n, workers);
-    let mut lanes: Vec<LaneRaw> = Vec::with_capacity(if timer.is_some() { workers } else { 0 });
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let timer = timer.as_ref();
-                    let _guard =
-                        timer.map(|t| profile::install(Some(t.collector())));
-                    let mut lane = LaneRaw::default();
-                    if let Some(t) = timer {
-                        lane.spawn_delay_ns = t.elapsed_ns();
-                    }
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let (ptr, len) = windows.parts[i];
-                        // SAFETY: window `i` is claimed by exactly one
-                        // worker and the source slices were disjoint
-                        // exclusive borrows that outlive the scope.
-                        let slice = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
-                        match timer {
-                            None => f(i, slice),
-                            Some(t) => {
-                                let j0 = t.elapsed_ns();
-                                f(i, slice);
-                                let j1 = t.elapsed_ns();
-                                lane.exec_ns += j1.saturating_sub(j0);
-                                lane.units.record(j1.saturating_sub(j0));
-                                lane.jobs += 1;
-                                lane.done_ns = j1;
-                            }
-                        }
-                    }
-                    lane
-                })
-            })
-            .collect();
-        for handle in handles {
-            match handle.join() {
-                Ok(lane) => lanes.push(lane),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
-    });
+    let lanes = run_pool_region(workers, timer.as_ref(), |i| {
+        let (ptr, len) = windows.parts[i];
+        // SAFETY: window `i` is claimed by exactly one lane and the source
+        // slices were disjoint exclusive borrows that outlive the region.
+        let slice = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+        f(i, slice);
+    }, &next, n);
     if let Some(timer) = timer {
         timer.finish(lanes);
     }
@@ -431,5 +431,34 @@ mod tests {
         let want: Vec<usize> = (0..64).map(job).collect();
         let got = with_threads(7, || par_map_indexed(64, job));
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_sequentially_and_stay_correct() {
+        // A job that itself calls par_map: the nested region must take the
+        // sequential path (no pool re-entry) and still produce exact bits.
+        let want: Vec<Vec<u64>> = (0..12u64)
+            .map(|i| (0..8u64).map(|j| i * 100 + j * j).collect())
+            .collect();
+        for t in [2, 4, 7] {
+            let got = with_threads(t, || {
+                par_map_indexed(12, |i| {
+                    with_threads(4, || par_map_indexed(8, |j| (i as u64) * 100 + (j * j) as u64))
+                })
+            });
+            assert_eq!(got, want, "{t} threads");
+        }
+    }
+
+    #[test]
+    fn chunk_len_tracks_threads_with_floor() {
+        with_threads(4, || {
+            assert_eq!(chunk_len(1000, 1), 250);
+            assert_eq!(chunk_len(1001, 1), 251);
+            // The floor wins when rows/threads would shatter the work.
+            assert_eq!(chunk_len(16, 64), 64);
+            assert_eq!(chunk_len(0, 8), 8);
+        });
+        with_threads(1, || assert_eq!(chunk_len(1000, 1), 1000));
     }
 }

@@ -1,0 +1,360 @@
+//! Persistent worker pool backing every parallel region in the workspace.
+//!
+//! PR 4's runtime spawned a fresh `std::thread::scope` per call, paying
+//! thread creation + teardown on every region (the `spawn_ns` category in
+//! the attribution profile) and defeating any per-worker state reuse. This
+//! module replaces that with one process-wide pool of **parked** workers:
+//!
+//! * Workers are spawned lazily, the first time a region needs them, and
+//!   then park on a condvar; dispatching a region is a mutex lock + a
+//!   `notify_all`, not N `clone`/`mmap`/`exec` round-trips.
+//! * A **region generation counter** tells each worker whether the
+//!   published job is new to it. Workers whose lane index is beyond the
+//!   region's width skip the job but still advance their generation, so a
+//!   later wider region cannot confuse them.
+//! * The caller participates as **lane 0** (a region of width `w` uses the
+//!   caller plus `w - 1` pool workers), so the 2-thread configuration
+//!   costs one parked thread, and the pool is never idle-spinning while
+//!   the caller blocks.
+//! * Regions are **serialized**: one region runs at a time, and nested
+//!   parallel calls from inside a job run sequentially on their claiming
+//!   worker (see [`in_worker`]). That makes dispatch non-reentrant, which
+//!   is what rules out deadlock, and it fixes the PR 6 oversubscription
+//!   where a sweep job calling `MggEngine::aggregate_values` stacked a
+//!   second scoped pool on top of the first.
+//! * [`shutdown`] parks the pool permanently: it joins every worker and
+//!   leaves the pool in a state where the next region lazily respawns.
+//!
+//! # Safety contract
+//!
+//! The published job is a type-erased borrow of a stack closure in the
+//! dispatching caller's frame. This is sound because [`run_region`] does
+//! not return until every participating worker has finished the job (the
+//! `remaining` count reaches zero), even when the caller's own lane
+//! panics — the completion wait lives in a drop guard.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Type-erased job: `call(data, lane)` runs one lane of the region.
+#[derive(Clone, Copy)]
+struct Job {
+    call: unsafe fn(*const (), usize),
+    data: *const (),
+    /// Region width including the caller's lane 0; pool workers run lanes
+    /// `1..width`.
+    width: usize,
+}
+
+// SAFETY: `data` borrows a `Sync` closure that the dispatching thread
+// keeps alive (and exclusive to this region) until `remaining == 0`.
+unsafe impl Send for Job {}
+
+#[derive(Default)]
+struct PoolState {
+    /// Bumped once per dispatched region.
+    generation: u64,
+    /// The region currently published to workers, if any.
+    job: Option<Job>,
+    /// Participating pool workers that have not yet finished the job.
+    remaining: usize,
+    /// Number of worker threads spawned so far.
+    spawned: usize,
+    /// First panic payload raised by a worker lane this region.
+    panic: Option<Box<dyn Any + Send>>,
+    /// Set by [`shutdown`]: workers drain and exit.
+    shutdown: bool,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Workers park here waiting for a new generation (or shutdown).
+    work_cv: Condvar,
+    /// The dispatching caller parks here waiting for `remaining == 0`.
+    done_cv: Condvar,
+    /// Serializes regions from concurrent callers (tests run in parallel);
+    /// held for the whole region, released before panic propagation.
+    dispatch: Mutex<()>,
+    /// Join handles for spawned workers, harvested by [`shutdown`].
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState::default()),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        dispatch: Mutex::new(()),
+        handles: Mutex::new(Vec::new()),
+    })
+}
+
+thread_local! {
+    /// True on pool worker threads and on a caller thread while it is
+    /// running lane 0 of a region. Nested parallel calls check this and
+    /// take the sequential path instead of re-entering dispatch.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the current thread is executing inside a pool region (either
+/// as a pool worker or as the dispatching caller running lane 0). Parallel
+/// entry points use this to run nested regions sequentially.
+pub fn in_worker() -> bool {
+    IN_POOL.with(|f| f.get())
+}
+
+/// RAII: marks the current thread as inside a pool region.
+struct InPoolGuard {
+    prev: bool,
+}
+
+impl InPoolGuard {
+    fn enter() -> Self {
+        let prev = IN_POOL.with(|f| f.replace(true));
+        InPoolGuard { prev }
+    }
+}
+
+impl Drop for InPoolGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_POOL.with(|f| f.set(prev));
+    }
+}
+
+/// The parked-worker loop. `lane` is this worker's fixed lane index
+/// (1-based: the caller owns lane 0).
+fn worker_loop(lane: usize) {
+    let p = pool();
+    let _guard = InPoolGuard::enter();
+    let mut seen_generation = 0u64;
+    loop {
+        let job = {
+            let mut st = p.state.lock().expect("pool state poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation > seen_generation {
+                    seen_generation = st.generation;
+                    match st.job {
+                        // Lanes beyond the region width skip the job but
+                        // still advance their generation above.
+                        Some(job) if lane < job.width => break job,
+                        _ => {}
+                    }
+                }
+                st = p.work_cv.wait(st).expect("pool state poisoned");
+            }
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: the dispatcher keeps the closure alive until
+            // `remaining` reaches zero, which happens strictly after this
+            // call returns.
+            unsafe { (job.call)(job.data, lane) };
+        }));
+        let mut st = p.state.lock().expect("pool state poisoned");
+        if let Err(payload) = outcome {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            p.done_cv.notify_all();
+        }
+    }
+}
+
+/// Ensures at least `lanes` pool workers exist (lanes `1..=lanes`),
+/// spawning any missing ones. Called with the dispatch lock held.
+fn ensure_workers(lanes: usize) {
+    let p = pool();
+    let mut st = p.state.lock().expect("pool state poisoned");
+    if st.spawned >= lanes {
+        return;
+    }
+    let mut handles = p.handles.lock().expect("pool handles poisoned");
+    while st.spawned < lanes {
+        let lane = st.spawned + 1;
+        let handle = std::thread::Builder::new()
+            .name(format!("mgg-pool-{lane}"))
+            .spawn(move || worker_loop(lane))
+            .expect("spawn pool worker");
+        handles.push(handle);
+        st.spawned += 1;
+    }
+}
+
+unsafe fn call_thunk<F: Fn(usize) + Sync>(data: *const (), lane: usize) {
+    // SAFETY: `data` was erased from `&F` by `run_region` and is alive for
+    // the whole region.
+    let f = unsafe { &*(data as *const F) };
+    f(lane);
+}
+
+/// Waits (on drop) until every pool lane of the current region finished,
+/// then harvests any worker panic. Running this in a drop guard keeps the
+/// job borrow alive even when the caller's own lane 0 panics.
+struct RegionCompletion {
+    armed: bool,
+}
+
+impl RegionCompletion {
+    /// Waits for completion and returns the first worker panic, if any.
+    fn finish(mut self) -> Option<Box<dyn Any + Send>> {
+        self.armed = false;
+        Self::wait()
+    }
+
+    fn wait() -> Option<Box<dyn Any + Send>> {
+        let p = pool();
+        let mut st = p.state.lock().expect("pool state poisoned");
+        while st.remaining > 0 {
+            st = p.done_cv.wait(st).expect("pool state poisoned");
+        }
+        st.job = None;
+        st.panic.take()
+    }
+}
+
+impl Drop for RegionCompletion {
+    fn drop(&mut self) {
+        if self.armed {
+            // Caller lane panicked: still must not release the job borrow
+            // until the workers are done with it. Their panic (if any) is
+            // dropped; the caller's unwind wins.
+            drop(Self::wait());
+        }
+    }
+}
+
+/// Runs `f(lane)` for every lane in `0..width` — lane 0 on the calling
+/// thread, lanes `1..width` on parked pool workers — and returns once all
+/// lanes finished. Worker panics are re-raised on the caller.
+///
+/// `width` must be at least 2 (width 0/1 regions are the sequential fast
+/// path and never reach the pool).
+pub fn run_region<F: Fn(usize) + Sync>(width: usize, f: F) {
+    debug_assert!(width >= 2, "pool regions are always multi-lane");
+    let p = pool();
+    // One region at a time. Nested calls never get here (`in_worker`
+    // routes them to the sequential path), so this cannot self-deadlock.
+    let dispatch = p.dispatch.lock().expect("pool dispatch poisoned");
+    ensure_workers(width - 1);
+    let job = Job {
+        call: call_thunk::<F>,
+        data: &f as *const F as *const (),
+        width,
+    };
+    {
+        let mut st = p.state.lock().expect("pool state poisoned");
+        st.generation += 1;
+        st.job = Some(job);
+        st.remaining = width - 1;
+        st.panic = None;
+        p.work_cv.notify_all();
+    }
+    let completion = RegionCompletion { armed: true };
+    {
+        // Lane 0 runs on the caller; nested parallel calls inside the job
+        // body see `in_worker()` and stay sequential.
+        let _nested = InPoolGuard::enter();
+        f(0);
+    }
+    let panic = completion.finish();
+    drop(dispatch);
+    if let Some(payload) = panic {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Joins every pool worker and resets the pool to its never-started state.
+/// The next parallel region respawns workers lazily. Intended for clean
+/// process teardown and for tests that assert pool lifecycle behavior;
+/// concurrent in-flight regions finish first (dispatch is serialized).
+pub fn shutdown() {
+    let p = pool();
+    let _dispatch = p.dispatch.lock().expect("pool dispatch poisoned");
+    {
+        let mut st = p.state.lock().expect("pool state poisoned");
+        st.shutdown = true;
+        p.work_cv.notify_all();
+    }
+    let handles: Vec<JoinHandle<()>> =
+        std::mem::take(&mut *p.handles.lock().expect("pool handles poisoned"));
+    for h in handles {
+        // A worker that panicked outside a job (impossible today) would
+        // surface here; pool teardown must not hide it.
+        h.join().expect("pool worker exited cleanly");
+    }
+    let mut st = p.state.lock().expect("pool state poisoned");
+    st.shutdown = false;
+    st.spawned = 0;
+    st.generation = 0;
+    st.job = None;
+    st.remaining = 0;
+    st.panic = None;
+}
+
+/// Number of pool workers currently spawned (not counting callers).
+/// Observability hook for tests and the attribution profiler.
+pub fn spawned_workers() -> usize {
+    pool().state.lock().expect("pool state poisoned").spawned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn region_runs_every_lane_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        run_region(4, |lane| {
+            hits[lane].fetch_add(1, Ordering::Relaxed);
+        });
+        for (lane, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "lane {lane}");
+        }
+        assert!(spawned_workers() >= 3);
+    }
+
+    #[test]
+    fn consecutive_regions_reuse_workers_and_widths_can_shrink() {
+        run_region(5, |_| {});
+        let after_wide = spawned_workers();
+        run_region(2, |_| {});
+        assert_eq!(spawned_workers(), after_wide, "narrow region spawned nothing new");
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            run_region(3, |lane| {
+                if lane == 2 {
+                    panic!("lane 2 exploded");
+                }
+            });
+        });
+        assert!(result.is_err());
+        // The pool survives a panicking region.
+        run_region(3, |_| {});
+    }
+
+    #[test]
+    fn nested_regions_are_flagged_for_sequential_fallback() {
+        let nested_in_pool = AtomicUsize::new(0);
+        run_region(2, |_| {
+            if in_worker() {
+                nested_in_pool.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        // Both lanes (caller and worker) must report in_worker.
+        assert_eq!(nested_in_pool.load(Ordering::Relaxed), 2);
+        assert!(!in_worker(), "flag restored after the region");
+    }
+}

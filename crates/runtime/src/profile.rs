@@ -8,16 +8,23 @@
 //! small set of named categories:
 //!
 //! * **exec** — running claimed jobs (the only useful time),
+//! * **contended-exec** — the slice of in-job wall time the thread was
+//!   *not* on a CPU (wall minus `CLOCK_THREAD_CPUTIME_ID` per job):
+//!   scheduler preemption from oversubscription, allocator stalls, page
+//!   faults. This is the category that used to be smeared into exec and
+//!   made per-lane exec appear to inflate linearly with thread count,
 //! * **spawn** — from region entry until the worker claims its first job
-//!   (`thread::scope` spawn latency),
+//!   (pool dispatch/wake latency),
 //! * **merge-wait** — from the worker's last job finishing until the
 //!   region joins (the price of the ordered merge: finished workers park
 //!   while stragglers run),
-//! * **idle** — the remainder (claim-counter gaps, scheduler preemption).
+//! * **idle** — the remainder (claim-counter gaps, scheduler preemption
+//!   between jobs).
 //!
 //! Per worker and per region, `spawn + exec + idle + merge_wait == wall`
-//! exactly (idle is defined as the remainder), so the attribution always
-//! covers 100% of the parallel-vs-ideal gap. Two host overheads that occur
+//! exactly (idle is defined as the remainder, and exec splits internally
+//! into on-CPU exec + contended-exec), so the attribution always covers
+//! 100% of the parallel-vs-ideal gap. Two host overheads that occur
 //! *inside* exec are refined separately rather than double-counted:
 //! telemetry shard fork/merge time and recorder-mutex contention
 //! (acquire counts plus a blocked-time histogram), both reported by the
@@ -63,9 +70,12 @@ pub struct WorkerLane {
     pub worker: u64,
     /// Jobs this worker claimed and executed.
     pub jobs: u64,
-    /// Time spent executing claimed jobs, ns.
+    /// Wall time spent executing claimed jobs, ns.
     pub exec_ns: u64,
-    /// Region entry → first claim attempt, ns (thread spawn latency).
+    /// Portion of `exec_ns` the thread was descheduled (wall minus thread
+    /// CPU time per job), ns — contention/oversubscription inside jobs.
+    pub contended_exec_ns: u64,
+    /// Region entry → first claim attempt, ns (pool dispatch latency).
     pub spawn_delay_ns: u64,
     /// Last job finished → region join, ns (ordered-merge parking).
     pub merge_wait_ns: u64,
@@ -169,8 +179,12 @@ pub struct MutexStats {
 /// in-exec host overheads — the "where did the speedup go" totals.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct OverheadBreakdown {
-    /// Worker-lane time running jobs, ns (the useful part).
+    /// Worker-lane *on-CPU* time running jobs, ns (the useful part; thread
+    /// CPU clock, so oversubscription cannot inflate it).
     pub exec_ns: u64,
+    /// In-job wall time the thread was descheduled, ns — the former
+    /// "exec inflation": allocator stalls, preemption, page faults.
+    pub contended_exec_ns: u64,
     /// Worker-lane time waiting to start, ns.
     pub spawn_ns: u64,
     /// Worker-lane time idle mid-region, ns.
@@ -190,9 +204,9 @@ pub struct OverheadBreakdown {
 }
 
 impl OverheadBreakdown {
-    /// Total worker-lane time not spent executing jobs, ns.
+    /// Total worker-lane time not spent doing useful (on-CPU) job work, ns.
     pub fn overhead_ns(&self) -> u64 {
-        self.spawn_ns + self.idle_ns + self.merge_wait_ns
+        self.contended_exec_ns + self.spawn_ns + self.idle_ns + self.merge_wait_ns
     }
 }
 
@@ -213,7 +227,8 @@ impl RuntimeProfile {
         let mut b = OverheadBreakdown::default();
         for r in &self.regions {
             for l in &r.lanes {
-                b.exec_ns += l.exec_ns;
+                b.exec_ns += l.exec_ns.saturating_sub(l.contended_exec_ns);
+                b.contended_exec_ns += l.contended_exec_ns;
                 b.spawn_ns += l.spawn_delay_ns;
                 b.idle_ns += l.idle_ns;
                 b.merge_wait_ns += l.merge_wait_ns;
@@ -270,7 +285,8 @@ impl RuntimeProfile {
         };
         out.push_str("category                      time        % of lane-time\n");
         for (name, ns) in [
-            ("task-exec", b.exec_ns),
+            ("task-exec (on-cpu)", b.exec_ns),
+            ("contended-exec", b.contended_exec_ns),
             ("spawn", b.spawn_ns),
             ("idle", b.idle_ns),
             ("ordered-merge-wait", b.merge_wait_ns),
@@ -484,16 +500,63 @@ pub fn note_telemetry_merge(ns: u64) {
     }
 }
 
+/// Current thread's CPU time in ns (`CLOCK_THREAD_CPUTIME_ID`). Unlike
+/// wall clocks, this does not advance while the thread is descheduled, so
+/// per-job `wall − cpu` isolates contention/oversubscription from real
+/// work. Returns 0 where the clock is unavailable (non-Linux fallback);
+/// [`LaneRaw::note_job`] then degrades to all-wall accounting.
+pub fn thread_cpu_ns() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        #[repr(C)]
+        struct Timespec {
+            tv_sec: i64,
+            tv_nsec: i64,
+        }
+        extern "C" {
+            fn clock_gettime(clk_id: i32, tp: *mut Timespec) -> i32;
+        }
+        const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+        let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
+        // SAFETY: `ts` is a valid, exclusively owned out-pointer and the
+        // clock id is a compile-time constant the kernel accepts.
+        if unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) } != 0 {
+            return 0;
+        }
+        (ts.tv_sec as u64).saturating_mul(1_000_000_000).saturating_add(ts.tv_nsec as u64)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
 /// Per-worker raw measurements taken inside the region; converted to a
 /// [`WorkerLane`] once the region wall is known.
 #[derive(Default)]
 pub(crate) struct LaneRaw {
     pub spawn_delay_ns: u64,
     pub exec_ns: u64,
+    /// On-CPU portion of `exec_ns` (thread CPU clock).
+    pub exec_cpu_ns: u64,
     /// Region-relative time the worker finished its last job.
     pub done_ns: u64,
     pub jobs: u64,
     pub units: UnitHistogram,
+}
+
+impl LaneRaw {
+    /// Records one executed job: `wall_ns` elapsed, `cpu_ns` of thread CPU
+    /// time consumed, finishing at region-relative `done_ns`. A zero
+    /// `cpu_ns` (CPU clock unavailable) counts the job as fully on-CPU so
+    /// the contended category degrades to zero rather than to noise.
+    pub(crate) fn note_job(&mut self, wall_ns: u64, cpu_ns: u64, done_ns: u64) {
+        self.exec_ns += wall_ns;
+        self.exec_cpu_ns += if cpu_ns == 0 { wall_ns } else { cpu_ns.min(wall_ns) };
+        self.units.record(wall_ns);
+        self.jobs += 1;
+        self.done_ns = done_ns;
+    }
 }
 
 /// Region-scope measurement helper used by the pool entry points.
@@ -551,6 +614,7 @@ impl RegionTimer {
                     worker: w as u64,
                     jobs: r.jobs,
                     exec_ns: r.exec_ns,
+                    contended_exec_ns: r.exec_ns.saturating_sub(r.exec_cpu_ns),
                     spawn_delay_ns: r.spawn_delay_ns,
                     merge_wait_ns,
                     idle_ns,

@@ -59,9 +59,13 @@ pub fn chrome_trace_json_with_runtime(
             for lane in &region.lanes {
                 let tid = 1 + lane.worker;
                 let mut cursor = region.start_ns;
+                // `exec` spans cover in-job wall time; the descheduled
+                // share is reported as a separate `contended` span so the
+                // track still tiles `spawn + exec + idle + merge == wall`.
                 for (name, dur) in [
                     ("spawn", lane.spawn_delay_ns),
-                    ("exec", lane.exec_ns),
+                    ("exec", lane.exec_ns.saturating_sub(lane.contended_exec_ns)),
+                    ("contended", lane.contended_exec_ns),
                     ("idle", lane.idle_ns),
                     ("merge-wait", lane.merge_wait_ns),
                 ] {

@@ -207,7 +207,8 @@ impl MetricsSnapshot {
                 }
             };
             for (name, ns) in [
-                ("task-exec", b.exec_ns),
+                ("task-exec (on-cpu)", b.exec_ns),
+                ("contended-exec", b.contended_exec_ns),
                 ("spawn", b.spawn_ns),
                 ("idle", b.idle_ns),
                 ("ordered-merge-wait", b.merge_wait_ns),

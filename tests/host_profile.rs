@@ -7,8 +7,9 @@
 //! 2. **Attribution soundness.** The per-worker categories
 //!    (spawn/exec/merge-wait/idle) tile each region's wall time: their sum
 //!    never exceeds the region wall per lane, the breakdown totals equal
-//!    the lane sums, and the attributed fraction covers (almost) all of the
-//!    measured lane time.
+//!    the lane sums (with lane exec wall split into on-CPU exec +
+//!    contended-exec), and the attributed fraction covers (almost) all of
+//!    the measured lane time.
 //!
 //! Plus a self-test of the `perfdiff` regression sentinel: a synthetic ±20%
 //! perturbation must be flagged, wobble inside tolerance must stay silent.
@@ -56,7 +57,8 @@ proptest! {
 }
 
 fn check_invariants(profile: &RuntimeProfile, threads: usize) {
-    let mut lane_exec = 0u64;
+    let mut lane_exec_cpu = 0u64;
+    let mut lane_contended = 0u64;
     let mut lane_spawn = 0u64;
     let mut lane_idle = 0u64;
     let mut lane_merge = 0u64;
@@ -65,6 +67,14 @@ fn check_invariants(profile: &RuntimeProfile, threads: usize) {
         assert!(region.workers as usize <= threads.max(1), "more lanes than workers");
         let mut jobs_seen = 0u64;
         for lane in &region.lanes {
+            // Lane exec is in-job *wall* time; the contended slice is the
+            // descheduled part of it, so it must never exceed exec.
+            assert!(
+                lane.contended_exec_ns <= lane.exec_ns,
+                "lane {} contended-exec exceeds exec ({} threads)",
+                lane.worker,
+                threads
+            );
             let tiled = lane.spawn_delay_ns + lane.exec_ns + lane.merge_wait_ns + lane.idle_ns;
             assert!(
                 tiled <= region.wall_ns,
@@ -75,7 +85,8 @@ fn check_invariants(profile: &RuntimeProfile, threads: usize) {
                 threads
             );
             jobs_seen += lane.jobs;
-            lane_exec += lane.exec_ns;
+            lane_exec_cpu += lane.exec_ns.saturating_sub(lane.contended_exec_ns);
+            lane_contended += lane.contended_exec_ns;
             lane_spawn += lane.spawn_delay_ns;
             lane_idle += lane.idle_ns;
             lane_merge += lane.merge_wait_ns;
@@ -84,9 +95,11 @@ fn check_invariants(profile: &RuntimeProfile, threads: usize) {
         assert_eq!(region.units.count, region.jobs, "unit histogram missed jobs");
         assert!(region.units.buckets.iter().sum::<u64>() == region.units.count);
     }
-    // The breakdown is exactly the lane sums — no category invented or lost.
+    // The breakdown is exactly the lane sums — no category invented or
+    // lost. Lane exec wall splits into on-CPU exec + contended-exec.
     let b = profile.breakdown();
-    assert_eq!(b.exec_ns, lane_exec);
+    assert_eq!(b.exec_ns, lane_exec_cpu);
+    assert_eq!(b.contended_exec_ns, lane_contended);
     assert_eq!(b.spawn_ns, lane_spawn);
     assert_eq!(b.idle_ns, lane_idle);
     assert_eq!(b.merge_wait_ns, lane_merge);

@@ -44,6 +44,77 @@ proptest! {
             prop_assert_eq!(&seq, &par);
         }
     }
+
+    /// Two back-to-back regions reuse the same parked workers (the pool
+    /// is persistent, not per-call); the second region's results must be
+    /// as exact as the first's.
+    #[test]
+    fn consecutive_regions_on_one_pool_stay_deterministic(
+        xs in proptest::collection::vec(0u64..u64::MAX, 0..120),
+        t in 2usize..8,
+    ) {
+        let f = |&x: &u64| x.rotate_left(9) ^ 0xabcd_ef01_2345_6789;
+        let g = |i: usize| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let (a_seq, b_seq) =
+            with_threads(1, || (par_map(&xs, f), par_map_indexed(xs.len(), g)));
+        let (a_par, b_par) =
+            with_threads(t, || (par_map(&xs, f), par_map_indexed(xs.len(), g)));
+        prop_assert_eq!(a_seq, a_par, "first region diverged at {} threads", t);
+        prop_assert_eq!(b_seq, b_par, "second region diverged at {} threads", t);
+    }
+
+    /// Resizing the pool between regions (a wider or narrower
+    /// `with_threads`) never perturbs results: generation counters fence
+    /// the regions and lazily-spawned workers see only their own jobs.
+    #[test]
+    fn resize_between_regions_is_safe(
+        n in 0usize..100,
+        t1 in 1usize..8,
+        t2 in 1usize..8,
+    ) {
+        let g = |i: usize| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(13);
+        let seq = with_threads(1, || par_map_indexed(n, g));
+        let first = with_threads(t1, || par_map_indexed(n, g));
+        let second = with_threads(t2, || par_map_indexed(n, g));
+        prop_assert_eq!(&seq, &first, "diverged at {} threads", t1);
+        prop_assert_eq!(&seq, &second, "diverged after resize to {} threads", t2);
+    }
+
+    /// Nested `with_threads`: a parallel call issued from inside a pool
+    /// job runs sequentially on that worker (no oversubscription, no
+    /// deadlock) and still produces exact results.
+    #[test]
+    fn nested_with_threads_matches_sequential(
+        rows in 1usize..12,
+        cols in 0usize..40,
+        t in 2usize..8,
+    ) {
+        let cell = |r: usize, c: usize| {
+            ((r * 1000 + c) as u64).wrapping_mul(0x9e37_79b9).rotate_left(7)
+        };
+        let seq: Vec<Vec<u64>> =
+            (0..rows).map(|r| (0..cols).map(|c| cell(r, c)).collect()).collect();
+        let par = with_threads(t, || {
+            par_map_indexed(rows, |r| with_threads(t, || par_map_indexed(cols, |c| cell(r, c))))
+        });
+        prop_assert_eq!(seq, par);
+    }
+}
+
+/// Degenerate region widths: n = 0 dispatches nothing, n = 1 runs inline
+/// on the caller; both must leave the pool reusable for the next region.
+#[test]
+fn empty_and_single_regions_reuse_the_pool() {
+    for t in [1usize, 2, 4, 7] {
+        with_threads(t, || {
+            let empty: Vec<u64> = par_map_indexed(0, |i| i as u64);
+            assert!(empty.is_empty());
+            let one = par_map_indexed(1, |i| i as u64 + 41);
+            assert_eq!(one, vec![41]);
+            let after: Vec<u64> = par_map_indexed(64, |i| (i as u64).wrapping_mul(3));
+            assert_eq!(after, (0..64).map(|i| i * 3).collect::<Vec<u64>>());
+        });
+    }
 }
 
 fn test_engine() -> (mgg::graph::CsrGraph, Matrix) {
@@ -117,6 +188,48 @@ fn speculative_tuning_matches_sequential_search() {
             sequential.trace, speculative.trace,
             "probe trace diverged at {t} threads"
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The GPU-sharded event queue is a drop-in replacement for the single
+    /// calendar queue: for arbitrary workloads, every simulated statistic
+    /// matches the calendar strategy exactly, at every host thread count
+    /// (the per-worker scratch queues recycle independently per thread, so
+    /// an odd width would expose any shard-state leak between runs).
+    #[test]
+    fn sharded_event_queue_matches_calendar_at_every_thread_count(
+        graph_seed in 0u64..1_000,
+        dim in 1usize..48,
+    ) {
+        use mgg::sim::{set_event_queue_strategy, EventQueueStrategy};
+        let g = rmat(&RmatConfig::graph500(8, 1_500, graph_seed));
+        let cells: Vec<usize> = vec![2, 4, 8];
+        let sweep = |threads: usize, strategy: EventQueueStrategy| {
+            set_event_queue_strategy(Some(strategy));
+            let stats = with_threads(threads, || {
+                par_map(&cells, |&gpus| {
+                    let mut e = MggEngine::new(
+                        &g,
+                        ClusterSpec::dgx_a100(gpus),
+                        MggConfig::default_fixed(),
+                        AggregateMode::Sum,
+                    );
+                    e.simulate_aggregation(dim).expect("valid launch")
+                })
+            });
+            set_event_queue_strategy(None);
+            stats
+        };
+        let want = sweep(1, EventQueueStrategy::Calendar);
+        for t in [1usize, 2, 4, 7] {
+            let sharded = sweep(t, EventQueueStrategy::ShardedByGpu);
+            prop_assert_eq!(&want, &sharded, "sharded queue diverged at {} threads", t);
+            let calendar = sweep(t, EventQueueStrategy::Calendar);
+            prop_assert_eq!(&want, &calendar, "calendar strategy diverged at {} threads", t);
+        }
     }
 }
 
