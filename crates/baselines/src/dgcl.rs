@@ -56,6 +56,7 @@ impl DgclPreprocessReport {
 
 /// The DGCL-like execution engine.
 pub struct DgclEngine {
+    /// The simulated platform the engine runs on.
     pub cluster: Cluster,
     graph: CsrGraph,
     /// Partition label per node (from the multilevel preprocessing).

@@ -32,6 +32,7 @@ const GET_SW_CYCLES: u32 = 280;
 
 /// The direct-NVSHMEM aggregation engine.
 pub struct DirectNvshmemEngine {
+    /// The simulated platform the engine runs on.
     pub cluster: Cluster,
     graph: CsrGraph,
     parts: Vec<LocalityPartition>,

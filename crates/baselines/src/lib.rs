@@ -16,6 +16,8 @@
 //!   (staging + barrier + receiver-side polling), measurable against the
 //!   GET pipeline.
 
+#![deny(missing_docs)]
+
 pub mod dgcl;
 pub mod direct_nvshmem;
 pub mod nccl_ring;

@@ -40,6 +40,7 @@ const POLL_CYCLES_PER_PARTITION: u32 = 180;
 
 /// The PUT-based aggregation engine.
 pub struct PutBasedEngine {
+    /// The simulated platform the engine runs on.
     pub cluster: Cluster,
     graph: CsrGraph,
     parts: Vec<LocalityPartition>,
@@ -49,6 +50,7 @@ pub struct PutBasedEngine {
     /// Per GPU: neighbor partitions over local + staged (all-local) data.
     agg_parts: Vec<Vec<NeighborPartition>>,
     mode: AggregateMode,
+    /// Statistics of the most recent simulated kernel.
     pub last_stats: Option<KernelStats>,
     /// Simulated duration of the inter-phase barrier.
     pub last_barrier_ns: SimTime,

@@ -43,6 +43,7 @@ struct UvmWorkload {
 
 /// The UVM-based aggregation engine.
 pub struct UvmGnnEngine {
+    /// The simulated platform the engine runs on.
     pub cluster: Cluster,
     workload: UvmWorkload,
     uvm: UvmSpace,
@@ -103,10 +104,12 @@ impl UvmGnnEngine {
     /// Installs a telemetry handle; subsequent runs record `launch` and
     /// `aggregate` phase spans, the warp trace, and derived pipeline
     /// metrics into it.
+    /// Installs a telemetry handle for subsequent simulations.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
     }
 
+    /// The currently installed telemetry handle.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
     }

@@ -56,8 +56,11 @@ const JOIN_AT: f64 = 0.55;
 /// The ceiling-vs-drill drill of one dataset.
 #[derive(Debug, Clone, Serialize)]
 pub struct ChurnDrillRow {
+    /// Dataset name.
     pub dataset: String,
+    /// Offered.
     pub offered: u64,
+    /// Queries admitted past the queue.
     pub admitted: u64,
     /// In-deadline completions per second through the drill.
     pub goodput_qps: f64,
@@ -65,46 +68,65 @@ pub struct ChurnDrillRow {
     pub steady_goodput_qps: f64,
     /// Drill goodput over the steady ceiling.
     pub goodput_ratio: f64,
+    /// Fences.
     pub fences: u64,
+    /// Deltas applied.
     pub deltas_applied: u64,
+    /// Drains.
     pub drains: u64,
+    /// Leaves.
     pub leaves: u64,
+    /// Joins.
     pub joins: u64,
+    /// Join rejections.
     pub join_rejections: u64,
     /// Pending queries migrated off the leaving shard (all dispatched).
     pub migrated_queries: u64,
+    /// Fence stall, in simulated ns.
     pub fence_stall_ns: u64,
     /// offered == admitted + shed: nothing vanished mid-migration.
     pub loss_free: bool,
+    /// Digest.
     pub digest: String,
 }
 
 /// One (dataset, load, class) cell of the priority phase.
 #[derive(Debug, Clone, Serialize)]
 pub struct PriorityClassRow {
+    /// Dataset name.
     pub dataset: String,
     /// Offered load as a multiple of calibrated saturation.
     pub load_mult: f64,
+    /// Class.
     pub class: String,
+    /// Offered.
     pub offered: u64,
+    /// Queries admitted past the queue.
     pub admitted: u64,
+    /// Shed.
     pub shed: u64,
     /// shed / offered for this class.
     pub shed_fraction: f64,
     /// deadline_violations / admitted for this class.
     pub deadline_miss_rate: f64,
+    /// 99th-percentile latency, ns.
     pub p99_ns: u64,
 }
 
 /// The engine-level mutation replay of one dataset.
 #[derive(Debug, Clone, Serialize)]
 pub struct MutationRow {
+    /// Dataset name.
     pub dataset: String,
+    /// Deltas applied.
     pub deltas_applied: u64,
+    /// Affected rows.
     pub affected_rows: u64,
     /// Cache entries dropped by targeted fence invalidation.
     pub invalidated: u64,
+    /// Inserted nodes.
     pub inserted_nodes: u64,
+    /// Removed nodes.
     pub removed_nodes: u64,
     /// Versioned-read violations (must be 0).
     pub stale_reads: u64,
@@ -117,12 +139,17 @@ pub struct MutationRow {
 /// The `ext_churn` report: drill, priority phase, mutation replay.
 #[derive(Debug, Clone, Serialize)]
 pub struct ChurnBenchReport {
+    /// Number of GPUs.
     pub gpus: usize,
+    /// Embedding dimension.
     pub dim: usize,
     /// Simulated workload window per run, in ns.
     pub duration_ns: u64,
+    /// Drill.
     pub drill: Vec<ChurnDrillRow>,
+    /// Priority.
     pub priority: Vec<PriorityClassRow>,
+    /// Mutation.
     pub mutation: Vec<MutationRow>,
     /// Worst-case over datasets of drill goodput over the steady ceiling.
     pub drill_goodput_ratio: f64,

@@ -26,20 +26,31 @@ use serde::Serialize;
 use crate::experiments::common::datasets;
 use crate::report::{geomean, ExperimentReport};
 
+/// Remote-traffic change from reordering one dataset.
 #[derive(Debug, Clone, Serialize)]
 pub struct ReorderRow {
+    /// Graph.
     pub graph: String,
+    /// Remote frac before.
     pub remote_frac_before: f64,
+    /// Remote frac after.
     pub remote_frac_after: f64,
+    /// Ms before.
     pub ms_before: f64,
+    /// Ms after.
     pub ms_after: f64,
+    /// Baseline latency over this configuration’s.
     pub speedup: f64,
 }
 
+/// The node-reordering locality experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct ReorderReport {
+    /// Number of GPUs.
     pub gpus: usize,
+    /// Per-cell sweep rows.
     pub rows: Vec<ReorderRow>,
+    /// Geomean speedup.
     pub geomean_speedup: f64,
 }
 
@@ -136,12 +147,18 @@ impl ExperimentReport for ReorderReport {
     }
 }
 
+/// One dataset’s replicated-engine cell.
 #[derive(Debug, Clone, Serialize)]
 pub struct ReplicatedRow {
+    /// Dataset name.
     pub dataset: &'static str,
+    /// Embedding dimension.
     pub dim: usize,
+    /// Mgg ms.
     pub mgg_ms: f64,
+    /// Replicated ms.
     pub replicated_ms: f64,
+    /// Replicated reduce ms.
     pub replicated_reduce_ms: f64,
     /// `replicated / mgg` — above 1 means MGG wins on time.
     pub mgg_time_advantage: f64,
@@ -151,9 +168,12 @@ pub struct ReplicatedRow {
     pub replicated_bytes_per_gpu: u64,
 }
 
+/// The replication-vs-partitioning memory/time trade.
 #[derive(Debug, Clone, Serialize)]
 pub struct ReplicatedReport {
+    /// Number of GPUs.
     pub gpus: usize,
+    /// Per-cell sweep rows.
     pub rows: Vec<ReplicatedRow>,
 }
 
@@ -220,19 +240,29 @@ impl ExperimentReport for ReplicatedReport {
     }
 }
 
+/// Makespan on one platform preset.
 #[derive(Debug, Clone, Serialize)]
 pub struct FabricRow {
+    /// Fabric.
     pub fabric: &'static str,
+    /// Link gbps.
     pub link_gbps: f64,
+    /// Mgg ms.
     pub mgg_ms: f64,
+    /// Uvm ms.
     pub uvm_ms: f64,
+    /// Baseline latency over this configuration’s.
     pub speedup: f64,
 }
 
+/// The fabric-topology sensitivity sweep.
 #[derive(Debug, Clone, Serialize)]
 pub struct FabricReport {
+    /// Number of GPUs.
     pub gpus: usize,
+    /// Dataset name.
     pub dataset: &'static str,
+    /// Per-cell sweep rows.
     pub rows: Vec<FabricRow>,
 }
 
@@ -303,18 +333,27 @@ impl ExperimentReport for FabricReport {
     }
 }
 
+/// One engine’s epoch time and accuracy.
 #[derive(Debug, Clone, Serialize)]
 pub struct TrainRow {
+    /// Engine label.
     pub engine: &'static str,
+    /// Epoch ms.
     pub epoch_ms: f64,
+    /// Total ms.
     pub total_ms: f64,
+    /// Test accuracy.
     pub test_accuracy: f64,
 }
 
+/// End-to-end training comparison across engines.
 #[derive(Debug, Clone, Serialize)]
 pub struct TrainReport {
+    /// Number of GPUs.
     pub gpus: usize,
+    /// Training epochs.
     pub epochs: usize,
+    /// Per-cell sweep rows.
     pub rows: Vec<TrainRow>,
 }
 
@@ -409,19 +448,29 @@ impl ExperimentReport for TrainReport {
     }
 }
 
+/// Reference-CPU vs simulated-GPU latency on one dataset.
 #[derive(Debug, Clone, Serialize)]
 pub struct CpuRow {
+    /// Platform preset label.
     pub platform: &'static str,
+    /// Async ms.
     pub async_ms: f64,
+    /// Sync ms.
     pub sync_ms: f64,
+    /// Pipelining gain.
     pub pipelining_gain: f64,
+    /// Tuned.
     pub tuned: String,
+    /// Tuned ms.
     pub tuned_ms: f64,
 }
 
+/// The host-CPU (reference) comparison across datasets.
 #[derive(Debug, Clone, Serialize)]
 pub struct CpuReport {
+    /// Number of nodes.
     pub nodes: usize,
+    /// Per-cell sweep rows.
     pub rows: Vec<CpuRow>,
 }
 
@@ -509,19 +558,29 @@ impl ExperimentReport for CpuReport {
     }
 }
 
+/// PUT-based vs GET-based makespan on one dataset.
 #[derive(Debug, Clone, Serialize)]
 pub struct PutGetRow {
+    /// Dataset name.
     pub dataset: &'static str,
+    /// Get ms.
     pub get_ms: f64,
+    /// Put ms.
     pub put_ms: f64,
+    /// Put barrier ms.
     pub put_barrier_ms: f64,
+    /// Get advantage.
     pub get_advantage: f64,
 }
 
+/// The PUT-vs-GET comparison across datasets.
 #[derive(Debug, Clone, Serialize)]
 pub struct PutGetReport {
+    /// Number of GPUs.
     pub gpus: usize,
+    /// Per-cell sweep rows.
     pub rows: Vec<PutGetRow>,
+    /// Geomean advantage.
     pub geomean_advantage: f64,
 }
 
@@ -585,20 +644,29 @@ impl ExperimentReport for PutGetReport {
     }
 }
 
+/// Makespan at one embedding dimension.
 #[derive(Debug, Clone, Serialize)]
 pub struct DimRow {
+    /// Embedding dimension.
     pub dim: usize,
+    /// Mgg ms.
     pub mgg_ms: f64,
+    /// Uvm ms.
     pub uvm_ms: f64,
+    /// Baseline latency over this configuration’s.
     pub speedup: f64,
     /// Fabric bytes MGG moved at this dim.
     pub mgg_fabric_mib: f64,
 }
 
+/// The embedding-dimension sweep: one row per hidden width.
 #[derive(Debug, Clone, Serialize)]
 pub struct DimReport {
+    /// Number of GPUs.
     pub gpus: usize,
+    /// Dataset name.
     pub dataset: &'static str,
+    /// Per-cell sweep rows.
     pub rows: Vec<DimRow>,
 }
 
@@ -659,18 +727,27 @@ impl ExperimentReport for DimReport {
     }
 }
 
+/// Makespan at one GPU count.
 #[derive(Debug, Clone, Serialize)]
 pub struct ScalingRow {
+    /// Number of GPUs.
     pub gpus: usize,
+    /// Mgg ms.
     pub mgg_ms: f64,
+    /// Uvm ms.
     pub uvm_ms: f64,
+    /// Baseline latency over this configuration’s.
     pub speedup: f64,
 }
 
+/// The GPU-count scaling experiment: one row per cluster size.
 #[derive(Debug, Clone, Serialize)]
 pub struct ScalingReport {
+    /// Dataset name.
     pub dataset: &'static str,
+    /// Embedding dimension.
     pub dim: usize,
+    /// Per-cell sweep rows.
     pub rows: Vec<ScalingRow>,
 }
 

@@ -37,29 +37,49 @@ const GPUS: usize = 4;
 const DIM: usize = 64;
 const FEATURE_SEED: u64 = 3;
 
+/// One failure scenario’s detection/recovery outcome.
 #[derive(Debug, Clone, Serialize)]
 pub struct FailoverRow {
+    /// Scenario.
     pub scenario: &'static str,
+    /// Fault free ms.
     pub fault_free_ms: f64,
+    /// First epoch ms.
     pub first_epoch_ms: f64,
+    /// Steady state ms.
     pub steady_state_ms: f64,
+    /// Post recovery overhead fraction.
     pub post_recovery_overhead_pct: f64,
+    /// Detection ms.
     pub detection_ms: f64,
+    /// Recovery latency ms.
     pub recovery_latency_ms: f64,
+    /// Evacuations.
     pub evacuations: u64,
+    /// Rerouted transfers.
     pub rerouted_transfers: u64,
+    /// Host staged transfers.
     pub host_staged_transfers: u64,
+    /// Dead peer gets.
     pub dead_peer_gets: u64,
+    /// Checkpoint restores.
     pub checkpoint_restores: u64,
+    /// Bit exact.
     pub bit_exact: bool,
 }
 
+/// The failover experiment: recovery timeline per scenario.
 #[derive(Debug, Clone, Serialize)]
 pub struct FailoverReport {
+    /// Number of GPUs.
     pub gpus: usize,
+    /// Embedding dimension.
     pub dim: usize,
+    /// Number of nodes.
     pub nodes: usize,
+    /// Number of directed edges.
     pub edges: usize,
+    /// Per-cell sweep rows.
     pub rows: Vec<FailoverRow>,
 }
 

@@ -29,25 +29,41 @@ use crate::report::ExperimentReport;
 const FAULT_SEED: u64 = 42;
 const DIM: usize = 64;
 
+/// Overhead at one fault intensity.
 #[derive(Debug, Clone, Serialize)]
 pub struct FaultRow {
+    /// Class.
     pub class: &'static str,
+    /// Mgg healthy ms.
     pub mgg_healthy_ms: f64,
+    /// Mgg faulty ms.
     pub mgg_faulty_ms: f64,
+    /// Overhead fraction.
     pub overhead_pct: f64,
+    /// Retried gets.
     pub retried_gets: u64,
+    /// Timed out completions.
     pub timed_out_completions: u64,
+    /// Degraded transfers.
     pub degraded_transfers: u64,
+    /// Replans.
     pub replans: u64,
+    /// Recovery latency ms.
     pub recovery_latency_ms: f64,
+    /// Uvm faulty ms.
     pub uvm_faulty_ms: f64,
 }
 
+/// The transient-fault overhead sweep.
 #[derive(Debug, Clone, Serialize)]
 pub struct FaultReport {
+    /// Number of GPUs.
     pub gpus: usize,
+    /// Workload RNG seed.
     pub seed: u64,
+    /// Dataset name.
     pub dataset: String,
+    /// Per-cell sweep rows.
     pub rows: Vec<FaultRow>,
 }
 

@@ -16,32 +16,46 @@ use mgg_graph::datasets::DatasetSpec;
 
 use crate::report::ExperimentReport;
 
+/// Serialized `grid cell` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct GridCell {
+    /// Neighbor-partition size knob.
     pub ps: u32,
+    /// Interleaving distance knob.
     pub dist: u32,
+    /// Warps-per-block knob.
     pub wpb: u32,
+    /// Simulated latency, ms.
     pub latency_ms: f64,
 }
 
+/// Serialized `fig10 setting` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Fig10Setting {
+    /// Row label.
     pub name: String,
     /// Latencies over (ps, dist) at wpb = 1.
     pub ps_dist_grid: Vec<GridCell>,
     /// Latencies over (wpb, dist) at the tuned ps.
     pub wpb_dist_grid: Vec<GridCell>,
+    /// The tuner’s pick.
     pub tuned: MggConfig,
+    /// Tuned latency, in simulated ms.
     pub tuned_latency_ms: f64,
+    /// Initial latency, in simulated ms.
     pub initial_latency_ms: f64,
+    /// Tuner iterations.
     pub tuner_iterations: usize,
+    /// Improvement fraction.
     pub improvement_pct: f64,
     /// Best latency anywhere on the sweeps, to judge tuner quality.
     pub grid_best_ms: f64,
 }
 
+/// Serialized `fig10 report` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Fig10Report {
+    /// Per-dataset tuning settings.
     pub settings: Vec<Fig10Setting>,
 }
 

@@ -11,17 +11,25 @@ use serde::Serialize;
 
 use crate::report::{ms, ExperimentReport};
 
+/// Serialized `fig2 row` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Fig2Row {
+    /// Dataset name.
     pub dataset: &'static str,
+    /// Comm, in simulated ms.
     pub comm_ms: f64,
+    /// Comp, in simulated ms.
     pub comp_ms: f64,
+    /// Comm to comp.
     pub comm_to_comp: f64,
 }
 
+/// Serialized `fig2 report` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Fig2Report {
+    /// Number of GPUs.
     pub gpus: usize,
+    /// Per-cell sweep rows.
     pub rows: Vec<Fig2Row>,
 }
 

@@ -12,19 +12,27 @@ use serde::Serialize;
 
 use crate::report::ExperimentReport;
 
+/// Serialized `fig3 row` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Fig3Row {
+    /// Number of GPUs.
     pub gpus: usize,
+    /// Faults.
     pub faults: u64,
+    /// Fault duration, in simulated ms.
     pub fault_duration_ms: f64,
     /// Normalized to the 2-GPU row, as the paper plots.
     pub faults_norm: f64,
+    /// Duration norm.
     pub duration_norm: f64,
 }
 
+/// Serialized `fig3 report` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Fig3Report {
+    /// Dataset name.
     pub dataset: &'static str,
+    /// Per-cell sweep rows.
     pub rows: Vec<Fig3Row>,
 }
 

@@ -14,18 +14,27 @@ use serde::Serialize;
 use crate::experiments::common::datasets;
 use crate::report::{geomean, ExperimentReport};
 
+/// Serialized `fig7 row` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Fig7Row {
+    /// Dataset name.
     pub dataset: &'static str,
+    /// Sync, in simulated ms.
     pub sync_ms: f64,
+    /// Async, in simulated ms.
     pub async_ms: f64,
+    /// Slowdown.
     pub slowdown: f64,
 }
 
+/// Serialized `fig7 report` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Fig7Report {
+    /// Number of GPUs.
     pub gpus: usize,
+    /// Per-cell sweep rows.
     pub rows: Vec<Fig7Row>,
+    /// Geomean slowdown.
     pub geomean_slowdown: f64,
 }
 

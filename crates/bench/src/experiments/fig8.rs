@@ -14,20 +14,31 @@ use serde::Serialize;
 use crate::experiments::common::{datasets, model_time_ns};
 use crate::report::{geomean, ExperimentReport};
 
+/// Serialized `fig8 row` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Fig8Row {
+    /// Dataset name.
     pub dataset: &'static str,
+    /// Model.
     pub model: &'static str,
+    /// Number of GPUs.
     pub gpus: usize,
+    /// Uvm, in simulated ms.
     pub uvm_ms: f64,
+    /// Mgg, in simulated ms.
     pub mgg_ms: f64,
+    /// Baseline latency over this configuration’s.
     pub speedup: f64,
 }
 
+/// Serialized `fig8 report` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Fig8Report {
+    /// Per-cell sweep rows.
     pub rows: Vec<Fig8Row>,
+    /// Geomean gcn.
     pub geomean_gcn: f64,
+    /// Geomean gin.
     pub geomean_gin: f64,
 }
 

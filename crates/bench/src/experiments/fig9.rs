@@ -16,20 +16,29 @@ use serde::Serialize;
 use crate::experiments::common::datasets;
 use crate::report::{geomean, ExperimentReport};
 
+/// Serialized `ablation row` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct AblationRow {
+    /// Dataset name.
     pub dataset: &'static str,
+    /// Baseline, in simulated ms.
     pub baseline_ms: f64,
+    /// Mgg, in simulated ms.
     pub mgg_ms: f64,
     /// Slowdown of the ablated design relative to MGG.
     pub slowdown: f64,
 }
 
+/// Serialized `fig9 report` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Fig9Report {
+    /// Which.
     pub which: &'static str,
+    /// Number of GPUs.
     pub gpus: usize,
+    /// Per-cell sweep rows.
     pub rows: Vec<AblationRow>,
+    /// Geomean slowdown.
     pub geomean_slowdown: f64,
 }
 

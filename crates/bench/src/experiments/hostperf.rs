@@ -49,16 +49,22 @@ const GPU_COUNTS: [usize; 2] = [4, 8];
 /// One sweep cell, named so baselines can be compared cell-for-cell.
 #[derive(Debug, Clone, Serialize)]
 pub struct SweepCell {
+    /// Dataset name.
     pub dataset: String,
+    /// Embedding dimension.
     pub dim: usize,
+    /// Number of GPUs.
     pub gpus: usize,
 }
 
+/// One parallel region’s attribution cell.
 #[derive(Debug, Clone, Serialize)]
 pub struct HostPerfRow {
+    /// Worker-pool width.
     pub threads: usize,
     /// Timed runs taken at this thread count; `wall_ns` is their minimum.
     pub runs: usize,
+    /// Wall, in simulated ns.
     pub wall_ns: u64,
     /// Wall-clock speedup over the 1-thread row (>= 1 when scaling works).
     pub speedup: f64,
@@ -72,18 +78,23 @@ pub struct HostPerfRow {
     pub overhead: OverheadBreakdown,
 }
 
+/// The host-runtime attribution report.
 #[derive(Debug, Clone, Serialize)]
 pub struct HostPerfReport {
+    /// Sweep cells.
     pub sweep_cells: usize,
     /// The exact cells swept, in job order.
     pub cells: Vec<SweepCell>,
+    /// Runs per thread count.
     pub runs_per_thread_count: usize,
+    /// Per-cell sweep rows.
     pub rows: Vec<HostPerfRow>,
     /// True iff every thread count produced bit-identical sweep results,
     /// profiled runs included.
     pub digests_match: bool,
     /// Calendar-queue throughput on the synthetic event stream.
     pub event_loop_events_per_sec: f64,
+    /// Event loop events.
     pub event_loop_events: u64,
 }
 

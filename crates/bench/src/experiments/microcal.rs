@@ -12,15 +12,21 @@ use mgg_sim::{
 };
 use serde::Serialize;
 
+/// One calibrated primitive (latency/bandwidth point).
 #[derive(Debug, Clone, Serialize)]
 pub struct MicrocalRow {
+    /// What.
     pub what: String,
+    /// , in simulated ns.
     pub ns: u64,
 }
 
+/// Microbenchmark calibration against vendor numbers.
 #[derive(Debug, Clone, Serialize)]
 pub struct MicrocalReport {
+    /// Platform preset label.
     pub platform: String,
+    /// Per-cell sweep rows.
     pub rows: Vec<MicrocalRow>,
 }
 

@@ -17,23 +17,37 @@ use serde::Serialize;
 use crate::experiments::common::datasets;
 use crate::report::ExperimentReport;
 
+/// One configuration’s predicted occupancy cell.
 #[derive(Debug, Clone, Serialize)]
 pub struct OccupancyRow {
+    /// Dataset name.
     pub dataset: &'static str,
+    /// Mgg occupancy.
     pub mgg_occupancy: f64,
+    /// Uvm occupancy.
     pub uvm_occupancy: f64,
+    /// Mgg sm util.
     pub mgg_sm_util: f64,
+    /// Uvm sm util.
     pub uvm_sm_util: f64,
+    /// Mgg overlap.
     pub mgg_overlap: f64,
+    /// Uvm overlap.
     pub uvm_overlap: f64,
 }
 
+/// The SM-occupancy model validation report.
 #[derive(Debug, Clone, Serialize)]
 pub struct OccupancyReport {
+    /// Number of GPUs.
     pub gpus: usize,
+    /// Per-cell sweep rows.
     pub rows: Vec<OccupancyRow>,
+    /// Avg occupancy gain.
     pub avg_occupancy_gain: f64,
+    /// Avg sm util gain.
     pub avg_sm_util_gain: f64,
+    /// Avg overlap gain.
     pub avg_overlap_gain: f64,
 }
 

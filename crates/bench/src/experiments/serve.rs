@@ -37,29 +37,45 @@ const STRAGGLER: f64 = 4.0;
 /// One (dataset, offered-load) cell of the sweep.
 #[derive(Debug, Clone, Serialize)]
 pub struct ServeLoadRow {
+    /// Dataset name.
     pub dataset: String,
     /// Offered load as a multiple of calibrated saturation.
     pub load_mult: f64,
+    /// Offered.
     pub offered: u64,
+    /// Queries admitted past the queue.
     pub admitted: u64,
+    /// Shed queue.
     pub shed_queue: u64,
+    /// Shed fraction.
     pub shed_rate: u64,
+    /// Shed infeasible.
     pub shed_infeasible: u64,
+    /// Shed unavailable.
     pub shed_unavailable: u64,
+    /// Shed fraction.
     pub shed_fraction: f64,
     /// In-deadline completions per second of simulated time.
     pub goodput_qps: f64,
     /// Calibrated full-batch healthy throughput.
     pub saturation_qps: f64,
+    /// Median latency, ns.
     pub p50_ns: u64,
+    /// P95, in simulated ns.
     pub p95_ns: u64,
+    /// 99th-percentile latency, ns.
     pub p99_ns: u64,
     /// The per-query latency budget of this run.
     pub deadline_ns: u64,
+    /// P99 within deadline.
     pub p99_within_deadline: bool,
+    /// Deadline violations.
     pub deadline_violations: u64,
+    /// Rerouted.
     pub rerouted: u64,
+    /// Batches.
     pub batches: u64,
+    /// Mean batch.
     pub mean_batch: f64,
     /// FNV-1a fingerprint of the full decision trace.
     pub digest: String,
@@ -68,31 +84,43 @@ pub struct ServeLoadRow {
 /// The degraded-GPU scenario of one dataset.
 #[derive(Debug, Clone, Serialize)]
 pub struct ServeFaultRow {
+    /// Dataset name.
     pub dataset: String,
     /// Shards the fault schedule impairs.
     pub impaired_shards: Vec<usize>,
     /// Whether a breaker opened on every impaired shard.
     pub breaker_opened: bool,
+    /// Breaker transitions.
     pub breaker_transitions: u64,
+    /// Rerouted.
     pub rerouted: u64,
+    /// Hedges.
     pub hedges: u64,
     /// Deadline violations attributable to rerouting (must stay 0: the
     /// admission feasibility check prices the relay surcharge up front).
     pub routing_violations: u64,
+    /// Deadline violations.
     pub deadline_violations: u64,
+    /// Shed fraction.
     pub shed_fraction: f64,
+    /// Queries answered within deadline per second.
     pub goodput_qps: f64,
+    /// Digest.
     pub digest: String,
 }
 
 /// The `ext_serve` report: load sweep, degradation runs, replay check.
 #[derive(Debug, Clone, Serialize)]
 pub struct ServeBenchReport {
+    /// Number of GPUs.
     pub gpus: usize,
+    /// Embedding dimension.
     pub dim: usize,
     /// Simulated workload window per run, in ns.
     pub duration_ns: u64,
+    /// Per-cell sweep rows.
     pub rows: Vec<ServeLoadRow>,
+    /// Faults.
     pub faults: Vec<ServeFaultRow>,
     /// Worst-case over datasets of goodput(2.0x) / goodput(1.0x): overload
     /// must not collapse the measured saturation goodput.

@@ -12,19 +12,27 @@ use serde::Serialize;
 use crate::experiments::common::datasets;
 use crate::report::{geomean, ExperimentReport};
 
+/// Serialized `tab1 row` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Tab1Row {
+    /// Dataset name.
     pub dataset: &'static str,
+    /// Uvm, in simulated ms.
     pub uvm_ms: f64,
+    /// Direct, in simulated ms.
     pub direct_ms: f64,
     /// `uvm / direct` — above 1 means direct NVSHMEM wins.
     pub speedup: f64,
 }
 
+/// Serialized `tab1 report` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Tab1Report {
+    /// Number of GPUs.
     pub gpus: usize,
+    /// Per-cell sweep rows.
     pub rows: Vec<Tab1Row>,
+    /// Geomean speedup.
     pub geomean_speedup: f64,
 }
 

@@ -9,17 +9,25 @@ use serde::Serialize;
 
 use crate::report::ExperimentReport;
 
+/// Serialized `tab2 row` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Tab2Row {
+    /// Solution.
     pub solution: &'static str,
+    /// Comm granularity.
     pub comm_granularity: &'static str,
+    /// Gpu initiated.
     pub gpu_initiated: &'static str,
+    /// Programmability.
     pub programmability: &'static str,
+    /// Random access.
     pub random_access: &'static str,
 }
 
+/// Serialized `tab2 report` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Tab2Report {
+    /// Per-cell sweep rows.
     pub rows: Vec<Tab2Row>,
 }
 

@@ -20,25 +20,41 @@ const PAPER: [(&str, u64, u64, usize, usize); 5] = [
     ("ORKT", 3_072_441, 117_185_083, 128, 32),
 ];
 
+/// Serialized `tab3 row` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Tab3Row {
+    /// Dataset name.
     pub dataset: &'static str,
+    /// Paper nodes.
     pub paper_nodes: u64,
+    /// Paper edges.
     pub paper_edges: u64,
+    /// Number of nodes.
     pub nodes: usize,
+    /// Number of directed edges.
     pub edges: usize,
+    /// Avg degree.
     pub avg_degree: f64,
+    /// Max degree.
     pub max_degree: usize,
+    /// P99 degree.
     pub p99_degree: usize,
+    /// Degree cv.
     pub degree_cv: f64,
+    /// Top1pct edge share.
     pub top1pct_edge_share: f64,
+    /// Embedding dimension.
     pub dim: usize,
+    /// Classes.
     pub classes: usize,
 }
 
+/// Serialized `tab3 report` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Tab3Report {
+    /// Dataset size multiplier.
     pub scale: f64,
+    /// Per-cell sweep rows.
     pub rows: Vec<Tab3Row>,
 }
 

@@ -15,23 +15,37 @@ use serde::Serialize;
 use crate::experiments::common::datasets;
 use crate::report::{geomean, ExperimentReport};
 
+/// Serialized `tab4 row` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Tab4Row {
+    /// Dataset name.
     pub dataset: &'static str,
+    /// Dgcl prep, in simulated ms.
     pub dgcl_prep_ms: f64,
+    /// Mgg prep, in simulated ms.
     pub mgg_prep_ms: f64,
+    /// Prep speedup.
     pub prep_speedup: f64,
+    /// Dgcl gcn, in simulated ms.
     pub dgcl_gcn_ms: f64,
+    /// Mgg gcn, in simulated ms.
     pub mgg_gcn_ms: f64,
+    /// Gcn speedup.
     pub gcn_speedup: f64,
+    /// Dgcl edge cut.
     pub dgcl_edge_cut: u64,
 }
 
+/// Serialized `tab4 report` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Tab4Report {
+    /// Number of GPUs.
     pub gpus: usize,
+    /// Per-cell sweep rows.
     pub rows: Vec<Tab4Row>,
+    /// Geomean gcn speedup.
     pub geomean_gcn_speedup: f64,
+    /// Geomean prep speedup.
     pub geomean_prep_speedup: f64,
 }
 

@@ -21,20 +21,29 @@ use serde::Serialize;
 
 use crate::report::ExperimentReport;
 
+/// Serialized `tab5 row` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Tab5Row {
+    /// Dataset name.
     pub dataset: &'static str,
+    /// Acc sampled.
     pub acc_sampled: f64,
+    /// Acc full.
     pub acc_full: f64,
     /// Latency of full-graph aggregation relative to sampled (>= 1).
     pub latency_ratio: f64,
 }
 
+/// Serialized `tab5 report` record of this experiment.
 #[derive(Debug, Clone, Serialize)]
 pub struct Tab5Report {
+    /// Number of GPUs.
     pub gpus: usize,
+    /// Training epochs.
     pub epochs: usize,
+    /// Fanout.
     pub fanout: usize,
+    /// Per-cell sweep rows.
     pub rows: Vec<Tab5Row>,
 }
 

@@ -6,6 +6,8 @@
 //! experiment index and `EXPERIMENTS.md` for recorded paper-vs-measured
 //! results.
 
+#![deny(missing_docs)]
+
 pub mod experiments;
 pub mod report;
 pub mod summary;

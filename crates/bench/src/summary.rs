@@ -12,8 +12,11 @@ use serde_json::Value;
 /// One summarized experiment.
 #[derive(Debug, Clone)]
 pub struct SummaryLine {
+    /// Id.
     pub id: &'static str,
+    /// Paper.
     pub paper: &'static str,
+    /// Measured.
     pub measured: String,
 }
 

@@ -1,0 +1,211 @@
+//! Deterministic degree-/recency-driven prefetch prediction.
+//!
+//! The prefetcher runs entirely inside `MggKernel::build_cached`'s
+//! PE-major planning pass — the same replayed access stream that drives
+//! the cache — so its predictions are a pure function of graph, placement
+//! and configuration: no timing feedback, no randomness, no thread-count
+//! sensitivity. Two signals, both cheap and both deterministic:
+//!
+//! * **Degree**: remote keys that appear many times in the *upcoming* warp
+//!   window are requested by many destination rows — high-degree neighbor
+//!   embeddings, exactly the rows worth pulling one warp early. Ranked by
+//!   multiplicity (descending), ties broken by first appearance in the
+//!   window (warp order), so the ranking is a total order.
+//! * **Recency streak**: consecutive misses on ascending rows of one owner
+//!   (the layout Algorithm 1's contiguity-preserving split produces for a
+//!   neighbor run that crosses a partition boundary) extend linearly; the
+//!   streak's continuation fills whatever budget degree ranking left.
+//!
+//! Accepted predictions become posted `_nbi` fill ops attached to the
+//! *preceding* warp, so the fabric round-trip overlaps that warp's compute
+//! — the paper's latency-hiding idea applied to the cache plane.
+
+use std::collections::HashMap;
+
+use crate::CacheKey;
+
+/// Minimum consecutive ascending-row misses before the streak signal fires.
+const MIN_STREAK: u32 = 2;
+
+/// Stateful predictor of the next remote rows a PE will miss on.
+///
+/// # Example
+///
+/// ```
+/// use mgg_cache::{CacheKey, Prefetcher};
+///
+/// let mut p = Prefetcher::new(2);
+/// // The upcoming window wants row 7 twice and row 9 once: degree ranking
+/// // puts 7 first, and depth 2 admits both.
+/// let window = [
+///     CacheKey { pe: 1, row: 9 },
+///     CacheKey { pe: 1, row: 7 },
+///     CacheKey { pe: 1, row: 7 },
+/// ];
+/// let mut out = Vec::new();
+/// p.predict(&window, |_| 100, &mut out);
+/// assert_eq!(out, vec![CacheKey { pe: 1, row: 7 }, CacheKey { pe: 1, row: 9 }]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Prefetcher {
+    depth: u32,
+    /// Last demand miss observed, for streak tracking.
+    last: Option<CacheKey>,
+    /// Length of the current consecutive ascending-row run.
+    run_len: u32,
+}
+
+impl Prefetcher {
+    /// A predictor issuing at most `depth` prefetches per warp. Depth 0
+    /// disables prediction entirely ([`Prefetcher::predict`] returns
+    /// nothing), which the engine uses as the off switch.
+    pub fn new(depth: u32) -> Self {
+        Prefetcher { depth, last: None, run_len: 0 }
+    }
+
+    /// The per-warp prefetch budget.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Whether prediction is enabled.
+    pub fn enabled(&self) -> bool {
+        self.depth > 0
+    }
+
+    /// Feeds one demand miss into the recency tracker. Call in the same
+    /// PE-major order the planner replays accesses in.
+    pub fn note_miss(&mut self, key: CacheKey) {
+        match self.last {
+            Some(prev) if prev.pe == key.pe && key.row == prev.row.wrapping_add(1) => {
+                self.run_len = self.run_len.saturating_add(1);
+            }
+            _ => self.run_len = 1,
+        }
+        self.last = Some(key);
+    }
+
+    /// Predicts up to `depth` keys the upcoming `window` of remote requests
+    /// (the *next* warp's, in warp order) will miss on. `owner_rows(pe)`
+    /// bounds streak extension to rows that exist on the owning PE. Results
+    /// are deduplicated and ordered: degree-ranked window keys first, then
+    /// streak continuation.
+    pub fn predict(
+        &self,
+        window: &[CacheKey],
+        owner_rows: impl Fn(u16) -> u32,
+        out: &mut Vec<CacheKey>,
+    ) {
+        out.clear();
+        if self.depth == 0 {
+            return;
+        }
+        // Degree ranking: multiplicity desc, first appearance asc. The
+        // HashMap only indexes into `ranked`, whose order is insertion
+        // (window) order, so nothing depends on map iteration order.
+        let mut index: HashMap<u64, usize> = HashMap::with_capacity(window.len());
+        let mut ranked: Vec<(CacheKey, u32)> = Vec::with_capacity(window.len());
+        for &key in window {
+            match index.get(&key.pack()) {
+                Some(&i) => ranked[i].1 += 1,
+                None => {
+                    index.insert(key.pack(), ranked.len());
+                    ranked.push((key, 1));
+                }
+            }
+        }
+        let mut order: Vec<usize> = (0..ranked.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(ranked[i].1), i));
+        for &i in order.iter().take(self.depth as usize) {
+            out.push(ranked[i].0);
+        }
+        // Streak extension fills the remaining budget.
+        if self.run_len >= MIN_STREAK {
+            if let Some(last) = self.last {
+                let bound = owner_rows(last.pe);
+                let mut next = last.row;
+                while out.len() < self.depth as usize {
+                    next = match next.checked_add(1) {
+                        Some(r) if r < bound => r,
+                        _ => break,
+                    };
+                    let key = CacheKey { pe: last.pe, row: next };
+                    if !out.contains(&key) {
+                        out.push(key);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(pe: u16, row: u32) -> CacheKey {
+        CacheKey { pe, row }
+    }
+
+    #[test]
+    fn degree_ranking_prefers_multiplicity_then_window_order() {
+        let p = Prefetcher::new(3);
+        let window = [k(0, 5), k(1, 2), k(0, 5), k(2, 8), k(1, 2), k(0, 5)];
+        let mut out = Vec::new();
+        p.predict(&window, |_| u32::MAX, &mut out);
+        assert_eq!(out, vec![k(0, 5), k(1, 2), k(2, 8)]);
+    }
+
+    #[test]
+    fn streak_extension_fills_leftover_budget() {
+        let mut p = Prefetcher::new(4);
+        p.note_miss(k(3, 10));
+        p.note_miss(k(3, 11));
+        p.note_miss(k(3, 12)); // run of 3 ascending rows on PE 3
+        let mut out = Vec::new();
+        p.predict(&[k(0, 1)], |_| u32::MAX, &mut out);
+        assert_eq!(out, vec![k(0, 1), k(3, 13), k(3, 14), k(3, 15)]);
+    }
+
+    #[test]
+    fn streak_needs_min_run_and_respects_owner_bounds() {
+        let mut p = Prefetcher::new(4);
+        p.note_miss(k(3, 10)); // run of 1: below MIN_STREAK
+        let mut out = Vec::new();
+        p.predict(&[], |_| u32::MAX, &mut out);
+        assert!(out.is_empty(), "a single miss is not a streak");
+        p.note_miss(k(3, 11));
+        p.predict(&[], |_| 13, &mut out);
+        assert_eq!(out, vec![k(3, 12)], "extension must stop at the owner's row count");
+        // A non-consecutive miss resets the run.
+        p.note_miss(k(3, 40));
+        p.predict(&[], |_| u32::MAX, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn depth_zero_predicts_nothing() {
+        let mut p = Prefetcher::new(0);
+        p.note_miss(k(0, 1));
+        p.note_miss(k(0, 2));
+        let mut out = vec![k(9, 9)];
+        p.predict(&[k(0, 3), k(0, 3)], |_| u32::MAX, &mut out);
+        assert!(out.is_empty());
+        assert!(!p.enabled());
+    }
+
+    #[test]
+    fn predictions_are_deterministic() {
+        let window: Vec<CacheKey> = (0..200u32).map(|i| k((i % 5) as u16, i * 37 % 23)).collect();
+        let run = || {
+            let mut p = Prefetcher::new(8);
+            let mut out = Vec::new();
+            for i in 0..50u32 {
+                p.note_miss(k(1, i));
+            }
+            p.predict(&window, |_| 1000, &mut out);
+            out
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,862 @@
+//! Two-tier cache: per-GPU HBM L1 ([`EmbedCache`]) backed by an optional
+//! host-DRAM L2 ([`HostTier`]).
+//!
+//! The L1 stays bit-for-bit the cache PR 5 shipped — same policy, same
+//! thrash guard, same [`CacheStats`] — so committed baselines survive. The
+//! tier wrapper changes only what happens *around* an L1 miss:
+//!
+//! * an L1 **eviction demotes** its victim into the host tier instead of
+//!   dropping it (the payload rides the PCIe write-back path, which the
+//!   simulator prices as a posted transfer);
+//! * an L1 **miss probes** the host tier before touching the fabric — an
+//!   L2 hit is served over PCIe with zero per-request fabric initiation
+//!   cost, trading the NVSwitch GET's 150 ns scheduler-occupancy charge
+//!   for overlappable host-link latency;
+//! * an L2 hit that L1 *admits* is **promoted** — moved, not copied, so a
+//!   key is never resident in both tiers at once; an L2 hit while the L1
+//!   thrash guard is bypassing is served **non-exclusively** and stays in
+//!   L2, which is exactly what rescues the documented 1 MiB thrash point.
+//!
+//! Determinism is inherited: both tiers are driven by the same replayed
+//! access stream, use the same logical-clock priority scheme, and consult
+//! no ambient state.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::cmp::Reverse;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CacheKey, CachePolicy, CacheStats, EmbedCache};
+
+/// Counters of the host-tier (L2) and prefetch planes. Kept separate from
+/// [`CacheStats`] — that struct is serialized into committed bench
+/// baselines and must not grow fields. All-zero (`Default`) when tiering
+/// and prefetch are disabled, so embedding this beside `CacheStats`
+/// perturbs no untiered comparison.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierStats {
+    /// L1 misses served from the host tier (PCIe latency, no fabric GET).
+    pub l2_hits: u64,
+    /// L1 misses the host tier could not serve (went to the fabric).
+    pub l2_misses: u64,
+    /// L1 victims written back into the host tier. Counts payload writes
+    /// only: re-evicting a row whose clean copy is still L2-resident at
+    /// the same version is a metadata touch, not a demotion.
+    pub demotions: u64,
+    /// L2 hits copied back into L1. The L2 copy is retained — rows are
+    /// read-only within a kernel, so the copy stays clean and a later
+    /// re-eviction of the promoted row needs no write-back.
+    pub promotions: u64,
+    /// Host-tier victims displaced to admit a demotion — these rows left
+    /// the hierarchy entirely.
+    pub dropped: u64,
+    /// Host-tier rows removed by invalidation, flush, or replacement of a
+    /// stale incarnation.
+    pub invalidated: u64,
+    /// Speculative fills issued by the prefetcher and admitted into L1.
+    pub prefetch_issued: u64,
+    /// Prefetched rows that were hit by a demand access before eviction.
+    pub prefetch_useful: u64,
+    /// Prefetched rows evicted or invalidated before any demand access —
+    /// wasted speculation.
+    pub prefetch_evicted: u64,
+}
+
+impl TierStats {
+    /// Fraction of L1 misses that the host tier absorbed.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of issued prefetches that saw a demand hit.
+    pub fn prefetch_accuracy(&self) -> f64 {
+        if self.prefetch_issued == 0 {
+            0.0
+        } else {
+            self.prefetch_useful as f64 / self.prefetch_issued as f64
+        }
+    }
+
+    /// Accumulates `other` into `self` (per-GPU tiers roll up to one
+    /// kernel-level figure).
+    pub fn merge(&mut self, other: &TierStats) {
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+        self.demotions += other.demotions;
+        self.promotions += other.promotions;
+        self.dropped += other.dropped;
+        self.invalidated += other.invalidated;
+        self.prefetch_issued += other.prefetch_issued;
+        self.prefetch_useful += other.prefetch_useful;
+        self.prefetch_evicted += other.prefetch_evicted;
+    }
+
+    /// Counters accumulated since the `earlier` snapshot. Saturates at zero
+    /// if `earlier` is not actually earlier.
+    pub fn delta_since(&self, earlier: TierStats) -> TierStats {
+        TierStats {
+            l2_hits: self.l2_hits.saturating_sub(earlier.l2_hits),
+            l2_misses: self.l2_misses.saturating_sub(earlier.l2_misses),
+            demotions: self.demotions.saturating_sub(earlier.demotions),
+            promotions: self.promotions.saturating_sub(earlier.promotions),
+            dropped: self.dropped.saturating_sub(earlier.dropped),
+            invalidated: self.invalidated.saturating_sub(earlier.invalidated),
+            prefetch_issued: self.prefetch_issued.saturating_sub(earlier.prefetch_issued),
+            prefetch_useful: self.prefetch_useful.saturating_sub(earlier.prefetch_useful),
+            prefetch_evicted: self.prefetch_evicted.saturating_sub(earlier.prefetch_evicted),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TierSlot {
+    key: u64,
+    p1: u64,
+    p2: u64,
+    occupied: bool,
+    version: u64,
+}
+
+/// Outcome of a [`HostTier::insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostInsert {
+    /// Storage slot the key landed in.
+    pub slot: usize,
+    /// Key displaced to make room, if the tier was full.
+    pub dropped: Option<CacheKey>,
+    /// Whether the key was already resident at a *different* version (the
+    /// stale incarnation was replaced in place and no new slot was
+    /// consumed).
+    pub replaced: bool,
+    /// Whether the key was already resident at the *same* version: the
+    /// existing copy is current, so the insert was a recency touch and no
+    /// payload needs to move.
+    pub clean: bool,
+}
+
+/// The host-DRAM tier: a deterministic, capacity-bounded, version-stamped
+/// key store with the same lazily-invalidated min-heap replacement the L1
+/// [`EmbedCache`] uses.
+///
+/// Differences from L1, by design:
+///
+/// * **No thrash guard.** The demotion stream is already filtered by L1 —
+///   every insert is a row L1 deemed worth caching at some point — and a
+///   host tier several times the L1 size absorbs cyclic working sets
+///   instead of thrashing on them.
+/// * **No hit/miss stats of its own.** The owning [`TieredCache`] accounts
+///   probes in [`TierStats`], keeping L1's [`CacheStats`] untouched.
+/// * **Clean retention.** Promotion *copies* a row up instead of moving
+///   it: rows are read-only within a kernel, so the L2 copy stays current
+///   and a later re-eviction of the promoted row is a metadata touch with
+///   no PCIe write-back — the demote/promote ping-pong an exclusive
+///   hand-off would pay on every L1 eviction cycle.
+///
+/// # Example
+///
+/// ```
+/// use mgg_cache::{CacheKey, CachePolicy, HostTier};
+///
+/// let mut l2 = HostTier::new(2, CachePolicy::Lru);
+/// let a = CacheKey { pe: 0, row: 1 };
+/// l2.insert(a, 0);
+/// assert_eq!(l2.probe(a, 0), Some(0)); // resident at the right version
+/// l2.invalidate(a);                    // the row mutated: drop the copy
+/// assert_eq!(l2.probe(a, 1), None);    // refetch goes to the fabric
+/// assert!(!l2.contains(a));
+/// ```
+#[derive(Debug)]
+pub struct HostTier {
+    policy: CachePolicy,
+    capacity: usize,
+    map: HashMap<u64, usize>,
+    slots: Vec<TierSlot>,
+    free: Vec<usize>,
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    tick: u64,
+    stale: u64,
+}
+
+impl HostTier {
+    /// An empty host tier holding at most `capacity_rows` keys.
+    pub fn new(capacity_rows: usize, policy: CachePolicy) -> Self {
+        HostTier {
+            policy,
+            capacity: capacity_rows,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            heap: BinaryHeap::new(),
+            tick: 0,
+            stale: 0,
+        }
+    }
+
+    /// Maximum resident keys.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Currently resident keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured replacement policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Whether `key` is resident (no side effects).
+    pub fn contains(&self, key: CacheKey) -> bool {
+        self.map.contains_key(&key.pack())
+    }
+
+    /// Slot of `key` if resident, without touching priorities.
+    pub fn peek(&self, key: CacheKey) -> Option<usize> {
+        self.map.get(&key.pack()).copied()
+    }
+
+    /// Stale detections: probes whose resident version disagreed with the
+    /// requested one (the entry is dropped and the probe misses).
+    pub fn stale_hits(&self) -> u64 {
+        self.stale
+    }
+
+    /// Admits `key` at `version` — the demotion path. Always admits
+    /// (capacity permitting): the stream is pre-filtered by L1. A key
+    /// already resident at the same version is a clean re-insert
+    /// (`clean: true` — recency touch, no payload write); at a different
+    /// version its stale incarnation is replaced in place
+    /// (`replaced: true`). Panics never; a zero-capacity tier returns the
+    /// victim as the key itself via `dropped`.
+    pub fn insert(&mut self, key: CacheKey, version: u64) -> HostInsert {
+        let packed = key.pack();
+        self.tick += 1;
+        if let Some(&slot) = self.map.get(&packed) {
+            let clean = self.slots[slot].version == version;
+            self.slots[slot].version = version;
+            let (p1, p2) = self.bump(slot);
+            self.heap.push(Reverse((p1, p2, slot)));
+            self.maybe_compact();
+            return HostInsert { slot, dropped: None, replaced: !clean, clean };
+        }
+        if self.capacity == 0 {
+            return HostInsert { slot: 0, dropped: Some(key), replaced: false, clean: false };
+        }
+        let mut dropped = None;
+        let slot = if self.map.len() < self.capacity {
+            match self.free.pop() {
+                Some(s) => s,
+                None => {
+                    self.slots.push(TierSlot {
+                        key: 0,
+                        p1: 0,
+                        p2: 0,
+                        occupied: false,
+                        version: 0,
+                    });
+                    self.slots.len() - 1
+                }
+            }
+        } else {
+            let victim = self.pop_victim();
+            let victim_key = self.slots[victim].key;
+            self.map.remove(&victim_key);
+            dropped = Some(CacheKey::unpack(victim_key));
+            victim
+        };
+        let (p1, p2) = match self.policy {
+            CachePolicy::Lru => (self.tick, 0),
+            CachePolicy::Lfu => (1, self.tick),
+        };
+        self.slots[slot] = TierSlot { key: packed, p1, p2, occupied: true, version };
+        self.map.insert(packed, slot);
+        self.heap.push(Reverse((p1, p2, slot)));
+        self.maybe_compact();
+        HostInsert { slot, dropped, replaced: false, clean: false }
+    }
+
+    /// Looks up `key` at `version`, bumping its priority on a hit. A
+    /// resident key at a *different* version is stale — the graph mutated
+    /// under the tier without invalidation — so in debug builds it fails
+    /// loudly; in release builds the entry is dropped, the stale counter
+    /// ticks, and the probe misses (the caller refetches current data).
+    pub fn probe(&mut self, key: CacheKey, version: u64) -> Option<usize> {
+        let packed = key.pack();
+        let &slot = self.map.get(&packed)?;
+        if self.slots[slot].version != version {
+            self.stale += 1;
+            debug_assert!(
+                false,
+                "stale host-tier row: {key:?} resident at version {} but row is at {version} \
+                 — a graph delta bypassed invalidation",
+                self.slots[slot].version
+            );
+            self.map.remove(&packed);
+            self.slots[slot].occupied = false;
+            self.free.push(slot);
+            return None;
+        }
+        self.tick += 1;
+        let (p1, p2) = self.bump(slot);
+        self.heap.push(Reverse((p1, p2, slot)));
+        self.maybe_compact();
+        Some(slot)
+    }
+
+    /// Drops `key` if resident. Returns whether it was.
+    pub fn invalidate(&mut self, key: CacheKey) -> bool {
+        match self.map.remove(&key.pack()) {
+            Some(slot) => {
+                self.slots[slot].occupied = false;
+                self.free.push(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops every resident key, returning how many were dropped (the
+    /// owning [`TieredCache`] counts them as invalidated so the
+    /// conservation invariant survives a flush).
+    pub fn flush(&mut self) -> u64 {
+        let n = self.map.len() as u64;
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.heap.clear();
+        n
+    }
+
+    fn bump(&mut self, slot: usize) -> (u64, u64) {
+        let s = &mut self.slots[slot];
+        match self.policy {
+            CachePolicy::Lru => {
+                s.p1 = self.tick;
+                s.p2 = 0;
+            }
+            CachePolicy::Lfu => {
+                s.p1 += 1;
+                s.p2 = self.tick;
+            }
+        }
+        (s.p1, s.p2)
+    }
+
+    fn pop_victim(&mut self) -> usize {
+        while let Some(Reverse((p1, p2, slot))) = self.heap.pop() {
+            let s = &self.slots[slot];
+            if s.occupied && s.p1 == p1 && s.p2 == p2 {
+                return slot;
+            }
+        }
+        unreachable!("eviction requested on a host tier with no live heap entries");
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.heap.len() > 4 * self.capacity + 64 {
+            self.heap.clear();
+            for (i, s) in self.slots.iter().enumerate() {
+                if s.occupied {
+                    self.heap.push(Reverse((s.p1, s.p2, i)));
+                }
+            }
+        }
+    }
+}
+
+/// Result of one [`TieredCache::access_versioned`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierLookup {
+    /// Served from L1 (HBM latency).
+    pub l1_hit: bool,
+    /// L1 missed but the host tier served it (PCIe latency, no fabric GET).
+    pub l2_hit: bool,
+    /// Whether the key is resident in L1 after the access (false when the
+    /// thrash guard bypassed admission or L1 has zero capacity).
+    pub admitted: bool,
+    /// L1 slot of the key after the access, when admitted.
+    pub slot: Option<usize>,
+    /// Host-tier slot the row was served from on an `l2_hit`. Read its
+    /// payload *before* honoring `demote_slot`: a promotion frees the L2
+    /// slot, and the demotion is allowed to reuse it immediately.
+    pub l2_slot: Option<usize>,
+    /// Whether this access demoted an L1 victim into the host tier (the
+    /// kernel lowers one posted PCIe write-back for it).
+    pub demoted: bool,
+    /// Host-tier slot the demoted victim landed in. The victim's payload
+    /// still sits at the (reused) L1 `slot` — a payload table must move it
+    /// down before overwriting that slot with the new row.
+    pub demote_slot: Option<usize>,
+}
+
+impl TierLookup {
+    /// Neither tier had the row: the fetch goes to the fabric.
+    pub fn full_miss(&self) -> bool {
+        !self.l1_hit && !self.l2_hit
+    }
+}
+
+/// Outcome of a [`TieredCache::admit_prefetch`] that actually issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchAdmit {
+    /// L1 slot the speculative row landed in.
+    pub slot: usize,
+    /// Whether admitting it demoted an L1 victim into the host tier.
+    pub demoted: bool,
+    /// Host-tier slot the demoted victim landed in; its payload must be
+    /// moved down from the reused L1 `slot` before the prefetched row is
+    /// stored there.
+    pub demote_slot: Option<usize>,
+}
+
+/// An [`EmbedCache`] L1 fronting an optional [`HostTier`] L2, plus the
+/// bookkeeping for speculative (prefetched) rows.
+///
+/// With no host tier and no prefetch this wrapper is *transparent*: every
+/// access is forwarded to L1 unchanged, [`CacheStats`] match the untiered
+/// cache bit for bit, and [`TierStats`] stay all-zero.
+///
+/// # Example
+///
+/// ```
+/// use mgg_cache::{CacheKey, CachePolicy, TieredCache};
+///
+/// // L1 holds 1 row, L2 holds 4: the L1 victim survives one level down.
+/// let mut c = TieredCache::new(1, CachePolicy::Lru).with_host_tier(4, CachePolicy::Lru);
+/// let a = CacheKey { pe: 0, row: 1 };
+/// let b = CacheKey { pe: 0, row: 2 };
+/// c.access_versioned(a, 0);                 // miss, L1 <- a
+/// c.access_versioned(b, 0);                 // miss, a demoted to L2
+/// let back = c.access_versioned(a, 0);      // L1 miss, L2 hit: a copied up, b demoted
+/// assert!(back.l2_hit && !back.l1_hit);
+/// assert_eq!(c.tier_stats().demotions, 2);  // a once, b once — both payload writes
+///
+/// // The ping-pong case: b comes back, evicting a again. a's clean copy
+/// // is still L2-resident, so this demotion moves no bytes.
+/// let back = c.access_versioned(b, 0);
+/// assert!(back.l2_hit && !back.demoted);
+/// assert_eq!(c.tier_stats().demotions, 2);  // unchanged
+/// assert_eq!(c.tier_stats().promotions, 2);
+/// ```
+#[derive(Debug)]
+pub struct TieredCache {
+    l1: EmbedCache,
+    l2: Option<HostTier>,
+    prefetched: HashSet<u64>,
+    tstats: TierStats,
+}
+
+impl TieredCache {
+    /// A single-tier cache: guarded L1 of `l1_rows`, no host tier. This is
+    /// exactly the cache the engine built before tiering existed.
+    pub fn new(l1_rows: usize, policy: CachePolicy) -> Self {
+        TieredCache {
+            l1: EmbedCache::with_thrash_guard(l1_rows, policy),
+            l2: None,
+            prefetched: HashSet::new(),
+            tstats: TierStats::default(),
+        }
+    }
+
+    /// Attaches a host tier of `l2_rows` under `l2_policy`.
+    pub fn with_host_tier(mut self, l2_rows: usize, l2_policy: CachePolicy) -> Self {
+        self.l2 = Some(HostTier::new(l2_rows, l2_policy));
+        self
+    }
+
+    /// The L1 cache (read-only; all mutation goes through the tier API so
+    /// demotions are never skipped).
+    pub fn l1(&self) -> &EmbedCache {
+        &self.l1
+    }
+
+    /// The host tier, if attached.
+    pub fn l2(&self) -> Option<&HostTier> {
+        self.l2.as_ref()
+    }
+
+    /// Whether a host tier is attached.
+    pub fn has_l2(&self) -> bool {
+        self.l2.is_some()
+    }
+
+    /// True while the L1 thrash guard is refusing admissions.
+    pub fn thrash_bypassing(&self) -> bool {
+        self.l1.thrash_bypassing()
+    }
+
+    /// L1 counters (identical to the untiered cache's for the same access
+    /// stream — L2 hits still count as L1 misses there).
+    pub fn stats(&self) -> CacheStats {
+        self.l1.stats()
+    }
+
+    /// Host-tier and prefetch counters.
+    pub fn tier_stats(&self) -> TierStats {
+        self.tstats
+    }
+
+    /// Stale detections across both tiers (assertion counter; the churn
+    /// drills pin it at 0).
+    pub fn stale_hits(&self) -> u64 {
+        self.l1.stale_hits() + self.l2.as_ref().map_or(0, |l2| l2.stale_hits())
+    }
+
+    /// Records `n` coalesced requests on the L1 counter.
+    pub fn note_coalesced(&mut self, n: u64) {
+        self.l1.note_coalesced(n);
+    }
+
+    /// Version-checked lookup through both tiers. Order matters and is
+    /// fixed: L1 access (which may evict) → L2 probe for the requested key
+    /// (promotion takes it *out* of L2, freeing a slot) → demotion of the
+    /// L1 victim. Probing before demoting means a demotion can never
+    /// displace the very row being requested.
+    pub fn access_versioned(&mut self, key: CacheKey, version: u64) -> TierLookup {
+        let look = self.l1.access_versioned(key, version);
+        if look.hit {
+            if self.prefetched.remove(&key.pack()) {
+                self.tstats.prefetch_useful += 1;
+            }
+            return TierLookup {
+                l1_hit: true,
+                l2_hit: false,
+                admitted: true,
+                slot: look.slot,
+                l2_slot: None,
+                demoted: false,
+                demote_slot: None,
+            };
+        }
+        let admitted = look.slot.is_some();
+        let mut l2_slot = None;
+        if let Some(l2) = &mut self.l2 {
+            if let Some(slot) = l2.probe(key, version) {
+                l2_slot = Some(slot);
+                self.tstats.l2_hits += 1;
+                if admitted {
+                    // Promotion copies the row up; the clean L2 copy is
+                    // retained so re-evicting it later costs no
+                    // write-back (see `HostTier` docs).
+                    self.tstats.promotions += 1;
+                }
+                // Bypassing L1: served in place — an undersized,
+                // thrashing L1 still reuses the L2 copy.
+            } else {
+                self.tstats.l2_misses += 1;
+            }
+        }
+        let mut demote_slot = None;
+        if let Some(victim) = look.evicted {
+            if self.prefetched.remove(&victim.pack()) {
+                self.tstats.prefetch_evicted += 1;
+            }
+            demote_slot = self.demote(victim, look.evicted_version);
+        }
+        TierLookup {
+            l1_hit: false,
+            l2_hit: l2_slot.is_some(),
+            admitted,
+            slot: look.slot,
+            l2_slot,
+            demoted: demote_slot.is_some(),
+            demote_slot,
+        }
+    }
+
+    /// Unversioned access (static graphs): version 0 everywhere.
+    pub fn access(&mut self, key: CacheKey) -> TierLookup {
+        self.access_versioned(key, 0)
+    }
+
+    /// Speculatively admits `key` into L1 ahead of the warp that needs it —
+    /// the prefetch path. Refused (returns `None`) when the row is already
+    /// resident in either tier, the thrash guard is bypassing, or L1 has
+    /// zero capacity; the caller then issues no fill op. On success the
+    /// demand access that lands on the row later is an ordinary L1 hit.
+    pub fn admit_prefetch(&mut self, key: CacheKey, version: u64) -> Option<PrefetchAdmit> {
+        if self.l1.contains(key) {
+            return None;
+        }
+        if self.l2.as_ref().is_some_and(|l2| l2.contains(key)) {
+            // Already one PCIe hop away; a fabric prefetch would be waste.
+            return None;
+        }
+        let look = self.l1.admit_speculative(key, version);
+        let slot = look.slot?;
+        let mut demote_slot = None;
+        if let Some(victim) = look.evicted {
+            if self.prefetched.remove(&victim.pack()) {
+                self.tstats.prefetch_evicted += 1;
+            }
+            demote_slot = self.demote(victim, look.evicted_version);
+        }
+        self.prefetched.insert(key.pack());
+        self.tstats.prefetch_issued += 1;
+        Some(PrefetchAdmit { slot, demoted: demote_slot.is_some(), demote_slot })
+    }
+
+    /// Drops `key` from both tiers and the speculative set. Returns whether
+    /// it was resident anywhere.
+    pub fn invalidate(&mut self, key: CacheKey) -> bool {
+        let in_l1 = self.l1.invalidate(key);
+        if self.prefetched.remove(&key.pack()) {
+            self.tstats.prefetch_evicted += 1;
+        }
+        let in_l2 = match &mut self.l2 {
+            Some(l2) => {
+                let hit = l2.invalidate(key);
+                if hit {
+                    self.tstats.invalidated += 1;
+                }
+                hit
+            }
+            None => false,
+        };
+        in_l1 || in_l2
+    }
+
+    /// Drops every resident key in both tiers. Counters survive, and rows
+    /// flushed out of L2 are counted as invalidated so conservation holds.
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.prefetched.clear();
+        if let Some(l2) = &mut self.l2 {
+            self.tstats.invalidated += l2.flush();
+        }
+    }
+
+    /// Checks the L2 conservation invariant: every demotion (payload
+    /// write into the tier) produced exactly one copy that is either still
+    /// resident, was dropped by L2 replacement, or was invalidated.
+    /// Promotions don't appear — they copy, never consume. (Stale
+    /// replaced-in-place re-demotions count one demotion and one
+    /// invalidation, so the identity still balances; clean re-demotions
+    /// count nothing because nothing moved.)
+    pub fn l2_conserves(&self) -> bool {
+        let resident = self.l2.as_ref().map_or(0, |l2| l2.len() as u64);
+        self.tstats.demotions == resident + self.tstats.dropped + self.tstats.invalidated
+    }
+
+    /// Writes the victim back into the host tier, returning the L2 slot it
+    /// landed in — `None` when no write happened: no tier attached, zero
+    /// capacity, or the victim's clean copy was already resident (the
+    /// common case once a row has round-tripped L2→L1 once; only its
+    /// recency is touched and no bytes cross PCIe).
+    fn demote(&mut self, key: CacheKey, version: u64) -> Option<usize> {
+        let l2 = self.l2.as_mut()?;
+        if l2.capacity() == 0 {
+            return None;
+        }
+        let ins = l2.insert(key, version);
+        if ins.clean {
+            return None;
+        }
+        self.tstats.demotions += 1;
+        if ins.replaced {
+            // The stale incarnation is gone; account it so conservation
+            // (demotions == resident + dropped + invalidated) stays an
+            // identity.
+            self.tstats.invalidated += 1;
+        }
+        if ins.dropped.is_some() {
+            self.tstats.dropped += 1;
+        }
+        Some(ins.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(pe: u16, row: u32) -> CacheKey {
+        CacheKey { pe, row }
+    }
+
+    #[test]
+    fn transparent_without_a_host_tier() {
+        let stream: Vec<CacheKey> = (0..2000u32).map(|i| k(0, i * 31 % 97)).collect();
+        let mut tiered = TieredCache::new(8, CachePolicy::Lru);
+        let mut plain = EmbedCache::with_thrash_guard(8, CachePolicy::Lru);
+        for &key in &stream {
+            let t = tiered.access(key);
+            let p = plain.access(key);
+            assert_eq!(t.l1_hit, p.hit);
+            assert_eq!(t.slot, p.slot);
+            assert!(!t.l2_hit);
+        }
+        assert_eq!(tiered.stats(), plain.stats());
+        assert_eq!(tiered.tier_stats(), TierStats::default());
+    }
+
+    #[test]
+    fn demotion_then_l2_hit_then_promotion() {
+        let mut c = TieredCache::new(1, CachePolicy::Lru).with_host_tier(4, CachePolicy::Lru);
+        assert!(c.access(k(0, 1)).full_miss());
+        let second = c.access(k(0, 2)); // evicts 1 -> demoted
+        assert!(second.demoted);
+        assert_eq!(c.tier_stats().demotions, 1);
+        let back = c.access(k(0, 1)); // L2 hit, promoted; 2 demoted
+        assert!(back.l2_hit && !back.l1_hit && back.admitted);
+        assert_eq!(c.tier_stats().promotions, 1);
+        assert!(c.l2().unwrap().contains(k(0, 2)));
+        assert!(c.l2().unwrap().contains(k(0, 1)), "promotion retains the clean L2 copy");
+        assert!(c.l2_conserves());
+    }
+
+    #[test]
+    fn clean_re_demotion_moves_no_bytes() {
+        // 1 ping-pongs between L1 and L2: after its first write-back, every
+        // further eviction finds the clean copy already resident and
+        // demotes without a payload write.
+        let mut c = TieredCache::new(1, CachePolicy::Lru).with_host_tier(4, CachePolicy::Lru);
+        c.access(k(0, 1));
+        c.access(k(0, 2)); // 1 written back
+        assert_eq!(c.tier_stats().demotions, 1);
+        for _ in 0..10 {
+            let one = c.access(k(0, 1)); // L2 hit; 2 written back once
+            assert!(one.l2_hit);
+            let two = c.access(k(0, 2)); // L2 hit; 1 re-demoted clean
+            assert!(two.l2_hit && !two.demoted, "clean re-demotion must not price a write");
+        }
+        let ts = c.tier_stats();
+        assert_eq!(ts.demotions, 2, "each row pays exactly one write-back");
+        assert_eq!(ts.promotions, 20);
+        assert!(c.l2_conserves());
+    }
+
+    #[test]
+    fn l2_overflow_drops_and_conserves() {
+        let mut c = TieredCache::new(1, CachePolicy::Lru).with_host_tier(2, CachePolicy::Lru);
+        for row in 0..10 {
+            c.access(k(0, row));
+        }
+        let ts = c.tier_stats();
+        assert_eq!(ts.demotions, 9);
+        assert!(ts.dropped > 0);
+        assert_eq!(c.l2().unwrap().len(), 2);
+        assert!(c.l2_conserves(), "demoted == resident + dropped + invalidated");
+    }
+
+    #[test]
+    fn bypassing_l1_is_served_non_exclusively_from_l2() {
+        // Thrash L1 (capacity 2, cyclic set of 64) until the guard bypasses,
+        // with an L2 big enough to hold the set. Further accesses must hit
+        // L2 *without* removing rows from it.
+        let mut c = TieredCache::new(2, CachePolicy::Lru).with_host_tier(128, CachePolicy::Lru);
+        for i in 0..4096u32 {
+            c.access(k(0, i % 64));
+        }
+        assert!(c.thrash_bypassing(), "cyclic overset must trip the L1 guard");
+        let before = c.tier_stats();
+        let resident_before = c.l2().unwrap().len();
+        let out = c.access(k(0, 0));
+        assert!(out.l2_hit && !out.admitted);
+        assert_eq!(c.l2().unwrap().len(), resident_before, "non-exclusive serve keeps the row");
+        assert_eq!(c.tier_stats().promotions, before.promotions);
+        assert!(c.l2_conserves());
+    }
+
+    #[test]
+    fn prefetch_admission_and_demand_hit_accounting() {
+        let mut c = TieredCache::new(4, CachePolicy::Lru).with_host_tier(8, CachePolicy::Lru);
+        assert!(c.admit_prefetch(k(1, 7), 0).is_some());
+        assert!(c.admit_prefetch(k(1, 7), 0).is_none(), "already resident: refuse");
+        assert_eq!(c.tier_stats().prefetch_issued, 1);
+        assert_eq!(c.stats(), CacheStats::default(), "prefetch must not touch L1 stats");
+        let out = c.access(k(1, 7));
+        assert!(out.l1_hit, "prefetched row must serve the demand access from L1");
+        assert_eq!(c.tier_stats().prefetch_useful, 1);
+    }
+
+    #[test]
+    fn prefetch_refused_into_l2_resident_and_while_bypassing() {
+        let mut c = TieredCache::new(1, CachePolicy::Lru).with_host_tier(4, CachePolicy::Lru);
+        c.access(k(0, 1));
+        c.access(k(0, 2)); // 1 demoted
+        assert!(c.l2().unwrap().contains(k(0, 1)));
+        assert!(c.admit_prefetch(k(0, 1), 0).is_none(), "L2-resident rows are not prefetched");
+        // Trip the guard; speculation must then be refused too.
+        let mut t = TieredCache::new(2, CachePolicy::Lru).with_host_tier(4, CachePolicy::Lru);
+        for i in 0..4096u32 {
+            t.access(k(0, i % 64));
+        }
+        assert!(t.thrash_bypassing());
+        assert!(t.admit_prefetch(k(9, 9), 0).is_none(), "no speculation while bypassing");
+    }
+
+    #[test]
+    fn unused_prefetch_eviction_is_wasted_speculation() {
+        let mut c = TieredCache::new(1, CachePolicy::Lru).with_host_tier(4, CachePolicy::Lru);
+        assert!(c.admit_prefetch(k(0, 5), 0).is_some());
+        c.access(k(0, 6)); // evicts the prefetched row before any demand hit
+        let ts = c.tier_stats();
+        assert_eq!(ts.prefetch_evicted, 1);
+        assert_eq!(ts.prefetch_useful, 0);
+        assert_eq!(ts.demotions, 1, "the wasted prefetch still demotes (its payload is valid)");
+        assert!(c.l2_conserves());
+    }
+
+    #[test]
+    fn invalidate_and_flush_cover_both_tiers() {
+        let mut c = TieredCache::new(1, CachePolicy::Lru).with_host_tier(4, CachePolicy::Lru);
+        c.access(k(0, 1));
+        c.access(k(0, 2)); // 1 in L2, 2 in L1
+        assert!(c.invalidate(k(0, 1)), "L2-resident rows must be invalidatable");
+        assert!(!c.l2().unwrap().contains(k(0, 1)));
+        assert!(c.invalidate(k(0, 2)));
+        assert!(!c.invalidate(k(0, 9)));
+        c.access(k(0, 3));
+        c.access(k(0, 4));
+        c.flush();
+        assert!(c.l1().is_empty());
+        assert!(c.l2().unwrap().is_empty());
+        assert!(c.l2_conserves(), "flush counts L2 residents as invalidated");
+    }
+
+    #[test]
+    fn versioned_demotion_refuses_stale_l2_copies() {
+        let mut c = TieredCache::new(1, CachePolicy::Lru).with_host_tier(4, CachePolicy::Lru);
+        c.access_versioned(k(0, 1), 3);
+        c.access_versioned(k(0, 2), 0); // demotes row 1 at version 3
+        // Proper invalidation after a graph delta: the row re-misses.
+        c.invalidate(k(0, 1));
+        let out = c.access_versioned(k(0, 1), 4);
+        assert!(out.full_miss());
+        assert_eq!(c.stale_hits(), 0);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let stream: Vec<(CacheKey, bool)> =
+            (0..5000u32).map(|i| (k((i % 3) as u16, i * 131 % 257), i % 7 == 0)).collect();
+        let run = || {
+            let mut c =
+                TieredCache::new(8, CachePolicy::Lfu).with_host_tier(32, CachePolicy::Lru);
+            for &(key, pf) in &stream {
+                if pf {
+                    c.admit_prefetch(key, 0);
+                } else {
+                    c.access(key);
+                }
+            }
+            (c.stats(), c.tier_stats(), c.l1().len(), c.l2().unwrap().len())
+        };
+        assert_eq!(run(), run());
+        let (_, ts, _, _) = run();
+        assert!(ts.demotions > 0 && ts.l2_hits > 0, "stream must exercise the tier");
+    }
+}

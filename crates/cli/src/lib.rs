@@ -14,6 +14,8 @@
 //! Graph files ending in `.txt` use the whitespace edge-list format; any
 //! other extension uses the compact binary CSR format.
 
+#![deny(missing_docs)]
+
 pub mod perfdiff;
 
 use std::path::{Path, PathBuf};
@@ -43,35 +45,83 @@ use serde::Serialize;
 #[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    Generate { source: GraphSource, out: PathBuf },
-    Stats { graph: PathBuf },
-    Partition { graph: PathBuf, gpus: usize, multilevel: bool },
-    Reorder { graph: PathBuf, out: PathBuf },
-    Simulate {
+    /// `generate`: write a synthetic graph to disk.
+    Generate {
+        /// Dataset recipe or R-MAT parameters.
+        source: GraphSource,
+        /// Output path (`-o`).
+        out: PathBuf,
+    },
+    /// `stats`: print a graph's degree distribution.
+    Stats {
+        /// Graph file to inspect.
         graph: PathBuf,
+    },
+    /// `partition`: report the edge-balanced (or multilevel) node split.
+    Partition {
+        /// Graph file to partition.
+        graph: PathBuf,
+        /// Number of GPUs to split across.
         gpus: usize,
+        /// Use the multilevel partitioner (`--multilevel`).
+        multilevel: bool,
+    },
+    /// `reorder`: write a locality-improved node ordering.
+    Reorder {
+        /// Input graph file.
+        graph: PathBuf,
+        /// Output path (`-o`).
+        out: PathBuf,
+    },
+    /// `simulate`: run one aggregation on a simulated platform.
+    Simulate {
+        /// Graph file to aggregate over.
+        graph: PathBuf,
+        /// Number of GPUs (`--gpus`).
+        gpus: usize,
+        /// Embedding dimension (`--dim`).
         dim: usize,
+        /// Execution engine (`--engine mgg|uvm|direct|dgcl|replicated`).
         engine: Engine,
+        /// Run the cross-iteration tuner first (`--tune`).
         tune: bool,
+        /// Platform preset (`--platform a100|v100|pcie`).
         platform: Platform,
+        /// Transient fault scenario (`--fault-*` knobs).
         fault: Option<FaultSpec>,
         /// Pinned permanent failures (`--fault-gpu-fail`, `--fault-link-down`).
         permanent: Vec<PermanentFault>,
+        /// Chrome-trace output path (`--trace-out`).
         trace_out: Option<PathBuf>,
+        /// Metrics JSON output path (`--metrics-out`).
         metrics_out: Option<PathBuf>,
         /// Worker-pool width (`--threads N`; None = all cores, 1 = sequential).
         threads: Option<usize>,
         /// Remote-embedding cache (`--cache-mb N [--cache-policy lru|lfu]`;
         /// None = caching disabled).
         cache: Option<CacheConfig>,
+        /// Host-DRAM L2 tier behind the HBM cache (`--cache-l2-mb N
+        /// [--cache-l2-policy lru|lfu]`; None = single-tier).
+        cache_l2: Option<CacheConfig>,
+        /// Deterministic prefetch look-ahead in warps (`--prefetch-depth N`;
+        /// 0 = prefetching disabled).
+        prefetch_depth: u32,
     },
+    /// `profile`: attribute simulated time across pipeline phases.
     Profile {
+        /// Graph file to aggregate over.
         graph: PathBuf,
+        /// Number of GPUs (`--gpus`).
         gpus: usize,
+        /// Embedding dimension (`--dim`).
         dim: usize,
+        /// Execution engine (`--engine`).
         engine: Engine,
+        /// Platform preset (`--platform`).
         platform: Platform,
+        /// Chrome-trace output path (`--trace-out`).
         trace_out: Option<PathBuf>,
+        /// Metrics JSON output path (`--metrics-out`).
         metrics_out: Option<PathBuf>,
         /// Worker-pool width (`--threads N`; None = all cores, 1 = sequential).
         threads: Option<usize>,
@@ -79,8 +129,11 @@ pub enum Command {
         /// sweep with the worker-pool profiler, "where did the speedup go".
         host: bool,
     },
+    /// `perfdiff`: compare two benchmark JSON reports.
     PerfDiff {
+        /// The committed baseline report.
         baseline: PathBuf,
+        /// The freshly regenerated report.
         candidate: PathBuf,
         /// Emit GitHub Actions `::warning::`/`::error::` annotations.
         annotate: bool,
@@ -89,11 +142,26 @@ pub enum Command {
         /// Machine-readable verdict (`--json-out`).
         json_out: Option<PathBuf>,
     },
-    Train { communities: usize, size: usize, epochs: usize, gpus: usize },
-    Serve {
-        graph: PathBuf,
+    /// `train`: end-to-end GCN training on a synthetic SBM graph.
+    Train {
+        /// Number of planted communities.
+        communities: usize,
+        /// Nodes per community.
+        size: usize,
+        /// Training epochs.
+        epochs: usize,
+        /// Number of GPUs.
         gpus: usize,
+    },
+    /// `serve`: drive the async serving layer with a query workload.
+    Serve {
+        /// Graph file the server answers queries over.
+        graph: PathBuf,
+        /// Number of GPUs (`--gpus`).
+        gpus: usize,
+        /// Embedding dimension (`--dim`).
         dim: usize,
+        /// Platform preset (`--platform`).
         platform: Platform,
         /// Arrival process shape (`--arrival poisson|bursty[:PERIOD,DUTY%]|ramp[:FROM,TO]`).
         arrival: ArrivalKind,
@@ -105,11 +173,17 @@ pub enum Command {
         zipf_s: f64,
         /// Workload window (`--duration`, ns/us/ms suffix).
         duration_ns: u64,
+        /// Workload RNG seed (`--seed`).
         seed: u64,
+        /// Maximum queries folded into one batch (`--batch-cap`).
         batch_cap: usize,
+        /// Admission-queue depth (`--queue-cap`).
         queue_cap: usize,
+        /// Transient fault scenario (`--fault-*` knobs).
         fault: Option<FaultSpec>,
+        /// Pinned permanent failures (`--fault-gpu-fail`, `--fault-link-down`).
         permanent: Vec<PermanentFault>,
+        /// Worker-pool width (`--threads N`).
         threads: Option<usize>,
         /// Priority-class weights (`--priority-mix GOLD,SILVER,BRONZE`;
         /// default all gold).
@@ -119,6 +193,7 @@ pub enum Command {
         churn: Option<ChurnSpec>,
         /// Machine-readable run report (`--json-out`).
         json_out: Option<PathBuf>,
+        /// Metrics JSON output path (`--metrics-out`).
         metrics_out: Option<PathBuf>,
     },
 }
@@ -126,25 +201,47 @@ pub enum Command {
 /// Where `generate` gets its graph.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GraphSource {
-    Dataset { name: String, scale: f64 },
-    Rmat { scale: u32, edges: usize, seed: u64 },
+    /// A named Table-3 dataset recipe (`--dataset NAME --scale S`).
+    Dataset {
+        /// Dataset name (e.g. `rdd`, `enwiki`).
+        name: String,
+        /// Size multiplier relative to the paper's dimensions.
+        scale: f64,
+    },
+    /// An R-MAT sample (`--rmat SCALE,EDGES`).
+    Rmat {
+        /// log2 of the node count.
+        scale: u32,
+        /// Edges to sample.
+        edges: usize,
+        /// RNG seed (`--seed`).
+        seed: u64,
+    },
 }
 
 /// Which execution engine `simulate` uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
+    /// The pipelined MGG engine (this paper).
     Mgg,
+    /// The unified-virtual-memory baseline.
     Uvm,
+    /// The direct-NVSHMEM (unpipelined GET) strawman.
     Direct,
+    /// The DGCL-like partition-and-relay baseline.
     Dgcl,
+    /// Full-replication engine (every GPU holds all embeddings).
     Replicated,
 }
 
 /// Which platform preset `simulate` targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Platform {
+    /// DGX-A100: NVSwitch fabric, A100-class GPUs.
     A100,
+    /// DGX-1 V100: hybrid-cube-mesh NVLink.
     V100,
+    /// PCIe-only box (no fast fabric).
     Pcie,
 }
 
@@ -400,6 +497,38 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 }
                 None => None,
             };
+            let cache_l2 = match flags.get("cache-l2-mb") {
+                Some(v) => {
+                    if cache.is_none() {
+                        return Err("--cache-l2-mb requires --cache-mb (the L2 tier backs an L1)".into());
+                    }
+                    let mb = v
+                        .parse::<u32>()
+                        .ok()
+                        .filter(|&m| m > 0)
+                        .ok_or("--cache-l2-mb expects a positive integer (MiB of host DRAM)")?;
+                    let policy = match flags.get("cache-l2-policy") {
+                        Some(p) => p.parse::<CachePolicy>()?,
+                        None => CachePolicy::Lru,
+                    };
+                    Some(CacheConfig::from_mb(mb).with_policy(policy))
+                }
+                None if flags.contains_key("cache-l2-policy") => {
+                    return Err("--cache-l2-policy requires --cache-l2-mb".into());
+                }
+                None => None,
+            };
+            let prefetch_depth = match flags.get("prefetch-depth") {
+                Some(v) => {
+                    if cache.is_none() {
+                        return Err("--prefetch-depth requires --cache-mb (prefetch fills the cache)".into());
+                    }
+                    v.parse::<u32>()
+                        .ok()
+                        .ok_or("--prefetch-depth expects a non-negative integer (warps of look-ahead)")?
+                }
+                None => 0,
+            };
             Ok(Command::Simulate {
                 graph: graph_path(&positional)?,
                 gpus,
@@ -413,6 +542,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 metrics_out: flags.get("metrics-out").map(PathBuf::from),
                 threads: get_threads(&flags)?,
                 cache,
+                cache_l2,
+                prefetch_depth,
             })
         }
         "serve" => {
@@ -713,6 +844,8 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             metrics_out,
             threads,
             cache,
+            cache_l2,
+            prefetch_depth,
         } => {
             if let Some(n) = threads {
                 mgg_runtime::set_threads(*n);
@@ -748,6 +881,8 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     )
                     .map_err(|e| e.to_string())?;
                     e.set_cache(*cache);
+                    e.set_cache_l2(*cache_l2);
+                    e.set_prefetch_depth(*prefetch_depth);
                     let mut note = String::new();
                     if fault.is_some() || !permanent.is_empty() {
                         let mut sched = match fault {
@@ -820,6 +955,30 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                             c.evictions,
                             100.0 * c.hit_rate()
                         ));
+                        if let Some(l2) = cache_l2 {
+                            let t = e.tier_stats();
+                            note.push_str(&format!(
+                                "L2 tier ({} MiB host, {}): {} hits, {} demotions, {} promotions, {} dropped, L2 hit rate {:.1}%\n",
+                                l2.capacity_bytes / (1024 * 1024),
+                                l2.policy,
+                                t.l2_hits,
+                                t.demotions,
+                                t.promotions,
+                                t.dropped,
+                                100.0 * t.l2_hit_rate()
+                            ));
+                        }
+                        if *prefetch_depth > 0 {
+                            let t = e.tier_stats();
+                            note.push_str(&format!(
+                                "prefetch (depth {}): {} issued, {} useful, {} evicted unused, accuracy {:.1}%\n",
+                                prefetch_depth,
+                                t.prefetch_issued,
+                                t.prefetch_useful,
+                                t.prefetch_evicted,
+                                100.0 * t.prefetch_accuracy()
+                            ));
+                        }
                     }
                     if fault.is_some() || !permanent.is_empty() {
                         let r = stats.recovery;
@@ -1241,6 +1400,8 @@ pub fn usage() -> &'static str {
                    [--trace-out <file>] [--metrics-out <file>]   (mgg/uvm engines)
                    [--threads N]   (worker pool; default all cores, 1 = sequential)
                    [--cache-mb N] [--cache-policy lru|lfu]   (remote-embedding cache, mgg engine)
+                   [--cache-l2-mb N] [--cache-l2-policy lru|lfu]   (host-DRAM tier behind the cache)
+                   [--prefetch-depth N]   (deterministic look-ahead prefetch, warps; default 0)
   mgg-cli serve <graph> [--gpus N] [--dim D] [--platform a100|v100|pcie]
                 [--arrival poisson|bursty[:PERIOD,DUTY%]|ramp[:FROM,TO]]
                 [--qps Q]   (offered queries/s; default 1.5x calibrated saturation)
@@ -1317,6 +1478,8 @@ mod tests {
                 metrics_out: None,
                 threads: None,
                 cache: None,
+                cache_l2: None,
+                prefetch_depth: 0,
             }
         );
     }
@@ -1339,6 +1502,35 @@ mod tests {
         assert!(parse(&args("simulate g.csr --cache-mb lots")).is_err());
         assert!(parse(&args("simulate g.csr --cache-mb 4 --cache-policy random")).is_err());
         assert!(parse(&args("simulate g.csr --cache-policy lru")).is_err());
+    }
+
+    #[test]
+    fn parse_cache_tier_and_prefetch_flags() {
+        match parse(&args("simulate g.csr --cache-mb 4 --cache-l2-mb 256 --prefetch-depth 4"))
+            .unwrap()
+        {
+            Command::Simulate { cache, cache_l2, prefetch_depth, .. } => {
+                assert_eq!(cache, Some(CacheConfig::from_mb(4)));
+                assert_eq!(cache_l2, Some(CacheConfig::from_mb(256)));
+                assert_eq!(prefetch_depth, 4);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&args("simulate g.csr --cache-mb 4 --cache-l2-mb 64 --cache-l2-policy lfu"))
+            .unwrap()
+        {
+            Command::Simulate { cache_l2, prefetch_depth, .. } => {
+                assert_eq!(cache_l2, Some(CacheConfig::from_mb(64).with_policy(CachePolicy::Lfu)));
+                assert_eq!(prefetch_depth, 0);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // Both riders need an L1 to attach to.
+        assert!(parse(&args("simulate g.csr --cache-l2-mb 256")).is_err());
+        assert!(parse(&args("simulate g.csr --prefetch-depth 4")).is_err());
+        assert!(parse(&args("simulate g.csr --cache-mb 4 --cache-l2-policy lfu")).is_err());
+        assert!(parse(&args("simulate g.csr --cache-mb 4 --cache-l2-mb 0")).is_err());
+        assert!(parse(&args("simulate g.csr --cache-mb 4 --prefetch-depth much")).is_err());
     }
 
     #[test]

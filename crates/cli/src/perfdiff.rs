@@ -214,13 +214,17 @@ fn flatten(v: &Value, prefix: &str, out: &mut Vec<(String, Leaf)>) {
 /// One compared metric in the verdict report.
 #[derive(Debug, Clone, Serialize)]
 pub struct DiffEntry {
+    /// Dotted JSON path of the leaf.
     pub path: String,
     /// "higher_better" | "lower_better" | "exact" | "info".
     pub rule: String,
+    /// The baseline value, rendered.
     pub baseline: String,
+    /// The candidate value, rendered.
     pub candidate: String,
     /// Relative change (candidate vs baseline); 0 for non-numeric leaves.
     pub rel_change: f64,
+    /// Relative slack allowed before a change counts as a regression.
     pub tolerance: f64,
     /// "improved" | "regressed" | "unchanged" | "changed" | "added" | "removed".
     pub status: String,
@@ -230,19 +234,28 @@ pub struct DiffEntry {
 /// `--json-out` and uploaded as the CI sentinel artifact.
 #[derive(Debug, Clone, Serialize)]
 pub struct DiffReport {
+    /// Path of the baseline report.
     pub baseline: String,
+    /// Path of the candidate report.
     pub candidate: String,
+    /// Leaves compared.
     pub compared: u64,
+    /// Leaves that moved in the better direction.
     pub improved: u64,
+    /// Leaves that moved past tolerance in the worse direction.
     pub regressed: u64,
+    /// Leaves within tolerance.
     pub unchanged: u64,
+    /// Info-only leaves (no better/worse direction).
     pub informational: u64,
     /// Exact-match (digest) mismatches — always a failure signal.
     pub errors: u64,
+    /// Every compared leaf, in path order.
     pub entries: Vec<DiffEntry>,
 }
 
 impl DiffReport {
+    /// True when nothing regressed and no exact-match leaf mismatched.
     pub fn clean(&self) -> bool {
         self.regressed == 0 && self.errors == 0
     }

@@ -15,6 +15,8 @@
 //! All functions return simulated durations (the data plane stays with the
 //! callers, who hold the real embedding matrices).
 
+#![deny(missing_docs)]
+
 use mgg_sim::{Cluster, SimTime};
 use mgg_telemetry::Telemetry;
 

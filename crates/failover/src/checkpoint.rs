@@ -81,6 +81,7 @@ pub struct MemoryStore {
 }
 
 impl MemoryStore {
+    /// An empty store holding no checkpoint.
     pub fn new() -> Self {
         Self::default()
     }

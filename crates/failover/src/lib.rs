@@ -24,6 +24,8 @@
 //! `mgg-core`; this crate is dependency-light (`mgg-fault` + serde) so both
 //! can use it without cycles.
 
+#![deny(missing_docs)]
+
 pub mod checkpoint;
 
 use mgg_fault::{FaultSchedule, HEARTBEAT_PERIOD_NS};
@@ -153,6 +155,8 @@ pub struct HealthMonitor {
 }
 
 impl HealthMonitor {
+    /// A monitor for `num_gpus` peers under `policy` (panics on a
+    /// degenerate policy: zero heartbeat or non-positive phi thresholds).
     pub fn new(num_gpus: usize, policy: MonitorPolicy) -> Self {
         assert!(num_gpus >= 1, "need at least one GPU");
         assert!(policy.heartbeat_ns > 0, "heartbeat period must be positive");
@@ -167,10 +171,12 @@ impl HealthMonitor {
         HealthMonitor { num_gpus, policy }
     }
 
+    /// A monitor with the default [`MonitorPolicy`].
     pub fn with_defaults(num_gpus: usize) -> Self {
         Self::new(num_gpus, MonitorPolicy::default())
     }
 
+    /// The policy this monitor scores against.
     pub fn policy(&self) -> &MonitorPolicy {
         &self.policy
     }

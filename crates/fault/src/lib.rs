@@ -18,6 +18,8 @@
 //! The crate is dependency-free (`serde` aside) so that `mgg-sim` can take
 //! it as a dependency without cycles.
 
+#![deny(missing_docs)]
+
 use serde::{Deserialize, Serialize};
 
 /// Backoff charged before re-issuing a dropped one-sided GET, in
@@ -133,10 +135,22 @@ pub enum PermanentFault {
     /// GPU `gpu` dies at `at_ns`: its warps halt, its memory becomes
     /// unreachable, and operations targeting it fail after a bounded
     /// detection timeout.
-    GpuFailure { gpu: usize, at_ns: u64 },
+    GpuFailure {
+        /// The GPU that dies.
+        gpu: usize,
+        /// Simulated time of death in nanoseconds.
+        at_ns: u64,
+    },
     /// The (unordered) link between `src` and `dst` goes down at `at_ns`;
     /// traffic between the pair must be re-routed or host-staged.
-    LinkDown { src: usize, dst: usize, at_ns: u64 },
+    LinkDown {
+        /// One endpoint of the dead link.
+        src: usize,
+        /// The other endpoint.
+        dst: usize,
+        /// Simulated time the link drops, in nanoseconds.
+        at_ns: u64,
+    },
 }
 
 // Manual impls: the in-tree serde shim derives only named-field structs and

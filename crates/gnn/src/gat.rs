@@ -82,6 +82,7 @@ pub fn reference_attention(
 /// The reference (single-address-space) GAT backend.
 #[derive(Debug, Clone)]
 pub struct ReferenceGatBackend {
+    /// The graph attention coefficients and aggregation run over.
     pub graph: CsrGraph,
 }
 
@@ -98,8 +99,11 @@ impl GatBackend for ReferenceGatBackend {
 /// One single-head GAT layer.
 #[derive(Debug, Clone)]
 pub struct GatLayer {
+    /// Linear projection applied before attention.
     pub w: Matrix,
+    /// Attention vector dotted with the source projection.
     pub a_src: Vec<f32>,
+    /// Attention vector dotted with the destination projection.
     pub a_dst: Vec<f32>,
 }
 
@@ -118,7 +122,9 @@ impl GatLayer {
 /// A 2-layer single-head GAT with the usual LeakyReLU slope.
 #[derive(Debug, Clone)]
 pub struct Gat {
+    /// The two layers, hidden then output.
     pub layers: Vec<GatLayer>,
+    /// LeakyReLU negative slope used in the attention logits.
     pub slope: f32,
 }
 
@@ -171,6 +177,7 @@ impl Gat {
 /// outputs concatenate (the standard GAT construction for hidden layers).
 #[derive(Debug, Clone)]
 pub struct MultiHeadGatLayer {
+    /// The independent heads; outputs concatenate in head order.
     pub heads: Vec<GatLayer>,
 }
 
@@ -390,7 +397,9 @@ pub mod train {
 
     /// Result of a GAT training run.
     pub struct GatTrainResult {
+        /// Loss after each epoch.
         pub train_losses: Vec<f32>,
+        /// Accuracy on the held-out test split after training.
         pub test_accuracy: f64,
     }
 

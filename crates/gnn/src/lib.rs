@@ -17,6 +17,8 @@
 //! * [`features`] — label-correlated synthetic node features so the
 //!   classification task is learnable on the synthetic graphs.
 
+#![deny(missing_docs)]
+
 pub mod features;
 pub mod gat;
 pub mod inference;

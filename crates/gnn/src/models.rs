@@ -63,7 +63,9 @@ impl DenseCostModel {
 /// Per-layer simulated timing breakdown.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LayerTiming {
+    /// Simulated time in the sparse aggregation.
     pub aggregate_ns: u64,
+    /// Simulated time in the dense matmuls/activations.
     pub dense_ns: u64,
 }
 
@@ -113,7 +115,9 @@ impl ModelKind {
 /// (softmax is applied by the loss).
 #[derive(Debug, Clone)]
 pub struct Gcn {
+    /// First-layer weights.
     pub w1: Matrix,
+    /// Second-layer weights.
     pub w2: Matrix,
 }
 
@@ -171,15 +175,20 @@ impl Gcn {
 /// two-linear MLP (Equation 5).
 #[derive(Debug, Clone)]
 pub struct GinLayer {
+    /// The learnable self-loop weight `eps`.
     pub eps: f32,
+    /// First MLP linear.
     pub w1: Matrix,
+    /// Second MLP linear.
     pub w2: Matrix,
 }
 
 /// The 5-layer GIN of §5 plus a linear classifier head.
 #[derive(Debug, Clone)]
 pub struct Gin {
+    /// The five GIN layers.
     pub layers: Vec<GinLayer>,
+    /// Linear classifier head.
     pub head: Matrix,
 }
 
@@ -336,13 +345,16 @@ mod tests {
 /// it runs on the same engines with [`AggregateMode::Mean`].
 #[derive(Debug, Clone)]
 pub struct SageLayer {
+    /// Weights applied to the node's own features.
     pub w_self: Matrix,
+    /// Weights applied to the mean-aggregated neighborhood.
     pub w_neigh: Matrix,
 }
 
 /// A 2-layer GraphSAGE model with a linear head folded into layer 2.
 #[derive(Debug, Clone)]
 pub struct Sage {
+    /// The two layers, hidden then output.
     pub layers: Vec<SageLayer>,
 }
 

@@ -137,7 +137,9 @@ pub fn aggregate_adjoint(graph: &CsrGraph, g: &Matrix, mode: AggregateMode) -> M
 /// time — it represents the ideal single-GPU-unbounded-memory oracle).
 #[derive(Debug, Clone)]
 pub struct ReferenceAggregator {
+    /// The graph aggregated over.
     pub graph: CsrGraph,
+    /// Neighbor combination rule (sum, mean, GCN-normalized).
     pub mode: AggregateMode,
 }
 

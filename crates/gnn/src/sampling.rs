@@ -15,6 +15,7 @@ use mgg_graph::{CsrGraph, GraphBuilder, NodeId};
 pub struct SamplingConfig {
     /// Maximum neighbors kept per node.
     pub fanout: usize,
+    /// RNG seed; re-seeded per epoch from this base.
     pub seed: u64,
 }
 

@@ -47,10 +47,12 @@ impl Matrix {
         Matrix { rows, cols, data }
     }
 
+    /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
     }
 
+    /// Number of columns.
     pub fn cols(&self) -> usize {
         self.cols
     }
@@ -255,9 +257,13 @@ pub struct Adam {
     m: Vec<f32>,
     v: Vec<f32>,
     t: u64,
+    /// Learning rate.
     pub lr: f32,
+    /// First-moment decay.
     pub beta1: f32,
+    /// Second-moment decay.
     pub beta2: f32,
+    /// Denominator fuzz.
     pub eps: f32,
 }
 

@@ -26,9 +26,13 @@ use crate::tensor::{accuracy, cross_entropy, Adam, Matrix};
 /// Training hyperparameters.
 #[derive(Debug, Clone, Copy)]
 pub struct TrainConfig {
+    /// Training epochs.
     pub epochs: usize,
+    /// Hidden width.
     pub hidden: usize,
+    /// Adam learning rate.
     pub lr: f32,
+    /// Weight-init and sampling seed.
     pub seed: u64,
     /// When set, each epoch trains on a freshly sampled subgraph.
     pub sampling: Option<SamplingConfig>,
@@ -52,8 +56,11 @@ impl TrainConfig {
 /// Outcome of one training run.
 #[derive(Debug, Clone)]
 pub struct TrainResult {
+    /// Loss after each epoch.
     pub train_losses: Vec<f32>,
+    /// Accuracy on the validation split.
     pub val_accuracy: f64,
+    /// Accuracy on the test split.
     pub test_accuracy: f64,
     /// Directed edges aggregated per epoch (full graph or sampled) —
     /// proportional to the aggregation latency the engines would simulate.
@@ -268,6 +275,7 @@ mod tests {
 /// Outcome of training on a distributed aggregation engine.
 #[derive(Debug, Clone)]
 pub struct DistTrainReport {
+    /// Functional training outcome (losses, accuracies).
     pub result: TrainResult,
     /// Simulated time of one training epoch (aggregations + dense ops).
     pub epoch_ns: u64,

@@ -43,7 +43,9 @@ pub struct DatasetSpec {
 /// A realized dataset: the graph plus its GNN metadata.
 #[derive(Debug, Clone)]
 pub struct Dataset {
+    /// The recipe this dataset was built from.
     pub spec: DatasetSpec,
+    /// The realized topology.
     pub graph: CsrGraph,
 }
 

@@ -33,13 +33,16 @@ pub struct SbmConfig {
     pub avg_degree_in: f64,
     /// Expected inter-block edges per node.
     pub avg_degree_out: f64,
+    /// RNG seed; same seed, same graph.
     pub seed: u64,
 }
 
 /// Output of [`sbm`]: the graph plus the planted block label per node.
 #[derive(Debug, Clone)]
 pub struct SbmGraph {
+    /// The sampled topology.
     pub graph: CsrGraph,
+    /// Planted block label per node.
     pub labels: Vec<u32>,
 }
 

@@ -17,12 +17,15 @@ pub struct RmatConfig {
     /// `(0.57, 0.19, 0.19, 0.05)` give a strongly skewed degree
     /// distribution like the social/web graphs in Table 3.
     pub a: f64,
+    /// Upper-right quadrant probability.
     pub b: f64,
+    /// Lower-left quadrant probability.
     pub c: f64,
     /// Noise added per recursion level to avoid exact self-similarity.
     pub noise: f64,
     /// Mirror each sampled edge (undirected input graph).
     pub symmetric: bool,
+    /// RNG seed; same seed, same graph.
     pub seed: u64,
 }
 

@@ -9,8 +9,15 @@ use crate::csr::{CsrGraph, NodeId};
 /// Errors from edge-list parsing.
 #[derive(Debug)]
 pub enum IoError {
+    /// The underlying reader failed.
     Io(std::io::Error),
-    Parse { line: usize, reason: String },
+    /// A line did not parse as an edge.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for IoError {

@@ -17,6 +17,8 @@
 //!   communication-minimizing partitioner standing in for DGCL's costly
 //!   preprocessing, and a BFS locality reordering (§6).
 
+#![deny(missing_docs)]
+
 pub mod builder;
 pub mod csr;
 pub mod datasets;

@@ -38,6 +38,7 @@ pub struct MultilevelConfig {
     pub refine_passes: usize,
     /// Allowed node-weight imbalance, e.g. 0.05 for 5%.
     pub balance_slack: f64,
+    /// RNG seed for the coarsening matchings.
     pub seed: u64,
 }
 

@@ -8,7 +8,9 @@
 /// Which virtual graph a partition came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PartitionKind {
+    /// Neighbors owned by the issuing GPU.
     Local,
+    /// Neighbors owned by a peer GPU.
     Remote,
 }
 
@@ -22,6 +24,7 @@ pub struct NeighborPartition {
     pub start: u64,
     /// Number of neighbors in this partition.
     pub len: u32,
+    /// Whether the neighbors are local or remote.
     pub kind: PartitionKind,
 }
 

@@ -13,13 +13,21 @@ use crate::csr::{CsrGraph, NodeId};
 /// Degree-distribution summary of a graph.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct DegreeStats {
+    /// Number of nodes.
     pub nodes: usize,
+    /// Number of directed edges.
     pub edges: usize,
+    /// Mean degree.
     pub avg: f64,
+    /// Minimum degree.
     pub min: usize,
+    /// Median degree.
     pub p50: usize,
+    /// 90th-percentile degree.
     pub p90: usize,
+    /// 99th-percentile degree.
     pub p99: usize,
+    /// Maximum degree.
     pub max: usize,
     /// Coefficient of variation of the degree (stddev / mean) — the
     /// workload-imbalance proxy neighbor partitioning neutralizes.

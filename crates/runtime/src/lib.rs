@@ -35,6 +35,8 @@
 //! plain sequential loop on the calling thread, and [`shutdown_pool`]
 //! joins the workers for clean teardown.
 
+#![deny(missing_docs)]
+
 pub mod pool;
 pub mod profile;
 

@@ -87,9 +87,13 @@ pub struct WorkerLane {
 /// that decides whether the pool's claim granularity is too fine.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct UnitHistogram {
+    /// Number of jobs observed.
     pub count: u64,
+    /// Total execution time across all jobs, ns.
     pub sum_ns: u64,
+    /// Fastest job, ns.
     pub min_ns: u64,
+    /// Slowest job, ns.
     pub max_ns: u64,
     /// Counts per bucket; bounds are [`HIST_BOUNDS_NS`].
     pub buckets: Vec<u64>,
@@ -155,8 +159,11 @@ pub struct RegionProfile {
     pub start_ns: u64,
     /// Region wall-clock (entry → ordered results ready), ns.
     pub wall_ns: u64,
+    /// Jobs executed in the region.
     pub jobs: u64,
+    /// Worker lanes that participated (pool width at entry).
     pub workers: u64,
+    /// Per-worker activity breakdown.
     pub lanes: Vec<WorkerLane>,
     /// Per-job execution-time distribution across all lanes.
     pub units: UnitHistogram,
@@ -213,7 +220,9 @@ impl OverheadBreakdown {
 /// Everything one [`collect`] call observed.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct RuntimeProfile {
+    /// One entry per profiled parallel region, in entry order.
     pub regions: Vec<RegionProfile>,
+    /// Contention counters for the runtime's shared locks.
     pub mutex: MutexStats,
     /// Total `Telemetry::fork` time inside profiled regions, ns.
     pub telemetry_fork_ns: u64,
@@ -504,7 +513,7 @@ pub fn note_telemetry_merge(ns: u64) {
 /// wall clocks, this does not advance while the thread is descheduled, so
 /// per-job `wall − cpu` isolates contention/oversubscription from real
 /// work. Returns 0 where the clock is unavailable (non-Linux fallback);
-/// [`LaneRaw::note_job`] then degrades to all-wall accounting.
+/// the lane's per-job accounting then degrades to all-wall.
 pub fn thread_cpu_ns() -> u64 {
     #[cfg(target_os = "linux")]
     {

@@ -1,6 +1,6 @@
 //! Resilient one-sided operations: retry, timeout and completion checking.
 //!
-//! The plain [`SymmetricRegion`](crate::SymmetricRegion) assumes a perfect
+//! The plain [`crate::SymmetricRegion`] assumes a perfect
 //! fabric: every GET returns and every non-blocking operation eventually
 //! signals completion. Under an injected [`FaultSchedule`] that is no longer
 //! true — a GET can be transiently dropped, an `_nbi` completion flag can be

@@ -500,7 +500,11 @@ fn issue(
         // the queue when none is free (issue-port contention).
         let needs_sched = matches!(
             gpu.warps[w as usize].ops.get(gpu.warps[w as usize].pc),
-            Some(WarpOp::Compute { .. }) | Some(WarpOp::RemoteGet { nbi: true, .. })
+            Some(WarpOp::Compute { .. })
+                | Some(WarpOp::RemoteGet { nbi: true, .. })
+                | Some(WarpOp::L2Get { nbi: true, .. })
+                | Some(WarpOp::CacheHit { nbi: true, .. })
+                | Some(WarpOp::PrefetchFill { .. })
         );
         if needs_sched && gpu.sms[sm].free_scheds == 0 {
             break;
@@ -541,8 +545,14 @@ fn issue(
             // posted write or a satisfied WaitRemote fell through); if no
             // slot is free, requeue the warp at the head — the next
             // SchedFree event re-issues it.
-            if matches!(op, WarpOp::Compute { .. } | WarpOp::RemoteGet { nbi: true, .. })
-                && gpu.sms[sm].free_scheds == 0
+            if matches!(
+                op,
+                WarpOp::Compute { .. }
+                    | WarpOp::RemoteGet { nbi: true, .. }
+                    | WarpOp::L2Get { nbi: true, .. }
+                    | WarpOp::CacheHit { nbi: true, .. }
+                    | WarpOp::PrefetchFill { .. }
+            ) && gpu.sms[sm].free_scheds == 0
             {
                 gpu.sms[sm].ready.push_front(w);
                 break;
@@ -579,11 +589,28 @@ fn issue(
                     // Posted: charge the channel, keep executing.
                     let _ = cluster.ic.hbm_transfer(now, pe, bytes as u64);
                 }
-                WarpOp::CacheHit { bytes } => {
-                    // A cached remote row: blocking local HBM read instead
-                    // of a fabric round trip.
+                WarpOp::CacheHit { bytes, nbi } => {
+                    // A cached remote row: local HBM read instead of a
+                    // fabric round trip.
                     let done = cluster.ic.hbm_transfer(now, pe, bytes as u64);
                     record!(w, TraceKind::CacheHit, now, done);
+                    if nbi {
+                        // Pipelined form: the LSU posts an async local copy
+                        // and the read joins the pair's WaitRemote, exactly
+                        // like a GET that happens to be local. Blocking here
+                        // instead would stall the warp through the HBM FIFO
+                        // queue, which under GET-source-read load runs far
+                        // deeper than a fabric round trip.
+                        let warp = &mut gpu.warps[w as usize];
+                        warp.pending_remote = warp.pending_remote.max(done);
+                        gpu.sms[sm].free_scheds -= 1;
+                        gpu.sched_busy_ns += 1;
+                        q.push(
+                            now + 1,
+                            Ev { gpu: pe as u16, sm: sm as u16, warp: w, kind: EvKind::SchedFree },
+                        );
+                        break;
+                    }
                     q.push(done, Ev { gpu: pe as u16, sm: sm as u16, warp: w, kind: EvKind::Wake });
                     gpu.sms[sm].touch(now);
                     gpu.sms[sm].active_warps -= 1;
@@ -594,6 +621,70 @@ fn issue(
                     // evicted ones) is posted HBM traffic: the eviction
                     // bandwidth is charged, the warp does not stall.
                     let _ = cluster.ic.hbm_transfer(now, pe, bytes as u64);
+                }
+                WarpOp::L2Get { bytes, nbi } => {
+                    // A host-tier (L2) hit rides this GPU's own PCIe DMA
+                    // link instead of paying a fabric GET. The host link's
+                    // own issue cost applies — zero for PCIe, where the
+                    // copy engine, not the SM scheduler, drives the
+                    // transfer — so `_nbi` probes cost the warp almost
+                    // nothing up front and the latency overlaps into the
+                    // existing WaitRemote join.
+                    let host_ov = cluster.spec.host_link.request_overhead_ns;
+                    if nbi {
+                        let done = cluster.ic.host_dma_transfer(now + host_ov, pe, bytes as u64);
+                        let warp = &mut gpu.warps[w as usize];
+                        warp.pending_remote = warp.pending_remote.max(done);
+                        gpu.sms[sm].free_scheds -= 1;
+                        gpu.sched_busy_ns += host_ov.max(1);
+                        record!(w, TraceKind::L2Hit, now + host_ov, done);
+                        q.push(
+                            now + host_ov.max(1),
+                            Ev { gpu: pe as u16, sm: sm as u16, warp: w, kind: EvKind::SchedFree },
+                        );
+                    } else {
+                        let done = cluster.ic.host_dma_transfer(now, pe, bytes as u64);
+                        record!(w, TraceKind::L2Hit, now, done);
+                        q.push(done, Ev { gpu: pe as u16, sm: sm as u16, warp: w, kind: EvKind::Wake });
+                        gpu.sms[sm].touch(now);
+                        gpu.sms[sm].active_warps -= 1;
+                    }
+                    break;
+                }
+                WarpOp::L2Demote { bytes } => {
+                    // Posted write-back of L1 victims into the host tier:
+                    // PCIe bandwidth is charged, the warp does not stall.
+                    let _ = cluster.ic.host_dma_transfer(now, pe, bytes as u64);
+                }
+                WarpOp::PrefetchFill { peer, bytes } => {
+                    // Speculation must never add failure modes: a prefetch
+                    // aimed at a dead peer is silently absorbed — no wire
+                    // charge, no completion, and the demand access it was
+                    // covering simply misses as it would have anyway.
+                    if !faults.is_dead(peer as usize, now) {
+                        // Issue like an `_nbi` GET (per-request SM-side
+                        // initiation), then the fabric leg and the posted
+                        // HBM fill write — but nothing joins it: the fill
+                        // lands whenever it lands, ahead of the next warp.
+                        let arrive = cluster
+                            .ic
+                            .remote_transfer(now + overhead, peer as usize, pe, bytes as u64);
+                        // The landed rows are written by the copy engine as
+                        // posted HBM traffic. Like `CacheFill`, the write is
+                        // charged at issue time: pricing it at `arrive` would
+                        // park the single-cursor HBM pipe in the future and
+                        // serialize every later demand access behind a fill
+                        // nobody waits for.
+                        let _ = cluster.ic.hbm_transfer(now, pe, bytes as u64);
+                        gpu.sms[sm].free_scheds -= 1;
+                        gpu.sched_busy_ns += overhead.max(1);
+                        record!(w, TraceKind::Prefetch, now + overhead, arrive);
+                        q.push(
+                            now + overhead.max(1),
+                            Ev { gpu: pe as u16, sm: sm as u16, warp: w, kind: EvKind::SchedFree },
+                        );
+                        break;
+                    }
                 }
                 WarpOp::RemoteGet { peer, bytes, nbi } => {
                     if faults.is_dead(peer as usize, now) {
@@ -725,6 +816,9 @@ mod tests {
                     WarpOp::RemoteGet { peer, bytes, nbi } if peer as usize == pe => {
                         WarpOp::RemoteGet { peer: (pe as u16 + 1) % 2, bytes, nbi }
                     }
+                    WarpOp::PrefetchFill { peer, bytes } if peer as usize == pe => {
+                        WarpOp::PrefetchFill { peer: (pe as u16 + 1) % 2, bytes }
+                    }
                     other => other,
                 })
                 .collect()
@@ -820,6 +914,92 @@ mod tests {
             t_async < t_sync,
             "async ({t_async}) must beat sync ({t_sync}) by overlapping"
         );
+    }
+
+    #[test]
+    fn l2_get_rides_the_host_link_not_the_fabric() {
+        // An `_nbi` L2 probe must charge the PCIe host channel, leave the
+        // GPU-to-GPU fabric untouched, and cost the scheduler almost
+        // nothing up front (PCIe request overhead is 0 in the DGX spec,
+        // versus 150 ns per fabric GET).
+        let ops = vec![
+            WarpOp::L2Get { bytes: 4_096, nbi: true },
+            WarpOp::compute(5_000),
+            WarpOp::WaitRemote,
+        ];
+        let mut c = small_cluster();
+        let k = Uniform {
+            launch: KernelLaunch { blocks: 1, warps_per_block: 1, smem_per_block: 0 },
+            ops,
+        };
+        let stats = GpuSim::run(&mut c, &k, &mut NoPaging).unwrap();
+        assert!(stats.traffic.host.bytes >= 4_096, "L2 bytes must hit the host channel");
+        assert!(stats.traffic.pairs.is_empty(), "no fabric traffic for an L2 hit");
+        // Scheduler time: the compute burst plus the 1 ns floor of the
+        // zero-overhead host issue.
+        let compute_ns = GpuSpec::a100().cycles_to_ns(5_000);
+        assert_eq!(stats.per_gpu[0].sched_busy_ns, compute_ns + 1);
+    }
+
+    #[test]
+    fn blocking_l2_get_stalls_like_a_read() {
+        let mut c = small_cluster();
+        let k = Uniform {
+            launch: KernelLaunch { blocks: 1, warps_per_block: 1, smem_per_block: 0 },
+            ops: vec![WarpOp::L2Get { bytes: 4_096, nbi: false }],
+        };
+        let stats = GpuSim::run(&mut c, &k, &mut NoPaging).unwrap();
+        let host_lat = ClusterSpec::dgx_a100(2).host_link.latency_ns;
+        assert!(
+            stats.makespan_ns() >= host_lat,
+            "blocking probe must pay PCIe latency (got {} < {host_lat})",
+            stats.makespan_ns()
+        );
+    }
+
+    #[test]
+    fn l2_demote_is_posted() {
+        // A demotion write-back must charge host bandwidth without
+        // stalling the warp: makespan equals the pure-compute makespan.
+        let mut c = small_cluster();
+        let mk = |demote| {
+            let mut ops = Vec::new();
+            if demote {
+                ops.push(WarpOp::L2Demote { bytes: 64 * 1024 });
+            }
+            ops.push(WarpOp::compute(1_410));
+            Uniform {
+                launch: KernelLaunch { blocks: 1, warps_per_block: 1, smem_per_block: 0 },
+                ops,
+            }
+        };
+        let t_plain = GpuSim::run(&mut c, &mk(false), &mut NoPaging).unwrap().makespan_ns();
+        c.reset();
+        let with = GpuSim::run(&mut c, &mk(true), &mut NoPaging).unwrap();
+        assert_eq!(with.makespan_ns(), t_plain, "posted demotion must not stall");
+        assert!(with.traffic.host.bytes >= 64 * 1024);
+    }
+
+    #[test]
+    fn prefetch_fill_overlaps_and_is_never_waited_on() {
+        // A prefetch issues fabric + fill traffic but adds no completion:
+        // WaitRemote right after it must not block on the fill.
+        let ops = vec![
+            WarpOp::PrefetchFill { peer: 1, bytes: 4_096 },
+            WarpOp::WaitRemote,
+            WarpOp::compute(1_410),
+        ];
+        let mut c = small_cluster();
+        let k = Uniform {
+            launch: KernelLaunch { blocks: 1, warps_per_block: 1, smem_per_block: 0 },
+            ops,
+        };
+        let stats = GpuSim::run(&mut c, &k, &mut NoPaging).unwrap();
+        let overhead = ClusterSpec::dgx_a100(2).link.request_overhead_ns;
+        let compute_ns = GpuSpec::a100().cycles_to_ns(1_410);
+        // Issue cost + compute; the wire time is fully in the background.
+        assert_eq!(stats.makespan_ns(), overhead + compute_ns);
+        assert!(!stats.traffic.pairs.is_empty(), "prefetch must move fabric bytes");
     }
 
     #[test]
@@ -1077,7 +1257,7 @@ mod tests {
             ops,
         };
         let mut c = small_cluster();
-        let hit = GpuSim::run(&mut c, &mk(vec![WarpOp::CacheHit { bytes }]), &mut NoPaging)
+        let hit = GpuSim::run(&mut c, &mk(vec![WarpOp::CacheHit { bytes, nbi: false }]), &mut NoPaging)
             .unwrap();
         assert_eq!(hit.traffic.remote_bytes(), 0, "a hit must not touch the fabric");
         let mut c2 = small_cluster();
@@ -1122,7 +1302,7 @@ mod tests {
     fn cache_hit_is_traced() {
         let k = Uniform {
             launch: KernelLaunch { blocks: 1, warps_per_block: 1, smem_per_block: 0 },
-            ops: vec![WarpOp::CacheHit { bytes: 2_048 }, WarpOp::compute(100)],
+            ops: vec![WarpOp::CacheHit { bytes: 2_048, nbi: false }, WarpOp::compute(100)],
         };
         let mut c = small_cluster();
         let (_, events) = GpuSim::run_traced(&mut c, &k, &mut NoPaging).unwrap();

@@ -54,9 +54,19 @@ pub enum LaunchError {
     /// A block must contain at least one warp.
     ZeroWarps,
     /// More warps per block than SM warp slots.
-    TooManyWarps { warps: u32, limit: u32 },
+    TooManyWarps {
+        /// Requested warps per block.
+        warps: u32,
+        /// The SM's warp-slot limit.
+        limit: u32,
+    },
     /// Dynamic shared memory request exceeds the SM's capacity.
-    SmemOverflow { requested: u32, limit: u32 },
+    SmemOverflow {
+        /// Requested dynamic shared memory in bytes.
+        requested: u32,
+        /// The SM's shared-memory capacity in bytes.
+        limit: u32,
+    },
 }
 
 impl std::fmt::Display for LaunchError {
@@ -162,6 +172,7 @@ pub struct RecoveryStats {
 /// Result of simulating one multi-GPU kernel.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct KernelStats {
+    /// Per-GPU timing and occupancy breakdown, indexed by PE.
     pub per_gpu: Vec<GpuKernelStats>,
     /// Channel traffic during the kernel.
     pub traffic: TrafficStats,
@@ -175,8 +186,9 @@ pub struct KernelStats {
     /// only prices the resulting [`crate::WarpOp::CacheHit`] /
     /// [`crate::WarpOp::CacheFill`] operations.
     pub cache: mgg_cache::CacheStats,
-    /// SM count and warp slots used for the derived metrics below.
+    /// SM count used for the derived occupancy metrics.
     pub num_sms: u32,
+    /// Warp slots per SM used for the derived occupancy metrics.
     pub warp_slots_per_sm: u32,
 }
 

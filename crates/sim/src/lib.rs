@@ -26,6 +26,8 @@
 //! Everything is deterministic: identical inputs produce identical virtual
 //! timings on every run and platform.
 
+#![deny(missing_docs)]
+
 pub mod channel;
 pub mod cluster;
 pub mod engine;

@@ -7,8 +7,11 @@ use crate::channel::BandwidthChannel;
 /// Snapshot of one channel's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ChannelStats {
+    /// Total payload bytes moved.
     pub bytes: u64,
+    /// Total requests issued (each pays the per-request cost).
     pub requests: u64,
+    /// Total nanoseconds the channel cursor was occupied.
     pub busy_ns: u64,
 }
 
@@ -35,9 +38,13 @@ impl ChannelStats {
 /// Fabric traffic between one ordered `(source, destination)` GPU pair.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PairStats {
+    /// Source GPU of the transfers.
     pub src: u16,
+    /// Destination GPU of the transfers.
     pub dst: u16,
+    /// Payload bytes moved between the pair.
     pub bytes: u64,
+    /// Requests issued between the pair.
     pub requests: u64,
 }
 

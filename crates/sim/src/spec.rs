@@ -130,10 +130,15 @@ pub enum Topology {
 /// The whole simulated platform.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ClusterSpec {
+    /// Per-GPU microarchitecture (SMs, clocks, HBM).
     pub gpu: GpuSpec,
+    /// Number of GPUs in the cluster.
     pub num_gpus: usize,
+    /// How the GPUs are wired together.
     pub topology: Topology,
+    /// The GPU-to-GPU link (NVLink class).
     pub link: LinkSpec,
+    /// The GPU-to-host link (PCIe class), also the host-DRAM tier's path.
     pub host_link: LinkSpec,
     /// Host-side kernel launch overhead in nanoseconds (per launch).
     pub kernel_launch_ns: u64,

@@ -28,18 +28,28 @@ pub enum TraceKind {
     /// A remote-row request served from the local embedding cache (HBM
     /// read, no fabric traffic).
     CacheHit,
+    /// A remote-row request served from the host-DRAM cache tier over the
+    /// PCIe host link (L1 missed, L2 absorbed it — no fabric traffic).
+    L2Hit,
+    /// A speculative prefetch fill in flight (issue to arrival in the local
+    /// cache); overlapped, never waited on.
+    Prefetch,
 }
 
 /// One recorded span.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct TraceEvent {
+    /// The GPU (PE) the warp ran on.
     pub gpu: u16,
     /// SM the warp was resident on (a timeline track for exporters).
     pub sm: u16,
     /// Global warp id (block * warps_per_block + warp).
     pub warp: u32,
+    /// What kind of operation the span covers.
     pub kind: TraceKind,
+    /// Span start, in simulated nanoseconds.
     pub start: SimTime,
+    /// Span end, in simulated nanoseconds.
     pub end: SimTime,
 }
 
@@ -72,6 +82,8 @@ pub fn render_warp_gantt(events: &[TraceEvent], gpu: u16, warp: u32, width: usiz
         (TraceKind::WaitRemote, "wait       ", '.'),
         (TraceKind::PageAccess, "page access", 'p'),
         (TraceKind::CacheHit, "cache hit  ", 'c'),
+        (TraceKind::L2Hit, "l2 hit     ", 'h'),
+        (TraceKind::Prefetch, "prefetch   ", 'f'),
     ];
     let mut out = String::new();
     for (kind, label, ch) in lanes {

@@ -14,6 +14,7 @@
 pub enum WarpOp {
     /// Occupies one SM scheduler slot for `cycles` core cycles.
     Compute {
+        /// Core cycles the scheduler slot is held for.
         cycles: u32,
     },
     /// Reads `bytes` from the local GPU's device memory (HBM).
@@ -22,6 +23,7 @@ pub enum WarpOp {
     /// occupied meanwhile, so other resident warps can issue — this is the
     /// latency-hiding slack MGG's interleaving fills (§3.3).
     GlobalRead {
+        /// Payload size in bytes.
         bytes: u32,
     },
     /// Writes `bytes` to the local GPU's device memory.
@@ -29,6 +31,7 @@ pub enum WarpOp {
     /// Writes are fire-and-forget (posted): the warp pays only the channel
     /// issue serialization, not the full round trip.
     GlobalWrite {
+        /// Payload size in bytes.
         bytes: u32,
     },
     /// Fetches `bytes` from `peer`'s device memory through the interconnect
@@ -39,37 +42,93 @@ pub enum WarpOp {
     /// completes in the background; a later [`WarpOp::WaitRemote`] joins it.
     /// Without `nbi` the warp stalls until the data arrives.
     RemoteGet {
+        /// The GPU whose memory is read.
         peer: u16,
+        /// Payload size in bytes.
         bytes: u32,
+        /// Non-blocking (`_nbi`) issue: continue after the SM-side cost.
         nbi: bool,
     },
     /// Pushes `bytes` to `peer`'s device memory (one-sided PUT, posted).
     RemotePut {
+        /// The GPU whose memory is written.
         peer: u16,
+        /// Payload size in bytes.
         bytes: u32,
     },
     /// Blocks until every outstanding `nbi` transfer of this warp is done
     /// (mirrors `nvshmem_quiet` at warp scope).
     WaitRemote,
     /// Reads `bytes` of remote rows that the embedding cache already holds
-    /// in local HBM — the request never touches the fabric. Timing-wise a
-    /// blocking HBM read (same channel as [`WarpOp::GlobalRead`]), kept as
-    /// a distinct op so traces attribute cache hits separately.
+    /// in local HBM — the request never touches the fabric. Kept as a
+    /// distinct op so traces attribute cache hits separately.
+    ///
+    /// With `nbi` the warp pays only the async-copy issue cost and the HBM
+    /// read lands in the background for a later [`WarpOp::WaitRemote`] —
+    /// the pipelined kernel treats a hit like a GET that happens to be
+    /// local, so it overlaps local aggregation instead of stalling through
+    /// the (often deeply queued) HBM FIFO. Without `nbi` it is a blocking
+    /// HBM read like [`WarpOp::GlobalRead`], which the synchronous ablation
+    /// uses.
     CacheHit {
+        /// Payload size in bytes (the cached rows re-read from HBM).
         bytes: u32,
+        /// Async-copy form: land in the background, join at `WaitRemote`.
+        nbi: bool,
     },
     /// Writes `bytes` of freshly landed remote rows into the local HBM
     /// cache (fill after a miss, displacing evicted rows). Posted like
     /// [`WarpOp::GlobalWrite`]: the eviction/fill bandwidth is charged to
     /// the HBM channel but the warp does not stall on it.
     CacheFill {
+        /// Payload size in bytes (the freshly landed rows written back).
         bytes: u32,
     },
     /// Touches `bytes` at unified-memory `page`; if the page is not
     /// resident on this GPU a fault + migration is simulated by the
     /// installed [`crate::cluster::PageHandler`].
     PageAccess {
+        /// Unified-memory page id being touched.
         page: u64,
+        /// Payload size in bytes.
+        bytes: u32,
+    },
+    /// Reads `bytes` of remote rows from the host-DRAM cache tier (L2) over
+    /// the PCIe host link — an L1 miss the tier absorbed, so no fabric GET
+    /// is issued.
+    ///
+    /// With `nbi` the warp pays only the host link's per-request issue cost
+    /// (zero for PCIe BARs: the read is posted by the copy engine, not the
+    /// SM) and the transfer lands in the background for a later
+    /// [`WarpOp::WaitRemote`]; without `nbi` the warp blocks until the data
+    /// arrives. The trade against [`WarpOp::RemoteGet`] is deliberate:
+    /// fabric GETs pay a per-request SM initiation overhead per miss, L2
+    /// probes pay PCIe latency/bandwidth instead — overlappable, and far
+    /// cheaper at fine request granularity.
+    L2Get {
+        /// Payload size in bytes (rows served by the host tier).
+        bytes: u32,
+        /// Non-blocking form: posted by the copy engine, joined later.
+        nbi: bool,
+    },
+    /// Writes back `bytes` of L1-evicted rows into the host-DRAM tier over
+    /// the PCIe host link. Posted like [`WarpOp::CacheFill`]: demotion
+    /// bandwidth is charged to the host channel, the warp never stalls.
+    L2Demote {
+        /// Payload size in bytes (L1 victims written down).
+        bytes: u32,
+    },
+    /// Speculatively fetches `bytes` from `peer` into the local cache ahead
+    /// of the warp that needs them — the prefetcher's posted `_nbi` fill.
+    /// Pays the SM-side issue cost and charges the fabric plus the local
+    /// HBM fill write, but completes in the background with *no* completion
+    /// to wait on: the demand access that lands on the prefetched row later
+    /// is an ordinary cache hit. A prefetch to a dead peer is silently
+    /// absorbed (speculation must never add failure modes).
+    PrefetchFill {
+        /// The GPU the speculative fetch reads from.
+        peer: u16,
+        /// Payload size in bytes.
         bytes: u32,
     },
 }
@@ -96,7 +155,10 @@ mod tests {
         assert!(WarpOp::GlobalRead { bytes: 4 }.is_memory());
         assert!(WarpOp::RemoteGet { peer: 1, bytes: 4, nbi: true }.is_memory());
         assert!(WarpOp::WaitRemote.is_memory());
-        assert!(WarpOp::CacheHit { bytes: 4 }.is_memory());
+        assert!(WarpOp::CacheHit { bytes: 4, nbi: true }.is_memory());
         assert!(WarpOp::CacheFill { bytes: 4 }.is_memory());
+        assert!(WarpOp::L2Get { bytes: 4, nbi: true }.is_memory());
+        assert!(WarpOp::L2Demote { bytes: 4 }.is_memory());
+        assert!(WarpOp::PrefetchFill { peer: 1, bytes: 4 }.is_memory());
     }
 }

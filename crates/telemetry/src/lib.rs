@@ -23,6 +23,8 @@
 //! nothing, so instrumented hot paths stay bit-identical to uninstrumented
 //! ones (a property the engine tests assert on `KernelStats`).
 
+#![deny(missing_docs)]
+
 pub mod chrome;
 pub mod pipeline;
 pub mod snapshot;
@@ -65,6 +67,7 @@ impl Telemetry {
         Telemetry(Some(Arc::new(Mutex::new(Recorder::new()))))
     }
 
+    /// True when this handle actually records (non-disabled).
     pub fn is_enabled(&self) -> bool {
         self.0.is_some()
     }

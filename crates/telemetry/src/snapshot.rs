@@ -31,47 +31,65 @@ fn percentile_index(len: usize, p: f64) -> usize {
 /// One closed (or still-open, snapshotted-as-now) host phase span.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SpanSnapshot {
+    /// Phase label the span was opened with.
     pub name: String,
     /// Wall-clock ns since the recorder was created.
     pub start_ns: u64,
+    /// Close time (or snapshot time for a still-open span), ns.
     pub end_ns: u64,
     /// Nesting depth at open time (0 = top level).
     pub depth: u32,
 }
 
 impl SpanSnapshot {
+    /// Span length in nanoseconds.
     pub fn duration_ns(&self) -> u64 {
         self.end_ns.saturating_sub(self.start_ns)
     }
 }
 
+/// A monotonically incremented named counter, frozen.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CounterSnapshot {
+    /// The counter's name.
     pub name: String,
+    /// Its value at snapshot time.
     pub value: u64,
 }
 
+/// A last-write-wins named gauge, frozen.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct GaugeSnapshot {
+    /// The gauge's name.
     pub name: String,
+    /// Its last written value.
     pub value: f64,
 }
 
+/// Summary statistics of a named sample distribution, frozen.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct HistogramSnapshot {
+    /// The histogram's name.
     pub name: String,
+    /// Number of recorded samples.
     pub count: u64,
+    /// Sum of all samples.
     pub sum: f64,
+    /// Smallest sample (0 when empty).
     pub min: f64,
+    /// Largest sample (0 when empty).
     pub max: f64,
     /// Ceil-rank percentiles over the recorded samples (0 when empty);
     /// see [`percentile_sorted`].
     pub p50: f64,
+    /// 95th percentile.
     pub p95: f64,
+    /// 99th percentile.
     pub p99: f64,
 }
 
 impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -84,10 +102,15 @@ impl HistogramSnapshot {
 /// Everything a [`crate::Telemetry`] recorded, frozen at snapshot time.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct MetricsSnapshot {
+    /// Closed and still-open phase spans, in open order.
     pub spans: Vec<SpanSnapshot>,
+    /// All counters, sorted by name.
     pub counters: Vec<CounterSnapshot>,
+    /// All gauges, sorted by name.
     pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
+    /// Pipeline-overlap attribution, when a kernel trace was ingested.
     pub pipeline: Option<PipelineMetrics>,
     /// Host worker-pool attribution, when the run was wrapped in
     /// `mgg_runtime::profile::collect` and attached via

@@ -19,6 +19,8 @@
 //! The model implements [`mgg_sim::PageHandler`], so any kernel trace
 //! containing [`mgg_sim::WarpOp::PageAccess`] operations runs against it.
 
+#![deny(missing_docs)]
+
 use std::collections::HashMap;
 
 use mgg_sim::{Interconnect, MultiServerQueue, PageAccessOutcome, PageHandler, SimTime};
@@ -122,6 +124,7 @@ pub struct UvmGpuStats {
 /// Aggregate UVM statistics.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct UvmStats {
+    /// Per-GPU fault/migration counters, indexed by PE.
     pub per_gpu: Vec<UvmGpuStats>,
 }
 

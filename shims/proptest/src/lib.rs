@@ -232,7 +232,7 @@ pub mod collection {
 
     use crate::{Strategy, TestRng};
 
-    /// Element count for [`vec`]: an exact size or a half-open range.
+    /// Element count for [`vec()`]: an exact size or a half-open range.
     pub struct SizeRange {
         min: usize,
         max_excl: usize,

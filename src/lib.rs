@@ -55,7 +55,11 @@
 //! assert!(simulated_ns > 0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub use mgg_baselines as baselines;
+pub use mgg_cache as cache;
+pub use mgg_churn as churn;
 pub use mgg_collective as collective;
 pub use mgg_core as core;
 pub use mgg_failover as failover;
